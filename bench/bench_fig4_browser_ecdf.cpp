@@ -1,0 +1,61 @@
+// Figure 4 — ECDF of the EasyList ad-request percentage per active
+// browser (>1K requests), split by browser family.
+//
+// Paper: ~40% of Firefox and Chrome instances are below 1% ad requests
+// (ad-blocker candidates); only ~18% of Safari and ~8% of IE instances
+// fall below the threshold. Population: FF 3423, Chrome 2267, IE 654,
+// Safari 1324, mobile 1.9K.
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "stats/render.h"
+#include "util/format.h"
+
+int main() {
+  using namespace adscope;
+  bench::preamble("Figure 4 — ECDF of %% ad requests per active browser",
+                  "Firefox/Chrome: ~40%% below 1%%; Safari ~18%%, IE ~8%% "
+                  "below the 5%% threshold");
+
+  const auto world = bench::make_world();
+  core::StudyOptions options;
+  options.inference.min_requests = bench::env_u64("ADSCOPE_ACTIVE_MIN", 1000);
+  core::TraceStudy study(world.engine, world.ecosystem.abp_registry(),
+                         options);
+  bench::run_rbn_study(world, bench::scaled_rbn2(), study);
+  const auto inference = study.inference();
+
+  std::printf("active browsers: %zu  (of %zu annotated browser pairs, "
+              "%zu pairs total)\n\n",
+              inference.active_browsers.size(), inference.browsers_total,
+              inference.pairs_total);
+
+  auto csv = bench::maybe_csv("fig4_browser_ecdf",
+                              {"family", "ad_percent", "cdf"});
+  stats::TextTable table({"Family", "n", "F(0.1%)", "F(1%)", "F(5%)",
+                          "F(10%)", "median %ads"});
+  auto add_curve = [&](const std::string& name, const stats::Ecdf& ecdf) {
+    if (ecdf.empty()) return;
+    if (csv) {
+      for (const auto& [x, f] : ecdf.curve()) {
+        csv->add_row({name, util::fixed(x, 4), util::fixed(f, 5)});
+      }
+    }
+    table.add_row({name, std::to_string(ecdf.size()),
+                   util::percent(ecdf.fraction_at_or_below(0.1)),
+                   util::percent(ecdf.fraction_at_or_below(1.0)),
+                   util::percent(ecdf.fraction_at_or_below(5.0)),
+                   util::percent(ecdf.fraction_at_or_below(10.0)),
+                   util::fixed(ecdf.value_at(0.5), 2) + "%"});
+  };
+  for (const auto& [family, ecdf] : inference.family_ecdf) {
+    add_curve(std::string(ua::to_string(family)) + " (PC)", ecdf);
+  }
+  add_curve("Any (Mobile)", inference.mobile_ecdf);
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf(
+      "\nF(x) = share of instances with at most x%% EasyList ad requests.\n"
+      "Expected shape: Firefox/Chrome step high near 0%% (ad-blocker "
+      "mass);\nSafari/IE rise late; mobile in between.\n");
+  return 0;
+}

@@ -1,0 +1,118 @@
+// Micro-benchmarks: filter-engine throughput and the token-index
+// ablation (DESIGN.md §4.1) — keyword-indexed candidate selection vs a
+// linear scan over all filters, plus parsing and URL tokenization costs.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "experiment_common.h"
+
+namespace {
+
+using namespace adscope;
+
+const bench::World& world() {
+  static const bench::World instance = bench::make_world();
+  return instance;
+}
+
+// A stream of requests drawn from real simulated pages.
+const std::vector<adblock::Request>& request_stream() {
+  static const std::vector<adblock::Request> stream = [] {
+    std::vector<adblock::Request> requests;
+    sim::PageModel model(world().ecosystem);
+    util::Rng rng(7);
+    for (std::size_t site = 0; site < 200; ++site) {
+      const auto page = model.build(
+          site % world().ecosystem.publishers().size(), rng);
+      for (const auto& request : page.requests) {
+        requests.push_back(adblock::make_request(request.url, page.page_url,
+                                                 request.true_type));
+      }
+    }
+    return requests;
+  }();
+  return stream;
+}
+
+void BM_EngineClassify(benchmark::State& state) {
+  const auto& requests = request_stream();
+  std::size_t i = 0;
+  std::uint64_t ads = 0;
+  for (auto _ : state) {
+    ads += world().engine.classify(requests[i]).is_ad();
+    i = (i + 1) % requests.size();
+  }
+  benchmark::DoNotOptimize(ads);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineClassify);
+
+// Ablation: linear scan over every filter of every list.
+void BM_EngineClassifyLinearScan(benchmark::State& state) {
+  const auto& requests = request_stream();
+  const auto& engine = world().engine;
+  std::size_t i = 0;
+  std::uint64_t hits = 0;
+  for (auto _ : state) {
+    const auto& request = requests[i];
+    const adblock::Filter* blocking = nullptr;
+    const adblock::Filter* exception = nullptr;
+    for (std::size_t l = 0; l < engine.list_count(); ++l) {
+      for (const auto& filter :
+           engine.list(static_cast<adblock::ListId>(l)).filters()) {
+        if (filter.is_exception()) {
+          if (exception == nullptr && filter.matches(request)) {
+            exception = &filter;
+          }
+        } else if (blocking == nullptr && filter.matches(request)) {
+          blocking = &filter;
+        }
+      }
+    }
+    hits += blocking != nullptr && exception == nullptr;
+    i = (i + 1) % requests.size();
+  }
+  benchmark::DoNotOptimize(hits);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EngineClassifyLinearScan);
+
+void BM_UrlTokenize(benchmark::State& state) {
+  const auto& requests = request_stream();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        adblock::url_token_hashes(requests[i].url_lower));
+    i = (i + 1) % requests.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UrlTokenize);
+
+void BM_ListParse(benchmark::State& state) {
+  const auto& lists = world().lists;
+  for (auto _ : state) {
+    auto parsed = adblock::FilterList::parse(
+        lists.easylist, adblock::ListKind::kEasyList, "easylist");
+    benchmark::DoNotOptimize(parsed.filters().size());
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(world().lists.easylist.size()));
+}
+BENCHMARK(BM_ListParse);
+
+void BM_EngineBuild(benchmark::State& state) {
+  for (auto _ : state) {
+    auto engine = sim::make_engine(world().lists,
+                                   sim::ListSelection{.easylist = true,
+                                                      .derivative = true,
+                                                      .easyprivacy = true,
+                                                      .acceptable_ads = true});
+    benchmark::DoNotOptimize(engine.active_filter_count());
+  }
+}
+BENCHMARK(BM_EngineBuild);
+
+}  // namespace
+
+BENCHMARK_MAIN();

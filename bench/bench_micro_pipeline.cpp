@@ -1,0 +1,142 @@
+// Micro-benchmarks: end-to-end pipeline stages — trace serialization,
+// Bro-style extraction, full classification (referrer map + type
+// inference + normalization + engine), and UA parsing.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "core/classifier.h"
+#include "experiment_common.h"
+#include "html/tokenizer.h"
+#include "pcap/pcap.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "ua/user_agent.h"
+
+namespace {
+
+using namespace adscope;
+
+const bench::World& world() {
+  static const bench::World instance = bench::make_world();
+  return instance;
+}
+
+// A small RBN trace shared by the benchmarks below.
+const trace::MemoryTrace& sample_trace() {
+  static const trace::MemoryTrace trace = [] {
+    trace::MemoryTrace memory;
+    sim::RbnSimulator simulator(world().ecosystem, world().lists,
+                                world().seed);
+    auto options = sim::rbn2_options(40);
+    options.duration_s = 4 * 3600;
+    simulator.simulate(options, memory);
+    return memory;
+  }();
+  return trace;
+}
+
+void BM_TraceWrite(benchmark::State& state) {
+  const auto& trace = sample_trace();
+  for (auto _ : state) {
+    trace::FileTraceWriter writer("/tmp/adscope_bench.adst");
+    trace.replay(writer);
+    writer.close();
+    benchmark::DoNotOptimize(writer.records_written());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>((trace.http().size() + trace.tls().size())));
+}
+BENCHMARK(BM_TraceWrite);
+
+void BM_TraceRead(benchmark::State& state) {
+  {
+    trace::FileTraceWriter writer("/tmp/adscope_bench.adst");
+    sample_trace().replay(writer);
+  }
+  for (auto _ : state) {
+    trace::FileTraceReader reader("/tmp/adscope_bench.adst");
+    trace::MemoryTrace memory;
+    benchmark::DoNotOptimize(reader.replay(memory));
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(sample_trace().http().size() + sample_trace().tls().size()));
+}
+BENCHMARK(BM_TraceRead);
+
+void BM_FullClassificationPipeline(benchmark::State& state) {
+  const auto& trace = sample_trace();
+  for (auto _ : state) {
+    analyzer::HttpExtractor extractor;
+    core::TraceClassifier classifier(world().engine);
+    std::uint64_t ads = 0;
+    classifier.set_callback([&](const core::ClassifiedObject& object) {
+      ads += object.verdict.is_ad();
+    });
+    extractor.set_object_callback(
+        [&](const analyzer::WebObject& object) { classifier.process(object); });
+    for (const auto& txn : trace.http()) extractor.on_http(txn);
+    classifier.flush();
+    benchmark::DoNotOptimize(ads);
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(trace.http().size()));
+}
+BENCHMARK(BM_FullClassificationPipeline);
+
+void BM_RbnSimulate(benchmark::State& state) {
+  sim::RbnSimulator simulator(world().ecosystem, world().lists, world().seed);
+  auto options = sim::rbn2_options(10);
+  options.duration_s = 2 * 3600;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    trace::MemoryTrace memory;
+    simulator.simulate(options, memory);
+    records = memory.http().size();
+    benchmark::DoNotOptimize(records);
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_RbnSimulate);
+
+void BM_PcapExport(benchmark::State& state) {
+  const auto& trace = sample_trace();
+  for (auto _ : state) {
+    pcap::PcapWriter writer("/tmp/adscope_bench.pcap");
+    trace.replay(writer);
+    benchmark::DoNotOptimize(writer.packets_written());
+  }
+  state.SetItemsProcessed(
+      state.iterations() * static_cast<std::int64_t>(trace.http().size()));
+}
+BENCHMARK(BM_PcapExport);
+
+void BM_HtmlTokenize(benchmark::State& state) {
+  sim::PageModelOptions options;
+  options.generate_payloads = true;
+  sim::PageModel model(world().ecosystem, options);
+  util::Rng rng(3);
+  const auto page = model.build(0, rng);
+  const auto& payload = page.requests[0].payload;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(html::tokenize(payload));
+  }
+  state.SetBytesProcessed(
+      state.iterations() * static_cast<std::int64_t>(payload.size()));
+}
+BENCHMARK(BM_HtmlTokenize);
+
+void BM_UserAgentParse(benchmark::State& state) {
+  const auto& trace = sample_trace();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ua::parse_user_agent(trace.http()[i].user_agent));
+    i = (i + 1) % trace.http().size();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UserAgentParse);
+
+}  // namespace
+
+BENCHMARK_MAIN();

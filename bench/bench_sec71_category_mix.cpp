@@ -1,0 +1,127 @@
+// §7.1 — the content-mix explanation for the diurnal ad-ratio.
+//
+// The paper offers two explanations for the 6-12% diurnal swing of the
+// ad-request share: (1) users request different content over the day
+// and page categories carry different ad ratios (news-heavy vs
+// streaming-heavy hours, citing [27] on site complexity), and
+// (2) the ad-blocker-user share varies by hour (2:1 non-blockers at
+// peak, ~1:1 off-hours). This bench quantifies both in the RBN-1 trace
+// via the page-view segmentation.
+#include <cstdio>
+#include <map>
+
+#include "core/page_segmenter.h"
+#include "experiment_common.h"
+#include "stats/render.h"
+#include "util/format.h"
+
+namespace {
+
+using namespace adscope;
+
+struct CategoryRow {
+  std::uint64_t views = 0;
+  std::uint64_t objects = 0;
+  std::uint64_t ads = 0;
+};
+
+std::string category_of(const std::string& page_url) {
+  // Publisher domains encode their category: "news-12.example".
+  // Pages outside .example are ad-tech URLs that the referrer
+  // reconstruction could not attribute (standalone chains) — grouped,
+  // since they are pipeline noise rather than sites.
+  const auto scheme = page_url.find("://");
+  if (scheme == std::string::npos) return "other";
+  const auto start = scheme + 3;
+  auto host_end = page_url.find('/', start);
+  if (host_end == std::string::npos) host_end = page_url.size();
+  const auto host = page_url.substr(start, host_end - start);
+  if (host.size() < 8 || host.compare(host.size() - 8, 8, ".example") != 0) {
+    return "(unattributed ad-tech)";
+  }
+  const auto dash = host.find('-');
+  if (dash == std::string::npos) return "other";
+  return host.substr(0, dash);
+}
+
+}  // namespace
+
+int main() {
+  bench::preamble("Section 7.1 — page categories vs ad load (RBN-1)",
+                  "category ad ratios differ (news-heavy vs streaming "
+                  "pages) — explanation 1 for the diurnal ad share");
+
+  const auto world = bench::make_world();
+
+  // Run the study with a page-view callback that aggregates by category
+  // and by hour-of-day.
+  std::map<std::string, CategoryRow> by_category;
+  std::map<unsigned, CategoryRow> by_hour;
+  core::TraceStudy study(world.engine, world.ecosystem.abp_registry());
+  core::PageSegmenter segmenter;
+  segmenter.set_callback([&](const core::PageView& view) {
+    auto& cat = by_category[category_of(view.page_url)];
+    ++cat.views;
+    cat.objects += view.objects;
+    cat.ads += view.ad_objects;
+    auto& hour = by_hour[static_cast<unsigned>((view.start_ms / 1000 / 3600) %
+                                               24)];
+    ++hour.views;
+    hour.objects += view.objects;
+    hour.ads += view.ad_objects;
+  });
+  // Second classifier pass just for segmentation is wasteful; instead
+  // tap the study's own pipeline via a parallel classifier.
+  analyzer::HttpExtractor extractor;
+  core::TraceClassifier classifier(world.engine);
+  classifier.set_callback(
+      [&](const core::ClassifiedObject& object) { segmenter.add(object); });
+  extractor.set_object_callback(
+      [&](const analyzer::WebObject& object) { classifier.process(object); });
+
+  trace::TeeSink tee;
+  tee.add(study);
+  tee.add(extractor);
+  sim::RbnSimulator simulator(world.ecosystem, world.lists, world.seed);
+  simulator.simulate(bench::scaled_rbn1(), tee);
+  study.finish();
+  classifier.flush();
+  segmenter.flush();
+
+  stats::TextTable table({"category", "views", "objects/view", "ads/view",
+                          "ad share"});
+  for (const auto& [category, row] : by_category) {
+    if (row.views < 50) continue;
+    table.add_row(
+        {category, std::to_string(row.views),
+         util::fixed(static_cast<double>(row.objects) /
+                         static_cast<double>(row.views),
+                     1),
+         util::fixed(static_cast<double>(row.ads) /
+                         static_cast<double>(row.views),
+                     1),
+         util::percent(static_cast<double>(row.ads) /
+                       static_cast<double>(row.objects))});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\nExpected: news/games/shop categories carry the highest "
+              "ad share; search and\nreference (no ad slots) the lowest; "
+              "video dilutes ads with streaming chunks.\n");
+
+  std::printf("\nad share of page-view objects by local hour (RBN-1 starts "
+              "Sat 00:00):\n  hour: ");
+  for (unsigned h = 0; h < 24; ++h) std::printf("%4u", h);
+  std::printf("\n  %%ads: ");
+  for (unsigned h = 0; h < 24; ++h) {
+    const auto it = by_hour.find(h);
+    const double share =
+        it == by_hour.end() || it->second.objects == 0
+            ? 0.0
+            : 100.0 * static_cast<double>(it->second.ads) /
+                  static_cast<double>(it->second.objects);
+    std::printf("%4.0f", share);
+  }
+  std::printf("\n(the §7.1 diurnal ratio, now per page view instead of per "
+              "raw request)\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Table 4 — ad vs non-ad traffic by reported Content-Type (RBN-1).
+//
+// Paper (top ad rows): image/gif 35.1% of ad requests but only 14.1% of
+// ad bytes (43-byte beacons); text/plain and text/html carry most ad
+// bytes; "-" (absent) dominates non-ad bytes (large media); video and
+// flash contribute bytes, not requests.
+#include <cstdio>
+
+#include "experiment_common.h"
+#include "stats/render.h"
+#include "util/format.h"
+
+int main() {
+  using namespace adscope;
+  bench::preamble("Table 4 — ad traffic by Content-Type (RBN-1)",
+                  "gif beacons dominate ad requests; text and video "
+                  "dominate ad bytes; '-' dominates non-ad bytes");
+
+  const auto world = bench::make_world();
+  core::TraceStudy study(world.engine, world.ecosystem.abp_registry());
+  bench::run_rbn_study(world, bench::scaled_rbn1(), study);
+  const auto& traffic = study.traffic();
+
+  const auto rows = traffic.content_table();
+  double ad_reqs = 0;
+  double ad_bytes = 0;
+  double non_reqs = 0;
+  double non_bytes = 0;
+  for (const auto& [mime, row] : rows) {
+    ad_reqs += static_cast<double>(row.ad_requests);
+    ad_bytes += static_cast<double>(row.ad_bytes);
+    non_reqs += static_cast<double>(row.non_ad_requests);
+    non_bytes += static_cast<double>(row.non_ad_bytes);
+  }
+
+  stats::TextTable table({"Content-type", "Ads:Reqs", "Ads:Bytes",
+                          "NonAds:Reqs", "NonAds:Bytes"});
+  std::size_t printed = 0;
+  for (const auto& [mime, row] : rows) {
+    if (printed++ >= 12) break;
+    table.add_row(
+        {mime,
+         util::percent(static_cast<double>(row.ad_requests) / ad_reqs),
+         util::percent(static_cast<double>(row.ad_bytes) / ad_bytes),
+         util::percent(static_cast<double>(row.non_ad_requests) / non_reqs),
+         util::percent(static_cast<double>(row.non_ad_bytes) / non_bytes)});
+  }
+  std::fputs(table.to_string().c_str(), stdout);
+  std::printf("\npaper top rows: image/gif 35.1/14.1/3.5/0.7; '-' "
+              "11.8/5.4/28.7/63.4;\nvideo/mp4 0.0/10.9/0.3/8.6 "
+              "(percent of Ads:Reqs/Ads:Bytes/NonAds:Reqs/NonAds:Bytes)\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// classify_trace — the ISP-operator scenario: study ad traffic in a
+// captured header trace (the paper's §7 analysis as a CLI tool).
+//
+// Usage: ./classify_trace [trace.adst]
+// Without an argument, a small demo trace is synthesized first so the
+// example runs out of the box.
+#include <cstdio>
+#include <string>
+
+#include "core/study.h"
+#include "sim/crawl_sim.h"
+#include "sim/ecosystem.h"
+#include "sim/listgen.h"
+#include "sim/rbn_sim.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "util/format.h"
+
+using namespace adscope;
+
+int main(int argc, char** argv) {
+  // World setup: ecosystem (for list generation + AS mapping) and the
+  // analysis engine with all four lists, as in the paper.
+  const auto ecosystem = sim::Ecosystem::generate(42);
+  const auto lists = sim::generate_lists(ecosystem);
+  const auto engine = sim::make_engine(
+      lists, sim::ListSelection{.easylist = true,
+                                .derivative = true,
+                                .easyprivacy = true,
+                                .acceptable_ads = true});
+
+  std::string path;
+  if (argc > 1) {
+    path = argv[1];
+  } else {
+    path = "/tmp/adscope_demo_trace.adst";
+    std::printf("no trace given; synthesizing a demo RBN trace at %s ...\n",
+                path.c_str());
+    trace::FileTraceWriter writer(path);
+    sim::RbnSimulator simulator(ecosystem, lists, /*seed=*/42);
+    auto options = sim::rbn2_options(/*households=*/60);
+    options.duration_s = 6 * 3600;
+    simulator.simulate(options, writer);
+  }
+
+  trace::FileTraceReader reader(path);
+  core::TraceStudy study(engine, ecosystem.abp_registry());
+  const auto records = reader.replay(study);
+  study.finish();
+
+  const auto& traffic = study.traffic();
+  std::printf("\n=== trace '%s': %llu records ===\n",
+              study.meta().name.c_str(),
+              static_cast<unsigned long long>(records));
+  std::printf("HTTP transactions: %llu (%s)\n",
+              static_cast<unsigned long long>(traffic.requests()),
+              util::human_bytes(static_cast<double>(traffic.bytes())).c_str());
+  const double ads = static_cast<double>(traffic.ad_requests());
+  std::printf("ad requests:       %llu (%s of requests, %s of bytes)\n",
+              static_cast<unsigned long long>(traffic.ad_requests()),
+              util::percent(ads / static_cast<double>(traffic.requests()))
+                  .c_str(),
+              util::percent(static_cast<double>(traffic.ad_bytes()) /
+                            static_cast<double>(traffic.bytes()))
+                  .c_str());
+  std::printf("  EasyList:        %s\n",
+              util::percent(static_cast<double>(traffic.easylist_requests()) /
+                            ads)
+                  .c_str());
+  std::printf("  EasyPrivacy:     %s\n",
+              util::percent(static_cast<double>(traffic.easyprivacy_requests()) /
+                            ads)
+                  .c_str());
+  std::printf("  non-intrusive:   %s\n",
+              util::percent(static_cast<double>(traffic.whitelisted_requests()) /
+                            ads)
+                  .c_str());
+
+  std::printf("\ntop ad-serving ASes:\n");
+  for (const auto& row : study.infra().as_ranking(ecosystem.asn_db(), 5)) {
+    std::printf("  %-12s %8llu ad objects (%s of its traffic)\n",
+                row.name.c_str(),
+                static_cast<unsigned long long>(row.ad_requests),
+                util::percent(static_cast<double>(row.ad_requests) /
+                              static_cast<double>(row.total_requests))
+                    .c_str());
+  }
+
+  std::printf("\nRTB signal: %s of ad requests show >=90 ms hand-shake "
+              "inflation (vs %s of the rest)\n",
+              util::percent(study.rtb().ad_share_in_rtb_regime()).c_str(),
+              util::percent(study.rtb().non_ad_share_in_rtb_regime()).c_str());
+  return 0;
+}

@@ -1,0 +1,59 @@
+// crawl_lab — the §4 active-measurement workflow as a tool: compare how
+// browser configurations change a site's network footprint.
+//
+// Usage: ./crawl_lab [top_n]
+// Crawls the synthetic top-N under Vanilla / AdBP / Ghostery profiles
+// and prints a per-profile diff, like the paper's instrumented-browser
+// study.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/study.h"
+#include "sim/crawl_sim.h"
+#include "util/format.h"
+
+using namespace adscope;
+
+int main(int argc, char** argv) {
+  const std::size_t top_n =
+      argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 200;
+
+  const auto ecosystem = sim::Ecosystem::generate(42);
+  const auto lists = sim::generate_lists(ecosystem);
+  const auto engine = sim::make_engine(
+      lists, sim::ListSelection{.easylist = true,
+                                .derivative = true,
+                                .easyprivacy = true,
+                                .acceptable_ads = true});
+  sim::CrawlSimulator crawler(ecosystem, lists, /*seed=*/42);
+
+  std::printf("crawling top-%zu sites under 7 profiles...\n\n", top_n);
+  std::printf("%-12s %9s %9s %9s %9s %10s\n", "profile", "HTTP", "HTTPS",
+              "EL hits", "EP hits", "bytes");
+
+  for (const auto mode :
+       {sim::BrowserMode::kVanilla, sim::BrowserMode::kAbpAds,
+        sim::BrowserMode::kAbpPrivacy, sim::BrowserMode::kAbpParanoia,
+        sim::BrowserMode::kGhosteryAds, sim::BrowserMode::kGhosteryPrivacy,
+        sim::BrowserMode::kGhosteryParanoia}) {
+    const auto crawl = crawler.crawl(mode, top_n);
+    core::TraceStudy study(engine, ecosystem.abp_registry());
+    crawl.trace.replay(study);
+    study.finish();
+    std::printf("%-12s %9llu %9llu %9llu %9llu %10s\n",
+                std::string(to_string(mode)).c_str(),
+                static_cast<unsigned long long>(crawl.http_requests),
+                static_cast<unsigned long long>(crawl.https_requests),
+                static_cast<unsigned long long>(
+                    study.traffic().easylist_requests()),
+                static_cast<unsigned long long>(
+                    study.traffic().easyprivacy_requests()),
+                util::human_bytes(
+                    static_cast<double>(study.traffic().bytes()))
+                    .c_str());
+  }
+  std::printf("\nInterpretation: each blocker removes the requests its "
+              "lists cover; residual\nhits under a blocker are "
+              "false positives of the passive methodology (see §4.2).\n");
+  return 0;
+}

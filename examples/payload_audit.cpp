@@ -1,0 +1,96 @@
+// payload_audit — the §10 payload-mode extension as a tool: audit a
+// site's pages with full payload access and report what header-only
+// analysis would have missed.
+//
+// Usage: ./payload_audit [pages]
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/classifier.h"
+#include "sim/emitter.h"
+#include "sim/listgen.h"
+#include "util/format.h"
+
+using namespace adscope;
+
+int main(int argc, char** argv) {
+  const std::uint64_t pages =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 800;
+
+  const auto ecosystem = sim::Ecosystem::generate(42);
+  const auto lists = sim::generate_lists(ecosystem);
+  const auto engine = sim::make_engine(
+      lists, sim::ListSelection{.easylist = true,
+                                .derivative = true,
+                                .easyprivacy = true,
+                                .acceptable_ads = true});
+
+  // Crawl with payload capture enabled (a proxy/in-browser deployment,
+  // not the ISP monitor).
+  sim::PageModelOptions model_options;
+  model_options.generate_payloads = true;
+  sim::PageModel model(ecosystem, model_options);
+  sim::TrafficEmitter emitter(ecosystem);
+  sim::NoBlocker no_blocker;
+
+  trace::MemoryTrace memory;
+  memory.on_meta(trace::TraceMeta{});
+  util::Rng rng(42);
+  std::uint64_t embedded_truth = 0;
+  std::uint64_t t_ms = 0;
+  for (std::uint64_t p = 0; p < pages; ++p) {
+    const auto site = ecosystem.popularity().sample(rng);
+    const auto page = model.build(site, rng);
+    embedded_truth += static_cast<std::uint64_t>(page.hidden_text_ads);
+    const auto emitted = apply_blocking(page, no_blocker);
+    emitter.emit_page(page, emitted, t_ms, ecosystem.client_ip(0),
+                      "Mozilla/5.0 (audit)", memory, rng);
+    t_ms += 9'000;
+  }
+  std::printf("captured %zu transactions over %llu page loads "
+              "(payloads attached to documents)\n",
+              memory.http().size(),
+              static_cast<unsigned long long>(pages));
+
+  auto audit = [&](bool use_payloads) {
+    core::ClassifierOptions options;
+    options.use_payloads = use_payloads;
+    analyzer::HttpExtractor extractor;
+    core::TraceClassifier classifier(engine, options);
+    std::uint64_t ads = 0;
+    classifier.set_callback([&](const core::ClassifiedObject& object) {
+      ads += object.verdict.is_ad();
+    });
+    extractor.set_object_callback(
+        [&](const analyzer::WebObject& object) { classifier.process(object); });
+    for (const auto& txn : memory.http()) extractor.on_http(txn);
+    classifier.flush();
+    struct Result {
+      std::uint64_t ads;
+      std::uint64_t hidden;
+      std::uint64_t hints;
+    };
+    return Result{ads, classifier.hidden_text_ads(),
+                  classifier.payload_type_hints_used()};
+  };
+
+  const auto header_only = audit(false);
+  const auto payload = audit(true);
+
+  std::printf("\n%-34s %12s %12s\n", "", "header-only", "payload mode");
+  std::printf("%-34s %12llu %12llu\n", "ad requests classified",
+              static_cast<unsigned long long>(header_only.ads),
+              static_cast<unsigned long long>(payload.ads));
+  std::printf("%-34s %12llu %12llu\n", "hidden text ads detected",
+              static_cast<unsigned long long>(header_only.hidden),
+              static_cast<unsigned long long>(payload.hidden));
+  std::printf("%-34s %12llu %12llu\n", "element types from structure",
+              static_cast<unsigned long long>(header_only.hints),
+              static_cast<unsigned long long>(payload.hints));
+  std::printf("\nground truth: %llu text ads embedded in HTML. Header-only "
+              "analysis cannot see them\n(they cause no request — the "
+              "paper's §2 element-hiding limitation); payload mode\n"
+              "recovers them via the element-hiding rules.\n",
+              static_cast<unsigned long long>(embedded_truth));
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Quickstart — the adscope public API in one page.
+//
+// 1. Parse AdBlock-Plus filter lists into a FilterEngine.
+// 2. Classify URLs the way the paper's pipeline does (is it an ad?
+//    which list? whitelisted?).
+//
+// Run: ./quickstart
+#include <cstdio>
+
+#include "adblock/engine.h"
+
+using namespace adscope;
+
+int main() {
+  // Filter lists are plain ABP list text — load your own from disk, or
+  // write rules inline like this.
+  const char* easylist_text = R"(
+[Adblock Plus 2.0]
+! Title: demo EasyList
+! Expires: 4 days
+/banners/*
+&ad_unit=
+||ads.tracker-network.com^$third-party
+@@||ads.tracker-network.com/quality$script
+)";
+  const char* acceptable_ads_text = R"(
+! Title: demo non-intrusive ads
+@@||ads.tracker-network.com/aa/*
+)";
+
+  adblock::FilterEngine engine;
+  engine.add_list(adblock::FilterList::parse(
+      easylist_text, adblock::ListKind::kEasyList, "easylist"));
+  engine.add_list(adblock::FilterList::parse(
+      acceptable_ads_text, adblock::ListKind::kAcceptableAds,
+      "exceptionrules"));
+  std::printf("engine loaded: %zu lists, %zu URL filters\n\n",
+              engine.list_count(), engine.active_filter_count());
+
+  struct Example {
+    const char* url;
+    const char* page;
+    http::RequestType type;
+  };
+  const Example examples[] = {
+      {"http://news.example/articles/story.html", "",
+       http::RequestType::kDocument},
+      {"http://cdn.example/banners/top.gif", "http://news.example/",
+       http::RequestType::kImage},
+      {"http://ads.tracker-network.com/b.js?x=1&ad_unit=7",
+       "http://news.example/", http::RequestType::kScript},
+      {"http://ads.tracker-network.com/aa/banner.gif",
+       "http://news.example/", http::RequestType::kImage},
+      {"http://ads.tracker-network.com/quality.js",
+       "http://news.example/", http::RequestType::kScript},
+      {"http://news.example/assets/logo.png", "http://news.example/",
+       http::RequestType::kImage},
+  };
+
+  for (const auto& example : examples) {
+    const auto request =
+        adblock::make_request(example.url, example.page, example.type);
+    const auto verdict = engine.classify(request);
+    std::printf("%-55s -> %-11s", example.url,
+                std::string(to_string(verdict.decision)).c_str());
+    if (verdict.filter != nullptr) {
+      std::printf("  via %s [%s]", verdict.filter->text().c_str(),
+                  std::string(to_string(verdict.list_kind)).c_str());
+    }
+    if (verdict.whitelist_saved_it()) {
+      std::printf("  (would be blocked by %s)",
+                  verdict.blocked_by->text().c_str());
+    }
+    std::printf("%s\n", verdict.is_ad() ? "  [AD]" : "");
+  }
+  return 0;
+}

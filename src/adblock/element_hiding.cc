@@ -1,0 +1,94 @@
+#include "adblock/element_hiding.h"
+
+#include <algorithm>
+
+#include "http/public_suffix.h"
+
+namespace adscope::adblock {
+
+void ElementHidingIndex::add_list(const FilterList& list) {
+  for (const auto& rule : list.element_hiding_rules()) {
+    if (rule.exception) {
+      exceptions_.push_back(&rule);
+    } else if (rule.include_domains.empty()) {
+      generic_.push_back(&rule);
+    } else {
+      scoped_.push_back(&rule);
+    }
+  }
+}
+
+bool ElementHidingIndex::rule_applies(const ElementHidingRule& rule,
+                                      std::string_view host) {
+  for (const auto& domain : rule.exclude_domains) {
+    if (http::host_matches_domain(host, domain)) return false;
+  }
+  if (rule.include_domains.empty()) return true;
+  for (const auto& domain : rule.include_domains) {
+    if (http::host_matches_domain(host, domain)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string_view> ElementHidingIndex::selectors_for(
+    std::string_view host) const {
+  std::vector<std::string_view> selectors;
+  auto excepted = [&](std::string_view selector) {
+    return std::any_of(exceptions_.begin(), exceptions_.end(),
+                       [&](const ElementHidingRule* exception) {
+                         return exception->selector == selector &&
+                                rule_applies(*exception, host);
+                       });
+  };
+  for (const auto* rule : generic_) {
+    if (rule_applies(*rule, host) && !excepted(rule->selector)) {
+      selectors.push_back(rule->selector);
+    }
+  }
+  for (const auto* rule : scoped_) {
+    if (rule_applies(*rule, host) && !excepted(rule->selector)) {
+      selectors.push_back(rule->selector);
+    }
+  }
+  return selectors;
+}
+
+bool selector_matches_block(std::string_view selector,
+                            const std::vector<std::string>& classes,
+                            std::string_view id) {
+  if (selector.empty()) return false;
+  if (selector[0] == '.') {
+    const auto wanted = selector.substr(1);
+    for (const auto& cls : classes) {
+      if (cls == wanted) return true;
+    }
+    return false;
+  }
+  if (selector[0] == '#') return !id.empty() && id == selector.substr(1);
+  // "tag[attr^=\"prefix\"]" — prefix attribute selectors.
+  const auto bracket = selector.find('[');
+  if (bracket == std::string_view::npos) return false;
+  const auto caret = selector.find("^=\"", bracket);
+  const auto close = selector.rfind("\"]");
+  if (caret == std::string_view::npos || close == std::string_view::npos ||
+      close <= caret + 3) {
+    return false;
+  }
+  const auto attr = selector.substr(bracket + 1, caret - bracket - 1);
+  const auto prefix = selector.substr(caret + 3, close - caret - 3);
+  if (attr == "id") {
+    return id.size() >= prefix.size() &&
+           id.compare(0, prefix.size(), prefix) == 0;
+  }
+  if (attr == "class") {
+    for (const auto& cls : classes) {
+      if (cls.size() >= prefix.size() &&
+          cls.compare(0, prefix.size(), prefix) == 0) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+}  // namespace adscope::adblock

@@ -1,0 +1,51 @@
+// Element-hiding rule index.
+//
+// "##selector" rules hide DOM elements; they cannot fire on header
+// traces (the paper's §2/§10 limitation), but a complete Adblock Plus
+// core must answer "which selectors apply on this page?" — the browser
+// injects the resulting stylesheet. This index resolves generic and
+// domain-scoped rules, honoring "#@#" exceptions, across all lists.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adblock/filter_list.h"
+
+namespace adscope::adblock {
+
+class ElementHidingIndex {
+ public:
+  /// Add every element-hiding rule of `list`. The list must outlive the
+  /// index.
+  void add_list(const FilterList& list);
+
+  /// Selectors to hide on a page hosted at `host` (lower-case):
+  /// generic rules plus matching domain-scoped rules, minus rules
+  /// disabled by a matching "#@#" exception.
+  std::vector<std::string_view> selectors_for(std::string_view host) const;
+
+  std::size_t rule_count() const noexcept {
+    return generic_.size() + scoped_.size();
+  }
+  std::size_t exception_count() const noexcept { return exceptions_.size(); }
+
+ private:
+  static bool rule_applies(const ElementHidingRule& rule,
+                           std::string_view host);
+
+  std::vector<const ElementHidingRule*> generic_;
+  std::vector<const ElementHidingRule*> scoped_;
+  std::vector<const ElementHidingRule*> exceptions_;
+};
+
+/// Minimal CSS selector test against an element's classes and id —
+/// enough for the selector shapes filter lists actually use:
+/// ".class", "#id", and "tag[id^=\"prefix\"]" / "tag[class^=\"prefix\"]".
+/// Used by payload-mode analysis to spot hidden text ads (§10).
+bool selector_matches_block(std::string_view selector,
+                            const std::vector<std::string>& classes,
+                            std::string_view id);
+
+}  // namespace adscope::adblock

@@ -1,0 +1,293 @@
+#include "adblock/filter.h"
+
+#include "http/public_suffix.h"
+#include "util/strings.h"
+
+namespace adscope::adblock {
+
+namespace {
+
+using http::RequestType;
+
+std::optional<RequestType> type_option(std::string_view name) {
+  if (name == "document") return RequestType::kDocument;
+  if (name == "subdocument") return RequestType::kSubdocument;
+  if (name == "stylesheet") return RequestType::kStylesheet;
+  if (name == "script") return RequestType::kScript;
+  if (name == "image" || name == "background") return RequestType::kImage;
+  if (name == "media") return RequestType::kMedia;
+  if (name == "font") return RequestType::kFont;
+  if (name == "object" || name == "object-subrequest") {
+    return RequestType::kObject;
+  }
+  if (name == "xmlhttprequest") return RequestType::kXhr;
+  if (name == "other" || name == "websocket" || name == "ping") {
+    return RequestType::kOther;
+  }
+  return std::nullopt;
+}
+
+// Recursive wildcard matcher. `require_end` pins the match to the end of
+// `text` (trailing "|" anchor).
+bool match_rec(std::string_view pat, std::size_t pi, std::string_view text,
+               std::size_t ti, bool require_end) {
+  for (;;) {
+    if (pi == pat.size()) return !require_end || ti == text.size();
+    const char pc = pat[pi];
+    if (pc == '*') {
+      while (pi < pat.size() && pat[pi] == '*') ++pi;
+      if (pi == pat.size()) return true;  // '*' absorbs the rest
+      for (std::size_t k = ti; k <= text.size(); ++k) {
+        if (match_rec(pat, pi, text, k, require_end)) return true;
+      }
+      return false;
+    }
+    if (pc == '^') {
+      if (ti == text.size()) {
+        // End of the address is accepted as a separator; the rest of the
+        // pattern must then be able to match the empty string.
+        ++pi;
+        while (pi < pat.size() && (pat[pi] == '*' || pat[pi] == '^')) ++pi;
+        return pi == pat.size();
+      }
+      if (!is_separator(text[ti])) return false;
+      ++pi;
+      ++ti;
+      continue;
+    }
+    if (ti == text.size() || pc != text[ti]) return false;
+    ++pi;
+    ++ti;
+  }
+}
+
+}  // namespace
+
+std::optional<Filter> Filter::parse(std::string_view line) {
+  auto text = util::trim(line);
+  if (text.empty()) return std::nullopt;
+  if (text[0] == '!' || text[0] == '[') return std::nullopt;  // comment
+  // Element-hiding rules are handled by FilterList, not here.
+  if (text.find("##") != std::string_view::npos ||
+      text.find("#@#") != std::string_view::npos ||
+      text.find("#?#") != std::string_view::npos) {
+    return std::nullopt;
+  }
+
+  Filter f;
+  f.text_ = std::string(text);
+
+  auto body = text;
+  if (util::starts_with(body, "@@")) {
+    f.exception_ = true;
+    body = body.substr(2);
+  }
+
+  // Options are introduced by the last '$' whose suffix parses as options.
+  if (const auto dollar = body.rfind('$');
+      dollar != std::string_view::npos && dollar > 0) {
+    if (f.parse_options(body.substr(dollar + 1))) {
+      body = body.substr(0, dollar);
+    } else {
+      return std::nullopt;  // unknown option: ABP discards the rule
+    }
+  }
+
+  // Regular-expression rules: pattern wrapped in slashes.
+  if (body.size() >= 3 && body.front() == '/' && body.back() == '/') {
+    const auto expression = body.substr(1, body.size() - 2);
+    // Require some regex metacharacter; otherwise "/banners/" style path
+    // literals would be misread (ABP's heuristic is the same idea).
+    if (expression.find_first_of("\\[](){}+?|") != std::string_view::npos) {
+      try {
+        auto flags = std::regex::ECMAScript | std::regex::optimize;
+        if (!f.match_case_) flags |= std::regex::icase;
+        f.regex_ = std::make_shared<const std::regex>(
+            std::string(expression), flags);
+        f.pattern_original_ = std::string(body);
+        f.pattern_ = util::to_lower(body);
+        return f;
+      } catch (const std::regex_error&) {
+        return std::nullopt;  // malformed regex: discard like ABP
+      }
+    }
+  }
+
+  if (util::starts_with(body, "||")) {
+    f.domain_anchor_ = true;
+    body = body.substr(2);
+  } else if (util::starts_with(body, "|")) {
+    f.start_anchor_ = true;
+    body = body.substr(1);
+  }
+  if (util::ends_with(body, "|")) {
+    f.end_anchor_ = true;
+    body = body.substr(0, body.size() - 1);
+  }
+  if (body.empty() && !f.domain_anchor_ && !f.start_anchor_) {
+    return std::nullopt;  // matches everything; reject like ABP does
+  }
+  f.pattern_original_ = std::string(body);
+  f.pattern_ = util::to_lower(body);
+  return f;
+}
+
+bool Filter::parse_options(std::string_view options) {
+  TypeMask positive = 0;
+  TypeMask negative = 0;
+  bool saw_positive = false;
+
+  for (auto raw : util::split(options, ',')) {
+    auto opt = util::trim(raw);
+    if (opt.empty()) return false;
+    bool inverse = false;
+    if (opt[0] == '~') {
+      inverse = true;
+      opt = opt.substr(1);
+    }
+    const auto lowered = util::to_lower(opt);
+
+    if (lowered == "match-case") {
+      if (inverse) return false;
+      match_case_ = true;
+      continue;
+    }
+    if (lowered == "third-party") {
+      third_party_ = inverse ? ThirdPartyConstraint::kFirstPartyOnly
+                             : ThirdPartyConstraint::kThirdPartyOnly;
+      continue;
+    }
+    if (util::starts_with(lowered, "domain=")) {
+      if (inverse) return false;
+      // Named: substr() on std::string yields a temporary that must
+      // outlive the views split() hands back.
+      const std::string domain_list = lowered.substr(7);
+      for (auto dom : util::split_nonempty(domain_list, '|')) {
+        if (dom[0] == '~') {
+          exclude_domains_.emplace_back(dom.substr(1));
+        } else {
+          include_domains_.emplace_back(dom);
+        }
+      }
+      continue;
+    }
+    if (lowered == "collapse" || lowered == "elemhide" ||
+        lowered == "generichide" || lowered == "genericblock") {
+      // Valid ABP options without an effect on URL classification of
+      // header traces ("elemhide" & friends act on the DOM).
+      continue;
+    }
+    if (lowered == "popup") {
+      // Pop-up windows are unobservable in header traces; the option is
+      // accepted but contributes no matchable category.
+      if (!inverse) saw_positive = true;
+      continue;
+    }
+    if (const auto type = type_option(lowered)) {
+      if (inverse) {
+        negative = static_cast<TypeMask>(negative | type_bit(*type));
+      } else {
+        saw_positive = true;
+        positive = static_cast<TypeMask>(positive | type_bit(*type));
+      }
+      continue;
+    }
+    return false;  // unknown option
+  }
+
+  const TypeMask base = saw_positive ? positive : kDefaultTypeMask;
+  type_mask_ = static_cast<TypeMask>(base & ~negative);
+  return true;
+}
+
+bool Filter::domain_constraint_ok(std::string_view page_host) const {
+  if (include_domains_.empty() && exclude_domains_.empty()) return true;
+  for (const auto& dom : exclude_domains_) {
+    if (http::host_matches_domain(page_host, dom)) return false;
+  }
+  if (include_domains_.empty()) return true;
+  for (const auto& dom : include_domains_) {
+    if (http::host_matches_domain(page_host, dom)) return true;
+  }
+  return false;
+}
+
+bool Filter::matches(const Request& request) const {
+  if ((type_mask_ & type_bit(request.type)) == 0) return false;
+  if (third_party_ != ThirdPartyConstraint::kAny) {
+    const bool third = !request.page_host.empty() &&
+                       http::is_third_party(request.host, request.page_host);
+    if (third_party_ == ThirdPartyConstraint::kThirdPartyOnly && !third) {
+      return false;
+    }
+    if (third_party_ == ThirdPartyConstraint::kFirstPartyOnly && third) {
+      return false;
+    }
+  }
+  if (!domain_constraint_ok(request.page_host)) return false;
+  return matches_url(request.url_lower, request.url);
+}
+
+bool Filter::matches_url(std::string_view url_lower,
+                         std::string_view url_original) const {
+  if (regex_ != nullptr) {
+    const std::string_view subject = match_case_ ? url_original : url_lower;
+    return std::regex_search(subject.begin(), subject.end(), *regex_);
+  }
+  const std::string_view url = match_case_ ? url_original : url_lower;
+  const std::string_view pat = match_case_ ? pattern_original_ : pattern_;
+
+  if (domain_anchor_) {
+    // Match must start at the beginning of a (sub)domain label of the
+    // URL's host.
+    const auto scheme_end = url.find("://");
+    if (scheme_end == std::string_view::npos) return false;
+    const auto host_start = scheme_end + 3;
+    auto host_end = url.find_first_of("/:?", host_start);
+    if (host_end == std::string_view::npos) host_end = url.size();
+    std::size_t pos = host_start;
+    for (;;) {
+      if (match_rec(pat, 0, url, pos, end_anchor_)) return true;
+      const auto dot = url.find('.', pos);
+      if (dot == std::string_view::npos || dot + 1 >= host_end) return false;
+      pos = dot + 1;
+    }
+  }
+  if (start_anchor_) return match_rec(pat, 0, url, 0, end_anchor_);
+
+  // Unanchored: try every start position. The engine's token index keeps
+  // the candidate set small, so the simple loop wins over cleverness.
+  for (std::size_t pos = 0; pos <= url.size(); ++pos) {
+    if (match_rec(pat, 0, url, pos, end_anchor_)) return true;
+  }
+  return false;
+}
+
+std::vector<std::string> Filter::index_keywords() const {
+  std::vector<std::string> keywords;
+  if (regex_ != nullptr) return keywords;  // regex rules are unindexable
+  const std::string_view pat = pattern_;
+  std::size_t i = 0;
+  while (i < pat.size()) {
+    if (!is_keyword_char(pat[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < pat.size() && is_keyword_char(pat[j])) ++j;
+    // A run is a reliable keyword only when any matching URL must contain
+    // it as a complete token: its neighbours in the pattern have to be
+    // literal non-keyword characters (or an anchor at the edge). A '*'
+    // neighbour can swallow keyword characters, so it disqualifies.
+    const bool left_ok =
+        i == 0 ? (start_anchor_ || domain_anchor_) : pat[i - 1] != '*';
+    const bool right_ok = j == pat.size() ? end_anchor_ : pat[j] != '*';
+    if (j - i >= 3 && left_ok && right_ok) {
+      keywords.emplace_back(pat.substr(i, j - i));
+    }
+    i = j;
+  }
+  return keywords;
+}
+
+}  // namespace adscope::adblock

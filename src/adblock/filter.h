@@ -1,0 +1,149 @@
+// A single AdBlock Plus URL filter.
+//
+// Implements the documented ABP filter grammar
+// (https://adblockplus.org/en/filters):
+//   * blocking rules and "@@" exception rules,
+//   * "||" domain anchor, "|" start/end anchors,
+//   * "*" wildcard and "^" separator placeholder,
+//   * "/.../" regular-expression rules,
+//   * "$" options: content-type constraints (script, image, stylesheet,
+//     object, xmlhttprequest, subdocument, document, media, font, other),
+//     inverse types ("~script"), "third-party"/"~third-party",
+//     "domain=a.example|~b.example", "match-case", and the exception-only
+//     "elemhide".
+// Element-hiding rules ("##"/"#@#") are represented separately
+// (see filter_list.h) because they act on the DOM, not on URLs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <regex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http/mime.h"
+
+namespace adscope::adblock {
+
+/// Bitmask over http::RequestType.
+using TypeMask = std::uint16_t;
+
+constexpr TypeMask type_bit(http::RequestType t) noexcept {
+  return static_cast<TypeMask>(1U << static_cast<unsigned>(t));
+}
+
+/// All categories a bare filter applies to ("document" must be requested
+/// explicitly for blocking rules, as in ABP; exception rules may carry it).
+constexpr TypeMask kDefaultTypeMask =
+    static_cast<TypeMask>(type_bit(http::RequestType::kSubdocument) |
+                          type_bit(http::RequestType::kStylesheet) |
+                          type_bit(http::RequestType::kScript) |
+                          type_bit(http::RequestType::kImage) |
+                          type_bit(http::RequestType::kMedia) |
+                          type_bit(http::RequestType::kFont) |
+                          type_bit(http::RequestType::kObject) |
+                          type_bit(http::RequestType::kXhr) |
+                          type_bit(http::RequestType::kOther));
+
+constexpr TypeMask kAllTypeMask =
+    static_cast<TypeMask>(kDefaultTypeMask |
+                          type_bit(http::RequestType::kDocument));
+
+enum class ThirdPartyConstraint : std::uint8_t {
+  kAny,
+  kThirdPartyOnly,
+  kFirstPartyOnly,
+};
+
+/// The subject of a classification query.
+struct Request {
+  std::string url;        // full spec, original case
+  std::string url_lower;  // pre-lowered for case-insensitive matching
+  std::string host;       // lower-case request host
+  std::string page_host;  // lower-case host of the page that triggered it
+  std::string page_url_lower;  // lower-case URL of that page ("" if unknown)
+  http::RequestType type = http::RequestType::kOther;
+};
+
+class Filter {
+ public:
+  /// Parse one filter line. Returns nullopt for comments, element-hiding
+  /// rules, empty lines and rules with unsupported/unknown options (ABP
+  /// discards those too).
+  static std::optional<Filter> parse(std::string_view line);
+
+  /// True for "@@" exception rules.
+  bool is_exception() const noexcept { return exception_; }
+
+  /// True when the rule carries the $document option (page whitelisting).
+  bool whitelists_document() const noexcept {
+    return exception_ &&
+           (type_mask_ & type_bit(http::RequestType::kDocument)) != 0;
+  }
+
+  bool matches(const Request& request) const;
+
+  /// Pattern-only match against a lower-case URL string; ignores options.
+  /// Exposed for tests and for the query-string normalizer, which needs to
+  /// know whether a literal appears in any rule.
+  bool matches_url(std::string_view url_lower,
+                   std::string_view url_original) const;
+
+  const std::string& text() const noexcept { return text_; }
+  const std::string& pattern() const noexcept { return pattern_; }
+  TypeMask type_mask() const noexcept { return type_mask_; }
+  ThirdPartyConstraint third_party() const noexcept { return third_party_; }
+  bool match_case() const noexcept { return match_case_; }
+  bool domain_anchor() const noexcept { return domain_anchor_; }
+  bool start_anchor() const noexcept { return start_anchor_; }
+  bool end_anchor() const noexcept { return end_anchor_; }
+  bool is_regex() const noexcept { return regex_ != nullptr; }
+  const std::vector<std::string>& include_domains() const noexcept {
+    return include_domains_;
+  }
+  const std::vector<std::string>& exclude_domains() const noexcept {
+    return exclude_domains_;
+  }
+
+  /// Candidate index keywords: maximal [a-z0-9%] runs of length >= 3 that
+  /// are guaranteed to appear as complete tokens in any matching URL.
+  std::vector<std::string> index_keywords() const;
+
+ private:
+  Filter() = default;
+
+  bool parse_options(std::string_view options);
+  bool domain_constraint_ok(std::string_view page_host) const;
+
+  std::string text_;     // original rule text
+  std::string pattern_;  // body without anchors/options, lower-cased
+  std::string pattern_original_;  // original case (for $match-case)
+  // Compiled "/.../" rule; shared_ptr keeps Filter copyable.
+  std::shared_ptr<const std::regex> regex_;
+  bool exception_ = false;
+  bool domain_anchor_ = false;
+  bool start_anchor_ = false;
+  bool end_anchor_ = false;
+  bool match_case_ = false;
+  TypeMask type_mask_ = kDefaultTypeMask;
+  ThirdPartyConstraint third_party_ = ThirdPartyConstraint::kAny;
+  std::vector<std::string> include_domains_;
+  std::vector<std::string> exclude_domains_;
+};
+
+/// Separator per the ABP definition: anything but a letter, a digit, or
+/// one of "_", "-", ".", "%".
+constexpr bool is_separator(char c) noexcept {
+  return !((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+           c == '%');
+}
+
+/// True when c participates in index keywords ([a-z0-9%]).
+constexpr bool is_keyword_char(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '%';
+}
+
+}  // namespace adscope::adblock

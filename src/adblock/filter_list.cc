@@ -1,0 +1,114 @@
+#include "adblock/filter_list.h"
+
+#include "util/strings.h"
+
+namespace adscope::adblock {
+
+std::string_view to_string(ListKind kind) noexcept {
+  switch (kind) {
+    case ListKind::kEasyList: return "EasyList";
+    case ListKind::kEasyListDerivative: return "EasyList-derivative";
+    case ListKind::kEasyPrivacy: return "EasyPrivacy";
+    case ListKind::kAcceptableAds: return "non-intrusive-ads";
+    case ListKind::kCustom: return "custom";
+  }
+  return "custom";
+}
+
+void FilterList::parse_metadata(std::string_view line) {
+  // "! Key: value"
+  auto body = util::trim(line.substr(1));
+  const auto colon = body.find(':');
+  if (colon == std::string_view::npos) return;
+  const auto key = util::trim(body.substr(0, colon));
+  const auto value = util::trim(body.substr(colon + 1));
+  if (util::iequals(key, "Title")) {
+    title_ = std::string(value);
+  } else if (util::iequals(key, "Version")) {
+    version_ = std::string(value);
+  } else if (util::iequals(key, "Expires")) {
+    // "4 days" / "12 hours", optionally followed by a comment.
+    std::uint64_t amount = 0;
+    std::size_t i = 0;
+    while (i < value.size() && util::is_ascii_digit(value[i])) {
+      amount = amount * 10 + static_cast<std::uint64_t>(value[i] - '0');
+      ++i;
+    }
+    const auto unit = util::trim(value.substr(i));
+    if (amount > 0) {
+      if (util::starts_with(unit, "hour")) {
+        expires_hours_ = static_cast<unsigned>(amount);
+      } else {  // days is the default unit
+        expires_hours_ = static_cast<unsigned>(amount * 24);
+      }
+    }
+  }
+}
+
+std::optional<ElementHidingRule> FilterList::parse_elemhide(
+    std::string_view line) {
+  bool exception = false;
+  auto sep = line.find("#@#");
+  std::size_t sep_len = 3;
+  if (sep != std::string_view::npos) {
+    exception = true;
+  } else {
+    sep = line.find("##");
+    sep_len = 2;
+  }
+  if (sep == std::string_view::npos) return std::nullopt;
+  ElementHidingRule rule;
+  rule.exception = exception;
+  rule.selector = std::string(util::trim(line.substr(sep + sep_len)));
+  if (rule.selector.empty()) return std::nullopt;
+  for (auto dom : util::split_nonempty(line.substr(0, sep), ',')) {
+    dom = util::trim(dom);
+    if (dom.empty()) continue;
+    if (dom[0] == '~') {
+      rule.exclude_domains.emplace_back(util::to_lower(dom.substr(1)));
+    } else {
+      rule.include_domains.emplace_back(util::to_lower(dom));
+    }
+  }
+  return rule;
+}
+
+FilterList FilterList::parse(std::string_view text, ListKind kind,
+                             std::string name) {
+  FilterList list;
+  list.kind_ = kind;
+  list.name_ = std::move(name);
+
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    auto end = text.find('\n', start);
+    if (end == std::string_view::npos) end = text.size();
+    const auto line = util::trim(text.substr(start, end - start));
+    start = end + 1;
+
+    if (line.empty()) continue;
+    if (line[0] == '[') continue;  // "[Adblock Plus 2.0]" header
+    if (line[0] == '!') {
+      list.parse_metadata(line);
+      continue;
+    }
+    if (line.find("##") != std::string_view::npos ||
+        line.find("#@#") != std::string_view::npos) {
+      if (auto rule = parse_elemhide(line)) {
+        list.elemhide_.push_back(std::move(*rule));
+      } else {
+        ++list.discarded_;
+      }
+      continue;
+    }
+    if (auto filter = Filter::parse(line)) {
+      if (filter->is_exception()) ++list.exceptions_;
+      list.filters_.push_back(std::move(*filter));
+    } else {
+      ++list.discarded_;
+    }
+  }
+  return list;
+}
+
+}  // namespace adscope::adblock

@@ -1,0 +1,83 @@
+// A parsed filter list (EasyList, EasyPrivacy, acceptable-ads, ...).
+//
+// Parses the "[Adblock Plus 2.0]" header, "! Key: value" metadata
+// (Title, Version, Expires — the soft-expiry that drives the update
+// traffic the paper uses as its second indicator, §3.2), URL filters and
+// element-hiding rules. Element-hiding rules are retained for
+// completeness: the paper explicitly cannot apply them to header traces
+// (no payload), and neither can we, but list statistics and update sizes
+// depend on them.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adblock/filter.h"
+
+namespace adscope::adblock {
+
+/// Well-known list families from the paper.
+enum class ListKind : std::uint8_t {
+  kEasyList,
+  kEasyListDerivative,  // language customizations of EasyList
+  kEasyPrivacy,
+  kAcceptableAds,  // "non-intrusive advertisements" whitelist
+  kCustom,
+};
+
+std::string_view to_string(ListKind kind) noexcept;
+
+/// "domains##selector" / "domains#@#selector" rule. Acts on the DOM; kept
+/// for list statistics only.
+struct ElementHidingRule {
+  std::vector<std::string> include_domains;
+  std::vector<std::string> exclude_domains;
+  std::string selector;
+  bool exception = false;  // "#@#"
+};
+
+class FilterList {
+ public:
+  /// An empty list; fill via parse().
+  FilterList() = default;
+
+  /// Parse the full text of a list. Lines that fail to parse are counted,
+  /// not fatal — mirroring ABP, which skips invalid rules.
+  static FilterList parse(std::string_view text, ListKind kind,
+                          std::string name);
+
+  const std::string& name() const noexcept { return name_; }
+  ListKind kind() const noexcept { return kind_; }
+  const std::string& title() const noexcept { return title_; }
+  const std::string& version() const noexcept { return version_; }
+
+  /// Soft-expiry in hours (default 120h = 5 days, ABP's fallback).
+  unsigned expires_hours() const noexcept { return expires_hours_; }
+
+  const std::vector<Filter>& filters() const noexcept { return filters_; }
+  const std::vector<ElementHidingRule>& element_hiding_rules() const noexcept {
+    return elemhide_;
+  }
+  std::size_t discarded_rules() const noexcept { return discarded_; }
+  std::size_t exception_count() const noexcept { return exceptions_; }
+
+ private:
+  void parse_metadata(std::string_view line);
+  static std::optional<ElementHidingRule> parse_elemhide(
+      std::string_view line);
+
+  std::string name_;
+  ListKind kind_ = ListKind::kCustom;
+  std::string title_;
+  std::string version_;
+  unsigned expires_hours_ = 120;
+  std::vector<Filter> filters_;
+  std::vector<ElementHidingRule> elemhide_;
+  std::size_t discarded_ = 0;
+  std::size_t exceptions_ = 0;
+};
+
+}  // namespace adscope::adblock

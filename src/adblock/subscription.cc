@@ -1,0 +1,52 @@
+#include "adblock/subscription.h"
+
+#include <limits>
+
+namespace adscope::adblock {
+
+void SubscriptionManager::subscribe(const FilterList& list,
+                                    std::int64_t last_updated_s) {
+  Subscription subscription;
+  subscription.name = list.name();
+  subscription.kind = list.kind();
+  subscription.expires_hours = list.expires_hours();
+  subscription.last_updated_s = last_updated_s;
+  // A list download is roughly proportional to its rule count; 60 bytes
+  // per rule approximates the 2015 EasyList text.
+  subscription.download_bytes =
+      60 * (list.filters().size() + list.element_hiding_rules().size()) +
+      4096;
+  subscriptions_.push_back(std::move(subscription));
+}
+
+std::vector<const Subscription*> SubscriptionManager::due(
+    std::int64_t now_s) const {
+  std::vector<const Subscription*> out;
+  for (const auto& subscription : subscriptions_) {
+    if (subscription.due(now_s)) out.push_back(&subscription);
+  }
+  return out;
+}
+
+void SubscriptionManager::mark_updated(const std::string& name,
+                                       std::int64_t now_s) {
+  for (auto& subscription : subscriptions_) {
+    if (subscription.name == name) {
+      subscription.last_updated_s = now_s;
+      return;
+    }
+  }
+}
+
+std::int64_t SubscriptionManager::next_due_s() const noexcept {
+  std::int64_t best = std::numeric_limits<std::int64_t>::max();
+  for (const auto& subscription : subscriptions_) {
+    const auto next =
+        subscription.last_updated_s +
+        static_cast<std::int64_t>(subscription.expires_hours) * 3600;
+    best = std::min(best, next);
+  }
+  return best;
+}
+
+}  // namespace adscope::adblock

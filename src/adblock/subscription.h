@@ -1,0 +1,68 @@
+// Filter-list subscriptions and the update schedule.
+//
+// Adblock Plus re-downloads each subscribed list when its soft expiry
+// lapses ("! Expires: 4 days" for EasyList, 1 day for EasyPrivacy) and
+// checks on browser bootstrap — this update traffic is exactly the
+// paper's second ad-blocker indicator (§3.2). SubscriptionManager
+// reproduces that client-side schedule; the RBN simulator drives it to
+// time the HTTPS flows to the update servers.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "adblock/filter_list.h"
+
+namespace adscope::adblock {
+
+struct Subscription {
+  std::string name;           // "easylist", "easyprivacy", ...
+  ListKind kind = ListKind::kCustom;
+  unsigned expires_hours = 120;  // soft expiry from the list header
+  /// Instant of the last successful download. May be negative
+  /// (before the observation window); defaults to the far past, so a
+  /// fresh subscription fetches immediately.
+  std::int64_t last_updated_s = kNeverUpdated;
+  std::uint64_t download_bytes = 0;  // size of one update download
+
+  static constexpr std::int64_t kNeverUpdated =
+      std::numeric_limits<std::int64_t>::min() / 2;
+
+  bool due(std::int64_t now_s) const noexcept {
+    return now_s - last_updated_s >=
+           static_cast<std::int64_t>(expires_hours) * 3600;
+  }
+};
+
+/// The client-side update scheduler of one Adblock Plus installation.
+class SubscriptionManager {
+ public:
+  /// Subscribe to a parsed list. `last_updated_s` backdates the last
+  /// update; the default (far past) makes a fresh install fetch
+  /// immediately.
+  void subscribe(const FilterList& list,
+                 std::int64_t last_updated_s = Subscription::kNeverUpdated);
+
+  /// Lists whose soft expiry has lapsed at `now_s`. Adblock Plus checks
+  /// on browser bootstrap and periodically afterwards; call this at
+  /// those instants and then mark_updated() for each returned entry.
+  std::vector<const Subscription*> due(std::int64_t now_s) const;
+
+  /// Record a completed update.
+  void mark_updated(const std::string& name, std::int64_t now_s);
+
+  const std::vector<Subscription>& subscriptions() const noexcept {
+    return subscriptions_;
+  }
+
+  /// Earliest instant at which any subscription becomes due again
+  /// (INT64_MAX when there are no subscriptions).
+  std::int64_t next_due_s() const noexcept;
+
+ private:
+  std::vector<Subscription> subscriptions_;
+};
+
+}  // namespace adscope::adblock

@@ -1,0 +1,46 @@
+#include "adblock/token_index.h"
+
+#include "util/strings.h"
+
+namespace adscope::adblock {
+
+std::vector<std::uint64_t> url_token_hashes(std::string_view url_lower) {
+  std::vector<std::uint64_t> tokens;
+  std::size_t i = 0;
+  while (i < url_lower.size()) {
+    if (!is_keyword_char(url_lower[i])) {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < url_lower.size() && is_keyword_char(url_lower[j])) ++j;
+    if (j - i >= 3) tokens.push_back(util::fnv1a(url_lower.substr(i, j - i)));
+    i = j;
+  }
+  return tokens;
+}
+
+void TokenIndex::add(const Filter* filter) {
+  const auto keywords = filter->index_keywords();
+  if (keywords.empty()) {
+    unindexed_.push_back(filter);
+    return;
+  }
+  // Place the filter in the currently least-crowded bucket among its
+  // keywords (ties: longer keyword first — more selective).
+  const std::string* best = nullptr;
+  std::size_t best_load = 0;
+  for (const auto& kw : keywords) {
+    const auto it = buckets_.find(util::fnv1a(kw));
+    const std::size_t load = it == buckets_.end() ? 0 : it->second.size();
+    if (best == nullptr || load < best_load ||
+        (load == best_load && kw.size() > best->size())) {
+      best = &kw;
+      best_load = load;
+    }
+  }
+  buckets_[util::fnv1a(*best)].push_back(filter);
+  ++indexed_;
+}
+
+}  // namespace adscope::adblock

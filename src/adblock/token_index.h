@@ -1,0 +1,59 @@
+// Keyword index over filters — the standard AdBlock matching optimization.
+//
+// Each filter is registered under one of its index keywords (maximal
+// [a-z0-9%] runs of length >= 3 that must appear as complete tokens in any
+// matching URL). A classification query tokenizes the URL once and only
+// evaluates filters whose keyword occurs among the URL's tokens, plus the
+// small set of filters that have no usable keyword.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "adblock/filter.h"
+#include "util/hash.h"
+
+namespace adscope::adblock {
+
+/// FNV hashes of the maximal keyword runs of a lower-case URL (length >= 3,
+/// string edges count as boundaries).
+std::vector<std::uint64_t> url_token_hashes(std::string_view url_lower);
+
+class TokenIndex {
+ public:
+  /// Register a filter. The pointer must stay valid for the index's
+  /// lifetime (filters live in their FilterList's vector).
+  void add(const Filter* filter);
+
+  /// Invoke `fn(const Filter&)` for every candidate whose keyword appears
+  /// in `tokens`, then for every keyword-less filter. `fn` returns true to
+  /// stop the scan early; the function returns whether it stopped.
+  template <typename Fn>
+  bool scan(std::span<const std::uint64_t> tokens, Fn&& fn) const {
+    for (const auto token : tokens) {
+      const auto it = buckets_.find(token);
+      if (it == buckets_.end()) continue;
+      for (const Filter* filter : it->second) {
+        if (fn(*filter)) return true;
+      }
+    }
+    for (const Filter* filter : unindexed_) {
+      if (fn(*filter)) return true;
+    }
+    return false;
+  }
+
+  std::size_t indexed_count() const noexcept { return indexed_; }
+  std::size_t unindexed_count() const noexcept { return unindexed_.size(); }
+  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<const Filter*>> buckets_;
+  std::vector<const Filter*> unindexed_;
+  std::size_t indexed_ = 0;
+};
+
+}  // namespace adscope::adblock

@@ -1,0 +1,41 @@
+#include "analyzer/http_extractor.h"
+
+#include "http/mime.h"
+
+namespace adscope::analyzer {
+
+void HttpExtractor::on_meta(const trace::TraceMeta& meta) {
+  if (on_meta_cb_) on_meta_cb_(meta);
+}
+
+void HttpExtractor::on_http(const trace::HttpTransaction& txn) {
+  ++transactions_;
+  WebObject object;
+  object.timestamp_ms = txn.timestamp_ms;
+  object.client_ip = txn.client_ip;
+  object.server_ip = txn.server_ip;
+  object.status_code = txn.status_code;
+  object.url = http::Url::from_host_and_target(txn.host, txn.uri,
+                                               txn.server_port == 443);
+  if (object.url.empty()) {
+    ++malformed_;  // no usable Host header: Bro drops these too
+    return;
+  }
+  object.referer = txn.referer;
+  object.user_agent = txn.user_agent;
+  object.content_type = http::canonical_mime(txn.content_type);
+  if (!txn.location.empty()) {
+    object.location = object.url.resolve(txn.location);
+  }
+  object.content_length = txn.content_length;
+  object.tcp_handshake_us = txn.tcp_handshake_us;
+  object.http_handshake_us = txn.http_handshake_us;
+  object.payload = txn.payload;
+  if (on_object_) on_object_(object);
+}
+
+void HttpExtractor::on_tls(const trace::TlsFlow& flow) {
+  if (on_tls_) on_tls_(flow);
+}
+
+}  // namespace adscope::analyzer

@@ -1,0 +1,75 @@
+// Bro-equivalent HTTP analyzer (§3.1, Figure 1 left box).
+//
+// Turns raw header-level trace records into the per-transaction "web
+// object" log the classification pipeline consumes: Host + URI merged
+// into an absolute URL, Referer, Content-Type (canonicalized),
+// Content-Length, status, User-Agent — plus the paper's Bro extension:
+// the Location response header, resolved to an absolute URL.
+//
+// Port-443 flows cannot be parsed; they are forwarded separately so the
+// Adblock-Plus-server indicator (§3.2) can consume them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "http/url.h"
+#include "trace/record.h"
+
+namespace adscope::analyzer {
+
+/// One HTTP transaction after header extraction.
+struct WebObject {
+  std::uint64_t timestamp_ms = 0;
+  netdb::IpV4 client_ip = 0;
+  netdb::IpV4 server_ip = 0;
+  std::uint16_t status_code = 200;
+
+  http::Url url;            // absolute request URL
+  std::string referer;      // raw Referer value ("" when absent)
+  std::string user_agent;
+  std::string content_type;  // canonical MIME ("" when absent)
+  http::Url location;        // absolute redirect target (empty when none)
+  std::uint64_t content_length = 0;
+
+  std::uint32_t tcp_handshake_us = 0;
+  std::uint32_t http_handshake_us = 0;
+
+  /// Response body; empty in ordinary header-only captures (§5).
+  std::string payload;
+
+  bool is_redirect() const noexcept {
+    return status_code >= 300 && status_code < 400 && !location.empty();
+  }
+};
+
+/// TraceSink adapter: emits WebObjects and TLS flows through callbacks.
+class HttpExtractor final : public trace::TraceSink {
+ public:
+  using ObjectCallback = std::function<void(const WebObject&)>;
+  using TlsCallback = std::function<void(const trace::TlsFlow&)>;
+  using MetaCallback = std::function<void(const trace::TraceMeta&)>;
+
+  HttpExtractor() = default;
+
+  void set_object_callback(ObjectCallback cb) { on_object_ = std::move(cb); }
+  void set_tls_callback(TlsCallback cb) { on_tls_ = std::move(cb); }
+  void set_meta_callback(MetaCallback cb) { on_meta_cb_ = std::move(cb); }
+
+  void on_meta(const trace::TraceMeta& meta) override;
+  void on_http(const trace::HttpTransaction& txn) override;
+  void on_tls(const trace::TlsFlow& flow) override;
+
+  std::uint64_t transactions() const noexcept { return transactions_; }
+  std::uint64_t malformed() const noexcept { return malformed_; }
+
+ private:
+  ObjectCallback on_object_;
+  TlsCallback on_tls_;
+  MetaCallback on_meta_cb_;
+  std::uint64_t transactions_ = 0;
+  std::uint64_t malformed_ = 0;
+};
+
+}  // namespace adscope::analyzer

@@ -1,0 +1,58 @@
+#include "analyzer/http_log.h"
+
+#include <stdexcept>
+
+#include "netdb/ipv4.h"
+
+namespace adscope::analyzer {
+
+std::string truncate_to_fqdn(const http::Url& url) {
+  if (url.empty()) return {};
+  return url.scheme() + "://" + url.host() + "/";
+}
+
+HttpLogWriter::HttpLogWriter(const std::string& path, Privacy privacy)
+    : out_(path, std::ios::trunc), privacy_(privacy) {
+  if (!out_) throw std::runtime_error("cannot open http log: " + path);
+  out_ << "#fields\tts\tclient\tserver\tmethod_url\treferrer\t"
+          "user_agent\tstatus\tcontent_type\tcontent_length\t"
+          "tcp_handshake_us\thttp_handshake_us\n";
+}
+
+std::string HttpLogWriter::escape(std::string_view field) {
+  if (field.empty()) return "-";
+  std::string out;
+  out.reserve(field.size());
+  for (char c : field) {
+    if (c == '\t' || c == '\n' || c == '\r') {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void HttpLogWriter::write(const WebObject& object) {
+  const bool truncated = privacy_ == Privacy::kFqdnTruncated;
+  const std::string url = truncated ? truncate_to_fqdn(object.url)
+                                    : object.url.spec();
+  std::string referrer = object.referer;
+  if (truncated && !referrer.empty()) {
+    if (const auto parsed = http::Url::parse(referrer)) {
+      referrer = truncate_to_fqdn(*parsed);
+    } else {
+      referrer.clear();
+    }
+  }
+  out_ << object.timestamp_ms / 1000 << '.' << object.timestamp_ms % 1000
+       << '\t' << netdb::to_string(object.client_ip) << '\t'
+       << netdb::to_string(object.server_ip) << '\t' << escape(url) << '\t'
+       << escape(referrer) << '\t' << escape(object.user_agent) << '\t'
+       << object.status_code << '\t' << escape(object.content_type) << '\t'
+       << object.content_length << '\t' << object.tcp_handshake_us << '\t'
+       << object.http_handshake_us << '\n';
+  ++lines_;
+}
+
+}  // namespace adscope::analyzer

@@ -1,0 +1,44 @@
+// Bro-style HTTP transaction log with the paper's privacy post-pass.
+//
+// The paper's pipeline (§5) writes Bro http.log-like records and — once
+// classification completes — truncates every URL to its fully qualified
+// domain name, removing sensitive path/query content before the logs
+// leave the secured infrastructure. HttpLogWriter reproduces both: the
+// tab-separated log format and the anonymization mode.
+#pragma once
+
+#include <fstream>
+#include <string>
+
+#include "analyzer/http_extractor.h"
+
+namespace adscope::analyzer {
+
+/// Truncate a URL spec to scheme://fqdn/ (the §5 privacy measure).
+std::string truncate_to_fqdn(const http::Url& url);
+
+class HttpLogWriter {
+ public:
+  enum class Privacy : std::uint8_t {
+    kFull,           // research use inside the secured enclave
+    kFqdnTruncated,  // what may leave the enclave (§5)
+  };
+
+  /// Opens `path`; throws std::runtime_error on failure. Writes the
+  /// header line immediately.
+  HttpLogWriter(const std::string& path, Privacy privacy);
+
+  /// Append one transaction.
+  void write(const WebObject& object);
+
+  std::uint64_t lines_written() const noexcept { return lines_; }
+
+ private:
+  static std::string escape(std::string_view field);
+
+  std::ofstream out_;
+  Privacy privacy_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace adscope::analyzer

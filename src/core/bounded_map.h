@@ -1,0 +1,59 @@
+// Insertion-order-bounded string map.
+//
+// The referrer reconstruction keeps several per-user URL associations.
+// Traces are unbounded streams, so every map is capped: when full, the
+// oldest entry is evicted (FIFO). Web page structures are temporally
+// local — a request's page context arrives within the same page load —
+// so FIFO eviction loses almost nothing while bounding memory hard.
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace adscope::core {
+
+class BoundedStringMap {
+ public:
+  explicit BoundedStringMap(std::size_t capacity) : capacity_(capacity) {}
+
+  void put(const std::string& key, std::string value) {
+    auto [it, inserted] = map_.try_emplace(key, std::move(value));
+    if (!inserted) {
+      it->second = std::move(value);
+      return;
+    }
+    order_.push_back(key);
+    while (map_.size() > capacity_ && !order_.empty()) {
+      map_.erase(order_.front());
+      order_.pop_front();
+    }
+  }
+
+  std::optional<std::string> get(const std::string& key) const {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  /// Get and remove (redirect targets are consumed exactly once).
+  std::optional<std::string> take(const std::string& key) {
+    const auto it = map_.find(key);
+    if (it == map_.end()) return std::nullopt;
+    std::string value = std::move(it->second);
+    map_.erase(it);  // stale deque entry is harmless: erase is idempotent
+    return value;
+  }
+
+  std::size_t size() const noexcept { return map_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  std::unordered_map<std::string, std::string> map_;
+  std::deque<std::string> order_;
+};
+
+}  // namespace adscope::core

@@ -1,0 +1,211 @@
+#include "core/classifier.h"
+
+#include "html/resource_extractor.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace adscope::core {
+
+TraceClassifier::TraceClassifier(const adblock::FilterEngine& engine,
+                                 ClassifierOptions options)
+    : engine_(engine),
+      options_(options),
+      normalizer_(engine, !options.naive_query_normalization) {
+  if (options_.use_payloads) {
+    for (std::size_t i = 0; i < engine.list_count(); ++i) {
+      elemhide_.add_list(engine.list(static_cast<adblock::ListId>(i)));
+    }
+  }
+}
+
+void TraceClassifier::analyze_payload(UserState& user,
+                                      const analyzer::WebObject& object,
+                                      const std::string& page) {
+  const auto structure =
+      html::extract_structure(object.payload, object.url);
+  for (const auto& resource : structure.resources) {
+    user.refmap.note_object(resource.url, page);
+    user.type_hints.put(
+        resource.url,
+        std::string(1, static_cast<char>(
+                           '0' + static_cast<int>(resource.type))));
+  }
+  // Text blocks whose classes/ids the element-hiding rules target are
+  // the "hidden ads" of §2/§10: embedded in the HTML, never requested.
+  const auto selectors = elemhide_.selectors_for(object.url.host());
+  for (const auto& block : structure.text_blocks) {
+    for (const auto selector : selectors) {
+      if (adblock::selector_matches_block(selector, block.classes,
+                                          block.id)) {
+        ++hidden_ads_;
+        break;
+      }
+    }
+  }
+}
+
+TraceClassifier::UserState& TraceClassifier::user_state(
+    netdb::IpV4 ip, const std::string& user_agent) {
+  const auto key =
+      util::hash_combine(util::fnv1a_u64(ip), util::fnv1a(user_agent));
+  const auto it = users_.find(key);
+  if (it != users_.end()) return it->second;
+
+  while (users_.size() >= options_.max_users && !user_order_.empty()) {
+    const auto victim = user_order_.front();
+    user_order_.pop_front();
+    const auto vit = users_.find(victim);
+    if (vit != users_.end()) {
+      flush_user(vit->second);
+      users_.erase(vit);
+    }
+  }
+  user_order_.push_back(key);
+  return users_.emplace(key, UserState(options_.per_user_url_capacity))
+      .first->second;
+}
+
+void TraceClassifier::classify_and_emit(const analyzer::WebObject& object,
+                                        const std::string& page,
+                                        http::RequestType type,
+                                        bool from_extension) {
+  ClassifiedObject out;
+  out.object = object;
+  out.type = type;
+  out.type_from_extension = from_extension;
+  out.page_url = page;
+  if (!page.empty()) {
+    if (const auto parsed = http::Url::parse(page)) {
+      out.page_host = parsed->host();
+    }
+  }
+
+  adblock::Request request;
+  const http::Url effective_url = options_.query_normalization
+                                      ? normalizer_.normalize(object.url)
+                                      : object.url;
+  request.url = effective_url.spec();
+  request.url_lower = util::to_lower(request.url);
+  request.host = object.url.host();
+  request.page_host = out.page_host;
+  request.page_url_lower = util::to_lower(out.page_url);
+  request.type = type;
+
+  out.verdict = engine_.classify(request);
+  if (callback_) callback_(out);
+}
+
+void TraceClassifier::expire_pending(UserState& user) {
+  while (!user.expiry.empty() && user.expiry.front().first <= user.counter) {
+    const auto target = std::move(user.expiry.front().second);
+    user.expiry.pop_front();
+    const auto it = user.pending.find(target);
+    if (it == user.pending.end()) continue;  // already patched
+    // Never typed by a consequent request: fall back to its own headers.
+    const auto inference = infer_type(it->second.object, /*is_own_page=*/false);
+    classify_and_emit(it->second.object, it->second.page, inference.type,
+                      inference.from_extension);
+    ++expired_;
+    user.pending.erase(it);
+  }
+}
+
+void TraceClassifier::flush_user(UserState& user) {
+  user.counter += options_.redirect_window + 1;
+  expire_pending(user);
+}
+
+void TraceClassifier::flush() {
+  for (auto& [key, user] : users_) flush_user(user);
+}
+
+void TraceClassifier::process(const analyzer::WebObject& object) {
+  ++processed_;
+  UserState& user = user_state(object.client_ip, object.user_agent);
+  ++user.counter;
+  expire_pending(user);
+
+  const std::string url_spec = object.url.spec();
+
+  // --- 1. page attribution -------------------------------------------
+  std::string page;
+  if (!object.referer.empty()) {
+    if (const auto ref = http::Url::parse(object.referer)) {
+      const auto ref_spec = ref->spec();
+      page = user.refmap.page_of(ref_spec).value_or(ref_spec);
+    }
+  }
+  if (page.empty() && options_.redirect_patching) {
+    if (auto patched = user.refmap.take_redirect_page(url_spec)) {
+      page = std::move(*patched);
+    }
+  }
+  if (page.empty() && options_.embedded_urls) {
+    if (auto embedded = user.refmap.embedded_page(url_spec)) {
+      page = std::move(*embedded);
+    }
+  }
+
+  // --- 2. content-type inference --------------------------------------
+  const bool is_own_page = page.empty() || page == url_spec;
+  auto inference = infer_type(object, is_own_page);
+  if (options_.use_payloads) {
+    // Structure recovered from a parent document overrides header-based
+    // inference: this is the DOM knowledge Adblock Plus actually has.
+    if (const auto hint = user.type_hints.take(url_spec)) {
+      inference.type =
+          static_cast<http::RequestType>((*hint)[0] - '0');
+      inference.from_extension = false;
+      ++hints_used_;
+    }
+  }
+  if (page.empty() && inference.type == http::RequestType::kDocument) {
+    page = url_spec;  // starts a new page
+  }
+
+  // Future requests that cite this URL as their referer belong to this
+  // object's page (documents root their own page).
+  const std::string& effective_page = page.empty() ? url_spec : page;
+  user.refmap.note_object(
+      url_spec, inference.type == http::RequestType::kDocument ? url_spec
+                                                               : effective_page);
+
+  // --- 3. structural side information ----------------------------------
+  if (options_.use_payloads && !object.payload.empty() &&
+      (inference.type == http::RequestType::kDocument ||
+       inference.type == http::RequestType::kSubdocument)) {
+    analyze_payload(user, object, effective_page);
+  }
+  if (options_.embedded_urls && !object.url.query().empty()) {
+    for (const auto& embedded : extract_embedded_urls(object.url.query())) {
+      user.refmap.note_embedded(embedded, effective_page);
+    }
+  }
+
+  // A held redirect source whose target just arrived inherits this
+  // object's type (§3.1: type the redirect by its consequent request).
+  if (options_.redirect_patching) {
+    const auto it = user.pending.find(url_spec);
+    if (it != user.pending.end()) {
+      classify_and_emit(it->second.object, it->second.page, inference.type,
+                        inference.from_extension);
+      ++patched_;
+      user.pending.erase(it);
+    }
+  }
+
+  // --- 4. classify (or hold redirects for type patching) ---------------
+  if (object.is_redirect() && options_.redirect_patching) {
+    const auto target_spec = object.location.spec();
+    user.refmap.note_redirect(target_spec, effective_page);
+    PendingRedirect held{object, page,
+                         user.counter + options_.redirect_window};
+    user.expiry.emplace_back(held.deadline, target_spec);
+    user.pending.insert_or_assign(target_spec, std::move(held));
+    return;
+  }
+
+  classify_and_emit(object, page, inference.type, inference.from_extension);
+}
+
+}  // namespace adscope::core

@@ -1,0 +1,135 @@
+// TraceClassifier — the paper's ad-classification pipeline (Figure 1).
+//
+// Streams Bro-extracted WebObjects through:
+//   1. per-user referrer-map page reconstruction (§3.1, "Referrer Map"),
+//   2. content-type inference with redirect patching — a redirect source
+//      is typed after its *consequent* request, held in a small pending
+//      window until the target shows up (§3.1, "Content Type"),
+//   3. query-string normalization that preserves filter-list literals
+//      (§3.1, "Base URL"),
+//   4. FilterEngine classification (the libadblockplus call).
+//
+// Users are keyed by (client IP, User-Agent) following Maier et al. [45]
+// for NAT separation. All per-user state is bounded; exceeding the user
+// cap evicts the oldest user after flushing their pending redirects.
+//
+// Emission order: held redirect sources are emitted when patched or
+// expired, so output order can deviate from capture order by up to the
+// redirect window — consumers must not assume strict timestamps.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "adblock/element_hiding.h"
+#include "adblock/engine.h"
+#include "analyzer/http_extractor.h"
+#include "core/content_inference.h"
+#include "core/query_normalizer.h"
+#include "core/referrer_map.h"
+
+namespace adscope::core {
+
+struct ClassifiedObject {
+  analyzer::WebObject object;
+  http::RequestType type = http::RequestType::kOther;
+  bool type_from_extension = false;
+  std::string page_url;   // reconstructed page spec ("" when unknown)
+  std::string page_host;  // host of page_url
+  adblock::Classification verdict;
+};
+
+struct ClassifierOptions {
+  // Ablation switches (DESIGN.md §4.2) — all on by default.
+  bool redirect_patching = true;
+  bool embedded_urls = true;
+  bool query_normalization = true;
+  /// Rewrite every dynamic query value, ignoring filter literals
+  /// (ablation baseline; breaks value-keyed exception rules).
+  bool naive_query_normalization = false;
+  /// §10 payload mode: when document objects carry their HTML body,
+  /// recover the page structure exactly — embedded-resource types become
+  /// ground truth instead of inferences, and text advertisements hidden
+  /// in the HTML (never requested, so invisible to header analysis) are
+  /// detected via the element-hiding rules.
+  bool use_payloads = false;
+
+  std::size_t per_user_url_capacity = 2048;
+  std::size_t max_users = 1 << 18;
+  // A held redirect source expires after this many subsequent objects
+  // from the same user.
+  std::uint64_t redirect_window = 32;
+};
+
+class TraceClassifier {
+ public:
+  using Callback = std::function<void(const ClassifiedObject&)>;
+
+  TraceClassifier(const adblock::FilterEngine& engine,
+                  ClassifierOptions options = {});
+
+  void set_callback(Callback callback) { callback_ = std::move(callback); }
+
+  /// Process one object; may emit zero or more classified objects.
+  void process(const analyzer::WebObject& object);
+
+  /// Emit everything still held (end of trace).
+  void flush();
+
+  std::uint64_t processed() const noexcept { return processed_; }
+  std::uint64_t redirects_patched() const noexcept { return patched_; }
+  std::uint64_t redirects_expired() const noexcept { return expired_; }
+  /// Payload mode only: embedded text ads found via element hiding.
+  std::uint64_t hidden_text_ads() const noexcept { return hidden_ads_; }
+  /// Payload mode only: requests typed from the document structure.
+  std::uint64_t payload_type_hints_used() const noexcept {
+    return hints_used_;
+  }
+
+ private:
+  struct PendingRedirect {
+    analyzer::WebObject object;
+    std::string page;
+    std::uint64_t deadline = 0;
+  };
+
+  struct UserState {
+    explicit UserState(std::size_t capacity)
+        : refmap(capacity), type_hints(capacity) {}
+    ReferrerMap refmap;
+    // Payload mode: URL -> element type gleaned from the document HTML
+    // (single digit encoding of http::RequestType).
+    BoundedStringMap type_hints;
+    std::unordered_map<std::string, PendingRedirect> pending;
+    std::deque<std::pair<std::uint64_t, std::string>> expiry;  // deadline,target
+    std::uint64_t counter = 0;
+  };
+
+  UserState& user_state(netdb::IpV4 ip, const std::string& user_agent);
+  void analyze_payload(UserState& user, const analyzer::WebObject& object,
+                       const std::string& page);
+  void expire_pending(UserState& user);
+  void flush_user(UserState& user);
+  void classify_and_emit(const analyzer::WebObject& object,
+                         const std::string& page, http::RequestType type,
+                         bool from_extension);
+
+  const adblock::FilterEngine& engine_;
+  ClassifierOptions options_;
+  QueryNormalizer normalizer_;
+  adblock::ElementHidingIndex elemhide_;  // populated in payload mode
+  Callback callback_;
+
+  std::unordered_map<std::uint64_t, UserState> users_;
+  std::deque<std::uint64_t> user_order_;
+  std::uint64_t processed_ = 0;
+  std::uint64_t patched_ = 0;
+  std::uint64_t expired_ = 0;
+  std::uint64_t hidden_ads_ = 0;
+  std::uint64_t hints_used_ = 0;
+};
+
+}  // namespace adscope::core

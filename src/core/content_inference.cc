@@ -1,0 +1,19 @@
+#include "core/content_inference.h"
+
+namespace adscope::core {
+
+TypeInference infer_type(const analyzer::WebObject& object, bool is_own_page) {
+  TypeInference result;
+  if (const auto ext_type = http::type_from_extension(object.url.extension())) {
+    result.type = *ext_type;
+    result.from_extension = true;
+  } else {
+    result.type = http::type_from_mime(object.content_type);
+  }
+  if (result.type == http::RequestType::kDocument && !is_own_page) {
+    result.type = http::RequestType::kSubdocument;
+  }
+  return result;
+}
+
+}  // namespace adscope::core

@@ -1,0 +1,25 @@
+// Content-type inference for header-trace objects (§3.1 "Content Type").
+//
+// Priority: the URL's file extension (robust against the Content-Type
+// mismatches documented by Schneider et al. [52]); then the response
+// Content-Type; finally kOther. "document" vs "subdocument" cannot be
+// read from headers — it is derived from the referrer reconstruction
+// (an HTML object that *is* its own page is a document; an HTML object
+// inside another page is an iframe, i.e. subdocument).
+#pragma once
+
+#include "analyzer/http_extractor.h"
+#include "http/mime.h"
+
+namespace adscope::core {
+
+struct TypeInference {
+  http::RequestType type = http::RequestType::kOther;
+  bool from_extension = false;
+};
+
+/// Infer the AdBlock request type for `object`. `is_own_page` is true
+/// when the referrer reconstruction determined the object starts a page.
+TypeInference infer_type(const analyzer::WebObject& object, bool is_own_page);
+
+}  // namespace adscope::core

@@ -1,0 +1,133 @@
+#include "core/inference.h"
+
+namespace adscope::core {
+
+char to_char(IndicatorClass cls) noexcept {
+  switch (cls) {
+    case IndicatorClass::kA: return 'A';
+    case IndicatorClass::kB: return 'B';
+    case IndicatorClass::kC: return 'C';
+    case IndicatorClass::kD: return 'D';
+  }
+  return '?';
+}
+
+InferenceResult infer_adblock_usage(const UserIndex& index,
+                                    const InferenceOptions& options) {
+  InferenceResult result;
+  result.trace_requests = index.total_requests();
+  result.trace_ad_requests = index.total_ad_requests();
+  result.pairs_total = index.users().size();
+
+  for (const auto& [key, stats] : index.users()) {
+    const auto agent = ua::parse_user_agent(stats.user_agent);
+    if (!agent.is_browser()) continue;
+    ++result.browsers_total;
+    result.browser_requests += stats.requests;
+    result.browser_ad_requests += stats.ad_requests();
+
+    if (stats.requests < options.min_requests) continue;
+
+    AnnotatedBrowser browser;
+    browser.stats = &stats;
+    browser.agent = agent;
+    browser.low_ratio = stats.easylist_ratio() <= options.ratio_threshold;
+    browser.easylist_download = index.household_downloads_easylist(stats.ip);
+    if (browser.low_ratio) {
+      browser.cls = browser.easylist_download ? IndicatorClass::kC
+                                              : IndicatorClass::kD;
+    } else {
+      browser.cls = browser.easylist_download ? IndicatorClass::kB
+                                              : IndicatorClass::kA;
+    }
+
+    auto& aggregate = result.classes[static_cast<std::size_t>(browser.cls)];
+    ++aggregate.instances;
+    aggregate.requests += stats.requests;
+    aggregate.ad_requests += stats.ad_requests();
+    result.active_requests += stats.requests;
+    result.active_ad_requests += stats.ad_requests();
+
+    const double ad_percent = stats.easylist_ratio() * 100.0;
+    if (agent.device == ua::DeviceClass::kMobile) {
+      result.mobile_ecdf.add(ad_percent);
+    } else {
+      result.family_ecdf[agent.family].add(ad_percent);
+    }
+    result.active_browsers.push_back(browser);
+  }
+  return result;
+}
+
+ConfigurationReport analyze_configurations(const InferenceResult& inference,
+                                           std::uint64_t total_whitelisted,
+                                           std::uint64_t low_hit_cut) {
+  ConfigurationReport report;
+  report.low_hit_cut = low_hit_cut;
+
+  std::uint64_t c_el = 0;
+  std::uint64_t c_ep = 0;
+  std::uint64_t c_aa = 0;
+  std::uint64_t abp_users = 0;
+  std::uint64_t non_abp_users = 0;
+  std::uint64_t abp_zero_ep = 0;
+  std::uint64_t non_abp_zero_ep = 0;
+  std::uint64_t abp_low_ep = 0;
+  std::uint64_t non_abp_low_ep = 0;
+  std::uint64_t abp_zero_aa = 0;
+  std::uint64_t non_abp_zero_aa = 0;
+  std::uint64_t abp_low_aa = 0;
+  std::uint64_t non_abp_low_aa = 0;
+  std::uint64_t abp_whitelisted = 0;
+  std::uint64_t non_abp_whitelisted = 0;
+
+  for (const auto& browser : inference.active_browsers) {
+    const auto& stats = *browser.stats;
+    const bool abp = browser.cls == IndicatorClass::kC;
+    // The paper contrasts likely-ABP (C) with clearly-non-ABP (A).
+    const bool non_abp = browser.cls == IndicatorClass::kA;
+    if (abp) {
+      ++abp_users;
+      c_el += stats.ads_easylist + stats.ads_derivative;
+      c_ep += stats.ads_easyprivacy;
+      c_aa += stats.ads_whitelisted;
+      abp_whitelisted += stats.ads_whitelisted;
+      if (stats.ads_easyprivacy == 0) ++abp_zero_ep;
+      if (stats.ads_easyprivacy < low_hit_cut) ++abp_low_ep;
+      if (stats.ads_whitelisted == 0) ++abp_zero_aa;
+      if (stats.ads_whitelisted < low_hit_cut) ++abp_low_aa;
+    } else if (non_abp) {
+      ++non_abp_users;
+      non_abp_whitelisted += stats.ads_whitelisted;
+      if (stats.ads_easyprivacy == 0) ++non_abp_zero_ep;
+      if (stats.ads_easyprivacy < low_hit_cut) ++non_abp_low_ep;
+      if (stats.ads_whitelisted == 0) ++non_abp_zero_aa;
+      if (stats.ads_whitelisted < low_hit_cut) ++non_abp_low_aa;
+    }
+  }
+
+  const double c_total = static_cast<double>(c_el + c_ep + c_aa);
+  if (c_total > 0) {
+    report.c_hits_easylist_share = static_cast<double>(c_el) / c_total;
+    report.c_hits_easyprivacy_share = static_cast<double>(c_ep) / c_total;
+    report.c_hits_whitelist_share = static_cast<double>(c_aa) / c_total;
+  }
+  auto share = [](std::uint64_t part, std::uint64_t whole) {
+    return whole == 0 ? 0.0
+                      : static_cast<double>(part) / static_cast<double>(whole);
+  };
+  report.abp_zero_ep_share = share(abp_zero_ep, abp_users);
+  report.non_abp_zero_ep_share = share(non_abp_zero_ep, non_abp_users);
+  report.abp_low_ep_share = share(abp_low_ep, abp_users);
+  report.non_abp_low_ep_share = share(non_abp_low_ep, non_abp_users);
+  report.abp_zero_aa_share = share(abp_zero_aa, abp_users);
+  report.non_abp_zero_aa_share = share(non_abp_zero_aa, non_abp_users);
+  report.abp_low_aa_share = share(abp_low_aa, abp_users);
+  report.non_abp_low_aa_share = share(non_abp_low_aa, non_abp_users);
+  report.whitelisted_from_abp_users = share(abp_whitelisted, total_whitelisted);
+  report.whitelisted_from_non_abp_users =
+      share(non_abp_whitelisted, total_whitelisted);
+  return report;
+}
+
+}  // namespace adscope::core

@@ -1,0 +1,143 @@
+#include "core/infra_analysis.h"
+
+#include <algorithm>
+
+namespace adscope::core {
+
+void InfraAnalysis::add(const ClassifiedObject& object) {
+  auto& server = servers_[object.object.server_ip];
+  ++server.objects;
+  server.bytes += object.object.content_length;
+  ++total_objects_;
+
+  const auto& verdict = object.verdict;
+  if (!verdict.is_ad()) return;
+  ++total_ads_;
+  server.ad_bytes += object.object.content_length;
+  total_ad_bytes_ += object.object.content_length;
+
+  const auto kind = verdict.decision == adblock::Decision::kBlocked ||
+                            verdict.whitelist_saved_it()
+                        ? verdict.effective_block_kind()
+                        : adblock::ListKind::kEasyList;
+  if (kind == adblock::ListKind::kEasyPrivacy) {
+    ++server.ads_easyprivacy;
+  } else {
+    ++server.ads_easylist;
+  }
+}
+
+std::size_t InfraAnalysis::easylist_server_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, s] : servers_) n += s.ads_easylist > 0;
+  return n;
+}
+
+std::size_t InfraAnalysis::easyprivacy_server_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, s] : servers_) n += s.ads_easyprivacy > 0;
+  return n;
+}
+
+std::size_t InfraAnalysis::both_lists_server_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, s] : servers_) {
+    n += s.ads_easylist > 0 && s.ads_easyprivacy > 0;
+  }
+  return n;
+}
+
+std::size_t InfraAnalysis::ad_serving_server_count() const {
+  std::size_t n = 0;
+  for (const auto& [ip, s] : servers_) n += s.ad_objects() > 0;
+  return n;
+}
+
+InfraAnalysis::DedicatedServers InfraAnalysis::dedicated_ad_servers(
+    double share) const {
+  DedicatedServers out;
+  for (const auto& [ip, s] : servers_) {
+    if (s.ad_objects() > 0 && s.ad_share() > share) {
+      ++out.servers;
+      out.ads += s.ad_objects();
+    }
+  }
+  if (total_ads_ > 0) {
+    out.ad_share_of_trace =
+        static_cast<double>(out.ads) / static_cast<double>(total_ads_);
+  }
+  return out;
+}
+
+InfraAnalysis::DedicatedServers InfraAnalysis::tracking_servers(
+    double share) const {
+  DedicatedServers out;
+  std::uint64_t total_ep = 0;
+  for (const auto& [ip, s] : servers_) total_ep += s.ads_easyprivacy;
+  for (const auto& [ip, s] : servers_) {
+    if (s.objects == 0 || s.ads_easyprivacy == 0) continue;
+    const double ep_share = static_cast<double>(s.ads_easyprivacy) /
+                            static_cast<double>(s.objects);
+    if (ep_share > share) {
+      ++out.servers;
+      out.ads += s.ads_easyprivacy;
+    }
+  }
+  if (total_ep > 0) {
+    out.ad_share_of_trace =
+        static_cast<double>(out.ads) / static_cast<double>(total_ep);
+  }
+  return out;
+}
+
+stats::BoxStats InfraAnalysis::ads_per_server_distribution(
+    double& mean_out, double& p90, double& p95, double& p99) const {
+  std::vector<double> loads;
+  for (const auto& [ip, s] : servers_) {
+    if (s.ads_easylist > 0) {
+      loads.push_back(static_cast<double>(s.ads_easylist));
+    }
+  }
+  mean_out = stats::mean(loads);
+  std::sort(loads.begin(), loads.end());
+  p90 = stats::sorted_quantile(loads, 0.90);
+  p95 = stats::sorted_quantile(loads, 0.95);
+  p99 = stats::sorted_quantile(loads, 0.99);
+  return stats::box_stats(std::move(loads));
+}
+
+std::pair<netdb::IpV4, std::uint64_t> InfraAnalysis::busiest_ad_server()
+    const {
+  std::pair<netdb::IpV4, std::uint64_t> best{0, 0};
+  for (const auto& [ip, s] : servers_) {
+    if (s.ad_objects() > best.second) best = {ip, s.ad_objects()};
+  }
+  return best;
+}
+
+std::vector<AsRow> InfraAnalysis::as_ranking(const netdb::AsnDatabase& db,
+                                             std::size_t top_n) const {
+  std::unordered_map<netdb::AsNumber, AsRow> by_as;
+  for (const auto& [ip, s] : servers_) {
+    const auto as_number = db.lookup(ip);
+    auto& row = by_as[as_number];
+    row.as_number = as_number;
+    row.ad_requests += s.ad_objects();
+    row.ad_bytes += s.ad_bytes;
+    row.total_requests += s.objects;
+    row.total_bytes += s.bytes;
+  }
+  std::vector<AsRow> rows;
+  rows.reserve(by_as.size());
+  for (auto& [as_number, row] : by_as) {
+    row.name = db.as_name(as_number);
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(), [](const AsRow& a, const AsRow& b) {
+    return a.ad_requests > b.ad_requests;
+  });
+  if (rows.size() > top_n) rows.resize(top_n);
+  return rows;
+}
+
+}  // namespace adscope::core

@@ -1,0 +1,97 @@
+// Advertisement infrastructure analysis — §8.1, Table 5.
+//
+// Per-server (IP) ad/total object accounting, "ad-only" and "tracking"
+// server detection, per-server load quantiles, and the AS ranking
+// produced with the routing-table (AsnDatabase) lookup.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "adblock/engine.h"
+#include "core/classifier.h"
+#include "netdb/asn_db.h"
+#include "stats/summary.h"
+
+namespace adscope::core {
+
+struct ServerStats {
+  std::uint64_t objects = 0;
+  std::uint64_t bytes = 0;
+  std::uint64_t ads_easylist = 0;  // incl. derivatives & AA matches
+  std::uint64_t ads_easyprivacy = 0;
+  std::uint64_t ad_bytes = 0;
+
+  std::uint64_t ad_objects() const noexcept {
+    return ads_easylist + ads_easyprivacy;
+  }
+  double ad_share() const noexcept {
+    return objects == 0 ? 0.0
+                        : static_cast<double>(ad_objects()) /
+                              static_cast<double>(objects);
+  }
+};
+
+struct AsRow {
+  netdb::AsNumber as_number = 0;
+  std::string name;
+  std::uint64_t ad_requests = 0;
+  std::uint64_t ad_bytes = 0;
+  std::uint64_t total_requests = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+class InfraAnalysis {
+ public:
+  InfraAnalysis() = default;
+
+  void add(const ClassifiedObject& object);
+
+  const std::unordered_map<netdb::IpV4, ServerStats>& servers() const {
+    return servers_;
+  }
+
+  std::size_t server_count() const noexcept { return servers_.size(); }
+  /// Servers with at least one EasyList- / EasyPrivacy-attributed object.
+  std::size_t easylist_server_count() const;
+  std::size_t easyprivacy_server_count() const;
+  std::size_t both_lists_server_count() const;
+  /// Servers where >= 1 request classified as ad.
+  std::size_t ad_serving_server_count() const;
+
+  /// "Ad servers": >= `share` of requests are ads (paper: 0.9). Returns
+  /// {server count, ads they deliver, share of all ads}.
+  struct DedicatedServers {
+    std::size_t servers = 0;
+    std::uint64_t ads = 0;
+    double ad_share_of_trace = 0;
+  };
+  DedicatedServers dedicated_ad_servers(double share = 0.9) const;
+  DedicatedServers tracking_servers(double share = 0.9) const;
+
+  /// Distribution of EasyList ad objects per server (paper: median 7,
+  /// mean 438, p90/95/99 = 320/1.1K/6.8K).
+  stats::BoxStats ads_per_server_distribution(double& mean_out,
+                                              double& p90, double& p95,
+                                              double& p99) const;
+
+  /// Busiest ad server by request count.
+  std::pair<netdb::IpV4, std::uint64_t> busiest_ad_server() const;
+
+  /// Table 5: ASes ranked by ad requests.
+  std::vector<AsRow> as_ranking(const netdb::AsnDatabase& db,
+                                std::size_t top_n) const;
+
+  std::uint64_t total_ads() const noexcept { return total_ads_; }
+  std::uint64_t total_objects() const noexcept { return total_objects_; }
+
+ private:
+  std::unordered_map<netdb::IpV4, ServerStats> servers_;
+  std::uint64_t total_ads_ = 0;
+  std::uint64_t total_ad_bytes_ = 0;
+  std::uint64_t total_objects_ = 0;
+};
+
+}  // namespace adscope::core

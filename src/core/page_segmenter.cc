@@ -1,0 +1,90 @@
+#include "core/page_segmenter.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace adscope::core {
+
+void PageSegmenter::emit(PageView&& view) {
+  ++views_;
+  if (callback_) callback_(view);
+}
+
+void PageSegmenter::close_idle(UserViews& user, std::uint64_t now_ms) {
+  for (std::size_t i = 0; i < user.open.size();) {
+    if (now_ms >= user.open[i].end_ms + options_.idle_gap_ms) {
+      emit(std::move(user.open[i]));
+      user.open.erase(user.open.begin() + static_cast<std::ptrdiff_t>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void PageSegmenter::add(const ClassifiedObject& object) {
+  if (object.page_url.empty()) {
+    ++orphans_;
+    return;
+  }
+  const auto key =
+      util::hash_combine(util::fnv1a_u64(object.object.client_ip),
+                         util::fnv1a(object.object.user_agent));
+  auto it = users_.find(key);
+  if (it == users_.end()) {
+    while (users_.size() >= options_.max_users && !user_order_.empty()) {
+      const auto victim = user_order_.front();
+      user_order_.pop_front();
+      const auto vit = users_.find(victim);
+      if (vit != users_.end()) {
+        for (auto& view : vit->second.open) emit(std::move(view));
+        users_.erase(vit);
+      }
+    }
+    it = users_.emplace(key, UserViews{}).first;
+    it->second.ip = object.object.client_ip;
+    it->second.user_agent = object.object.user_agent;
+    user_order_.push_back(key);
+  }
+  UserViews& user = it->second;
+  const auto now_ms = object.object.timestamp_ms;
+  close_idle(user, now_ms);
+
+  auto view_it = std::find_if(
+      user.open.begin(), user.open.end(),
+      [&](const PageView& view) { return view.page_url == object.page_url; });
+  if (view_it == user.open.end()) {
+    if (user.open.size() >= options_.max_open_views) {
+      // Close the stalest view to make room.
+      auto oldest = std::min_element(
+          user.open.begin(), user.open.end(),
+          [](const PageView& a, const PageView& b) {
+            return a.end_ms < b.end_ms;
+          });
+      emit(std::move(*oldest));
+      user.open.erase(oldest);
+    }
+    PageView view;
+    view.client_ip = user.ip;
+    view.user_agent = user.user_agent;
+    view.page_url = object.page_url;
+    view.start_ms = now_ms;
+    view.end_ms = now_ms;
+    user.open.push_back(std::move(view));
+    view_it = user.open.end() - 1;
+  }
+  PageView& view = *view_it;
+  view.end_ms = std::max(view.end_ms, now_ms);
+  ++view.objects;
+  view.bytes += object.object.content_length;
+  view.ad_objects += object.verdict.is_ad() ? 1u : 0u;
+}
+
+void PageSegmenter::flush() {
+  for (auto& [key, user] : users_) {
+    for (auto& view : user.open) emit(std::move(view));
+    user.open.clear();
+  }
+}
+
+}  // namespace adscope::core

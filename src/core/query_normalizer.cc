@@ -1,0 +1,61 @@
+#include "core/query_normalizer.h"
+
+#include "util/strings.h"
+
+namespace adscope::core {
+
+bool QueryNormalizer::looks_dynamic(std::string_view value) const {
+  if (value.size() >= 24) return true;  // session ids, cache busters
+  if (value.find("http") != std::string_view::npos) return true;
+  if (value.find("%2f") != std::string_view::npos ||
+      value.find("%2F") != std::string_view::npos ||
+      value.find('/') != std::string_view::npos) {
+    return true;  // embedded path or encoded URL
+  }
+  std::size_t digits = 0;
+  for (char c : value) {
+    if (util::is_ascii_digit(c)) ++digits;
+  }
+  // Mostly-numeric values of nontrivial length are timestamps/ids.
+  return value.size() >= 6 && digits * 2 >= value.size();
+}
+
+bool QueryNormalizer::must_preserve(std::string_view key,
+                                    std::string_view value) {
+  if (!looks_dynamic(value)) return true;  // static values stay anyway
+  if (!filter_aware_) return false;        // naive mode rewrites everything
+  const std::string key_lower = util::to_lower(key);
+  auto [it, inserted] = key_in_lists_.try_emplace(key_lower, false);
+  if (inserted) {
+    it->second = engine_.pattern_contains_literal(key_lower + "=");
+  }
+  return it->second;
+}
+
+http::Url QueryNormalizer::normalize(const http::Url& url) {
+  if (url.query().empty()) return url;
+  http::Url out = url;
+  std::string rebuilt;
+  bool changed = false;
+  for (const auto param : util::split(std::string_view(url.query()), '&')) {
+    if (!rebuilt.empty()) rebuilt += '&';
+    const auto eq = param.find('=');
+    if (eq == std::string_view::npos) {
+      rebuilt += param;
+      continue;
+    }
+    const auto key = param.substr(0, eq);
+    const auto value = param.substr(eq + 1);
+    if (must_preserve(key, value)) {
+      rebuilt += param;
+    } else {
+      rebuilt += key;
+      rebuilt += "=x";
+      changed = true;
+    }
+  }
+  if (changed) out.set_query(std::move(rebuilt));
+  return out;
+}
+
+}  // namespace adscope::core

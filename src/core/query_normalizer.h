@@ -1,0 +1,48 @@
+// Query-string normalization (§3.1 "Base URL").
+//
+// Requests often embed parts of a previous request's URL in their query
+// string; those dynamic values can spuriously match filters that were
+// meant for the *embedded* URL. The paper normalizes query values to a
+// placeholder — but must not rewrite values that filter rules key on
+// (e.g. "@@*jsp?callback=aslHandleAds*"): rewriting those would break
+// the exception and flip the classification.
+//
+// Implementation: a value is rewritten to "x" when it "looks dynamic"
+// (embedded URL, long token, high digit share) UNLESS the literal
+// "key=value-prefix" occurs in any loaded filter. Keep-decisions are
+// cached per key since the engine scan is linear.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "adblock/engine.h"
+#include "http/url.h"
+
+namespace adscope::core {
+
+class QueryNormalizer {
+ public:
+  /// `filter_aware = false` gives the naive variant that rewrites every
+  /// dynamic value — it breaks exception rules that key on query values
+  /// (ablation baseline; the paper's approach is filter-aware).
+  explicit QueryNormalizer(const adblock::FilterEngine& engine,
+                           bool filter_aware = true)
+      : engine_(engine), filter_aware_(filter_aware) {}
+
+  /// Normalized copy of `url` (query values rewritten where safe).
+  http::Url normalize(const http::Url& url);
+
+  /// Exposed for tests: should this key=value pair be preserved?
+  bool must_preserve(std::string_view key, std::string_view value);
+
+ private:
+  bool looks_dynamic(std::string_view value) const;
+
+  const adblock::FilterEngine& engine_;
+  bool filter_aware_;
+  // key -> whether any filter mentions "key=" (then values stay intact).
+  std::unordered_map<std::string, bool> key_in_lists_;
+};
+
+}  // namespace adscope::core

@@ -1,0 +1,71 @@
+#include "core/referrer_map.h"
+
+#include <vector>
+
+#include "http/url.h"
+#include "util/strings.h"
+
+namespace adscope::core {
+
+namespace {
+
+// Decode %XX sequences (lower/upper hex). Invalid escapes pass through.
+std::string percent_decode(std::string_view s) {
+  auto hex = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+  };
+  std::string out;
+  out.reserve(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '%' && i + 2 < s.size()) {
+      const int hi = hex(s[i + 1]);
+      const int lo = hex(s[i + 2]);
+      if (hi >= 0 && lo >= 0) {
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        continue;
+      }
+    }
+    out.push_back(s[i]);
+  }
+  return out;
+}
+
+void collect_from(std::string_view text, std::vector<std::string>& out) {
+  for (std::size_t pos = 0; pos < text.size();) {
+    const auto hit = text.find("http", pos);
+    if (hit == std::string_view::npos) break;
+    // Must be a URL start: "http://" or "https://".
+    auto candidate = text.substr(hit);
+    if (!util::starts_with(candidate, "http://") &&
+        !util::starts_with(candidate, "https://")) {
+      pos = hit + 4;
+      continue;
+    }
+    // The embedded URL ends at the enclosing query's delimiters.
+    const auto end = candidate.find_first_of("&\"' <>");
+    if (end != std::string_view::npos) candidate = candidate.substr(0, end);
+    if (const auto url = http::Url::parse(candidate)) {
+      out.push_back(url->spec());
+    }
+    pos = hit + candidate.size() + 1;
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> extract_embedded_urls(const std::string& query) {
+  std::vector<std::string> out;
+  if (query.empty()) return out;
+  collect_from(query, out);
+  // Percent-encoded URLs hide from the plain scan; decode once and rescan.
+  if (query.find('%') != std::string::npos) {
+    collect_from(percent_decode(query), out);
+  }
+  return out;
+}
+
+}  // namespace adscope::core

@@ -1,0 +1,71 @@
+// Referrer map — partial Web-page reconstruction from HTTP headers
+// (§3.1 "Referrer Map", after StreamStructure [38] and ReSurf [56]).
+//
+// Associates every requested URL with the page ("root document") that
+// triggered it, using three signals:
+//   1. the Referer chain (a request's page is its referer's page),
+//   2. Location headers — a redirect's target inherits the source's page,
+//      repairing chains broken by redirects that drop the Referer,
+//   3. URLs embedded in query strings (e.g. ad impressions carrying the
+//      landing page), which also bind the embedded URL to the page.
+//
+// One instance per end user (IP + User-Agent); all state is bounded.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/bounded_map.h"
+
+namespace adscope::core {
+
+class ReferrerMap {
+ public:
+  explicit ReferrerMap(std::size_t capacity = 2048)
+      : page_of_(capacity),
+        redirect_page_(capacity / 4),
+        embedded_page_(capacity / 4) {}
+
+  /// Record that `url_spec` belongs to `page` (both full URL specs).
+  void note_object(const std::string& url_spec, const std::string& page) {
+    page_of_.put(url_spec, page);
+  }
+
+  /// Page a previously seen URL belongs to.
+  std::optional<std::string> page_of(const std::string& url_spec) const {
+    return page_of_.get(url_spec);
+  }
+
+  /// Record that a redirect pointed at `target_spec` from a request on
+  /// `page` — the repair for referer-less post-redirect requests.
+  void note_redirect(const std::string& target_spec, const std::string& page) {
+    redirect_page_.put(target_spec, page);
+  }
+
+  /// Consume the page recorded for a redirect target.
+  std::optional<std::string> take_redirect_page(const std::string& target_spec) {
+    return redirect_page_.take(target_spec);
+  }
+
+  /// Record a URL found embedded in another request's query string.
+  void note_embedded(const std::string& url_spec, const std::string& page) {
+    embedded_page_.put(url_spec, page);
+  }
+
+  std::optional<std::string> embedded_page(const std::string& url_spec) const {
+    return embedded_page_.get(url_spec);
+  }
+
+ private:
+  BoundedStringMap page_of_;
+  BoundedStringMap redirect_page_;
+  BoundedStringMap embedded_page_;
+};
+
+/// Extract absolute URLs embedded in a query string: plain
+/// ("...&u=http://x/y") and percent-encoded ("...&u=http%3A%2F%2Fx%2Fy")
+/// forms. Returns decoded URL specs.
+std::vector<std::string> extract_embedded_urls(const std::string& query);
+
+}  // namespace adscope::core

@@ -1,0 +1,124 @@
+#include "core/report.h"
+
+#include "stats/render.h"
+#include "util/format.h"
+
+namespace adscope::core {
+
+namespace {
+
+double share(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+}  // namespace
+
+std::string render_traffic_report(const TraceStudy& study) {
+  const auto& traffic = study.traffic();
+  const auto ads = traffic.ad_requests();
+  std::string out;
+  out += "== traffic (§7) ==\n";
+  out += "HTTP transactions: " +
+         util::human_count(static_cast<double>(traffic.requests())) + " (" +
+         util::human_bytes(static_cast<double>(traffic.bytes())) + ")\n";
+  out += "HTTPS flows:       " +
+         util::human_count(static_cast<double>(study.https_flows())) + "\n";
+  out += "ad requests:       " +
+         util::human_count(static_cast<double>(ads)) + " = " +
+         util::percent(share(ads, traffic.requests())) + " of requests, " +
+         util::percent(share(traffic.ad_bytes(), traffic.bytes())) +
+         " of bytes\n";
+  out += "  EasyList:        " +
+         util::percent(share(traffic.easylist_requests(), ads)) + "\n";
+  out += "  EasyPrivacy:     " +
+         util::percent(share(traffic.easyprivacy_requests(), ads)) + "\n";
+  out += "  non-intrusive:   " +
+         util::percent(share(traffic.whitelisted_requests(), ads)) + "\n";
+  const auto& views = study.page_views();
+  out += "page views:        " +
+         util::human_count(static_cast<double>(views.views)) + " (" +
+         util::fixed(views.objects_per_view(), 1) + " objects, " +
+         util::fixed(views.ads_per_view(), 1) + " ads per view)\n";
+  return out;
+}
+
+std::string render_inference_report(const TraceStudy& study) {
+  const auto inference = study.inference();
+  const auto report = study.configurations(inference);
+  std::string out;
+  out += "== ad-blocker usage (§6) ==\n";
+  out += "active browsers: " +
+         std::to_string(inference.active_browsers.size()) + " of " +
+         std::to_string(inference.browsers_total) + " annotated (" +
+         std::to_string(inference.pairs_total) + " (IP,UA) pairs)\n";
+  const double active =
+      static_cast<double>(inference.active_browsers.size());
+  for (std::size_t c = 0; c < 4; ++c) {
+    const auto& row = inference.classes[c];
+    out += std::string("  class ") +
+           to_char(static_cast<IndicatorClass>(c)) + ": " +
+           util::percent(active == 0
+                             ? 0.0
+                             : static_cast<double>(row.instances) / active) +
+           " of active, " +
+           util::percent(share(row.ad_requests,
+                               inference.trace_ad_requests)) +
+           " of ad requests\n";
+  }
+  out += "likely Adblock Plus users (type C): " +
+         util::percent(inference.abp_share()) + "\n";
+  out += "households contacting ABP servers: " +
+         util::percent(share(study.users().abp_household_count(),
+                             study.users().household_count())) +
+         "\n";
+  out += "estimated EasyPrivacy adoption gap: ABP users without "
+         "EasyPrivacy hits " +
+         util::percent(report.abp_zero_ep_share) + " vs non-ABP " +
+         util::percent(report.non_abp_zero_ep_share) + "\n";
+  return out;
+}
+
+std::string render_infrastructure_report(const TraceStudy& study,
+                                         const netdb::AsnDatabase& asn_db) {
+  const auto& infra = study.infra();
+  std::string out;
+  out += "== infrastructure (§8) ==\n";
+  out += "servers: " + std::to_string(infra.server_count()) +
+         ", serving ads: " + std::to_string(infra.ad_serving_server_count()) +
+         "\n";
+  const auto dedicated = infra.dedicated_ad_servers();
+  out += "dedicated ad servers (>90% ads): " +
+         std::to_string(dedicated.servers) + " carrying " +
+         util::percent(dedicated.ad_share_of_trace) + " of ads\n";
+  out += "top ASes by ad objects:\n";
+  const auto total_ads = static_cast<double>(infra.total_ads());
+  for (const auto& row : infra.as_ranking(asn_db, 5)) {
+    out += "  " + row.name + ": " +
+           util::percent(total_ads == 0
+                             ? 0.0
+                             : static_cast<double>(row.ad_requests) /
+                                   total_ads) +
+           " of ads (" +
+           util::percent(share(row.ad_requests, row.total_requests)) +
+           " of its own traffic)\n";
+  }
+  const auto& rtb = study.rtb();
+  out += "RTB regime (>=90 ms): ads " +
+         util::percent(rtb.ad_share_in_rtb_regime()) + " vs rest " +
+         util::percent(rtb.non_ad_share_in_rtb_regime()) + "\n";
+  return out;
+}
+
+std::string render_full_report(const TraceStudy& study,
+                               const netdb::AsnDatabase* asn_db) {
+  std::string out = "=== adscope study: " + study.meta().name + " ===\n\n";
+  out += render_traffic_report(study) + "\n";
+  out += render_inference_report(study);
+  if (asn_db != nullptr) {
+    out += "\n" + render_infrastructure_report(study, *asn_db);
+  }
+  return out;
+}
+
+}  // namespace adscope::core

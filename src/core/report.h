@@ -1,0 +1,34 @@
+// Textual study reports.
+//
+// One place that turns a finished TraceStudy into the human-readable
+// summary the paper's sections would print — used by the CLI, the
+// examples, and anywhere else that wants "the §6-§8 numbers" without
+// re-assembling them from the analysis objects.
+#pragma once
+
+#include <string>
+
+#include "core/study.h"
+#include "netdb/asn_db.h"
+
+namespace adscope::core {
+
+/// §7.1-style traffic summary: volumes, ad shares, list attribution,
+/// page views.
+std::string render_traffic_report(const TraceStudy& study);
+
+/// §6-style ad-blocker usage summary: indicator classes, household
+/// download share, configuration estimates.
+std::string render_inference_report(const TraceStudy& study);
+
+/// §8-style infrastructure summary: server counts, dedicated servers,
+/// top ASes, RTB regime.
+std::string render_infrastructure_report(const TraceStudy& study,
+                                         const netdb::AsnDatabase& asn_db);
+
+/// Everything above, in paper order. `asn_db` may be null (section
+/// skipped).
+std::string render_full_report(const TraceStudy& study,
+                               const netdb::AsnDatabase* asn_db = nullptr);
+
+}  // namespace adscope::core

@@ -1,0 +1,74 @@
+#include "core/rtb_analysis.h"
+
+#include <algorithm>
+
+#include "http/public_suffix.h"
+
+namespace adscope::core {
+
+namespace {
+// Log axis 0.01 ms .. ~3 s, matching Figure 7.
+constexpr double kLogLo = -2.0;
+constexpr double kLogHi = 3.5;
+constexpr std::size_t kBins = 55;
+}  // namespace
+
+RtbAnalysis::RtbAnalysis()
+    : ad_(kLogLo, kLogHi, kBins), non_ad_(kLogLo, kLogHi, kBins) {}
+
+void RtbAnalysis::add(const ClassifiedObject& object) {
+  const auto& web = object.object;
+  if (web.http_handshake_us == 0) return;  // no response observed
+  const double delta_us = web.http_handshake_us > web.tcp_handshake_us
+                              ? static_cast<double>(web.http_handshake_us -
+                                                    web.tcp_handshake_us)
+                              : 0.0;
+  // Clamp to the axis floor: sub-10us differences are capture noise.
+  const double delta_ms = std::max(delta_us / 1000.0, 0.01);
+
+  if (object.verdict.is_ad()) {
+    ad_.add(delta_ms);
+    ++ad_total_;
+    if (delta_ms >= threshold_ms_) {
+      ++ad_above_;
+      const auto domain = http::registrable_domain(web.url.host());
+      ++rtb_domains_[std::string(domain)];
+    }
+  } else {
+    non_ad_.add(delta_ms);
+    ++non_ad_total_;
+    if (delta_ms >= threshold_ms_) ++non_ad_above_;
+  }
+}
+
+double RtbAnalysis::ad_share_in_rtb_regime() const noexcept {
+  return ad_total_ == 0 ? 0.0
+                        : static_cast<double>(ad_above_) /
+                              static_cast<double>(ad_total_);
+}
+
+double RtbAnalysis::non_ad_share_in_rtb_regime() const noexcept {
+  return non_ad_total_ == 0 ? 0.0
+                            : static_cast<double>(non_ad_above_) /
+                                  static_cast<double>(non_ad_total_);
+}
+
+std::vector<RtbAnalysis::RtbHost> RtbAnalysis::rtb_hosts(
+    std::size_t top_n) const {
+  std::vector<RtbHost> hosts;
+  std::uint64_t total = 0;
+  for (const auto& [domain, count] : rtb_domains_) total += count;
+  for (const auto& [domain, count] : rtb_domains_) {
+    hosts.push_back(RtbHost{
+        domain, count,
+        total == 0 ? 0.0
+                   : static_cast<double>(count) / static_cast<double>(total)});
+  }
+  std::sort(hosts.begin(), hosts.end(), [](const auto& a, const auto& b) {
+    return a.requests > b.requests;
+  });
+  if (hosts.size() > top_n) hosts.resize(top_n);
+  return hosts;
+}
+
+}  // namespace adscope::core

@@ -1,0 +1,64 @@
+#include "core/study.h"
+
+namespace adscope::core {
+
+TraceStudy::TraceStudy(const adblock::FilterEngine& engine,
+                       const netdb::AbpServerRegistry& registry,
+                       StudyOptions options)
+    : engine_(engine),
+      registry_(registry),
+      options_(options),
+      classifier_(engine, options.classifier) {
+  classifier_.set_callback([this](const ClassifiedObject& object) {
+    users_.add(object);
+    if (traffic_) traffic_->add(object);
+    whitelist_.add(object);
+    infra_.add(object);
+    rtb_.add(object);
+    segmenter_.add(object);
+  });
+  segmenter_.set_callback([this](const PageView& view) {
+    ++page_views_.views;
+    page_views_.objects += view.objects;
+    page_views_.ad_objects += view.ad_objects;
+  });
+  extractor_.set_object_callback(
+      [this](const analyzer::WebObject& object) { classifier_.process(object); });
+  extractor_.set_tls_callback([this](const trace::TlsFlow& flow) {
+    ++https_flows_;
+    users_.add_tls(flow, registry_);
+  });
+}
+
+void TraceStudy::on_meta(const trace::TraceMeta& meta) {
+  meta_ = meta;
+  const auto duration =
+      meta.duration_s > 0 ? meta.duration_s : options_.default_duration_s;
+  traffic_ = std::make_unique<TrafficStats>(duration,
+                                            options_.timeseries_bin_s);
+}
+
+void TraceStudy::on_http(const trace::HttpTransaction& txn) {
+  if (!traffic_) on_meta(meta_);  // tolerate traces without a meta block
+  extractor_.on_http(txn);
+}
+
+void TraceStudy::on_tls(const trace::TlsFlow& flow) { extractor_.on_tls(flow); }
+
+void TraceStudy::finish() {
+  if (finished_) return;
+  classifier_.flush();
+  segmenter_.flush();
+  finished_ = true;
+}
+
+InferenceResult TraceStudy::inference() const {
+  return infer_adblock_usage(users_, options_.inference);
+}
+
+ConfigurationReport TraceStudy::configurations(
+    const InferenceResult& inference) const {
+  return analyze_configurations(inference, traffic_->whitelisted_requests());
+}
+
+}  // namespace adscope::core

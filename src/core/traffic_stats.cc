@@ -1,0 +1,104 @@
+#include "core/traffic_stats.h"
+
+#include <algorithm>
+
+namespace adscope::core {
+
+namespace {
+constexpr std::size_t kContentClasses = 5;
+// Object sizes span 1 byte .. 100 MB on a log axis (Figure 6's range).
+constexpr double kSizeLogLo = 0.0;
+constexpr double kSizeLogHi = 8.0;
+constexpr std::size_t kSizeBins = 48;
+}  // namespace
+
+TrafficStats::TrafficStats(std::uint64_t duration_s, std::uint64_t bin_s)
+    : series_(duration_s, bin_s,
+              {"non-ad reqs", "EasyList reqs", "EasyPrivacy reqs",
+               "Non-intrusive reqs", "total reqs", "total bytes",
+               "EasyList bytes", "EasyPrivacy bytes"}) {
+  for (std::size_t i = 0; i < kContentClasses; ++i) {
+    ad_size_.emplace_back(kSizeLogLo, kSizeLogHi, kSizeBins);
+    non_ad_size_.emplace_back(kSizeLogLo, kSizeLogHi, kSizeBins);
+  }
+}
+
+void TrafficStats::add(const ClassifiedObject& object) {
+  const auto& web = object.object;
+  const auto t_s = web.timestamp_ms / 1000;
+  const auto size = static_cast<double>(web.content_length);
+
+  ++requests_;
+  bytes_ += web.content_length;
+  series_.add(kTotalReqs, t_s);
+  series_.add(kTotalBytes, t_s, size);
+
+  const std::string mime = web.content_type.empty() ? "-" : web.content_type;
+  auto& row = content_[mime];
+  const auto cls =
+      static_cast<std::size_t>(http::class_from_mime(web.content_type));
+
+  if (!object.verdict.is_ad()) {
+    series_.add(kNonAdReqs, t_s);
+    ++row.non_ad_requests;
+    row.non_ad_bytes += web.content_length;
+    if (web.content_length > 0) {
+      non_ad_size_[cls].add(static_cast<double>(web.content_length));
+    }
+    return;
+  }
+
+  ad_bytes_ += web.content_length;
+  ++row.ad_requests;
+  row.ad_bytes += web.content_length;
+  if (web.content_length > 0) {
+    ad_size_[cls].add(static_cast<double>(web.content_length));
+  }
+
+  if (object.verdict.decision == adblock::Decision::kWhitelisted) {
+    ++whitelist_reqs_;
+    series_.add(kWhitelistReqs, t_s);
+    return;
+  }
+  switch (object.verdict.list_kind) {
+    case adblock::ListKind::kEasyPrivacy:
+      ++easyprivacy_reqs_;
+      series_.add(kEasyPrivacyReqs, t_s);
+      series_.add(kEasyPrivacyBytes, t_s, size);
+      break;
+    case adblock::ListKind::kEasyListDerivative:
+      ++derivative_reqs_;
+      series_.add(kEasyListReqs, t_s);
+      series_.add(kEasyListBytes, t_s, size);
+      break;
+    case adblock::ListKind::kEasyList:
+    case adblock::ListKind::kAcceptableAds:
+    case adblock::ListKind::kCustom:
+      ++easylist_reqs_;
+      series_.add(kEasyListReqs, t_s);
+      series_.add(kEasyListBytes, t_s, size);
+      break;
+  }
+}
+
+std::vector<std::pair<std::string, ContentTypeRow>>
+TrafficStats::content_table() const {
+  std::vector<std::pair<std::string, ContentTypeRow>> rows(content_.begin(),
+                                                           content_.end());
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.ad_requests > b.second.ad_requests;
+  });
+  return rows;
+}
+
+const stats::LogHistogram& TrafficStats::ad_sizes(
+    http::ContentClass cls) const {
+  return ad_size_[static_cast<std::size_t>(cls)];
+}
+
+const stats::LogHistogram& TrafficStats::non_ad_sizes(
+    http::ContentClass cls) const {
+  return non_ad_size_[static_cast<std::size_t>(cls)];
+}
+
+}  // namespace adscope::core

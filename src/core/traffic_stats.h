@@ -1,0 +1,87 @@
+// Ad-traffic characterization (§7.1, §7.2): totals, list attribution,
+// 1-hour time series (Figure 5), Content-Type breakdown (Table 4) and
+// object-size densities by MIME class (Figure 6).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "adblock/engine.h"
+#include "core/classifier.h"
+#include "stats/histogram.h"
+#include "stats/timeseries.h"
+
+namespace adscope::core {
+
+struct ContentTypeRow {
+  std::uint64_t ad_requests = 0;
+  std::uint64_t ad_bytes = 0;
+  std::uint64_t non_ad_requests = 0;
+  std::uint64_t non_ad_bytes = 0;
+};
+
+class TrafficStats {
+ public:
+  /// Time-series indices (Figure 5).
+  enum Series : std::size_t {
+    kNonAdReqs = 0,
+    kEasyListReqs,
+    kEasyPrivacyReqs,
+    kWhitelistReqs,
+    kTotalReqs,
+    kTotalBytes,
+    kEasyListBytes,
+    kEasyPrivacyBytes,
+    kSeriesCount,
+  };
+
+  TrafficStats(std::uint64_t duration_s, std::uint64_t bin_s = 3600);
+
+  void add(const ClassifiedObject& object);
+
+  // §7.1 aggregates.
+  std::uint64_t requests() const noexcept { return requests_; }
+  std::uint64_t bytes() const noexcept { return bytes_; }
+  std::uint64_t ad_requests() const noexcept {
+    return easylist_reqs_ + derivative_reqs_ + easyprivacy_reqs_ +
+           whitelist_reqs_;
+  }
+  std::uint64_t ad_bytes() const noexcept { return ad_bytes_; }
+  std::uint64_t easylist_requests() const noexcept {
+    return easylist_reqs_ + derivative_reqs_;
+  }
+  std::uint64_t easyprivacy_requests() const noexcept {
+    return easyprivacy_reqs_;
+  }
+  std::uint64_t whitelisted_requests() const noexcept {
+    return whitelist_reqs_;
+  }
+
+  const stats::BinnedTimeSeries& series() const noexcept { return series_; }
+
+  /// Table 4 rows keyed by reported MIME ("-" for absent), ordered by ad
+  /// request count descending.
+  std::vector<std::pair<std::string, ContentTypeRow>> content_table() const;
+
+  /// Figure 6 densities: size histograms per coarse content class.
+  const stats::LogHistogram& ad_sizes(http::ContentClass cls) const;
+  const stats::LogHistogram& non_ad_sizes(http::ContentClass cls) const;
+
+ private:
+  stats::BinnedTimeSeries series_;
+
+  std::uint64_t requests_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t easylist_reqs_ = 0;
+  std::uint64_t derivative_reqs_ = 0;
+  std::uint64_t easyprivacy_reqs_ = 0;
+  std::uint64_t whitelist_reqs_ = 0;
+  std::uint64_t ad_bytes_ = 0;
+
+  std::map<std::string, ContentTypeRow> content_;
+  std::vector<stats::LogHistogram> ad_size_;
+  std::vector<stats::LogHistogram> non_ad_size_;
+};
+
+}  // namespace adscope::core

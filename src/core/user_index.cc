@@ -1,0 +1,56 @@
+#include "core/user_index.h"
+
+#include "util/hash.h"
+
+namespace adscope::core {
+
+void UserIndex::add(const ClassifiedObject& object) {
+  const auto key = util::hash_combine(util::fnv1a_u64(object.object.client_ip),
+                                      util::fnv1a(object.object.user_agent));
+  auto [it, inserted] = users_.try_emplace(key);
+  UserStats& stats = it->second;
+  if (inserted) {
+    stats.ip = object.object.client_ip;
+    stats.user_agent = object.object.user_agent;
+  }
+  ++stats.requests;
+  stats.bytes += object.object.content_length;
+  stats.first_ms = std::min(stats.first_ms, object.object.timestamp_ms);
+  stats.last_ms = std::max(stats.last_ms, object.object.timestamp_ms);
+  ++total_requests_;
+  households_.insert(object.object.client_ip);
+
+  const auto& verdict = object.verdict;
+  if (!verdict.is_ad()) return;
+  ++total_ads_;
+  stats.ad_bytes += object.object.content_length;
+  if (verdict.decision == adblock::Decision::kWhitelisted) {
+    ++stats.ads_whitelisted;
+    return;
+  }
+  switch (verdict.list_kind) {
+    case adblock::ListKind::kEasyList:
+      ++stats.ads_easylist;
+      break;
+    case adblock::ListKind::kEasyListDerivative:
+      ++stats.ads_derivative;
+      break;
+    case adblock::ListKind::kEasyPrivacy:
+      ++stats.ads_easyprivacy;
+      break;
+    case adblock::ListKind::kAcceptableAds:
+    case adblock::ListKind::kCustom:
+      ++stats.ads_derivative;  // custom blocking lists group with derivatives
+      break;
+  }
+}
+
+void UserIndex::add_tls(const trace::TlsFlow& flow,
+                        const netdb::AbpServerRegistry& registry) {
+  if (flow.server_port != 443) return;
+  if (!registry.is_abp_server(flow.server_ip)) return;
+  ++abp_flows_;
+  abp_households_.insert(flow.client_ip);
+}
+
+}  // namespace adscope::core

@@ -1,0 +1,80 @@
+#include "core/whitelist_analysis.h"
+
+#include <algorithm>
+
+namespace adscope::core {
+
+void WhitelistAnalysis::add(const ClassifiedObject& object) {
+  const auto& verdict = object.verdict;
+  if (!verdict.is_ad()) return;
+  ++ad_requests_;
+
+  const bool blocked = verdict.decision == adblock::Decision::kBlocked;
+  // §7.3 whitelisting means the *acceptable-ads* list specifically;
+  // exceptions inside blocking lists are not "non-intrusive ads".
+  const bool whitelisted =
+      verdict.decision == adblock::Decision::kWhitelisted &&
+      verdict.list_kind == adblock::ListKind::kAcceptableAds;
+  const bool would_block = whitelisted && verdict.whitelist_saved_it();
+
+  const auto blocked_kind = verdict.effective_block_kind();
+  const bool easylist_family =
+      blocked_kind == adblock::ListKind::kEasyList ||
+      blocked_kind == adblock::ListKind::kEasyListDerivative;
+
+  if (whitelisted) {
+    ++whitelisted_;
+    if (would_block) {
+      ++would_block_;
+      if (blocked_kind == adblock::ListKind::kEasyPrivacy) ++would_block_ep_;
+    }
+    if (!would_block || easylist_family) ++easylist_family_ads_;
+  } else if (easylist_family) {
+    ++easylist_family_ads_;
+  }
+
+  // Beneficiary accounting uses blocked requests and whitelisted
+  // requests that match the blacklist (§7.3).
+  if (!blocked && !would_block) return;
+  if (blocked && !easylist_family &&
+      blocked_kind != adblock::ListKind::kEasyPrivacy) {
+    return;  // custom lists are out of scope
+  }
+  Counts* page = nullptr;
+  if (!object.page_host.empty()) page = &by_page_[object.page_host];
+  Counts& host = by_request_host_[object.object.url.host()];
+  if (blocked) {
+    ++host.blacklisted;
+    if (page != nullptr) ++page->blacklisted;
+  } else {
+    ++host.whitelisted;
+    if (page != nullptr) ++page->whitelisted;
+  }
+}
+
+std::vector<BeneficiaryRow> WhitelistAnalysis::top_rows(
+    const std::unordered_map<std::string, Counts>& map,
+    std::uint64_t min_blacklisted) {
+  std::vector<BeneficiaryRow> rows;
+  for (const auto& [fqdn, counts] : map) {
+    if (counts.blacklisted + counts.whitelisted < min_blacklisted) continue;
+    rows.push_back(BeneficiaryRow{fqdn, counts.blacklisted,
+                                  counts.whitelisted});
+  }
+  std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.blacklisted + a.whitelisted > b.blacklisted + b.whitelisted;
+  });
+  return rows;
+}
+
+std::vector<BeneficiaryRow> WhitelistAnalysis::publishers(
+    std::uint64_t min_blacklisted) const {
+  return top_rows(by_page_, min_blacklisted);
+}
+
+std::vector<BeneficiaryRow> WhitelistAnalysis::ad_tech(
+    std::uint64_t min_blacklisted) const {
+  return top_rows(by_request_host_, min_blacklisted);
+}
+
+}  // namespace adscope::core

@@ -1,0 +1,90 @@
+#include "html/resource_extractor.h"
+
+#include "util/strings.h"
+
+namespace adscope::html {
+
+namespace {
+
+using http::RequestType;
+
+void add_resource(PageStructure& out, const http::Url& base,
+                  std::string_view reference, RequestType type) {
+  if (util::trim(reference).empty()) return;
+  const auto resolved = base.resolve(reference);
+  if (resolved.empty()) return;
+  out.resources.push_back(EmbeddedResource{resolved.spec(), type});
+}
+
+}  // namespace
+
+PageStructure extract_structure(std::string_view payload,
+                                const http::Url& base_url) {
+  PageStructure out;
+  const auto tokens = tokenize(payload);
+
+  // Track the innermost open <div>/<span> so following text attributes
+  // to its class list (shallow, but enough to spot text-ad containers).
+  std::vector<TextBlock> open_blocks;
+
+  for (const auto& token : tokens) {
+    switch (token.kind) {
+      case Token::Kind::kStartTag: {
+        const auto& tag = token.name;
+        if (tag == "img") {
+          add_resource(out, base_url, token.attr("src"), RequestType::kImage);
+        } else if (tag == "script") {
+          const auto src = token.attr("src");
+          if (!src.empty()) {
+            add_resource(out, base_url, src, RequestType::kScript);
+          }
+        } else if (tag == "link") {
+          const auto rel = util::to_lower(token.attr("rel"));
+          if (rel == "stylesheet") {
+            add_resource(out, base_url, token.attr("href"),
+                         RequestType::kStylesheet);
+          }
+        } else if (tag == "iframe" || tag == "frame") {
+          add_resource(out, base_url, token.attr("src"),
+                       RequestType::kSubdocument);
+        } else if (tag == "video" || tag == "audio" || tag == "source") {
+          add_resource(out, base_url, token.attr("src"), RequestType::kMedia);
+        } else if (tag == "object" || tag == "embed") {
+          const auto data = token.attr("data");
+          add_resource(out, base_url, data.empty() ? token.attr("src") : data,
+                       RequestType::kObject);
+        } else if (tag == "div" || tag == "span" || tag == "aside" ||
+                   tag == "section") {
+          TextBlock block;
+          for (auto piece :
+               util::split_nonempty(token.attr("class"), ' ')) {
+            block.classes.emplace_back(util::to_lower(piece));
+          }
+          block.id = util::to_lower(token.attr("id"));
+          if (!token.self_closing) open_blocks.push_back(std::move(block));
+        }
+        break;
+      }
+      case Token::Kind::kEndTag:
+        if ((token.name == "div" || token.name == "span" ||
+             token.name == "aside" || token.name == "section") &&
+            !open_blocks.empty()) {
+          out.text_blocks.push_back(std::move(open_blocks.back()));
+          open_blocks.pop_back();
+        }
+        break;
+      case Token::Kind::kText:
+        if (!open_blocks.empty()) {
+          open_blocks.back().text_length += token.text.size();
+        }
+        break;
+      case Token::Kind::kComment:
+        break;
+    }
+  }
+  // Unclosed blocks still count.
+  for (auto& block : open_blocks) out.text_blocks.push_back(std::move(block));
+  return out;
+}
+
+}  // namespace adscope::html

@@ -1,0 +1,40 @@
+// Page-structure extraction from HTML payloads (§10 payload mode).
+//
+// Walks the token stream and recovers what the header-only pipeline has
+// to approximate: which URLs the page embeds and as what element type
+// (the DOM knowledge Adblock Plus has), plus the element classes/ids of
+// text blocks — which, matched against element-hiding rules, reveal the
+// "hidden ads" embedded in the HTML itself whose retrieval cannot be
+// blocked (§2, §10).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "html/tokenizer.h"
+#include "http/mime.h"
+#include "http/url.h"
+
+namespace adscope::html {
+
+struct EmbeddedResource {
+  std::string url;  // resolved against the document URL
+  http::RequestType type = http::RequestType::kOther;
+};
+
+struct TextBlock {
+  std::vector<std::string> classes;  // class attribute tokens
+  std::string id;
+  std::size_t text_length = 0;
+};
+
+struct PageStructure {
+  std::vector<EmbeddedResource> resources;
+  std::vector<TextBlock> text_blocks;
+};
+
+/// Parse `payload` as the document at `base_url` and extract structure.
+PageStructure extract_structure(std::string_view payload,
+                                const http::Url& base_url);
+
+}  // namespace adscope::html

@@ -1,0 +1,171 @@
+#include "html/tokenizer.h"
+
+#include "util/strings.h"
+
+namespace adscope::html {
+
+std::string_view Token::attr(std::string_view name_lower) const noexcept {
+  for (const auto& attribute : attributes) {
+    if (attribute.name == name_lower) return attribute.value;
+  }
+  return {};
+}
+
+namespace {
+
+class Tokenizer {
+ public:
+  explicit Tokenizer(std::string_view html) : html_(html) {}
+
+  std::vector<Token> run() {
+    while (pos_ < html_.size()) {
+      if (html_[pos_] == '<') {
+        read_markup();
+      } else {
+        read_text();
+      }
+    }
+    return std::move(tokens_);
+  }
+
+ private:
+  void read_text() {
+    const auto start = pos_;
+    while (pos_ < html_.size() && html_[pos_] != '<') ++pos_;
+    emit_text(html_.substr(start, pos_ - start));
+  }
+
+  void emit_text(std::string_view text) {
+    const auto trimmed = util::trim(text);
+    if (trimmed.empty()) return;
+    Token token;
+    token.kind = Token::Kind::kText;
+    token.text = std::string(trimmed);
+    tokens_.push_back(std::move(token));
+  }
+
+  void read_markup() {
+    // pos_ is at '<'.
+    if (html_.compare(pos_, 4, "<!--") == 0) {
+      read_comment();
+      return;
+    }
+    std::size_t cursor = pos_ + 1;
+    bool end_tag = false;
+    if (cursor < html_.size() && html_[cursor] == '/') {
+      end_tag = true;
+      ++cursor;
+    }
+    if (cursor >= html_.size() || !util::is_ascii_alpha(html_[cursor])) {
+      // "<3" or "<!" doctype etc: swallow until '>' as text-ish noise.
+      const auto close = html_.find('>', pos_);
+      pos_ = close == std::string_view::npos ? html_.size() : close + 1;
+      return;
+    }
+    // Tag name.
+    const auto name_start = cursor;
+    while (cursor < html_.size() &&
+           (util::is_ascii_alnum(html_[cursor]) || html_[cursor] == '-')) {
+      ++cursor;
+    }
+    Token token;
+    token.kind = end_tag ? Token::Kind::kEndTag : Token::Kind::kStartTag;
+    token.name = util::to_lower(html_.substr(name_start, cursor - name_start));
+
+    // Attributes until '>' (or EOF).
+    while (cursor < html_.size() && html_[cursor] != '>') {
+      if (html_[cursor] == '/' && cursor + 1 < html_.size() &&
+          html_[cursor + 1] == '>') {
+        token.self_closing = true;
+        ++cursor;
+        break;
+      }
+      if (!util::is_ascii_alpha(html_[cursor])) {
+        ++cursor;
+        continue;
+      }
+      Attribute attribute;
+      const auto attr_start = cursor;
+      while (cursor < html_.size() &&
+             (util::is_ascii_alnum(html_[cursor]) || html_[cursor] == '-')) {
+        ++cursor;
+      }
+      attribute.name =
+          util::to_lower(html_.substr(attr_start, cursor - attr_start));
+      while (cursor < html_.size() &&
+             (html_[cursor] == ' ' || html_[cursor] == '\t' ||
+              html_[cursor] == '\n')) {
+        ++cursor;
+      }
+      if (cursor < html_.size() && html_[cursor] == '=') {
+        ++cursor;
+        while (cursor < html_.size() &&
+               (html_[cursor] == ' ' || html_[cursor] == '\t')) {
+          ++cursor;
+        }
+        if (cursor < html_.size() &&
+            (html_[cursor] == '"' || html_[cursor] == '\'')) {
+          const char quote = html_[cursor];
+          const auto value_start = ++cursor;
+          while (cursor < html_.size() && html_[cursor] != quote) ++cursor;
+          attribute.value =
+              std::string(html_.substr(value_start, cursor - value_start));
+          if (cursor < html_.size()) ++cursor;  // closing quote
+        } else {
+          const auto value_start = cursor;
+          while (cursor < html_.size() && html_[cursor] != ' ' &&
+                 html_[cursor] != '>' && html_[cursor] != '\t' &&
+                 html_[cursor] != '\n') {
+            ++cursor;
+          }
+          attribute.value =
+              std::string(html_.substr(value_start, cursor - value_start));
+        }
+      }
+      token.attributes.push_back(std::move(attribute));
+    }
+    if (cursor < html_.size()) ++cursor;  // '>'
+    pos_ = cursor;
+
+    const bool raw_text = !end_tag && (token.name == "script" ||
+                                       token.name == "style");
+    const std::string raw_name = token.name;
+    tokens_.push_back(std::move(token));
+    if (raw_text) read_raw_text(raw_name);
+  }
+
+  void read_raw_text(const std::string& element) {
+    const std::string closer = "</" + element;
+    const auto end = util::ifind(html_.substr(pos_), closer);
+    const auto content_end =
+        end == std::string_view::npos ? html_.size() : pos_ + end;
+    emit_text(html_.substr(pos_, content_end - pos_));
+    pos_ = content_end;  // the end tag is tokenized normally next
+  }
+
+  void read_comment() {
+    const auto end = html_.find("-->", pos_ + 4);
+    Token token;
+    token.kind = Token::Kind::kComment;
+    if (end == std::string_view::npos) {
+      token.text = std::string(html_.substr(pos_ + 4));
+      pos_ = html_.size();
+    } else {
+      token.text = std::string(html_.substr(pos_ + 4, end - pos_ - 4));
+      pos_ = end + 3;
+    }
+    tokens_.push_back(std::move(token));
+  }
+
+  std::string_view html_;
+  std::size_t pos_ = 0;
+  std::vector<Token> tokens_;
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view html) {
+  return Tokenizer(html).run();
+}
+
+}  // namespace adscope::html

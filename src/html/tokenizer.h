@@ -1,0 +1,45 @@
+// Minimal, robust HTML tokenizer.
+//
+// Supports the payload-mode extension the paper sketches in §10: when
+// packet payloads ARE available, the main document's HTML yields the
+// page structure that header-only analysis has to approximate. The
+// tokenizer handles the subset needed to extract embedded resources and
+// element classes: tags with attributes (quoted/unquoted), text runs,
+// comments, and raw-text elements (script/style). It never throws on
+// malformed input — garbage degrades to text.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adscope::html {
+
+struct Attribute {
+  std::string name;   // lower-cased
+  std::string value;  // unquoted; entities NOT decoded (URLs rarely need it)
+};
+
+struct Token {
+  enum class Kind : std::uint8_t {
+    kStartTag,
+    kEndTag,
+    kText,
+    kComment,
+  };
+
+  Kind kind = Kind::kText;
+  std::string name;  // tag name, lower-cased (empty for text/comment)
+  std::vector<Attribute> attributes;
+  std::string text;  // text/comment content
+  bool self_closing = false;
+
+  /// First value of an attribute, or "" when absent.
+  std::string_view attr(std::string_view name_lower) const noexcept;
+};
+
+/// Tokenize an HTML fragment. Raw-text element contents (script, style)
+/// are emitted as a single text token.
+std::vector<Token> tokenize(std::string_view html);
+
+}  // namespace adscope::html

@@ -1,0 +1,38 @@
+#include "http/headers.h"
+
+#include "util/strings.h"
+
+namespace adscope::http {
+
+void Headers::set(std::string name, std::string value) {
+  for (auto& [existing, v] : fields_) {
+    if (util::iequals(existing, name)) {
+      v = std::move(value);
+      return;
+    }
+  }
+  fields_.emplace_back(std::move(name), std::move(value));
+}
+
+void Headers::append(std::string name, std::string value) {
+  fields_.emplace_back(std::move(name), std::move(value));
+}
+
+std::optional<std::string_view> Headers::get(
+    std::string_view name) const noexcept {
+  for (const auto& [n, v] : fields_) {
+    if (util::iequals(n, name)) return std::string_view(v);
+  }
+  return std::nullopt;
+}
+
+std::string_view Headers::get_or_empty(std::string_view name) const noexcept {
+  const auto value = get(name);
+  return value ? *value : std::string_view{};
+}
+
+bool Headers::contains(std::string_view name) const noexcept {
+  return get(name).has_value();
+}
+
+}  // namespace adscope::http

@@ -1,0 +1,39 @@
+// Case-insensitive HTTP header collection.
+//
+// Header traces carry a handful of fields per transaction; a flat vector
+// with linear case-insensitive lookup beats a map at these sizes and keeps
+// insertion order, which matters when re-serializing for tests.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace adscope::http {
+
+class Headers {
+ public:
+  Headers() = default;
+
+  void set(std::string name, std::string value);
+  void append(std::string name, std::string value);
+
+  /// First value for `name` (case-insensitive); nullopt when absent.
+  std::optional<std::string_view> get(std::string_view name) const noexcept;
+
+  /// Value or the empty string.
+  std::string_view get_or_empty(std::string_view name) const noexcept;
+
+  bool contains(std::string_view name) const noexcept;
+  std::size_t size() const noexcept { return fields_.size(); }
+
+  auto begin() const noexcept { return fields_.begin(); }
+  auto end() const noexcept { return fields_.end(); }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace adscope::http

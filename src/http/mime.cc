@@ -1,0 +1,100 @@
+#include "http/mime.h"
+
+#include "util/strings.h"
+
+namespace adscope::http {
+
+std::string_view to_string(RequestType type) noexcept {
+  switch (type) {
+    case RequestType::kDocument: return "document";
+    case RequestType::kSubdocument: return "subdocument";
+    case RequestType::kStylesheet: return "stylesheet";
+    case RequestType::kScript: return "script";
+    case RequestType::kImage: return "image";
+    case RequestType::kMedia: return "media";
+    case RequestType::kFont: return "font";
+    case RequestType::kObject: return "object";
+    case RequestType::kXhr: return "xmlhttprequest";
+    case RequestType::kOther: return "other";
+  }
+  return "other";
+}
+
+std::string_view to_string(ContentClass cls) noexcept {
+  switch (cls) {
+    case ContentClass::kImage: return "Image";
+    case ContentClass::kText: return "Text";
+    case ContentClass::kVideo: return "Video";
+    case ContentClass::kApplication: return "App";
+    case ContentClass::kOther: return "Other";
+  }
+  return "Other";
+}
+
+std::string canonical_mime(std::string_view content_type) {
+  auto trimmed = util::trim(content_type);
+  if (const auto semi = trimmed.find(';'); semi != std::string_view::npos) {
+    trimmed = util::trim(trimmed.substr(0, semi));
+  }
+  return util::to_lower(trimmed);
+}
+
+RequestType type_from_mime(std::string_view mime) {
+  using util::starts_with;
+  if (mime.empty() || mime == "-") return RequestType::kOther;
+  if (mime == "text/html" || mime == "application/xhtml+xml") {
+    return RequestType::kDocument;
+  }
+  if (mime == "text/css") return RequestType::kStylesheet;
+  if (mime == "application/javascript" || mime == "text/javascript" ||
+      mime == "application/x-javascript" || mime == "application/ecmascript") {
+    return RequestType::kScript;
+  }
+  if (starts_with(mime, "image/")) return RequestType::kImage;
+  if (starts_with(mime, "video/") || starts_with(mime, "audio/")) {
+    return RequestType::kMedia;
+  }
+  if (starts_with(mime, "font/") || mime == "application/font-woff" ||
+      mime == "application/x-font-ttf") {
+    return RequestType::kFont;
+  }
+  if (mime == "application/x-shockwave-flash") return RequestType::kObject;
+  if (mime == "application/json" || mime == "application/xml" ||
+      mime == "text/xml") {
+    return RequestType::kXhr;
+  }
+  if (mime == "text/plain") return RequestType::kOther;
+  return RequestType::kOther;
+}
+
+std::optional<RequestType> type_from_extension(std::string_view ext) {
+  // The explicit table from §3.1 of the paper, plus the obvious modern
+  // additions that the simulator emits.
+  if (ext == "png" || ext == "gif" || ext == "jpg" || ext == "jpeg" ||
+      ext == "svg" || ext == "ico" || ext == "webp") {
+    return RequestType::kImage;
+  }
+  if (ext == "css") return RequestType::kStylesheet;
+  if (ext == "js") return RequestType::kScript;
+  if (ext == "mp4" || ext == "avi" || ext == "flv" || ext == "webm" ||
+      ext == "mp3") {
+    return RequestType::kMedia;
+  }
+  if (ext == "swf") return RequestType::kObject;
+  if (ext == "woff" || ext == "woff2" || ext == "ttf") {
+    return RequestType::kFont;
+  }
+  if (ext == "html" || ext == "htm") return RequestType::kDocument;
+  return std::nullopt;
+}
+
+ContentClass class_from_mime(std::string_view mime) {
+  using util::starts_with;
+  if (starts_with(mime, "image/")) return ContentClass::kImage;
+  if (starts_with(mime, "text/")) return ContentClass::kText;
+  if (starts_with(mime, "video/")) return ContentClass::kVideo;
+  if (starts_with(mime, "application/")) return ContentClass::kApplication;
+  return ContentClass::kOther;
+}
+
+}  // namespace adscope::http

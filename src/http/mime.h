@@ -1,0 +1,60 @@
+// Content-type taxonomy.
+//
+// Two views exist over the same MIME strings:
+//  * RequestType — the AdBlock Plus request categories that `$`-options in
+//    filter rules constrain (document, script, stylesheet, image, media,
+//    object, ...). The paper's methodology (§3.1) infers this from the URL
+//    extension first and falls back to the Content-Type header.
+//  * ContentClass — the coarse grouping (image/text/video/application)
+//    used by the traffic characterization in §7 (Table 4, Figure 6).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace adscope::http {
+
+/// AdBlock Plus content categories (subset relevant to header traces).
+enum class RequestType : std::uint8_t {
+  kDocument,     // main HTML document
+  kSubdocument,  // iframe document
+  kStylesheet,
+  kScript,
+  kImage,
+  kMedia,   // audio/video
+  kFont,
+  kObject,  // flash & plugins
+  kXhr,
+  kOther,
+};
+
+/// Coarse classes for size/volume characterization (Figure 6).
+enum class ContentClass : std::uint8_t {
+  kImage,
+  kText,
+  kVideo,
+  kApplication,
+  kOther,
+};
+
+std::string_view to_string(RequestType type) noexcept;
+std::string_view to_string(ContentClass cls) noexcept;
+
+/// Strip MIME parameters: "text/html; charset=utf-8" -> "text/html",
+/// lower-cased and trimmed.
+std::string canonical_mime(std::string_view content_type);
+
+/// Map a canonical MIME type to the AdBlock category. Unknown or empty
+/// types map to kOther.
+RequestType type_from_mime(std::string_view canonical_mime);
+
+/// Map a URL path extension ("gif", "js", ...) to an AdBlock category.
+/// Implements the paper's explicit extension table (§3.1); returns nullopt
+/// for extensions outside it so callers fall back to the header.
+std::optional<RequestType> type_from_extension(std::string_view extension);
+
+/// Coarse class for §7 statistics; "-" (unknown) maps to kOther.
+ContentClass class_from_mime(std::string_view canonical_mime);
+
+}  // namespace adscope::http

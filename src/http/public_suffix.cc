@@ -1,0 +1,94 @@
+#include "http/public_suffix.h"
+
+#include "util/strings.h"
+
+namespace adscope::http {
+
+namespace {
+
+bool looks_like_ipv4(std::string_view host) {
+  int dots = 0;
+  for (char c : host) {
+    if (c == '.') {
+      ++dots;
+    } else if (!util::is_ascii_digit(c)) {
+      return false;
+    }
+  }
+  return dots == 3;
+}
+
+}  // namespace
+
+PublicSuffixList::PublicSuffixList() {
+  // Generic TLDs.
+  for (const char* s :
+       {"com", "net", "org", "info", "biz", "io", "tv", "me", "co",
+        "example", "test", "invalid", "ads", "cloud", "app"}) {
+    suffixes_.insert(s);
+  }
+  // Country TLDs seen in European residential traffic.
+  for (const char* s : {"de", "uk", "fr", "es", "it", "nl", "pl", "ru",
+                        "ch", "at", "eu", "us", "jp", "cn", "br"}) {
+    suffixes_.insert(s);
+  }
+  // Common multi-label suffixes.
+  for (const char* s : {"co.uk", "org.uk", "ac.uk", "com.br", "co.jp",
+                        "com.cn", "co.de"}) {
+    suffixes_.insert(s);
+  }
+}
+
+const PublicSuffixList& PublicSuffixList::builtin() {
+  static const PublicSuffixList instance;
+  return instance;
+}
+
+void PublicSuffixList::add(std::string suffix) {
+  suffixes_.insert(std::move(suffix));
+}
+
+std::string_view PublicSuffixList::suffix_of(std::string_view host) const {
+  if (looks_like_ipv4(host)) return host;
+  // Try progressively shorter suffixes: a.b.c -> "a.b.c", "b.c", "c".
+  std::string_view candidate = host;
+  for (;;) {
+    if (suffixes_.contains(std::string(candidate))) return candidate;
+    const auto dot = candidate.find('.');
+    if (dot == std::string_view::npos) break;
+    candidate = candidate.substr(dot + 1);
+  }
+  return candidate;  // last label
+}
+
+std::string_view PublicSuffixList::registrable_domain(
+    std::string_view host) const {
+  if (looks_like_ipv4(host)) return host;
+  const auto suffix = suffix_of(host);
+  if (suffix.size() == host.size()) return host;
+  // One label above the suffix.
+  const auto prefix = host.substr(0, host.size() - suffix.size() - 1);
+  const auto dot = prefix.rfind('.');
+  return dot == std::string_view::npos ? host : host.substr(dot + 1);
+}
+
+std::string_view registrable_domain(std::string_view host) {
+  return PublicSuffixList::builtin().registrable_domain(host);
+}
+
+bool is_third_party(std::string_view request_host, std::string_view page_host) {
+  if (request_host.empty() || page_host.empty()) return false;
+  return registrable_domain(request_host) != registrable_domain(page_host);
+}
+
+bool host_matches_domain(std::string_view host, std::string_view domain) {
+  if (domain.empty()) return false;
+  if (host.size() == domain.size()) return util::iequals(host, domain);
+  if (host.size() > domain.size() &&
+      util::iequals(host.substr(host.size() - domain.size()), domain)) {
+    return host[host.size() - domain.size() - 1] == '.';
+  }
+  return false;
+}
+
+}  // namespace adscope::http

@@ -1,0 +1,47 @@
+// Registrable-domain computation ("eTLD+1").
+//
+// Third-party determination in AdBlock filter semantics compares the
+// registrable domain of the request host with that of the page host. We
+// ship a compact built-in suffix set covering the TLDs that occur in the
+// synthetic ecosystem plus the common multi-label suffixes; callers can
+// extend it at runtime.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <unordered_set>
+
+namespace adscope::http {
+
+class PublicSuffixList {
+ public:
+  /// The built-in list (thread-safe to read; construct-on-first-use).
+  static const PublicSuffixList& builtin();
+
+  PublicSuffixList();
+
+  /// Add a suffix such as "co.uk" (no leading dot).
+  void add(std::string suffix);
+
+  /// Longest matching public suffix of `host`, or the last label when no
+  /// suffix is known (conservative default).
+  std::string_view suffix_of(std::string_view host) const;
+
+  /// Registrable domain: public suffix plus one label. Hosts that *are* a
+  /// suffix, single-label hosts, and IP literals map to themselves.
+  std::string_view registrable_domain(std::string_view host) const;
+
+ private:
+  std::unordered_set<std::string> suffixes_;
+};
+
+/// Convenience wrapper over the built-in list.
+std::string_view registrable_domain(std::string_view host);
+
+/// AdBlock "third-party" test: hosts with different registrable domains.
+bool is_third_party(std::string_view request_host, std::string_view page_host);
+
+/// True when `host` equals `domain` or is a subdomain of it.
+bool host_matches_domain(std::string_view host, std::string_view domain);
+
+}  // namespace adscope::http

@@ -1,0 +1,171 @@
+#include "http/url.h"
+
+#include "util/strings.h"
+
+namespace adscope::http {
+
+namespace {
+
+using util::ascii_lower;
+
+bool valid_scheme(std::string_view s) {
+  if (s.empty() || !util::is_ascii_alpha(s[0])) return false;
+  for (char c : s) {
+    if (!util::is_ascii_alnum(c) && c != '+' && c != '-' && c != '.') {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint16_t default_port(std::string_view scheme) {
+  if (scheme == "https") return 443;
+  if (scheme == "http") return 80;
+  return 0;
+}
+
+// Split "host[:port]" into pieces; returns false on a malformed port.
+bool split_authority(std::string_view authority, std::string& host,
+                     std::uint16_t& port, std::string_view scheme) {
+  // Strip userinfo if present (rare in traces, but cheap to handle).
+  if (const auto at = authority.rfind('@'); at != std::string_view::npos) {
+    authority = authority.substr(at + 1);
+  }
+  std::string_view host_part = authority;
+  std::uint64_t port_value = 0;
+  if (const auto colon = authority.rfind(':'); colon != std::string_view::npos) {
+    const auto port_str = authority.substr(colon + 1);
+    if (!port_str.empty()) {
+      if (!util::parse_u64(port_str, port_value) || port_value > 65535) {
+        return false;
+      }
+      host_part = authority.substr(0, colon);
+    }
+  }
+  if (host_part.empty()) return false;
+  host = util::to_lower(host_part);
+  auto p = static_cast<std::uint16_t>(port_value);
+  if (p == default_port(scheme)) p = 0;
+  port = p;
+  return true;
+}
+
+}  // namespace
+
+std::optional<Url> Url::parse(std::string_view raw) {
+  raw = util::trim(raw);
+  const auto scheme_end = raw.find("://");
+  if (scheme_end == std::string_view::npos || scheme_end == 0) {
+    return std::nullopt;
+  }
+  Url url;
+  const auto scheme = raw.substr(0, scheme_end);
+  if (!valid_scheme(scheme)) return std::nullopt;
+  url.scheme_ = util::to_lower(scheme);
+
+  auto rest = raw.substr(scheme_end + 3);
+  const auto path_start = rest.find_first_of("/?#");
+  const auto authority =
+      path_start == std::string_view::npos ? rest : rest.substr(0, path_start);
+  if (!split_authority(authority, url.host_, url.port_, url.scheme_)) {
+    return std::nullopt;
+  }
+  if (path_start == std::string_view::npos) return url;
+
+  rest = rest.substr(path_start);
+  // Drop the fragment: it is never sent on the wire.
+  if (const auto hash = rest.find('#'); hash != std::string_view::npos) {
+    rest = rest.substr(0, hash);
+  }
+  if (const auto q = rest.find('?'); q != std::string_view::npos) {
+    url.query_ = std::string(rest.substr(q + 1));
+    rest = rest.substr(0, q);
+  }
+  url.path_ = rest.empty() ? "/" : std::string(rest);
+  return url;
+}
+
+Url Url::from_host_and_target(std::string_view host, std::string_view target,
+                              bool https) {
+  Url url;
+  url.scheme_ = https ? "https" : "http";
+  std::uint16_t port = 0;
+  if (!split_authority(util::trim(host), url.host_, port, url.scheme_)) {
+    url.host_.clear();
+    return url;
+  }
+  url.port_ = port;
+  target = util::trim(target);
+  if (const auto hash = target.find('#'); hash != std::string_view::npos) {
+    target = target.substr(0, hash);
+  }
+  if (const auto q = target.find('?'); q != std::string_view::npos) {
+    url.query_ = std::string(target.substr(q + 1));
+    target = target.substr(0, q);
+  }
+  url.path_ = target.empty() ? "/" : std::string(target);
+  if (url.path_[0] != '/') url.path_.insert(url.path_.begin(), '/');
+  return url;
+}
+
+Url Url::resolve(std::string_view reference) const {
+  reference = util::trim(reference);
+  if (auto absolute = Url::parse(reference)) return *absolute;
+  if (util::starts_with(reference, "//")) {
+    if (auto schemeful = Url::parse(std::string(scheme_) + ":" +
+                                    std::string(reference))) {
+      return *schemeful;
+    }
+  }
+  Url out = *this;
+  out.query_.clear();
+  if (reference.empty()) return out;
+  if (reference[0] == '/') {
+    if (const auto q = reference.find('?'); q != std::string_view::npos) {
+      out.query_ = std::string(reference.substr(q + 1));
+      reference = reference.substr(0, q);
+    }
+    out.path_ = std::string(reference);
+    return out;
+  }
+  // Relative path: replace the last path segment.
+  std::string_view ref_path = reference;
+  if (const auto q = reference.find('?'); q != std::string_view::npos) {
+    out.query_ = std::string(reference.substr(q + 1));
+    ref_path = reference.substr(0, q);
+  }
+  const auto last_slash = out.path_.rfind('/');
+  out.path_ = out.path_.substr(0, last_slash + 1) + std::string(ref_path);
+  return out;
+}
+
+std::string Url::host_and_path() const {
+  std::string out = host_;
+  if (port_ != 0) {
+    out += ':';
+    out += std::to_string(port_);
+  }
+  out += path_;
+  if (!query_.empty()) {
+    out += '?';
+    out += query_;
+  }
+  return out;
+}
+
+std::string Url::spec() const {
+  if (empty()) return {};
+  return scheme_ + "://" + host_and_path();
+}
+
+std::string Url::extension() const {
+  const auto last_slash = path_.rfind('/');
+  const auto last_dot = path_.rfind('.');
+  if (last_dot == std::string::npos || last_dot < last_slash ||
+      last_dot + 1 == path_.size()) {
+    return {};
+  }
+  return util::to_lower(std::string_view(path_).substr(last_dot + 1));
+}
+
+}  // namespace adscope::http

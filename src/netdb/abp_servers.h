@@ -1,0 +1,35 @@
+// Registry of Adblock Plus filter-update servers.
+//
+// The paper's second ad-blocker indicator (§3.2) is a connection to an
+// Adblock Plus server on port 443, identified by resolving the update
+// hostnames with multiple DNS resolvers before and after the capture. In
+// this reproduction the registry is populated from the synthetic
+// ecosystem's allocation — the moral equivalent of that active
+// measurement.
+#pragma once
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "netdb/ipv4.h"
+
+namespace adscope::netdb {
+
+class AbpServerRegistry {
+ public:
+  void add_server(IpV4 ip) { ips_.insert(ip); }
+
+  bool is_abp_server(IpV4 ip) const noexcept { return ips_.contains(ip); }
+
+  std::size_t size() const noexcept { return ips_.size(); }
+
+  std::vector<IpV4> servers() const {
+    return std::vector<IpV4>(ips_.begin(), ips_.end());
+  }
+
+ private:
+  std::unordered_set<IpV4> ips_;
+};
+
+}  // namespace adscope::netdb

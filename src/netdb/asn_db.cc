@@ -1,0 +1,59 @@
+#include "netdb/asn_db.h"
+
+#include <algorithm>
+
+namespace adscope::netdb {
+
+struct AsnDatabase::Node {
+  std::unique_ptr<Node> child[2];
+  AsNumber as_number = kUnknownAs;
+  bool terminal = false;
+};
+
+AsnDatabase::AsnDatabase() : root_(std::make_unique<Node>()) {}
+AsnDatabase::~AsnDatabase() = default;
+AsnDatabase::AsnDatabase(AsnDatabase&&) noexcept = default;
+AsnDatabase& AsnDatabase::operator=(AsnDatabase&&) noexcept = default;
+
+void AsnDatabase::add_route(const Prefix& prefix, AsNumber as_number) {
+  Node* node = root_.get();
+  for (std::uint8_t depth = 0; depth < prefix.length; ++depth) {
+    const unsigned bit = (prefix.network >> (31 - depth)) & 1U;
+    if (!node->child[bit]) node->child[bit] = std::make_unique<Node>();
+    node = node->child[bit].get();
+  }
+  if (!node->terminal) ++routes_;
+  node->terminal = true;
+  node->as_number = as_number;
+}
+
+AsNumber AsnDatabase::lookup(IpV4 ip) const noexcept {
+  const Node* node = root_.get();
+  AsNumber best = node->terminal ? node->as_number : kUnknownAs;
+  for (int depth = 0; depth < 32 && node != nullptr; ++depth) {
+    const unsigned bit = (ip >> (31 - depth)) & 1U;
+    node = node->child[bit].get();
+    if (node != nullptr && node->terminal) best = node->as_number;
+  }
+  return best;
+}
+
+void AsnDatabase::set_as_info(AsNumber as_number, std::string name) {
+  auto it = std::find_if(infos_.begin(), infos_.end(), [&](const AsInfo& i) {
+    return i.number == as_number;
+  });
+  if (it != infos_.end()) {
+    it->name = std::move(name);
+  } else {
+    infos_.push_back(AsInfo{as_number, std::move(name)});
+  }
+}
+
+std::string AsnDatabase::as_name(AsNumber as_number) const {
+  for (const auto& info : infos_) {
+    if (info.number == as_number) return info.name;
+  }
+  return "AS" + std::to_string(as_number);
+}
+
+}  // namespace adscope::netdb

@@ -1,0 +1,57 @@
+// IP -> Autonomous System mapping via longest-prefix match.
+//
+// The paper resolves ad-server IPs to ASes with the global routing table
+// (§8.1); we provide the same function over the synthetic ecosystem's
+// prefix allocations. Implemented as a binary trie keyed on address bits —
+// the textbook LPM structure, adequate at our table sizes and exact.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "netdb/ipv4.h"
+
+namespace adscope::netdb {
+
+using AsNumber = std::uint32_t;
+constexpr AsNumber kUnknownAs = 0;
+
+struct AsInfo {
+  AsNumber number = kUnknownAs;
+  std::string name;  // "Google", "Akamai", ...
+};
+
+class AsnDatabase {
+ public:
+  AsnDatabase();
+  ~AsnDatabase();
+  AsnDatabase(AsnDatabase&&) noexcept;
+  AsnDatabase& operator=(AsnDatabase&&) noexcept;
+  AsnDatabase(const AsnDatabase&) = delete;
+  AsnDatabase& operator=(const AsnDatabase&) = delete;
+
+  /// Register a route. Later insertions with the same prefix overwrite.
+  void add_route(const Prefix& prefix, AsNumber as_number);
+
+  /// Register AS metadata (name lookup for reports).
+  void set_as_info(AsNumber as_number, std::string name);
+
+  /// Longest-prefix match; kUnknownAs when no route covers `ip`.
+  AsNumber lookup(IpV4 ip) const noexcept;
+
+  /// Name for an AS number ("AS<nr>" fallback).
+  std::string as_name(AsNumber as_number) const;
+
+  std::size_t route_count() const noexcept { return routes_; }
+
+ private:
+  struct Node;
+  std::unique_ptr<Node> root_;
+  std::vector<AsInfo> infos_;
+  std::size_t routes_ = 0;
+};
+
+}  // namespace adscope::netdb

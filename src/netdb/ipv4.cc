@@ -1,0 +1,47 @@
+#include "netdb/ipv4.h"
+
+#include <array>
+#include <cstdio>
+
+#include "util/strings.h"
+
+namespace adscope::netdb {
+
+std::string to_string(IpV4 ip) {
+  std::array<char, 16> buf{};
+  std::snprintf(buf.data(), buf.size(), "%u.%u.%u.%u", (ip >> 24) & 0xFF,
+                (ip >> 16) & 0xFF, (ip >> 8) & 0xFF, ip & 0xFF);
+  return std::string(buf.data());
+}
+
+std::optional<IpV4> parse_ipv4(std::string_view text) {
+  const auto parts = util::split(text, '.');
+  if (parts.size() != 4) return std::nullopt;
+  IpV4 ip = 0;
+  for (const auto part : parts) {
+    std::uint64_t octet = 0;
+    if (part.empty() || part.size() > 3 || !util::parse_u64(part, octet) ||
+        octet > 255) {
+      return std::nullopt;
+    }
+    ip = (ip << 8) | static_cast<IpV4>(octet);
+  }
+  return ip;
+}
+
+std::optional<Prefix> parse_prefix(std::string_view text) {
+  const auto slash = text.find('/');
+  if (slash == std::string_view::npos) return std::nullopt;
+  const auto ip = parse_ipv4(text.substr(0, slash));
+  std::uint64_t length = 0;
+  if (!ip || !util::parse_u64(text.substr(slash + 1), length) || length > 32) {
+    return std::nullopt;
+  }
+  return Prefix{*ip, static_cast<std::uint8_t>(length)};
+}
+
+std::string to_string(const Prefix& prefix) {
+  return to_string(prefix.network) + "/" + std::to_string(prefix.length);
+}
+
+}  // namespace adscope::netdb

@@ -1,0 +1,32 @@
+// IPv4 address and prefix helpers.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace adscope::netdb {
+
+/// Host-order 32-bit IPv4 address.
+using IpV4 = std::uint32_t;
+
+std::string to_string(IpV4 ip);
+std::optional<IpV4> parse_ipv4(std::string_view text);
+
+/// CIDR prefix, e.g. 10.20.0.0/16.
+struct Prefix {
+  IpV4 network = 0;
+  std::uint8_t length = 0;
+
+  bool contains(IpV4 ip) const noexcept {
+    if (length == 0) return true;
+    const IpV4 mask = length >= 32 ? ~IpV4{0} : ~((IpV4{1} << (32 - length)) - 1);
+    return (ip & mask) == (network & mask);
+  }
+};
+
+std::optional<Prefix> parse_prefix(std::string_view text);
+std::string to_string(const Prefix& prefix);
+
+}  // namespace adscope::netdb

@@ -1,0 +1,433 @@
+#include "pcap/pcap.h"
+
+#include <array>
+#include <cstring>
+
+#include "http/url.h"
+#include "util/hash.h"
+#include "util/strings.h"
+
+namespace adscope::pcap {
+
+namespace {
+
+constexpr std::uint32_t kPcapMagicLe = 0xA1B2C3D4;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+constexpr std::uint8_t kProtoTcp = 6;
+constexpr std::size_t kEthLen = 14;
+constexpr std::size_t kIpLen = 20;
+constexpr std::size_t kTcpLen = 20;
+
+constexpr std::uint8_t kSyn = 0x02;
+constexpr std::uint8_t kSynAck = 0x12;
+constexpr std::uint8_t kPshAck = 0x18;
+
+void put_u16be(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value >> 8));
+  out.push_back(static_cast<char>(value & 0xFF));
+}
+
+void put_u32be(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value >> 24));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>(value & 0xFF));
+}
+
+void put_u16le(std::string& out, std::uint16_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>(value >> 8));
+}
+
+void put_u32le(std::string& out, std::uint32_t value) {
+  out.push_back(static_cast<char>(value & 0xFF));
+  out.push_back(static_cast<char>((value >> 8) & 0xFF));
+  out.push_back(static_cast<char>((value >> 16) & 0xFF));
+  out.push_back(static_cast<char>(value >> 24));
+}
+
+/// RFC 1071 checksum over `data` with an initial partial sum.
+std::uint16_t inet_checksum(std::string_view data, std::uint32_t sum = 0) {
+  for (std::size_t i = 0; i + 1 < data.size(); i += 2) {
+    sum += static_cast<std::uint32_t>(
+        (static_cast<std::uint8_t>(data[i]) << 8) |
+        static_cast<std::uint8_t>(data[i + 1]));
+  }
+  if (data.size() % 2 != 0) {
+    sum += static_cast<std::uint32_t>(static_cast<std::uint8_t>(data.back())
+                                      << 8);
+  }
+  while (sum >> 16) sum = (sum & 0xFFFF) + (sum >> 16);
+  return static_cast<std::uint16_t>(~sum);
+}
+
+std::uint16_t read_u16be(const char* p) {
+  return static_cast<std::uint16_t>(
+      (static_cast<std::uint8_t>(p[0]) << 8) | static_cast<std::uint8_t>(p[1]));
+}
+
+std::uint32_t read_u32be(const char* p) {
+  return (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[0])) << 24) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 8) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3]));
+}
+
+std::uint32_t read_u32le(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[0])) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16) |
+         (static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24);
+}
+
+/// Deterministic ephemeral client port for a transaction.
+std::uint16_t client_port(const trace::HttpTransaction& txn) {
+  const auto h = util::hash_combine(util::fnv1a(txn.uri),
+                                    util::fnv1a_u64(txn.timestamp_ms));
+  return static_cast<std::uint16_t>(1024 + (h % 60000));
+}
+
+std::string http_request_text(const trace::HttpTransaction& txn) {
+  std::string out = "GET " + (txn.uri.empty() ? "/" : txn.uri) +
+                    " HTTP/1.1\r\nHost: " + txn.host + "\r\n";
+  if (!txn.user_agent.empty()) {
+    out += "User-Agent: " + txn.user_agent + "\r\n";
+  }
+  if (!txn.referer.empty()) out += "Referer: " + txn.referer + "\r\n";
+  out += "Accept: */*\r\n\r\n";
+  return out;
+}
+
+std::string http_response_text(const trace::HttpTransaction& txn) {
+  std::string out =
+      "HTTP/1.1 " + std::to_string(txn.status_code) +
+      (txn.status_code >= 300 && txn.status_code < 400 ? " Found"
+                                                       : " OK") +
+      "\r\n";
+  if (!txn.content_type.empty()) {
+    out += "Content-Type: " + txn.content_type + "\r\n";
+  }
+  out += "Content-Length: " + std::to_string(txn.content_length) + "\r\n";
+  if (!txn.location.empty()) out += "Location: " + txn.location + "\r\n";
+  out += "Server: adscope-sim\r\n\r\n";
+  out += txn.payload;  // usually empty: header-only capture
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------
+
+PcapWriter::PcapWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("cannot open pcap file: " + path);
+  std::string header;
+  put_u32le(header, kPcapMagicLe);
+  put_u16le(header, 2);      // version major
+  put_u16le(header, 4);      // version minor
+  put_u32le(header, 0);      // thiszone
+  put_u32le(header, 0);      // sigfigs
+  put_u32le(header, 65535);  // snaplen
+  put_u32le(header, 1);      // LINKTYPE_ETHERNET
+  out_.write(header.data(), static_cast<std::streamsize>(header.size()));
+}
+
+PcapWriter::~PcapWriter() = default;
+
+void PcapWriter::on_meta(const trace::TraceMeta& meta) {
+  base_unix_us_ = meta.start_unix_s * 1'000'000ULL;
+}
+
+void PcapWriter::write_packet(std::uint64_t ts_us, netdb::IpV4 src,
+                              netdb::IpV4 dst, std::uint16_t sport,
+                              std::uint16_t dport, std::uint32_t seq,
+                              std::uint32_t ack, std::uint8_t flags,
+                              std::string_view payload) {
+  // --- TCP header (checksum patched below) ---
+  std::string tcp;
+  put_u16be(tcp, sport);
+  put_u16be(tcp, dport);
+  put_u32be(tcp, seq);
+  put_u32be(tcp, ack);
+  tcp.push_back(static_cast<char>(5 << 4));  // data offset
+  tcp.push_back(static_cast<char>(flags));
+  put_u16be(tcp, 65535);  // window
+  put_u16be(tcp, 0);      // checksum placeholder
+  put_u16be(tcp, 0);      // urgent
+  tcp.append(payload);
+
+  // Pseudo-header for the TCP checksum.
+  std::string pseudo;
+  put_u32be(pseudo, src);
+  put_u32be(pseudo, dst);
+  pseudo.push_back(0);
+  pseudo.push_back(static_cast<char>(kProtoTcp));
+  put_u16be(pseudo, static_cast<std::uint16_t>(tcp.size()));
+  pseudo += tcp;
+  const auto tcp_checksum = inet_checksum(pseudo);
+  tcp[16] = static_cast<char>(tcp_checksum >> 8);
+  tcp[17] = static_cast<char>(tcp_checksum & 0xFF);
+
+  // --- IPv4 header ---
+  std::string ip;
+  ip.push_back(0x45);
+  ip.push_back(0);
+  put_u16be(ip, static_cast<std::uint16_t>(kIpLen + tcp.size()));
+  put_u16be(ip, static_cast<std::uint16_t>(packets_ & 0xFFFF));  // id
+  put_u16be(ip, 0x4000);  // DF
+  ip.push_back(64);       // TTL
+  ip.push_back(static_cast<char>(kProtoTcp));
+  put_u16be(ip, 0);  // checksum placeholder
+  put_u32be(ip, src);
+  put_u32be(ip, dst);
+  const auto ip_checksum = inet_checksum(ip);
+  ip[10] = static_cast<char>(ip_checksum >> 8);
+  ip[11] = static_cast<char>(ip_checksum & 0xFF);
+
+  // --- Ethernet ---
+  std::string frame;
+  frame.append("\x02\xAD\x5C\x0B\x00\x01", 6);  // dst (locally administered)
+  frame.append("\x02\xAD\x5C\x0B\x00\x02", 6);  // src
+  put_u16be(frame, kEtherTypeIpv4);
+  frame += ip;
+  frame += tcp;
+
+  // --- pcap record header ---
+  std::string record;
+  const auto absolute = base_unix_us_ + ts_us;
+  put_u32le(record, static_cast<std::uint32_t>(absolute / 1'000'000));
+  put_u32le(record, static_cast<std::uint32_t>(absolute % 1'000'000));
+  put_u32le(record, static_cast<std::uint32_t>(frame.size()));
+  put_u32le(record, static_cast<std::uint32_t>(frame.size()));
+  out_.write(record.data(), static_cast<std::streamsize>(record.size()));
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  ++packets_;
+}
+
+void PcapWriter::on_http(const trace::HttpTransaction& txn) {
+  const auto sport = client_port(txn);
+  const auto request_us = txn.timestamp_ms * 1000;
+  // Lay the SYN exchange out before the request so the hand-shake
+  // timings are recoverable: SYN at t-h, SYN-ACK at t-h+tcp.
+  const std::uint64_t handshake_us =
+      std::max<std::uint32_t>(txn.tcp_handshake_us, 1) + 50;
+  const auto syn_us =
+      request_us > handshake_us ? request_us - handshake_us : 0;
+  const std::uint32_t seq = 1000;
+  write_packet(syn_us, txn.client_ip, txn.server_ip, sport, txn.server_port,
+               seq, 0, kSyn, {});
+  write_packet(syn_us + txn.tcp_handshake_us, txn.server_ip, txn.client_ip,
+               txn.server_port, sport, 5000, seq + 1, kSynAck, {});
+  const auto request = http_request_text(txn);
+  write_packet(request_us, txn.client_ip, txn.server_ip, sport,
+               txn.server_port, seq + 1, 5001, kPshAck, request);
+  write_packet(request_us + txn.http_handshake_us, txn.server_ip,
+               txn.client_ip, txn.server_port, sport, 5001,
+               seq + 1 + static_cast<std::uint32_t>(request.size()), kPshAck,
+               http_response_text(txn));
+}
+
+void PcapWriter::on_tls(const trace::TlsFlow& flow) {
+  const auto ts_us = flow.timestamp_ms * 1000;
+  const auto sport = static_cast<std::uint16_t>(
+      1024 + (util::fnv1a_u64(flow.timestamp_ms ^ flow.server_ip) % 60000));
+  write_packet(ts_us, flow.client_ip, flow.server_ip, sport,
+               flow.server_port, 1000, 0, kSyn, {});
+  write_packet(ts_us + 15'000, flow.server_ip, flow.client_ip,
+               flow.server_port, sport, 5000, 1001, kSynAck, {});
+}
+
+// ---------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------
+
+PcapHttpReader::PcapHttpReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("cannot open pcap file: " + path);
+  std::array<char, 24> header{};
+  in_.read(header.data(), header.size());
+  if (in_.gcount() != 24) throw PcapFormatError("truncated pcap header");
+  const auto magic = read_u32le(header.data());
+  if (magic != kPcapMagicLe) {
+    throw PcapFormatError("unsupported pcap magic (need LE usec format)");
+  }
+  const auto linktype = read_u32le(header.data() + 20);
+  if (linktype != 1) throw PcapFormatError("unsupported link type");
+}
+
+std::uint64_t PcapHttpReader::replay(trace::TraceSink& sink) {
+  trace::TraceMeta meta;
+  meta.name = "pcap-import";
+  sink.on_meta(meta);
+
+  std::uint64_t transactions = 0;
+  std::array<char, 16> record_header{};
+  std::string frame;
+  while (in_.read(record_header.data(), record_header.size())) {
+    const auto ts_sec = read_u32le(record_header.data());
+    const auto ts_usec = read_u32le(record_header.data() + 4);
+    const auto incl_len = read_u32le(record_header.data() + 8);
+    if (incl_len > (1U << 20)) throw PcapFormatError("oversized packet");
+    frame.resize(incl_len);
+    in_.read(frame.data(), static_cast<std::streamsize>(incl_len));
+    if (static_cast<std::uint32_t>(in_.gcount()) != incl_len) {
+      throw PcapFormatError("truncated packet");
+    }
+    ++packets_;
+    const std::uint64_t ts_us =
+        static_cast<std::uint64_t>(ts_sec) * 1'000'000 + ts_usec;
+    if (!base_set_) {
+      base_us_ = ts_us;
+      base_set_ = true;
+      meta.start_unix_s = ts_sec;
+    }
+
+    // --- decode Ethernet / IPv4 / TCP ---
+    if (frame.size() < kEthLen + kIpLen + kTcpLen ||
+        read_u16be(frame.data() + 12) != kEtherTypeIpv4) {
+      ++skipped_;
+      continue;
+    }
+    const char* ip = frame.data() + kEthLen;
+    const auto ihl = static_cast<std::size_t>(
+                         static_cast<std::uint8_t>(ip[0]) & 0x0F) *
+                     4;
+    if ((static_cast<std::uint8_t>(ip[0]) >> 4) != 4 ||
+        static_cast<std::uint8_t>(ip[9]) != kProtoTcp ||
+        frame.size() < kEthLen + ihl + kTcpLen) {
+      ++skipped_;
+      continue;
+    }
+    const auto src = read_u32be(ip + 12);
+    const auto dst = read_u32be(ip + 16);
+    const char* tcp = ip + ihl;
+    const auto sport = read_u16be(tcp);
+    const auto dport = read_u16be(tcp + 2);
+    const auto data_offset =
+        static_cast<std::size_t>(static_cast<std::uint8_t>(tcp[12]) >> 4) * 4;
+    const auto flags = static_cast<std::uint8_t>(tcp[13]);
+    const char* data = tcp + data_offset;
+    const auto header_bytes = static_cast<std::size_t>(data - frame.data());
+    const std::string_view payload =
+        frame.size() > header_bytes
+            ? std::string_view(data, frame.size() - header_bytes)
+            : std::string_view{};
+
+    // Canonical (direction-free) flow key; the client side is learned
+    // from the SYN (or, failing that, from who sends the request).
+    const auto lo_ip = std::min(src, dst);
+    const auto hi_ip = std::max(src, dst);
+    const auto lo_port = std::min(sport, dport);
+    const auto hi_port = std::max(sport, dport);
+    const auto key = util::hash_combine(
+        util::hash_combine(util::fnv1a_u64(lo_ip), util::fnv1a_u64(hi_ip)),
+        util::fnv1a_u64((static_cast<std::uint64_t>(lo_port) << 16) |
+                        hi_port));
+    Flow& flow = flows_[key];
+
+    if ((flags & kSyn) && !(flags & 0x10)) {  // SYN: sender is the client
+      flow.syn_us = ts_us;
+      flow.client_ip = src;
+      flow.client_port = sport;
+      flow.server_ip = dst;
+      flow.server_port = dport;
+      continue;
+    }
+    if ((flags & kSyn) && (flags & 0x10)) {  // SYN-ACK
+      flow.synack_us = ts_us;
+      if (flow.client_ip == 0) {  // no SYN observed
+        flow.client_ip = dst;
+        flow.client_port = dport;
+        flow.server_ip = src;
+        flow.server_port = sport;
+      }
+      if (flow.server_port == 443 && !flow.tls_reported) {
+        trace::TlsFlow tls;
+        tls.timestamp_ms =
+            flow.syn_us >= base_us_ ? (flow.syn_us - base_us_) / 1000 : 0;
+        tls.client_ip = flow.client_ip;
+        tls.server_ip = flow.server_ip;
+        tls.server_port = 443;
+        sink.on_tls(tls);
+        flow.tls_reported = true;
+      }
+      continue;
+    }
+    if (payload.empty()) continue;
+
+    if (util::starts_with(payload, "GET ") ||
+        util::starts_with(payload, "POST ") ||
+        util::starts_with(payload, "HEAD ")) {
+      if (flow.client_ip == 0) {  // mid-stream capture: requester = client
+        flow.client_ip = src;
+        flow.client_port = sport;
+        flow.server_ip = dst;
+        flow.server_port = dport;
+      }
+      flow.request_us = ts_us;
+      flow.have_request = true;
+      flow.txn = trace::HttpTransaction{};
+      flow.txn.client_ip = flow.client_ip;
+      flow.txn.server_ip = flow.server_ip;
+      flow.txn.server_port = flow.server_port;
+      flow.txn.timestamp_ms = (ts_us - base_us_) / 1000;
+      // Request line + headers.
+      const auto space = payload.find(' ');
+      const auto space2 = payload.find(' ', space + 1);
+      if (space2 != std::string_view::npos) {
+        flow.txn.uri = std::string(payload.substr(space + 1,
+                                                  space2 - space - 1));
+      }
+      for (const auto line : util::split(payload, '\n')) {
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos) continue;
+        const auto name = util::trim(line.substr(0, colon));
+        const auto value = std::string(util::trim(line.substr(colon + 1)));
+        if (util::iequals(name, "Host")) flow.txn.host = value;
+        else if (util::iequals(name, "Referer")) flow.txn.referer = value;
+        else if (util::iequals(name, "User-Agent")) {
+          flow.txn.user_agent = value;
+        }
+      }
+      continue;
+    }
+
+    if (util::starts_with(payload, "HTTP/1.") && flow.have_request) {
+      std::uint64_t status = 0;
+      const auto space = payload.find(' ');
+      if (space != std::string_view::npos) {
+        util::parse_u64(payload.substr(space + 1, 3), status);
+      }
+      flow.txn.status_code = static_cast<std::uint16_t>(status);
+      for (const auto line : util::split(payload, '\n')) {
+        const auto colon = line.find(':');
+        if (colon == std::string_view::npos) continue;
+        const auto name = util::trim(line.substr(0, colon));
+        const auto value = std::string(util::trim(line.substr(colon + 1)));
+        if (util::iequals(name, "Content-Type")) {
+          flow.txn.content_type = value;
+        } else if (util::iequals(name, "Content-Length")) {
+          util::parse_u64(value, flow.txn.content_length);
+        } else if (util::iequals(name, "Location")) {
+          flow.txn.location = value;
+        }
+      }
+      if (flow.synack_us > flow.syn_us) {
+        flow.txn.tcp_handshake_us =
+            static_cast<std::uint32_t>(flow.synack_us - flow.syn_us);
+      }
+      if (ts_us > flow.request_us) {
+        flow.txn.http_handshake_us =
+            static_cast<std::uint32_t>(ts_us - flow.request_us);
+      }
+      sink.on_http(flow.txn);
+      flow.have_request = false;
+      ++transactions;
+    }
+  }
+  return transactions;
+}
+
+}  // namespace adscope::pcap

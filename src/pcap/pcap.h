@@ -1,0 +1,99 @@
+// pcap interoperability.
+//
+// The paper's vantage points capture with DAG cards / tcpdump; this
+// module lets adscope speak that world's format:
+//   * PcapWriter renders a header-level trace as a classic little-endian
+//     pcap file (Ethernet/IPv4/TCP). Each HTTP transaction becomes four
+//     frames — SYN, SYN-ACK, request, response — with timestamps laid
+//     out so the TCP- and HTTP-hand-shake timings (§8.2) survive the
+//     round trip and are visible to Wireshark/Bro alike. Responses carry
+//     headers only (snaplen-style capture), unless a §10 payload is
+//     attached.
+//   * PcapHttpReader ingests such a file (or any single-packet-per-
+//     direction HTTP/1.x capture) back into TraceSink records, restoring
+//     the hand-shake timings from the SYN exchange.
+//
+// IPv4 and TCP checksums are computed properly so external tools do not
+// flag the frames.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <unordered_map>
+
+#include "trace/record.h"
+
+namespace adscope::pcap {
+
+/// Thrown on malformed pcap input.
+class PcapFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class PcapWriter final : public trace::TraceSink {
+ public:
+  /// Opens `path`; throws std::runtime_error on failure.
+  explicit PcapWriter(const std::string& path);
+  ~PcapWriter() override;
+
+  PcapWriter(const PcapWriter&) = delete;
+  PcapWriter& operator=(const PcapWriter&) = delete;
+
+  void on_meta(const trace::TraceMeta& meta) override;
+  void on_http(const trace::HttpTransaction& txn) override;
+  /// TLS flows render as a bare SYN/SYN-ACK pair on port 443 (the
+  /// payload is opaque anyway).
+  void on_tls(const trace::TlsFlow& flow) override;
+
+  std::uint64_t packets_written() const noexcept { return packets_; }
+
+ private:
+  void write_packet(std::uint64_t ts_us, netdb::IpV4 src, netdb::IpV4 dst,
+                    std::uint16_t sport, std::uint16_t dport,
+                    std::uint32_t seq, std::uint32_t ack, std::uint8_t flags,
+                    std::string_view payload);
+
+  std::ofstream out_;
+  std::uint64_t base_unix_us_ = 0;
+  std::uint64_t packets_ = 0;
+};
+
+/// Streaming pcap -> HttpTransaction/TlsFlow converter.
+class PcapHttpReader {
+ public:
+  /// Opens and validates the global header; throws PcapFormatError on a
+  /// foreign magic and std::runtime_error when the file cannot be read.
+  explicit PcapHttpReader(const std::string& path);
+
+  /// Parse the whole file into `sink` (a synthetic meta block first).
+  /// Returns the number of HTTP transactions emitted.
+  std::uint64_t replay(trace::TraceSink& sink);
+
+  std::uint64_t packets_parsed() const noexcept { return packets_; }
+  std::uint64_t packets_skipped() const noexcept { return skipped_; }
+
+ private:
+  struct Flow {
+    std::uint64_t syn_us = 0;
+    std::uint64_t synack_us = 0;
+    std::uint64_t request_us = 0;
+    netdb::IpV4 client_ip = 0;  // learned from the SYN / request sender
+    netdb::IpV4 server_ip = 0;
+    std::uint16_t client_port = 0;
+    std::uint16_t server_port = 0;
+    bool tls_reported = false;
+    trace::HttpTransaction txn;
+    bool have_request = false;
+  };
+
+  std::ifstream in_;
+  std::uint64_t base_us_ = 0;
+  bool base_set_ = false;
+  std::uint64_t packets_ = 0;
+  std::uint64_t skipped_ = 0;
+  std::unordered_map<std::uint64_t, Flow> flows_;
+};
+
+}  // namespace adscope::pcap

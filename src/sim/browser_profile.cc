@@ -1,0 +1,97 @@
+#include "sim/browser_profile.h"
+
+#include "http/url.h"
+#include "util/strings.h"
+
+namespace adscope::sim {
+
+bool AbpBlocker::blocks(const SimRequest& request,
+                        const PageLoad& page) const {
+  adblock::Request query;
+  query.url = request.url;
+  query.url_lower = util::to_lower(request.url);
+  if (const auto parsed = http::Url::parse(request.url)) {
+    query.host = parsed->host();
+  }
+  query.page_url_lower = util::to_lower(page.page_url);
+  if (const auto parsed = http::Url::parse(page.page_url)) {
+    query.page_host = parsed->host();
+  }
+  query.type = request.true_type;
+  return engine_.classify(query).decision == adblock::Decision::kBlocked;
+}
+
+bool GhosteryBlocker::blocks(const SimRequest& request,
+                             const PageLoad& page) const {
+  const auto parsed = http::Url::parse(request.url);
+  if (!parsed) return false;
+  // Ghostery only targets third-party elements.
+  const auto page_parsed = http::Url::parse(page.page_url);
+  if (page_parsed && parsed->host() == page_parsed->host()) return false;
+  return db_.blocks(parsed->host(), selection_);
+}
+
+std::vector<bool> apply_blocking(const PageLoad& page,
+                                 const Blocker& blocker) {
+  std::vector<bool> emitted(page.requests.size(), false);
+  for (std::size_t i = 0; i < page.requests.size(); ++i) {
+    const auto& request = page.requests[i];
+    const bool parent_ok =
+        request.parent < 0 || emitted[static_cast<std::size_t>(request.parent)];
+    emitted[i] = parent_ok && !blocker.blocks(request, page);
+  }
+  return emitted;
+}
+
+std::string_view to_string(BrowserMode mode) noexcept {
+  switch (mode) {
+    case BrowserMode::kVanilla: return "Vanilla";
+    case BrowserMode::kAbpAds: return "AdBP-Ad";
+    case BrowserMode::kAbpPrivacy: return "AdBP-Pr";
+    case BrowserMode::kAbpParanoia: return "AdBP-Pa";
+    case BrowserMode::kGhosteryAds: return "Ghostery-Ad";
+    case BrowserMode::kGhosteryPrivacy: return "Ghostery-Pr";
+    case BrowserMode::kGhosteryParanoia: return "Ghostery-Pa";
+  }
+  return "Vanilla";
+}
+
+std::unique_ptr<Blocker> make_blocker(BrowserMode mode,
+                                      const GeneratedLists& lists,
+                                      const Ecosystem& ecosystem) {
+  ListSelection selection;
+  switch (mode) {
+    case BrowserMode::kVanilla:
+      return std::make_unique<NoBlocker>();
+    case BrowserMode::kAbpAds:
+      selection = {.easylist = true,
+                   .derivative = false,
+                   .easyprivacy = false,
+                   .acceptable_ads = true};
+      return std::make_unique<AbpBlocker>(lists, selection);
+    case BrowserMode::kAbpPrivacy:
+      selection = {.easylist = false,
+                   .derivative = false,
+                   .easyprivacy = true,
+                   .acceptable_ads = false};
+      return std::make_unique<AbpBlocker>(lists, selection);
+    case BrowserMode::kAbpParanoia:
+      selection = {.easylist = true,
+                   .derivative = false,
+                   .easyprivacy = true,
+                   .acceptable_ads = false};
+      return std::make_unique<AbpBlocker>(lists, selection);
+    case BrowserMode::kGhosteryAds:
+      return std::make_unique<GhosteryBlocker>(build_ghostery_db(ecosystem),
+                                               GhosteryDb::Selection::ads());
+    case BrowserMode::kGhosteryPrivacy:
+      return std::make_unique<GhosteryBlocker>(
+          build_ghostery_db(ecosystem), GhosteryDb::Selection::privacy_mode());
+    case BrowserMode::kGhosteryParanoia:
+      return std::make_unique<GhosteryBlocker>(
+          build_ghostery_db(ecosystem), GhosteryDb::Selection::paranoia());
+  }
+  return std::make_unique<NoBlocker>();
+}
+
+}  // namespace adscope::sim

@@ -1,0 +1,91 @@
+// Browser-side blocking emulation.
+//
+// When a real browser runs an ad-blocker, blocked requests never reach
+// the network — and everything they would have triggered disappears too.
+// A Blocker decides per request (with full DOM-level knowledge: true
+// type, true page) whether the extension suppresses it; apply_blocking
+// then prunes the request tree transitively.
+//
+// The seven §4.1 crawl profiles map onto these blockers:
+//   Vanilla            — NoBlocker
+//   AdBP-{Ads,Privacy,Paranoia}      — AbpBlocker with the paper's list
+//                                      combinations
+//   Ghostery-{Ads,Privacy,Paranoia}  — GhosteryBlocker with category sets
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "adblock/engine.h"
+#include "sim/listgen.h"
+#include "sim/page_model.h"
+
+namespace adscope::sim {
+
+class Blocker {
+ public:
+  virtual ~Blocker() = default;
+  /// Would the extension prevent this request from being issued?
+  virtual bool blocks(const SimRequest& request,
+                      const PageLoad& page) const = 0;
+};
+
+class NoBlocker final : public Blocker {
+ public:
+  bool blocks(const SimRequest&, const PageLoad&) const override {
+    return false;
+  }
+};
+
+/// Adblock Plus with a set of subscriptions. Uses the production
+/// FilterEngine — but fed ground truth (true type, true page), like the
+/// real extension operating on the DOM.
+class AbpBlocker final : public Blocker {
+ public:
+  AbpBlocker(const GeneratedLists& lists, const ListSelection& selection)
+      : engine_(make_engine(lists, selection)) {}
+
+  bool blocks(const SimRequest& request, const PageLoad& page) const override;
+
+  const adblock::FilterEngine& engine() const noexcept { return engine_; }
+
+ private:
+  adblock::FilterEngine engine_;
+};
+
+/// Ghostery with a set of blocked categories (domain-based database).
+class GhosteryBlocker final : public Blocker {
+ public:
+  GhosteryBlocker(GhosteryDb db, GhosteryDb::Selection selection)
+      : db_(std::move(db)), selection_(selection) {}
+
+  bool blocks(const SimRequest& request, const PageLoad& page) const override;
+
+ private:
+  GhosteryDb db_;
+  GhosteryDb::Selection selection_;
+};
+
+/// Mark each request as emitted or suppressed: a request survives iff the
+/// blocker passes it AND its parent survived.
+std::vector<bool> apply_blocking(const PageLoad& page, const Blocker& blocker);
+
+/// The §4.1 instrumented-browser profiles.
+enum class BrowserMode : std::uint8_t {
+  kVanilla,
+  kAbpAds,       // EasyList + acceptable ads
+  kAbpPrivacy,   // EasyPrivacy only
+  kAbpParanoia,  // EasyList + EasyPrivacy
+  kGhosteryAds,
+  kGhosteryPrivacy,
+  kGhosteryParanoia,
+};
+
+std::string_view to_string(BrowserMode mode) noexcept;
+
+/// Instantiate the blocker for a crawl profile.
+std::unique_ptr<Blocker> make_blocker(BrowserMode mode,
+                                      const GeneratedLists& lists,
+                                      const Ecosystem& ecosystem);
+
+}  // namespace adscope::sim

@@ -1,0 +1,60 @@
+#include "sim/crawl_sim.h"
+
+#include "sim/ua_factory.h"
+
+namespace adscope::sim {
+
+CrawlSimulator::CrawlSimulator(const Ecosystem& ecosystem,
+                               const GeneratedLists& lists,
+                               std::uint64_t seed)
+    : ecosystem_(ecosystem),
+      lists_(lists),
+      page_model_(ecosystem),
+      emitter_(ecosystem),
+      seed_(seed) {}
+
+CrawlResult CrawlSimulator::crawl(BrowserMode mode, std::size_t top_n) const {
+  CrawlResult result;
+  result.mode = mode;
+  const auto blocker = make_blocker(mode, lists_, ecosystem_);
+
+  // The crawler is one Chromium instance on a campus network.
+  util::Rng ua_rng(seed_ ^ 0xC7A31ULL);
+  const std::string user_agent =
+      make_desktop_ua(ua::BrowserFamily::kChrome, ua_rng);
+  const netdb::IpV4 crawler_ip = (netdb::IpV4{10} << 24) |
+                                 (netdb::IpV4{250} << 16) | 7;
+
+  trace::TraceMeta meta;
+  meta.name = std::string("crawl-") + std::string(to_string(mode));
+  meta.start_unix_s = 1'428'710'400;  // 2015-04-11
+  meta.subscribers = 1;
+  result.trace.on_meta(meta);
+
+  const std::size_t sites =
+      std::min(top_n, ecosystem_.publishers().size());
+  std::uint64_t now_ms = 0;
+  for (std::size_t site = 0; site < sites; ++site) {
+    // Page composition must be identical across modes: derive the page
+    // RNG only from (seed, site).
+    util::Rng page_rng(seed_ ^ (0x9E3779B97F4A7C15ULL * (site + 1)));
+    const PageLoad page = page_model_.build(site, page_rng);
+    const auto emitted = apply_blocking(page, *blocker);
+
+    CrawlVisit visit;
+    visit.publisher = site;
+    visit.first_txn = result.trace.http().size();
+    const auto counts = emitter_.emit_page(page, emitted, now_ms, crawler_ip,
+                                           user_agent, result.trace, page_rng);
+    visit.txn_count = result.trace.http().size() - visit.first_txn;
+    visit.https_requests = counts.https_requests;
+    result.visits.push_back(visit);
+    result.http_requests += counts.http_requests;
+    result.https_requests += counts.https_requests;
+    now_ms += 10'000;  // 5 s settle + load + 5 s, like the Selenium loop
+  }
+  meta.duration_s = now_ms / 1000;
+  return result;
+}
+
+}  // namespace adscope::sim

@@ -1,0 +1,55 @@
+// CrawlSimulator — the §4 active-measurement substitute.
+//
+// Reproduces the instrumented-browser experiment: for each of the top-N
+// sites (the "Alexa top 1K" of the synthetic world) and each §4.1
+// browser profile, load the page with an empty cache and capture the
+// resulting header trace, remembering per-visit transaction ranges so
+// Figure 2's resampling can score individual page loads.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sim/browser_profile.h"
+#include "sim/emitter.h"
+#include "sim/listgen.h"
+#include "trace/record.h"
+
+namespace adscope::sim {
+
+struct CrawlVisit {
+  std::size_t publisher = 0;
+  // Range into the crawl trace's http() vector.
+  std::size_t first_txn = 0;
+  std::size_t txn_count = 0;
+  std::uint64_t https_requests = 0;
+};
+
+struct CrawlResult {
+  BrowserMode mode = BrowserMode::kVanilla;
+  trace::MemoryTrace trace;
+  std::vector<CrawlVisit> visits;
+  std::uint64_t http_requests = 0;
+  std::uint64_t https_requests = 0;
+};
+
+class CrawlSimulator {
+ public:
+  CrawlSimulator(const Ecosystem& ecosystem, const GeneratedLists& lists,
+                 std::uint64_t seed);
+
+  /// Crawl the `top_n` most popular sites under one profile. The same
+  /// seed yields the same page composition across profiles, so profile
+  /// differences are purely due to blocking — like the paper's repeated
+  /// fetches of identical URLs.
+  CrawlResult crawl(BrowserMode mode, std::size_t top_n) const;
+
+ private:
+  const Ecosystem& ecosystem_;
+  const GeneratedLists& lists_;
+  PageModel page_model_;
+  TrafficEmitter emitter_;
+  std::uint64_t seed_;
+};
+
+}  // namespace adscope::sim

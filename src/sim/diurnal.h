@@ -1,0 +1,54 @@
+// Diurnal activity model for residential users (§7.1, Figure 5).
+//
+// Hourly weights follow the paper's qualitative description: quiet
+// nights, visible lunch dip, evening peak before midnight; Saturdays
+// noticeably quieter, Sundays slightly quieter. Ad-blocker users are
+// modelled as relatively more night-active (the paper's explanation for
+// the diurnal ad-ratio: at peak time non-blocking users outnumber
+// Adblock Plus users 2:1, off-hours roughly 1:1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace adscope::sim {
+
+/// Relative request rate for local hour-of-day [0, 24).
+constexpr std::array<double, 24> kHourlyWeight = {
+    0.45, 0.25, 0.15, 0.10, 0.08, 0.10,  // 00-05: night
+    0.20, 0.35, 0.50, 0.60, 0.65, 0.70,  // 06-11: morning ramp
+    0.55, 0.65, 0.70, 0.75, 0.80, 0.85,  // 12-17: lunch dip + afternoon
+    0.95, 1.00, 1.00, 0.95, 0.85, 0.65,  // 18-23: evening peak
+};
+
+struct DiurnalClock {
+  /// Local hour at trace second 0 (RBN-1 starts 00:00, RBN-2 15:30).
+  unsigned start_hour = 0;
+  /// Day-of-week at trace start: 0 = Monday ... 5 = Saturday, 6 = Sunday.
+  unsigned start_weekday = 0;
+
+  unsigned hour_at(std::uint64_t trace_s) const noexcept {
+    return static_cast<unsigned>((start_hour + trace_s / 3600) % 24);
+  }
+  unsigned weekday_at(std::uint64_t trace_s) const noexcept {
+    const auto hours = start_hour + trace_s / 3600;
+    return static_cast<unsigned>((start_weekday + hours / 24) % 7);
+  }
+};
+
+/// Activity multiplier at a trace offset. `night_owl` flattens the curve
+/// toward constant activity (used for ad-blocker users).
+inline double diurnal_weight(const DiurnalClock& clock, std::uint64_t trace_s,
+                             bool night_owl = false) noexcept {
+  double weight = kHourlyWeight[clock.hour_at(trace_s)];
+  const auto weekday = clock.weekday_at(trace_s);
+  if (weekday == 5) {
+    weight *= 0.72;  // Saturday
+  } else if (weekday == 6) {
+    weight *= 0.88;  // Sunday
+  }
+  if (night_owl) weight = 0.45 * weight + 0.55 * 0.6;
+  return weight;
+}
+
+}  // namespace adscope::sim

@@ -1,0 +1,408 @@
+#include "sim/ecosystem.h"
+
+#include <algorithm>
+#include <iterator>
+#include <stdexcept>
+
+#include "util/strings.h"
+
+namespace adscope::sim {
+
+namespace {
+
+// AS identifiers; values are arbitrary but stable.
+enum AsId : netdb::AsNumber {
+  kAsGoogle = 15169,
+  kAsAmazonEc2 = 14618,
+  kAsAkamai = 20940,
+  kAsAmazonAws = 16509,
+  kAsHetzner = 24940,
+  kAsAppNexus = 29990,
+  kAsMyLoc = 24961,
+  kAsSoftLayer = 36351,
+  kAsAol = 1668,
+  kAsCriteo = 44788,
+  kAsLiveRail = 55555,
+  kAsMopub = 55556,
+  kAsRubicon = 55557,
+  kAsPubmatic = 55558,
+  kAsEuHosting1 = 60001,
+  kAsEuHosting2 = 60002,
+  kAsUsHosting = 60003,
+  kAsFastContent = 60004,
+  kAsAdblockPlus = 60005,
+  kAsIsp = 60006,
+};
+
+// Deterministic /16 slot per AS inside 10.0.0.0/8.
+std::uint8_t as_slot(netdb::AsNumber as_number) {
+  switch (as_number) {
+    case kAsGoogle: return 1;
+    case kAsAmazonEc2: return 2;
+    case kAsAkamai: return 3;
+    case kAsAmazonAws: return 4;
+    case kAsHetzner: return 5;
+    case kAsAppNexus: return 6;
+    case kAsMyLoc: return 7;
+    case kAsSoftLayer: return 8;
+    case kAsAol: return 9;
+    case kAsCriteo: return 10;
+    case kAsLiveRail: return 11;
+    case kAsMopub: return 12;
+    case kAsRubicon: return 13;
+    case kAsPubmatic: return 14;
+    case kAsEuHosting1: return 15;
+    case kAsEuHosting2: return 16;
+    case kAsUsHosting: return 17;
+    case kAsFastContent: return 18;
+    case kAsAdblockPlus: return 19;
+    case kAsIsp: return 200;
+  }
+  return 250;
+}
+
+netdb::IpV4 as_base(netdb::AsNumber as_number) {
+  return (netdb::IpV4{10} << 24) | (netdb::IpV4{as_slot(as_number)} << 16);
+}
+
+struct CategoryProfile {
+  SiteCategory category;
+  double share;           // of all publishers
+  double objects_mean;    // non-ad objects per page
+  int ad_slots;
+  int trackers;
+  double aa_share;        // publishers with acceptable-ads inventory
+  double https_share;     // landing page over HTTPS
+};
+
+constexpr CategoryProfile kCategoryProfiles[] = {
+    {SiteCategory::kNews, 0.18, 60, 3, 4, 0.40, 0.05},
+    {SiteCategory::kVideo, 0.12, 25, 1, 3, 0.50, 0.05},
+    {SiteCategory::kShopping, 0.15, 45, 2, 3, 0.45, 0.10},
+    {SiteCategory::kSocial, 0.06, 40, 1, 3, 0.30, 0.50},
+    {SiteCategory::kSearch, 0.04, 12, 0, 1, 0.70, 0.60},
+    {SiteCategory::kAdult, 0.08, 35, 2, 2, 0.00, 0.05},
+    {SiteCategory::kFileSharing, 0.06, 20, 2, 2, 0.10, 0.05},
+    {SiteCategory::kTech, 0.10, 40, 2, 3, 0.50, 0.10},
+    {SiteCategory::kReference, 0.12, 25, 0, 2, 0.40, 0.10},
+    {SiteCategory::kGames, 0.09, 35, 2, 3, 0.30, 0.05},
+};
+
+const char* category_slug(SiteCategory category) {
+  switch (category) {
+    case SiteCategory::kNews: return "news";
+    case SiteCategory::kVideo: return "video";
+    case SiteCategory::kShopping: return "shop";
+    case SiteCategory::kSocial: return "social";
+    case SiteCategory::kSearch: return "search";
+    case SiteCategory::kAdult: return "adult";
+    case SiteCategory::kFileSharing: return "files";
+    case SiteCategory::kTech: return "tech";
+    case SiteCategory::kReference: return "wiki";
+    case SiteCategory::kGames: return "games";
+  }
+  return "site";
+}
+
+}  // namespace
+
+std::string_view to_string(SiteCategory category) noexcept {
+  switch (category) {
+    case SiteCategory::kNews: return "news";
+    case SiteCategory::kVideo: return "video streaming";
+    case SiteCategory::kShopping: return "shopping";
+    case SiteCategory::kSocial: return "social";
+    case SiteCategory::kSearch: return "search";
+    case SiteCategory::kAdult: return "adult";
+    case SiteCategory::kFileSharing: return "file sharing";
+    case SiteCategory::kTech: return "technology/Internet";
+    case SiteCategory::kReference: return "reference";
+    case SiteCategory::kGames: return "games";
+  }
+  return "mixed";
+}
+
+Ecosystem Ecosystem::generate(std::uint64_t seed, EcosystemOptions options) {
+  Ecosystem eco;
+  util::Rng rng(seed ^ 0xADC0DEULL);
+
+  // --- Autonomous systems ---------------------------------------------
+  struct AsSpec {
+    netdb::AsNumber number;
+    const char* name;
+    std::uint32_t rtt_us;
+  };
+  const AsSpec as_specs[] = {
+      {kAsGoogle, "Google", 18000},      {kAsAmazonEc2, "Am.-EC2", 95000},
+      {kAsAkamai, "Akamai", 8000},       {kAsAmazonAws, "Am.-AWS", 100000},
+      {kAsHetzner, "Hetzner", 12000},    {kAsAppNexus, "AppNexus", 90000},
+      {kAsMyLoc, "MyLoc", 10000},        {kAsSoftLayer, "SoftLayer", 105000},
+      {kAsAol, "AOL", 95000},            {kAsCriteo, "Criteo", 25000},
+      {kAsLiveRail, "Liverail", 95000},  {kAsMopub, "Mopub", 100000},
+      {kAsRubicon, "Rubicon", 98000},    {kAsPubmatic, "Pubmatic", 102000},
+      {kAsEuHosting1, "EU-Host-1", 15000},
+      {kAsEuHosting2, "EU-Host-2", 14000},
+      {kAsUsHosting, "US-Host-1", 110000},
+      {kAsFastContent, "FastContent", 9000},
+      {kAsAdblockPlus, "AdblockPlus", 20000},
+      {kAsIsp, "ISP-RBN", 2000},
+  };
+  for (const auto& spec : as_specs) {
+    AsEntry entry;
+    entry.number = spec.number;
+    entry.name = spec.name;
+    entry.prefix = netdb::Prefix{as_base(spec.number), 16};
+    entry.base_rtt_us = spec.rtt_us;
+    eco.ases_.push_back(entry);
+    eco.asn_db_.add_route(entry.prefix, entry.number);
+    eco.asn_db_.set_as_info(entry.number, entry.name);
+  }
+  eco.client_prefix_ = netdb::Prefix{as_base(kAsIsp), 16};
+
+  // --- Ad-tech companies ------------------------------------------------
+  // Per-AS server-IP allocator.
+  std::vector<std::uint32_t> next_host(256, 1);
+  auto alloc_ip = [&](netdb::AsNumber as_number) {
+    const auto slot = as_slot(as_number);
+    return as_base(as_number) + next_host[slot]++;
+  };
+  auto add_company = [&](std::string name, CompanyRole role,
+                         std::vector<std::string> domains,
+                         netdb::AsNumber as_number, int servers, double weight,
+                         bool rtb, bool aa, bool ghostery) {
+    AdCompany company;
+    company.name = std::move(name);
+    company.role = role;
+    company.domains = std::move(domains);
+    company.as_number = as_number;
+    company.weight = weight;
+    company.rtb = rtb;
+    company.acceptable_ads = aa;
+    company.ghostery_known = ghostery;
+    for (int i = 0; i < servers; ++i) {
+      company.servers.push_back(alloc_ip(as_number));
+    }
+    eco.companies_.push_back(std::move(company));
+    return eco.companies_.size() - 1;
+  };
+
+  using Role = CompanyRole;
+  // Search giant: networks + exchange + analytics + static CDN.
+  add_company("GoogleAds", Role::kAdNetwork,
+              {"adserv.googlesim.com", "pagead2.googlesim.com"}, kAsGoogle, 40,
+              3.0, false, true, true);
+  add_company("DoubleClick", Role::kAdExchange,
+              {"doubleclick-sim.com", "ad.doubleclick-sim.com"}, kAsGoogle, 30,
+              2.4, true, true, true);
+  add_company("GoogleAnalytics", Role::kAnalytics,
+              {"analytics.googlesim.com"}, kAsGoogle, 20, 4.0, false, false,
+              true);
+  add_company("GoogleSyndication", Role::kAdNetwork,
+              {"syndication.googlesim.com"}, kAsGoogle, 20, 1.5, false, true,
+              true);
+  add_company("GStatic", Role::kCdn,
+              {"gstaticsim.com", "fonts.gstaticsim.com"}, kAsGoogle, 20, 2.0,
+              false, true, false);
+  {
+    // Shared Google front-ends: the API/content service answers from the
+    // same VIPs as the ad services, so those servers serve a *mix* of ad
+    // and regular objects (paper §8.1: 50.7% of Google objects are ads).
+    const auto apis = add_company("GoogleApis", Role::kCdn,
+                                  {"apis.googlesim.com"}, kAsGoogle, 0, 0.0,
+                                  false, false, false);
+    auto& shared = eco.companies_[apis].servers;
+    shared = eco.companies_[0].servers;  // GoogleAds
+    shared.insert(shared.end(), eco.companies_[1].servers.begin(),
+                  eco.companies_[1].servers.end());  // DoubleClick
+  }
+  // CDNs serving both content and ads.
+  add_company("AkamaiCDN", Role::kCdn,
+              {"akamaized-sim.net", "cache.akamaized-sim.net"}, kAsAkamai, 60,
+              4.0, false, false, false);
+  add_company("FastContent", Role::kCdn, {"fastcontent-sim.net"},
+              kAsFastContent, 25, 2.0, false, false, false);
+  // Cloud-hosted ad tech.
+  add_company("BannerStack", Role::kAdNetwork, {"bannerstack-sim.com"},
+              kAsAmazonEc2, 12, 1.7, false, false, true);
+  add_company("OpenAdX", Role::kAdExchange, {"openadx-sim.com"}, kAsAmazonEc2,
+              8, 1.3, true, false, true);
+  add_company("AdFlow", Role::kAdNetwork, {"adflow-sim.com"}, kAsAmazonAws, 10,
+              1.9, false, true, true);
+  // EU hosting ad tech.
+  add_company("EuroAds", Role::kAdNetwork, {"euroads-sim.de"}, kAsHetzner, 8,
+              1.6, false, true, true);
+  add_company("RheinAds", Role::kAdNetwork, {"rheinads-sim.de"}, kAsMyLoc, 6,
+              1.4, false, false, false);
+  // Dedicated ad-tech ASes.
+  add_company("AppNexus", Role::kAdExchange, {"appnexus-sim.com"}, kAsAppNexus,
+              10, 1.8, true, false, true);
+  add_company("Criteo", Role::kAdNetwork,
+              {"criteo-sim.com", "cas.criteo-sim.com"}, kAsCriteo, 8, 1.7,
+              true, false, true);
+  add_company("AOLAds", Role::kAdNetwork, {"adtech-aolsim.com"}, kAsAol, 8,
+              1.6, false, false, true);
+  add_company("LiveRail", Role::kAdNetwork, {"liverail-sim.com"}, kAsLiveRail,
+              2, 1.2, false, false, true);
+  add_company("Mopub", Role::kAdExchange, {"mopub-sim.com"}, kAsMopub, 4, 0.7,
+              true, false, true);
+  add_company("Rubicon", Role::kAdExchange, {"rubicon-sim.com"}, kAsRubicon, 4,
+              0.8, true, false, true);
+  add_company("Pubmatic", Role::kAdExchange, {"pubmatic-sim.com"}, kAsPubmatic,
+              4, 0.7, true, false, true);
+  // Trackers (EasyPrivacy targets) spread across clouds & SoftLayer.
+  const netdb::AsNumber tracker_ases[] = {kAsSoftLayer, kAsAmazonEc2,
+                                          kAsAmazonAws, kAsUsHosting,
+                                          kAsEuHosting2};
+  static const char* kTrackerNames[] = {
+      "PixelLayer", "BeaconGrid", "StatTally",   "AddThat",  "ClickEcho",
+      "UserTrace",  "HitCount",   "WebMetric",   "TagSpark", "AudiencePulse",
+      "VisitLog",   "SessionCam", "FunnelPeek",  "HeatSense", "PathTrace",
+      "CohortLab",  "RefScan",    "ViewStamp",   "PingMark",  "DataSift"};
+  const std::size_t tracker_count =
+      std::min(options.trackers, std::size(kTrackerNames));
+  for (std::size_t i = 0; i < tracker_count; ++i) {
+    const auto as_number = tracker_ases[i % std::size(tracker_ases)];
+    std::string base = kTrackerNames[i];
+    std::string domain;
+    for (char c : base) domain.push_back(util::ascii_lower(c));
+    domain += "-sim.com";
+    // A couple of analytics providers bought their way onto the
+    // acceptable-ads whitelist — the paper's EasyPrivacy-overlap (§7.3).
+    const bool tracker_aa = i == 4;
+    add_company(base, i % 3 == 0 ? Role::kAnalytics : Role::kTracker,
+                {domain}, as_number, 3 + static_cast<int>(i % 4),
+                0.5 + 0.2 * static_cast<double>(i % 5),
+                false, tracker_aa, rng.chance(0.85));
+  }
+
+  // --- Adblock Plus update service --------------------------------------
+  for (int i = 0; i < 3; ++i) {
+    const auto ip = alloc_ip(kAsAdblockPlus);
+    eco.abp_server_ips_.push_back(ip);
+    eco.abp_registry_.add_server(ip);
+  }
+
+  // --- Publishers --------------------------------------------------------
+  std::vector<double> category_weights;
+  for (const auto& profile : kCategoryProfiles) {
+    category_weights.push_back(profile.share);
+  }
+  // Eligible partners by role.
+  std::vector<std::size_t> ad_companies;
+  std::vector<std::size_t> tracker_companies;
+  std::size_t analytics_company = 0;
+  for (std::size_t i = 0; i < eco.companies_.size(); ++i) {
+    const auto role = eco.companies_[i].role;
+    if (role == Role::kAdNetwork || role == Role::kAdExchange) {
+      ad_companies.push_back(i);
+    } else if (role == Role::kTracker || role == Role::kAnalytics) {
+      tracker_companies.push_back(i);
+      if (eco.companies_[i].name == "GoogleAnalytics") analytics_company = i;
+    }
+  }
+  std::vector<double> ad_weights;
+  for (const auto idx : ad_companies) {
+    ad_weights.push_back(eco.companies_[idx].weight);
+  }
+
+  std::vector<std::size_t> per_category_counter(std::size(kCategoryProfiles),
+                                                0);
+  eco.publishers_.reserve(options.publishers);
+  for (std::size_t rank = 0; rank < options.publishers; ++rank) {
+    const auto cat_index = rng.weighted(category_weights);
+    const auto& profile = kCategoryProfiles[cat_index];
+    Publisher pub;
+    pub.category = profile.category;
+    pub.rank = rank;
+    pub.domain = std::string(category_slug(profile.category)) + "-" +
+                 std::to_string(per_category_counter[cat_index]++) +
+                 ".example";
+    pub.content_objects_mean =
+        std::max(5.0, rng.normal(profile.objects_mean,
+                                 profile.objects_mean * 0.3));
+    pub.ad_slots = std::max(
+        0, static_cast<int>(rng.range(profile.ad_slots - 1,
+                                      profile.ad_slots + 1)));
+    pub.tracker_count = std::max(
+        0, static_cast<int>(rng.range(profile.trackers - 1,
+                                      profile.trackers + 1)));
+    pub.acceptable_ads = rng.chance(profile.aa_share);
+    pub.https_main = rng.chance(profile.https_share);
+    pub.uses_webfonts = rng.chance(0.40);
+    // A couple of popular news sites whitelist nothing (§7.3's surprise).
+    if (profile.category == SiteCategory::kNews && rank < 50) {
+      pub.acceptable_ads = rng.chance(0.5);
+    }
+    // One big tech site runs its own whitelisted ad platform (§7.3).
+    if (profile.category == SiteCategory::kTech &&
+        per_category_counter[cat_index] == 1) {
+      pub.own_ad_platform = true;
+      pub.acceptable_ads = true;
+    }
+
+    // Hosting.
+    const double host_draw = rng.uniform();
+    netdb::AsNumber host_as = kAsEuHosting1;
+    if (host_draw < 0.35) {
+      host_as = kAsEuHosting1;
+    } else if (host_draw < 0.60) {
+      host_as = kAsEuHosting2;
+    } else if (host_draw < 0.75) {
+      host_as = kAsUsHosting;
+    } else if (host_draw < 0.87) {
+      host_as = kAsAkamai;
+    } else if (host_draw < 0.95) {
+      host_as = kAsHetzner;
+    } else {
+      host_as = kAsMyLoc;
+    }
+    pub.as_number = host_as;
+    pub.server = alloc_ip(host_as);
+    pub.cdn_server =
+        rng.chance(0.7) ? alloc_ip(kAsAkamai) : alloc_ip(kAsFastContent);
+
+    // Partners.
+    const int partner_count = static_cast<int>(rng.range(2, 4));
+    for (int i = 0; i < partner_count; ++i) {
+      pub.ad_partners.push_back(ad_companies[rng.weighted(ad_weights)]);
+    }
+    const int tracker_partners = std::max(
+        1, static_cast<int>(rng.range(1, std::max(1, pub.tracker_count))));
+    // The dominant analytics provider is on ~70% of sites, not all.
+    int extra = tracker_partners;
+    if (rng.chance(0.7)) {
+      pub.tracker_partners.push_back(analytics_company);
+      --extra;
+    }
+    for (int i = 0; i <= extra; ++i) {
+      pub.tracker_partners.push_back(
+          tracker_companies[rng.below(tracker_companies.size())]);
+    }
+    eco.publishers_.push_back(std::move(pub));
+  }
+
+  eco.popularity_ =
+      util::ZipfSampler(eco.publishers_.size(), options.popularity_s);
+  return eco;
+}
+
+const AsEntry& Ecosystem::as_entry(netdb::AsNumber number) const {
+  for (const auto& entry : ases_) {
+    if (entry.number == number) return entry;
+  }
+  throw std::out_of_range("unknown AS " + std::to_string(number));
+}
+
+netdb::IpV4 Ecosystem::client_ip(std::uint32_t household) const noexcept {
+  // Skip .0 hosts to keep addresses plausible.
+  return client_prefix_.network + 1 + household;
+}
+
+std::size_t Ecosystem::company_by_name(std::string_view name) const noexcept {
+  for (std::size_t i = 0; i < companies_.size(); ++i) {
+    if (companies_[i].name == name) return i;
+  }
+  return SIZE_MAX;
+}
+
+}  // namespace adscope::sim

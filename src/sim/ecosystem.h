@@ -1,0 +1,149 @@
+// Synthetic ad ecosystem — the data gate substitute (DESIGN.md §1).
+//
+// The paper measures a proprietary residential trace against the live
+// 2015 ad-scape. Neither is available, so we generate a closed world
+// that exhibits the same structure: publishers with category-dependent
+// page complexity and ad load; ad-tech companies (networks, exchanges
+// with RTB, trackers, analytics) hosted across a Table-5-like AS mix
+// (search giant, clouds, CDNs, dedicated ad ASes); an Adblock Plus
+// update service; and the routing table mapping all their prefixes.
+//
+// Everything is derived deterministically from one seed. The filter-list
+// generator (listgen.h) and the traffic models (page_model.h, rbn_sim.h,
+// crawl_sim.h) all read this catalog, which is what makes ground-truth
+// validation possible.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netdb/abp_servers.h"
+#include "netdb/asn_db.h"
+#include "util/rng.h"
+
+namespace adscope::sim {
+
+/// Stand-in AS names follow the paper's Table 5 so bench output reads
+/// side by side with it.
+struct AsEntry {
+  netdb::AsNumber number = 0;
+  std::string name;
+  netdb::Prefix prefix;
+  /// Mean WAN RTT from the vantage point, microseconds (EU ~15 ms,
+  /// US ~110 ms) — feeds the TCP-handshake model (§8.2).
+  std::uint32_t base_rtt_us = 15000;
+};
+
+enum class CompanyRole : std::uint8_t {
+  kAdNetwork,   // serves creatives (EasyList target)
+  kAdExchange,  // runs auctions; RTB delay (EasyList target)
+  kTracker,     // beacons/pixels (EasyPrivacy target)
+  kAnalytics,   // page analytics (EasyPrivacy target)
+  kCdn,         // serves ads AND regular content
+};
+
+struct AdCompany {
+  std::string name;
+  CompanyRole role = CompanyRole::kAdNetwork;
+  std::vector<std::string> domains;  // first entry is the primary domain
+  std::vector<netdb::IpV4> servers;
+  netdb::AsNumber as_number = 0;
+  bool rtb = false;              // auction delay on requests
+  bool acceptable_ads = false;   // has an AA-whitelisted inventory path
+  bool ghostery_known = false;   // present in the Ghostery database
+  /// Relative traffic weight when publishers pick partners.
+  double weight = 1.0;
+};
+
+enum class SiteCategory : std::uint8_t {
+  kNews,
+  kVideo,
+  kShopping,
+  kSocial,
+  kSearch,
+  kAdult,
+  kFileSharing,
+  kTech,
+  kReference,
+  kGames,
+};
+
+std::string_view to_string(SiteCategory category) noexcept;
+
+struct Publisher {
+  std::string domain;  // "news-17.example" — category readable from name
+  SiteCategory category = SiteCategory::kNews;
+  std::size_t rank = 0;  // 0 = most popular
+
+  // Page composition.
+  double content_objects_mean = 30;  // non-ad objects per page
+  int ad_slots = 2;                  // display ads per page
+  int tracker_count = 3;             // third-party beacons per page
+  bool acceptable_ads = false;       // serves AA-compliant inventory
+  bool https_main = false;           // landing page over HTTPS (opaque)
+  bool own_ad_platform = false;      // first-party ad serving
+  bool uses_webfonts = false;        // pulls fonts from the gstatic CDN
+
+  std::vector<std::size_t> ad_partners;       // indices into companies
+  std::vector<std::size_t> tracker_partners;  // indices into companies
+  netdb::IpV4 server = 0;
+  netdb::IpV4 cdn_server = 0;  // static assets host (CDN AS)
+  netdb::AsNumber as_number = 0;
+};
+
+struct EcosystemOptions {
+  std::size_t publishers = 3000;
+  std::size_t trackers = 14;
+  /// Zipf exponent for site popularity.
+  double popularity_s = 0.9;
+};
+
+class Ecosystem {
+ public:
+  static Ecosystem generate(std::uint64_t seed, EcosystemOptions options = {});
+
+  const std::vector<AsEntry>& ases() const noexcept { return ases_; }
+  const std::vector<AdCompany>& companies() const noexcept {
+    return companies_;
+  }
+  const std::vector<Publisher>& publishers() const noexcept {
+    return publishers_;
+  }
+
+  const AsEntry& as_entry(netdb::AsNumber number) const;
+
+  /// Routing table over all allocated prefixes.
+  const netdb::AsnDatabase& asn_db() const noexcept { return asn_db_; }
+
+  /// Adblock Plus update servers (the §3.2 indicator's target set).
+  const netdb::AbpServerRegistry& abp_registry() const noexcept {
+    return abp_registry_;
+  }
+  const std::vector<netdb::IpV4>& abp_servers() const noexcept {
+    return abp_server_ips_;
+  }
+
+  /// Popularity sampler over publisher ranks.
+  const util::ZipfSampler& popularity() const noexcept { return popularity_; }
+
+  /// Client address for a household index (ISP access prefix).
+  netdb::IpV4 client_ip(std::uint32_t household) const noexcept;
+
+  /// Company index lookup by name (tests); SIZE_MAX when missing.
+  std::size_t company_by_name(std::string_view name) const noexcept;
+
+ private:
+  Ecosystem() : popularity_(1, 1.0) {}
+
+  std::vector<AsEntry> ases_;
+  std::vector<AdCompany> companies_;
+  std::vector<Publisher> publishers_;
+  netdb::AsnDatabase asn_db_;
+  netdb::AbpServerRegistry abp_registry_;
+  std::vector<netdb::IpV4> abp_server_ips_;
+  util::ZipfSampler popularity_;
+  netdb::Prefix client_prefix_{};
+};
+
+}  // namespace adscope::sim

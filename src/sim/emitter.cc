@@ -1,0 +1,106 @@
+#include "sim/emitter.h"
+
+#include <algorithm>
+
+#include "http/url.h"
+
+namespace adscope::sim {
+
+std::uint32_t TrafficEmitter::tcp_handshake_us(netdb::AsNumber as_number,
+                                               util::Rng& rng) const {
+  std::uint32_t base = 15000;
+  for (const auto& entry : ecosystem_.ases()) {
+    if (entry.number == as_number) {
+      base = entry.base_rtt_us;
+      break;
+    }
+  }
+  const double jitter = rng.uniform(0.85, 1.35);
+  return static_cast<std::uint32_t>(static_cast<double>(base) * jitter);
+}
+
+std::uint32_t TrafficEmitter::think_time_us(const SimRequest& request,
+                                            util::Rng& rng) const {
+  if (request.rtb) {
+    // Auction: exchanges wait ~100-150 ms before closing (§8.2).
+    return static_cast<std::uint32_t>(
+        std::max(60000.0, rng.normal(120000.0, 18000.0)));
+  }
+  const bool ad = request.intent != Intent::kContent;
+  const double regime = rng.uniform();
+  if (ad) {
+    if (regime < 0.40) return static_cast<std::uint32_t>(rng.exponential(1200.0));
+    if (regime < 0.78) {
+      return static_cast<std::uint32_t>(rng.normal(10000.0, 2500.0));
+    }
+    // Back-office fetch / delayed decisioning.
+    return static_cast<std::uint32_t>(
+        std::max(70000.0, rng.normal(125000.0, 22000.0)));
+  }
+  if (regime < 0.80) return static_cast<std::uint32_t>(rng.exponential(1000.0));
+  if (regime < 0.95) {
+    return static_cast<std::uint32_t>(rng.normal(9000.0, 2500.0));
+  }
+  return static_cast<std::uint32_t>(std::max(
+      40000.0, rng.normal(110000.0, 30000.0)));  // distant origin fetch
+}
+
+EmitCounts TrafficEmitter::emit_page(const PageLoad& page,
+                                     const std::vector<bool>& emitted,
+                                     std::uint64_t start_ms,
+                                     netdb::IpV4 client_ip,
+                                     const std::string& user_agent,
+                                     trace::TraceSink& sink,
+                                     util::Rng& rng) const {
+  EmitCounts counts;
+  for (std::size_t i = 0; i < page.requests.size(); ++i) {
+    if (!emitted[i]) continue;
+    const SimRequest& request = page.requests[i];
+    const auto timestamp =
+        start_ms + static_cast<std::uint64_t>(std::max(0.0, request.offset_ms));
+
+    if (request.https) {
+      trace::TlsFlow flow;
+      flow.timestamp_ms = timestamp;
+      flow.client_ip = client_ip;
+      flow.server_ip = request.server_ip;
+      flow.server_port = 443;
+      flow.bytes = request.size + 2048;  // TLS + header overhead
+      sink.on_tls(flow);
+      ++counts.https_requests;
+      continue;
+    }
+
+    const auto url = http::Url::parse(request.url);
+    if (!url) continue;
+
+    trace::HttpTransaction txn;
+    txn.timestamp_ms = timestamp;
+    txn.client_ip = client_ip;
+    txn.server_ip = request.server_ip;
+    txn.server_port = 80;
+    txn.status_code = request.status;
+    txn.host = url->host();
+    txn.uri = url->path() +
+              (url->query().empty() ? "" : "?" + url->query());
+    txn.referer = request.referer;
+    // Browsers do not leak HTTPS referers to HTTP targets.
+    if (!txn.referer.empty() &&
+        txn.referer.compare(0, 8, "https://") == 0) {
+      txn.referer.clear();
+    }
+    txn.user_agent = user_agent;
+    txn.content_type = request.reported_mime;
+    txn.location = request.location;
+    txn.content_length = request.size;
+    txn.payload = request.payload;
+    txn.tcp_handshake_us = tcp_handshake_us(request.as_number, rng);
+    txn.http_handshake_us = txn.tcp_handshake_us + think_time_us(request, rng);
+    sink.on_http(txn);
+    ++counts.http_requests;
+    counts.bytes += request.size;
+  }
+  return counts;
+}
+
+}  // namespace adscope::sim

@@ -1,0 +1,50 @@
+// TrafficEmitter — turns (blocked) page loads into header-level trace
+// records with realistic timing.
+//
+// Timing model (§8.2 grounding):
+//   * TCP hand-shake = per-AS base WAN RTT x jitter (the monitor sits in
+//     the aggregation network, so access-link delay is absent),
+//   * HTTP hand-shake = TCP hand-shake + server think time. Think time
+//     has three regimes: cache hits (~1 ms), dynamic back-ends (~10 ms)
+//     and RTB auctions / back-office fetches (~120 ms) — producing the
+//     three Figure-7 modes.
+// HTTPS requests become opaque TlsFlows; Referer is dropped on
+// HTTPS->HTTP transitions, as browsers do.
+#pragma once
+
+#include <string>
+
+#include "sim/browser_profile.h"
+#include "sim/ecosystem.h"
+#include "sim/page_model.h"
+#include "trace/record.h"
+#include "util/rng.h"
+
+namespace adscope::sim {
+
+struct EmitCounts {
+  std::uint64_t http_requests = 0;
+  std::uint64_t https_requests = 0;
+  std::uint64_t bytes = 0;
+};
+
+class TrafficEmitter {
+ public:
+  explicit TrafficEmitter(const Ecosystem& ecosystem)
+      : ecosystem_(ecosystem) {}
+
+  /// Emit the surviving requests of a page load starting at `start_ms`.
+  EmitCounts emit_page(const PageLoad& page, const std::vector<bool>& emitted,
+                       std::uint64_t start_ms, netdb::IpV4 client_ip,
+                       const std::string& user_agent, trace::TraceSink& sink,
+                       util::Rng& rng) const;
+
+ private:
+  std::uint32_t tcp_handshake_us(netdb::AsNumber as_number,
+                                 util::Rng& rng) const;
+  std::uint32_t think_time_us(const SimRequest& request, util::Rng& rng) const;
+
+  const Ecosystem& ecosystem_;
+};
+
+}  // namespace adscope::sim

@@ -1,0 +1,239 @@
+#include "sim/listgen.h"
+
+#include "http/public_suffix.h"
+#include "util/strings.h"
+
+namespace adscope::sim {
+
+namespace {
+
+bool is_german_company(const AdCompany& company) {
+  return util::ends_with(company.domains.front(), ".de");
+}
+
+bool is_ad_role(CompanyRole role) {
+  return role == CompanyRole::kAdNetwork || role == CompanyRole::kAdExchange;
+}
+
+bool is_tracker_role(CompanyRole role) {
+  return role == CompanyRole::kTracker || role == CompanyRole::kAnalytics;
+}
+
+void header(std::string& out, std::string_view title, std::string_view expires,
+            std::string_view version) {
+  out += "[Adblock Plus 2.0]\n";
+  out += "! Title: ";
+  out += title;
+  out += "\n! Expires: ";
+  out += expires;
+  out += "\n! Version: ";
+  out += version;
+  out += "\n! Homepage: https://adscope.example/lists\n!\n";
+}
+
+}  // namespace
+
+GeneratedLists generate_lists(const Ecosystem& ecosystem) {
+  GeneratedLists lists;
+
+  // ---------------- EasyList ------------------------------------------
+  std::string& el = lists.easylist;
+  header(el, "EasyList (synthetic)", "4 days", "201504110000");
+  // Generic path rules, as in the real list's "General blocking" section.
+  el += "! --- general blocking rules ---\n";
+  el += "/banners/*\n";
+  el += "/adserver/\n";
+  el += "/adframe.\n";
+  el += "&ad_unit=\n";
+  el += "?ad_format=\n";
+  el += "_adbanner.\n";
+  el += "/adclick?\n";
+  el += "/impression?$image\n";
+  el += "! --- third-party ad servers ---\n";
+  for (const auto& company : ecosystem.companies()) {
+    if (!is_ad_role(company.role)) continue;
+    if (is_german_company(company)) continue;  // left to the derivative
+    for (const auto& domain : company.domains) {
+      el += "||" + domain + "^$third-party\n";
+    }
+    // Exchanges get an explicit RTB endpoint rule with a type option.
+    if (company.role == CompanyRole::kAdExchange) {
+      el += "||" + company.domains.front() +
+            "/rtb/$xmlhttprequest,script,third-party\n";
+    }
+  }
+  el += "! --- first-party ad platforms ---\n";
+  for (const auto& publisher : ecosystem.publishers()) {
+    if (publisher.own_ad_platform) {
+      el += "||" + publisher.domain + "/ads/\n";
+    }
+  }
+  // Exceptions inside EasyList: network quality/anti-fraud scripts that
+  // the plugin must not block (the paper's false-positive mechanism:
+  // these lose their $script protection when the Content-Type lies).
+  el += "! --- exception rules ---\n";
+  for (const auto& company : ecosystem.companies()) {
+    if (company.role != CompanyRole::kAdNetwork) continue;
+    if (is_german_company(company)) continue;
+    el += "@@||" + company.domains.front() + "/q/check$script\n";
+  }
+  el += "@@*jsp?callback=aslHandleAds*\n";
+  // Element-hiding rules (DOM-side; unusable on header traces but part
+  // of a faithful list).
+  el += "! --- element hiding ---\n";
+  el += "##.ad-banner\n##.adsbox\n##.sponsored-link\n##div[id^=\"ad-\"]\n";
+  for (const auto& publisher : ecosystem.publishers()) {
+    if (publisher.rank < 40 && publisher.ad_slots > 0) {
+      el += publisher.domain + "###ad-leaderboard\n";
+    }
+  }
+
+  // ---------------- EasyList derivative (German customization) ---------
+  std::string& de = lists.easylist_derivative;
+  header(de, "EasyList Germany (synthetic)", "4 days", "201504110000");
+  for (const auto& company : ecosystem.companies()) {
+    if (!is_ad_role(company.role) || !is_german_company(company)) continue;
+    for (const auto& domain : company.domains) {
+      de += "||" + domain + "^$third-party\n";
+    }
+    if (company.role == CompanyRole::kAdNetwork) {
+      de += "@@||" + company.domains.front() + "/q/check$script\n";
+    }
+  }
+  de += "/werbung/banner\n";
+  de += "##.werbung\n";
+
+  // ---------------- EasyPrivacy ----------------------------------------
+  std::string& ep = lists.easyprivacy;
+  header(ep, "EasyPrivacy (synthetic)", "1 days", "201504110000");
+  ep += "! --- tracking servers ---\n";
+  for (const auto& company : ecosystem.companies()) {
+    if (!is_tracker_role(company.role)) continue;
+    for (const auto& domain : company.domains) {
+      ep += "||" + domain + "^$third-party\n";
+    }
+  }
+  ep += "! --- generic tracking endpoints ---\n";
+  ep += "/pixel.gif?\n";
+  ep += "/__utm.gif?\n";
+  ep += "/collect?$image,xmlhttprequest\n";
+  ep += "/beacon/\n";
+  ep += "-tracking.js\n";
+  ep += "/imp?price=\n";
+
+  // ---------------- Acceptable ads ("non-intrusive") -------------------
+  std::string& aa = lists.acceptable_ads;
+  header(aa, "Allow non-intrusive advertising (synthetic)", "1 days",
+         "201504110000");
+  for (const auto& company : ecosystem.companies()) {
+    if (!company.acceptable_ads) continue;
+    if (company.role == CompanyRole::kCdn ||
+        company.role == CompanyRole::kTracker ||
+        company.role == CompanyRole::kAnalytics) {
+      // Over-general whole-domain rules: the gstatic.com anomaly the
+      // paper calls out (fonts whitelisted), and whitelisted trackers
+      // whose requests EasyPrivacy would otherwise catch (§7.3).
+      aa += "@@||" +
+            std::string(http::registrable_domain(company.domains.front())) +
+            "^\n";
+    } else {
+      // AA-compliant inventory lives under /aa/ on the network's domains.
+      for (const auto& domain : company.domains) {
+        aa += "@@||" + domain + "/aa/*\n";
+      }
+    }
+  }
+  for (const auto& publisher : ecosystem.publishers()) {
+    if (publisher.own_ad_platform && publisher.acceptable_ads) {
+      aa += "@@||" + publisher.domain + "/ads/$~third-party\n";
+    }
+  }
+  // One page-level whitelisting rule to keep the $document path honest.
+  if (!ecosystem.publishers().empty()) {
+    for (const auto& publisher : ecosystem.publishers()) {
+      if (publisher.category == SiteCategory::kSearch) {
+        aa += "@@||" + publisher.domain + "^$document\n";
+        break;
+      }
+    }
+  }
+  return lists;
+}
+
+adblock::FilterEngine make_engine(const GeneratedLists& lists,
+                                  const ListSelection& selection) {
+  using adblock::FilterList;
+  using adblock::ListKind;
+  adblock::FilterEngine engine;
+  if (selection.easylist) {
+    engine.add_list(FilterList::parse(lists.easylist, ListKind::kEasyList,
+                                      "easylist"));
+  }
+  if (selection.derivative) {
+    engine.add_list(FilterList::parse(lists.easylist_derivative,
+                                      ListKind::kEasyListDerivative,
+                                      "easylistgermany"));
+  }
+  if (selection.easyprivacy) {
+    engine.add_list(FilterList::parse(lists.easyprivacy,
+                                      ListKind::kEasyPrivacy, "easyprivacy"));
+  }
+  if (selection.acceptable_ads) {
+    engine.add_list(FilterList::parse(lists.acceptable_ads,
+                                      ListKind::kAcceptableAds,
+                                      "exceptionrules"));
+  }
+  return engine;
+}
+
+void GhosteryDb::add(std::string domain, Category category) {
+  entries_.emplace(std::move(domain), category);
+}
+
+bool GhosteryDb::blocks(std::string_view host,
+                        const Selection& selection) const {
+  // Suffix-match host labels against the database.
+  std::string_view candidate = host;
+  for (;;) {
+    const auto it = entries_.find(std::string(candidate));
+    if (it != entries_.end()) {
+      switch (it->second) {
+        case Category::kAdvertising: return selection.advertising;
+        case Category::kAnalytics: return selection.analytics;
+        case Category::kBeacon: return selection.beacons;
+        case Category::kPrivacy: return selection.privacy;
+      }
+    }
+    const auto dot = candidate.find('.');
+    if (dot == std::string_view::npos) return false;
+    candidate = candidate.substr(dot + 1);
+  }
+}
+
+GhosteryDb build_ghostery_db(const Ecosystem& ecosystem) {
+  GhosteryDb db;
+  for (const auto& company : ecosystem.companies()) {
+    if (!company.ghostery_known) continue;
+    GhosteryDb::Category category = GhosteryDb::Category::kAdvertising;
+    switch (company.role) {
+      case CompanyRole::kAdNetwork:
+      case CompanyRole::kAdExchange:
+        category = GhosteryDb::Category::kAdvertising;
+        break;
+      case CompanyRole::kAnalytics:
+        category = GhosteryDb::Category::kAnalytics;
+        break;
+      case CompanyRole::kTracker:
+        category = GhosteryDb::Category::kBeacon;
+        break;
+      case CompanyRole::kCdn:
+        continue;  // Ghostery does not list CDNs
+    }
+    for (const auto& domain : company.domains) {
+      db.add(std::string(http::registrable_domain(domain)), category);
+    }
+  }
+  return db;
+}
+
+}  // namespace adscope::sim

@@ -1,0 +1,80 @@
+// Filter-list generation — the EasyList / EasyPrivacy / acceptable-ads
+// substitute (DESIGN.md §1).
+//
+// Lists are rendered as real ABP list *text* and parsed back through the
+// production FilterList parser, so the generator exercises the same code
+// a live subscription would. Rules are derived from the ecosystem
+// catalog, which gives us ground truth for validation, and include the
+// anomalies §7.3 documents (overly-general acceptable-ads rules that
+// whitelist non-ad traffic).
+#pragma once
+
+#include <string>
+#include <unordered_map>
+
+#include "adblock/engine.h"
+#include "sim/ecosystem.h"
+
+namespace adscope::sim {
+
+struct GeneratedLists {
+  std::string easylist;
+  std::string easylist_derivative;  // "EasyList Germany" style customization
+  std::string easyprivacy;
+  std::string acceptable_ads;  // "non-intrusive advertisements" whitelist
+};
+
+GeneratedLists generate_lists(const Ecosystem& ecosystem);
+
+/// Which subscriptions an engine should activate.
+struct ListSelection {
+  bool easylist = true;
+  bool derivative = false;
+  bool easyprivacy = false;
+  bool acceptable_ads = true;  // enabled by default, like Adblock Plus
+};
+
+/// Parse the generated lists into a priority-ordered engine (EasyList,
+/// derivative, EasyPrivacy, acceptable-ads). Disabled lists are skipped
+/// entirely.
+adblock::FilterEngine make_engine(const GeneratedLists& lists,
+                                  const ListSelection& selection);
+
+/// Ghostery's (proprietary) tracker database, reconstructed over the
+/// synthetic ecosystem: domain suffix -> category. Coverage is partial —
+/// only companies with `ghostery_known` appear — which is what makes the
+/// Ghostery rows of Table 1 differ from the Adblock Plus rows.
+class GhosteryDb {
+ public:
+  enum class Category : std::uint8_t {
+    kAdvertising,
+    kAnalytics,
+    kBeacon,
+    kPrivacy,
+  };
+
+  struct Selection {
+    bool advertising = false;
+    bool analytics = false;
+    bool beacons = false;
+    bool privacy = false;
+
+    static Selection ads() { return {true, false, false, false}; }
+    static Selection privacy_mode() { return {false, true, true, true}; }
+    static Selection paranoia() { return {true, true, true, true}; }
+  };
+
+  void add(std::string domain, Category category);
+
+  /// Does a request to `host` fall in a blocked category?
+  bool blocks(std::string_view host, const Selection& selection) const;
+
+  std::size_t size() const noexcept { return entries_.size(); }
+
+ private:
+  std::unordered_map<std::string, Category> entries_;
+};
+
+GhosteryDb build_ghostery_db(const Ecosystem& ecosystem);
+
+}  // namespace adscope::sim

@@ -1,0 +1,697 @@
+#include "sim/page_model.h"
+
+#include <algorithm>
+
+namespace adscope::sim {
+
+namespace {
+
+using http::RequestType;
+
+std::string hex_token(util::Rng& rng, int chars) {
+  static const char kHex[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(static_cast<std::size_t>(chars));
+  for (int i = 0; i < chars; ++i) out.push_back(kHex[rng.below(16)]);
+  return out;
+}
+
+std::string encode_url(std::string_view url) {
+  std::string out;
+  for (char c : url) {
+    switch (c) {
+      case ':': out += "%3A"; break;
+      case '/': out += "%2F"; break;
+      case '?': out += "%3F"; break;
+      case '&': out += "%26"; break;
+      case '=': out += "%3D"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+const char* page_path_stem(SiteCategory category) {
+  switch (category) {
+    case SiteCategory::kNews: return "/articles/story-";
+    case SiteCategory::kVideo: return "/watch/v";
+    case SiteCategory::kShopping: return "/product/p";
+    case SiteCategory::kSocial: return "/profile/u";
+    case SiteCategory::kSearch: return "/results?q=term";
+    case SiteCategory::kAdult: return "/gallery/g";
+    case SiteCategory::kFileSharing: return "/file/f";
+    case SiteCategory::kTech: return "/review/r";
+    case SiteCategory::kReference: return "/entry/e";
+    case SiteCategory::kGames: return "/play/g";
+  }
+  return "/page/";
+}
+
+}  // namespace
+
+PageModel::PageModel(const Ecosystem& ecosystem, PageModelOptions options)
+    : ecosystem_(ecosystem),
+      options_(options),
+      gstatic_(ecosystem.company_by_name("GStatic")),
+      google_apis_(ecosystem.company_by_name("GoogleApis")) {}
+
+std::string PageModel::cdn_host_for(const Publisher& publisher) const {
+  // Host name consistent with the AS the publisher's CDN IP lives in.
+  const auto as_number = ecosystem_.asn_db().lookup(publisher.cdn_server);
+  return ecosystem_.as_entry(as_number).name == "Akamai"
+             ? "cache.akamaized-sim.net"
+             : "fastcontent-sim.net";
+}
+
+int PageModel::push(PageLoad& page, SimRequest request) const {
+  page.requests.push_back(std::move(request));
+  return static_cast<int>(page.requests.size() - 1);
+}
+
+netdb::IpV4 PageModel::pick_server(const AdCompany& company,
+                                   util::Rng& rng) const {
+  return company.servers[rng.below(company.servers.size())];
+}
+
+void PageModel::maybe_corrupt_mime(SimRequest& request, util::Rng& rng) const {
+  if (request.status >= 300) return;
+  if (rng.chance(options_.missing_mime_rate)) {
+    request.reported_mime.clear();
+    return;
+  }
+  if (!rng.chance(options_.mime_mismatch_rate)) return;
+  switch (request.true_type) {
+    case RequestType::kScript:
+      // The paper's dominant misclassification source (§4.2).
+      request.reported_mime = rng.chance(0.7) ? "text/html" : "text/x-c";
+      break;
+    case RequestType::kImage:
+      request.reported_mime = "text/plain";
+      break;
+    case RequestType::kXhr:
+      request.reported_mime = "text/html";
+      break;
+    default:
+      request.reported_mime = "text/plain";
+      break;
+  }
+}
+
+int PageModel::add_content_object(PageLoad& page, util::Rng& rng,
+                                  const Publisher& publisher) const {
+  SimRequest req;
+  req.parent = 0;
+  req.referer = page.page_url;
+  req.offset_ms = page.requests[0].offset_ms + rng.exponential(250.0);
+  req.intent = Intent::kContent;
+  req.https = rng.chance(options_.https_object_share);
+
+  const bool from_cdn = rng.chance(0.35);
+  const std::string host = from_cdn ? cdn_host_for(publisher)
+                                    : publisher.domain;
+  req.server_ip = from_cdn ? publisher.cdn_server : publisher.server;
+  req.as_number = from_cdn ? ecosystem_.asn_db().lookup(publisher.cdn_server)
+                           : publisher.as_number;
+  const std::string prefix =
+      from_cdn ? "/static/" + publisher.domain + "/" : "/assets/";
+
+  const double kind = rng.uniform();
+  const bool video_site = publisher.category == SiteCategory::kVideo ||
+                          publisher.category == SiteCategory::kFileSharing;
+  if (video_site && kind < 0.50) {
+    // Streaming chunk: large, often extensionless with no Content-Type.
+    req.true_type = RequestType::kMedia;
+    const bool extensionless = rng.chance(0.6);
+    req.url = "http://" + host + prefix + "media/chunk" +
+              std::to_string(rng.below(4096)) +
+              (extensionless ? "?bytes=" + std::to_string(rng.below(1U << 20))
+                             : ".mp4");
+    req.reported_mime = extensionless && rng.chance(0.5) ? "" : "video/mp4";
+    req.size = static_cast<std::uint64_t>(rng.lognormal(14.2, 0.7));  // ~1.5MB
+  } else if (kind < 0.50) {
+    req.true_type = RequestType::kImage;
+    const bool jpeg = rng.chance(0.7);
+    req.url = "http://" + host + prefix + "img/i" +
+              std::to_string(rng.below(100000)) + (jpeg ? ".jpg" : ".png");
+    req.reported_mime = jpeg ? "image/jpeg" : "image/png";
+    req.size = static_cast<std::uint64_t>(rng.lognormal(9.6, 1.1));  // ~15KB
+  } else if (kind < 0.65) {
+    req.true_type = RequestType::kScript;
+    req.url = "http://" + host + prefix + "js/app-" +
+              std::to_string(rng.below(64)) + ".js";
+    req.reported_mime = "application/javascript";
+    req.size = static_cast<std::uint64_t>(rng.lognormal(9.9, 0.8));
+  } else if (kind < 0.73) {
+    req.true_type = RequestType::kStylesheet;
+    req.url = "http://" + host + prefix + "css/site-" +
+              std::to_string(rng.below(16)) + ".css";
+    req.reported_mime = "text/css";
+    req.size = static_cast<std::uint64_t>(rng.lognormal(9.2, 0.7));
+  } else if (kind < 0.90) {
+    // Interactive endpoints: small text/plain or JSON answers — the
+    // paper notes non-ad text objects skew small (auto-completion).
+    req.true_type = RequestType::kXhr;
+    req.url = "http://" + publisher.domain + "/api/suggest?q=" +
+              hex_token(rng, 4) + "&t=" + std::to_string(rng.below(1U << 30));
+    req.server_ip = publisher.server;
+    req.as_number = publisher.as_number;
+    req.reported_mime = rng.chance(0.5) ? "text/plain" : "application/xml";
+    req.size = static_cast<std::uint64_t>(rng.lognormal(5.5, 1.0));  // ~250B
+  } else {
+    // Follow-up HTML fragments / sub-pages.
+    req.true_type = RequestType::kSubdocument;
+    req.url = "http://" + publisher.domain + "/fragment/f" +
+              std::to_string(rng.below(1000)) + ".html";
+    req.server_ip = publisher.server;
+    req.as_number = publisher.as_number;
+    req.reported_mime = "text/html";
+    req.size = static_cast<std::uint64_t>(rng.lognormal(7.5, 0.9));
+  }
+  maybe_corrupt_mime(req, rng);
+  return push(page, std::move(req));
+}
+
+void PageModel::add_font(PageLoad& page, util::Rng& rng) const {
+  if (gstatic_ == SIZE_MAX) return;
+  const auto& company = ecosystem_.companies()[gstatic_];
+  SimRequest req;
+  req.parent = 0;
+  req.referer = page.page_url;
+  req.offset_ms = page.requests[0].offset_ms + rng.exponential(180.0);
+  req.intent = Intent::kContent;  // fonts are NOT ads — yet AA-whitelisted
+  req.true_type = RequestType::kFont;
+  req.url = "http://fonts.gstaticsim.com/s/font" +
+            std::to_string(rng.below(40)) + ".woff";
+  req.reported_mime = "application/font-woff";
+  req.size = static_cast<std::uint64_t>(rng.lognormal(10.2, 0.5));
+  req.server_ip = pick_server(company, rng);
+  req.as_number = company.as_number;
+  req.company = gstatic_;
+  push(page, std::move(req));
+}
+
+void PageModel::add_tracker(PageLoad& page, util::Rng& rng,
+                            const Publisher& publisher) const {
+  const auto company_index =
+      publisher.tracker_partners[rng.below(publisher.tracker_partners.size())];
+  const auto& company = ecosystem_.companies()[company_index];
+  const auto& domain = company.domains.front();
+
+  SimRequest req;
+  req.parent = 0;
+  req.referer = page.page_url;
+  req.offset_ms = page.requests[0].offset_ms + rng.exponential(400.0);
+  req.intent = Intent::kTracker;
+  req.company = company_index;
+  req.server_ip = pick_server(company, rng);
+  req.as_number = company.as_number;
+
+  if (company.role == CompanyRole::kAnalytics && rng.chance(0.5)) {
+    // Analytics collect beacon with the page URL embedded (exercises
+    // embedded-URL extraction and the dynamic-value normalizer).
+    req.true_type = RequestType::kImage;
+    req.url = "http://" + domain + "/collect?v=1&cid=" + hex_token(rng, 16) +
+              "&dl=" + encode_url(page.page_url) +
+              "&z=" + std::to_string(rng.below(1U << 31));
+    req.reported_mime = "image/gif";
+    req.size = 43;  // the classic 1x1 beacon
+  } else if (rng.chance(0.3)) {
+    req.true_type = RequestType::kScript;
+    req.url = "http://" + domain + "/tag/" + hex_token(rng, 6) +
+              "-tracking.js";
+    req.reported_mime = "application/javascript";
+    req.size = static_cast<std::uint64_t>(rng.lognormal(9.3, 0.6));
+  } else {
+    req.true_type = RequestType::kImage;
+    std::string host = domain;
+    if (rng.chance(0.10)) {
+      // Beacon bounced through the publisher's CDN bucket — still hits
+      // EasyPrivacy's generic /pixel.gif? rule (shared infrastructure).
+      host = cdn_host_for(publisher);
+      req.server_ip = publisher.cdn_server;
+      req.as_number = ecosystem_.asn_db().lookup(publisher.cdn_server);
+      req.company = SIZE_MAX;
+    }
+    req.url = "http://" + host + "/pixel.gif?cb=" +
+              std::to_string(1'400'000'000 + rng.below(100'000'000)) +
+              "&ref=" + encode_url(page.page_url);
+    req.reported_mime = "image/gif";
+    req.size = 43;
+  }
+  maybe_corrupt_mime(req, rng);
+  push(page, std::move(req));
+}
+
+void PageModel::add_ad_chain(PageLoad& page, util::Rng& rng,
+                             const Publisher& publisher, int slot) const {
+  const auto network_index =
+      publisher.ad_partners[rng.below(publisher.ad_partners.size())];
+  const auto& network = ecosystem_.companies()[network_index];
+  const double base_offset = page.requests[0].offset_ms +
+                             rng.exponential(300.0);
+
+  // Own-platform publishers serve first-party creatives directly.
+  if (publisher.own_ad_platform && rng.chance(0.8)) {
+    SimRequest creative;
+    creative.parent = 0;
+    creative.referer = page.page_url;
+    creative.offset_ms = base_offset;
+    creative.intent = publisher.acceptable_ads ? Intent::kAaAd : Intent::kAd;
+    creative.true_type = RequestType::kImage;
+    creative.url = "http://" + publisher.domain + "/ads/selfserve/banner" +
+                   std::to_string(rng.below(500)) + ".gif";
+    creative.reported_mime = "image/gif";
+    creative.size = static_cast<std::uint64_t>(rng.lognormal(9.0, 0.9));
+    creative.server_ip = publisher.server;
+    creative.as_number = publisher.as_number;
+    maybe_corrupt_mime(creative, rng);
+    push(page, std::move(creative));
+    return;
+  }
+
+  const bool aa_inventory = publisher.acceptable_ads &&
+                            network.acceptable_ads && rng.chance(0.40);
+  const Intent ad_intent = aa_inventory ? Intent::kAaAd : Intent::kAd;
+  const std::string& net_domain =
+      network.domains[rng.below(network.domains.size())];
+
+  // 1. Ad-network script.
+  SimRequest script;
+  script.parent = 0;
+  script.referer = page.page_url;
+  script.offset_ms = base_offset;
+  script.intent = ad_intent;
+  script.company = network_index;
+  script.true_type = RequestType::kScript;
+  script.https = rng.chance(0.08);
+  script.url = "http://" + net_domain + (aa_inventory ? "/aa" : "") +
+               "/ads/show.js?slot=" + std::to_string(slot) +
+               "&ad_unit=" + hex_token(rng, 8) + "&zone=" + publisher.domain;
+  script.reported_mime = "application/javascript";
+  script.size = static_cast<std::uint64_t>(rng.lognormal(9.9, 0.7));
+  script.server_ip = pick_server(network, rng);
+  script.as_number = network.as_number;
+  maybe_corrupt_mime(script, rng);
+  const int script_index = push(page, std::move(script));
+
+  // 1b. Anti-fraud "quality" script the list explicitly excepts — blocked
+  // only when a MIME lie defeats the $script exception (§4.2 FPs).
+  if (network.role == CompanyRole::kAdNetwork &&
+      rng.chance(options_.quality_script_rate)) {
+    SimRequest quality;
+    quality.parent = 0;  // embedded by the publisher page itself
+    quality.referer = page.page_url;
+    quality.offset_ms = base_offset + rng.exponential(40.0);
+    quality.intent = Intent::kContent;  // ABP lets it through
+    quality.company = network_index;
+    quality.true_type = RequestType::kScript;
+    quality.url = "http://" + network.domains.front() + "/q/check?v=" +
+                  std::to_string(rng.below(64));
+    quality.reported_mime = "application/javascript";
+    quality.size = static_cast<std::uint64_t>(rng.lognormal(8.8, 0.5));
+    quality.server_ip = pick_server(network, rng);
+    quality.as_number = network.as_number;
+    maybe_corrupt_mime(quality, rng);
+    // Extensionless JS endpoints lie about their type notoriously often;
+    // this is the paper's dominant false-positive source (§4.2).
+    if (rng.chance(0.02)) quality.reported_mime = "text/html";
+    push(page, std::move(quality));
+  }
+
+  // 2. Optional exchange hop (RTB auction).
+  int creative_parent = script_index;
+  const AdCompany* creative_company = &network;
+  std::size_t creative_company_index = network_index;
+  const bool through_exchange =
+      network.role == CompanyRole::kAdExchange || rng.chance(0.35);
+  if (through_exchange) {
+    const AdCompany* exchange = &network;
+    std::size_t exchange_index = network_index;
+    if (network.role != CompanyRole::kAdExchange) {
+      // Route through a random exchange partner.
+      std::vector<std::size_t> exchanges;
+      for (std::size_t i = 0; i < ecosystem_.companies().size(); ++i) {
+        if (ecosystem_.companies()[i].role == CompanyRole::kAdExchange) {
+          exchanges.push_back(i);
+        }
+      }
+      exchange_index = exchanges[rng.below(exchanges.size())];
+      exchange = &ecosystem_.companies()[exchange_index];
+    }
+    SimRequest bid;
+    bid.parent = script_index;
+    bid.referer = page.page_url;
+    bid.offset_ms = base_offset + rng.exponential(50.0);
+    bid.intent = ad_intent;
+    bid.company = exchange_index;
+    bid.true_type = RequestType::kXhr;
+    bid.url = "http://" + exchange->domains.front() + "/rtb/bid?id=" +
+              hex_token(rng, 12) + "&u=" + encode_url(page.page_url);
+    bid.reported_mime = "application/xml";
+    bid.size = static_cast<std::uint64_t>(rng.lognormal(6.9, 0.5));
+    bid.server_ip = pick_server(*exchange, rng);
+    bid.as_number = exchange->as_number;
+    bid.rtb = exchange->rtb;
+    maybe_corrupt_mime(bid, rng);
+    creative_parent = push(page, std::move(bid));
+  }
+
+  // 3. The creative itself, sometimes behind a 302 with a bare follow-up.
+  SimRequest creative;
+  creative.referer = page.page_url;
+  creative.offset_ms = base_offset + rng.exponential(120.0) +
+                       (through_exchange ? 120.0 : 0.0);
+  creative.intent = ad_intent;
+  creative.company = creative_company_index;
+  creative.server_ip = pick_server(*creative_company, rng);
+  creative.as_number = creative_company->as_number;
+  creative.https = rng.chance(0.08);
+  const std::string creative_dir = aa_inventory ? "/aa/creative/" : "/banners/";
+  const bool video_ad = publisher.category == SiteCategory::kVideo &&
+                        rng.chance(0.25);
+  if (video_ad) {
+    creative.true_type = RequestType::kMedia;
+    creative.url = "http://" + net_domain + creative_dir + "spot" +
+                   std::to_string(rng.below(2000)) + ".mp4";
+    creative.reported_mime = "video/mp4";
+    // 15-45 s pre-roll in one object — deliberately unchunked (§7.2).
+    creative.size = static_cast<std::uint64_t>(rng.lognormal(14.8, 0.3));
+  } else if (rng.chance(0.05)) {
+    creative.true_type = RequestType::kObject;
+    creative.url = "http://" + net_domain + creative_dir + "rich" +
+                   std::to_string(rng.below(500)) + ".swf";
+    creative.reported_mime = "application/x-shockwave-flash";
+    creative.size = static_cast<std::uint64_t>(rng.lognormal(11.8, 0.6));
+  } else {
+    creative.true_type = RequestType::kImage;
+    const double pick = rng.uniform();
+    if (pick < 0.70) {
+      creative.url = "http://" + net_domain + creative_dir + "b" +
+                     std::to_string(rng.below(5000)) + ".gif";
+      creative.reported_mime = "image/gif";
+      creative.size = rng.chance(0.35)
+                          ? 43  // tracking-style creative stub
+                          : static_cast<std::uint64_t>(rng.lognormal(8.9, 1.0));
+    } else {
+      creative.url = "http://" + net_domain + creative_dir + "b" +
+                     std::to_string(rng.below(5000)) + ".jpg";
+      creative.reported_mime = "image/jpeg";
+      creative.size = static_cast<std::uint64_t>(rng.lognormal(10.3, 0.8));
+    }
+  }
+  // A share of creatives is delivered from the publisher's CDN account
+  // (same infrastructure as regular content — §8.1's synergy argument).
+  if (!video_ad && creative.true_type == RequestType::kImage &&
+      rng.chance(0.22)) {
+    const auto cdn_host = cdn_host_for(publisher);
+    const auto slash = creative.url.find('/', 7);
+    creative.url = "http://" + cdn_host + "/static/" + publisher.domain +
+                   creative.url.substr(slash);
+    creative.server_ip = publisher.cdn_server;
+    creative.as_number = ecosystem_.asn_db().lookup(publisher.cdn_server);
+  }
+  maybe_corrupt_mime(creative, rng);
+
+  const bool embed_no_referer = !aa_inventory && !video_ad &&
+                                creative.true_type == RequestType::kImage &&
+                                rng.chance(0.10);
+  if (embed_no_referer) {
+    // Off the generic /banners/ path: only the third-party domain rule
+    // catches it, which needs the page context from the embedded URL.
+    const auto slash2 = creative.url.find("/banners/");
+    if (slash2 != std::string::npos) {
+      creative.url.replace(slash2, 9, "/delivery/");
+    }
+    // Some ad scripts receive the creative URL as a parameter and fetch
+    // it from a context that sends no Referer. Only the embedded-URL
+    // extraction (§3.1) can re-attach the creative to its page.
+    SimRequest loader;
+    loader.parent = creative_parent;
+    loader.referer = page.page_url;
+    loader.offset_ms = creative.offset_ms - 10.0;
+    loader.intent = ad_intent;
+    loader.company = creative_company_index;
+    loader.true_type = RequestType::kScript;
+    loader.url = "http://" + net_domain + "/render.js?img=" +
+                 encode_url(creative.url) + "&slot=" + std::to_string(slot);
+    loader.reported_mime = "application/javascript";
+    loader.size = static_cast<std::uint64_t>(rng.lognormal(8.6, 0.4));
+    loader.server_ip = pick_server(*creative_company, rng);
+    loader.as_number = creative_company->as_number;
+    maybe_corrupt_mime(loader, rng);
+    creative.parent = push(page, std::move(loader));
+    creative.referer.clear();
+  } else if (rng.chance(options_.creative_redirect_rate)) {
+    // /adclick 302 hop; the creative request then has NO Referer — the
+    // chain only survives via Location patching.
+    SimRequest redirect;
+    redirect.parent = creative_parent;
+    redirect.referer = page.page_url;
+    redirect.offset_ms = creative.offset_ms - 20.0;
+    redirect.intent = ad_intent;
+    redirect.company = creative_company_index;
+    redirect.true_type = creative.true_type;  // ABP sees the <img> tag type
+    redirect.url = "http://" + net_domain + "/adclick?dest=" +
+                   encode_url(creative.url) + "&price=" +
+                   std::to_string(rng.below(1000));
+    redirect.status = 302;
+    redirect.location = creative.url;
+    redirect.reported_mime = "text/html";
+    redirect.size = 0;
+    redirect.server_ip = pick_server(*creative_company, rng);
+    redirect.as_number = creative_company->as_number;
+    const int redirect_index = push(page, std::move(redirect));
+    creative.parent = redirect_index;
+    creative.referer.clear();
+  } else {
+    creative.parent = creative_parent;
+  }
+  const int creative_index = push(page, std::move(creative));
+
+  // 3b. Exception-protected callback endpoint (the paper's
+  // "@@*jsp?callback=aslHandleAds*" example): content the plugin passes,
+  // but only a filter-aware normalizer keeps the exception intact.
+  if (rng.chance(0.08)) {
+    SimRequest callback;
+    callback.parent = script_index;
+    callback.referer = page.page_url;
+    callback.offset_ms = base_offset + rng.exponential(45.0);
+    callback.intent = Intent::kContent;
+    callback.company = network_index;
+    callback.true_type = RequestType::kScript;
+    callback.url = "http://" + net_domain +
+                   "/serve.jsp?callback=aslHandleAds" + hex_token(rng, 16) +
+                   "&sid=" + hex_token(rng, 24);
+    callback.reported_mime = "application/javascript";
+    callback.size = static_cast<std::uint64_t>(rng.lognormal(8.2, 0.4));
+    callback.server_ip = pick_server(*creative_company, rng);
+    callback.as_number = creative_company->as_number;
+    push(page, std::move(callback));
+  }
+
+  // 4. Impression beacon.
+  if (rng.chance(0.5)) {
+    SimRequest imp;
+    imp.parent = creative_index;
+    imp.referer = page.page_url;
+    imp.offset_ms = creative.offset_ms + rng.exponential(60.0);
+    imp.intent = ad_intent;
+    imp.company = creative_company_index;
+    imp.true_type = RequestType::kImage;
+    imp.url = "http://" + net_domain + "/imp?price=" +
+              std::to_string(rng.below(500)) + "&pub=" + publisher.domain +
+              "&ts=" + std::to_string(1'400'000'000 + rng.below(100'000'000));
+    imp.reported_mime = "image/gif";
+    imp.size = 43;
+    imp.server_ip = pick_server(*creative_company, rng);
+    imp.as_number = creative_company->as_number;
+    maybe_corrupt_mime(imp, rng);
+    push(page, std::move(imp));
+  }
+}
+
+void PageModel::add_google_api(PageLoad& page, util::Rng& rng) const {
+  if (google_apis_ == SIZE_MAX) return;
+  const auto& company = ecosystem_.companies()[google_apis_];
+  // SDKs, map tiles, thumbnails: the search giant's *content* footprint,
+  // which keeps its AS-level ad share at paper levels (Table 5: 50.7%).
+  const int objects = 1 + static_cast<int>(rng.below(3));
+  for (int i = 0; i < objects; ++i) {
+    SimRequest req;
+    req.parent = 0;
+    req.referer = page.page_url;
+    req.offset_ms = page.requests[0].offset_ms + rng.exponential(220.0);
+    req.intent = Intent::kContent;
+    req.company = google_apis_;
+    req.server_ip = pick_server(company, rng);
+    req.as_number = company.as_number;
+    if (rng.chance(0.5)) {
+      req.true_type = RequestType::kScript;
+      req.url = "http://apis.googlesim.com/sdk/v" +
+                std::to_string(rng.below(8)) + "/loader.js";
+      req.reported_mime = "application/javascript";
+      req.size = static_cast<std::uint64_t>(rng.lognormal(10.4, 0.5));
+    } else {
+      req.true_type = RequestType::kImage;
+      req.url = "http://apis.googlesim.com/thumb/t" +
+                std::to_string(rng.below(100000)) + ".jpg";
+      req.reported_mime = "image/jpeg";
+      req.size = static_cast<std::uint64_t>(rng.lognormal(9.8, 0.9));
+    }
+    maybe_corrupt_mime(req, rng);
+    push(page, std::move(req));
+  }
+}
+
+void PageModel::add_first_party_promo(PageLoad& page, util::Rng& rng,
+                                      const Publisher& publisher) const {
+  // House ads served from the publisher's own host; caught by EasyList's
+  // generic path rules. Spreads single-digit EasyList hits across
+  // thousands of content servers (the paper's long per-server tail).
+  SimRequest req;
+  req.parent = 0;
+  req.referer = page.page_url;
+  req.offset_ms = page.requests[0].offset_ms + rng.exponential(350.0);
+  req.intent = Intent::kAd;
+  req.true_type = RequestType::kImage;
+  req.url = "http://" + publisher.domain + "/banners/house" +
+            std::to_string(rng.below(50)) + ".gif";
+  req.reported_mime = "image/gif";
+  req.size = static_cast<std::uint64_t>(rng.lognormal(9.0, 0.8));
+  req.server_ip = publisher.server;
+  req.as_number = publisher.as_number;
+  maybe_corrupt_mime(req, rng);
+  push(page, std::move(req));
+}
+
+PageLoad PageModel::build(std::size_t publisher_index, util::Rng& rng) const {
+  const Publisher& publisher = ecosystem_.publishers()[publisher_index];
+  PageLoad page;
+  page.publisher = publisher_index;
+
+  SimRequest main;
+  main.parent = -1;
+  main.offset_ms = 0;
+  main.intent = Intent::kContent;
+  main.true_type = RequestType::kDocument;
+  main.https = publisher.https_main;
+  const char* stem = page_path_stem(publisher.category);
+  std::string path(stem);
+  if (path.find('?') == std::string::npos) {
+    path += std::to_string(rng.below(100000)) + ".html";
+  }
+  page.page_url = std::string(main.https ? "https" : "http") + "://" +
+                  publisher.domain + path;
+  main.url = page.page_url;
+  main.reported_mime = "text/html";
+  main.size = static_cast<std::uint64_t>(rng.lognormal(10.3, 0.6));
+  main.server_ip = publisher.server;
+  main.as_number = publisher.as_number;
+  push(page, std::move(main));
+
+  const int content_objects = std::max(
+      3, static_cast<int>(rng.normal(publisher.content_objects_mean,
+                                     publisher.content_objects_mean * 0.25)));
+  for (int i = 0; i < content_objects; ++i) {
+    add_content_object(page, rng, publisher);
+  }
+  if (publisher.ad_slots > 0 && rng.chance(0.06)) {
+    // First-party click logger carrying a *raw* ad URL in its query.
+    // Without query normalization the generic EasyList path rules match
+    // inside the query string and misclassify this content request.
+    SimRequest outclick;
+    outclick.parent = 0;
+    outclick.referer = page.page_url;
+    outclick.offset_ms = rng.exponential(800.0);
+    outclick.intent = Intent::kContent;
+    outclick.true_type = RequestType::kXhr;
+    outclick.url = "http://" + publisher.domain + "/outclick?u=http://" +
+                   ecosystem_.companies()[publisher.ad_partners[0]]
+                       .domains.front() +
+                   "/banners/b" + std::to_string(rng.below(5000)) +
+                   ".gif&t=" + std::to_string(1'400'000'000 + rng.below(
+                                                  100'000'000));
+    outclick.reported_mime = "application/xml";
+    outclick.size = static_cast<std::uint64_t>(rng.lognormal(5.2, 0.6));
+    outclick.server_ip = publisher.server;
+    outclick.as_number = publisher.as_number;
+    push(page, std::move(outclick));
+  }
+  if (publisher.uses_webfonts && rng.chance(0.45)) {
+    add_font(page, rng);
+  }
+  if (rng.chance(0.35)) add_google_api(page, rng);
+  if (rng.chance(0.04)) add_first_party_promo(page, rng, publisher);
+  for (int i = 0; i < publisher.tracker_count; ++i) {
+    add_tracker(page, rng, publisher);
+  }
+  for (int slot = 0; slot < publisher.ad_slots; ++slot) {
+    add_ad_chain(page, rng, publisher, slot);
+  }
+  if (options_.generate_payloads) synthesize_payload(page, rng, publisher);
+  return page;
+}
+
+void PageModel::synthesize_payload(PageLoad& page, util::Rng& rng,
+                                   const Publisher& publisher) const {
+  std::string html =
+      "<!DOCTYPE html>\n<html><head><title>" + publisher.domain +
+      "</title>\n";
+  std::string body = "<body>\n";
+  // Reference every direct child of the document with the right tag —
+  // the DOM knowledge Adblock Plus works from.
+  for (std::size_t i = 1; i < page.requests.size(); ++i) {
+    const auto& request = page.requests[i];
+    if (request.parent != 0 || request.https) continue;
+    switch (request.true_type) {
+      case http::RequestType::kImage:
+        body += "<img src=\"" + request.url + "\" alt=\"\"/>\n";
+        break;
+      case http::RequestType::kScript:
+        body += "<script src=\"" + request.url + "\"></script>\n";
+        break;
+      case http::RequestType::kStylesheet:
+        html += "<link rel=\"stylesheet\" href=\"" + request.url +
+                "\"/>\n";
+        break;
+      case http::RequestType::kSubdocument:
+        body += "<iframe src=\"" + request.url + "\"></iframe>\n";
+        break;
+      case http::RequestType::kMedia:
+        body += "<video src=\"" + request.url + "\"></video>\n";
+        break;
+      case http::RequestType::kObject:
+        body += "<embed src=\"" + request.url + "\"/>\n";
+        break;
+      default:
+        break;  // XHR/fonts are fetched from script/CSS, not markup
+    }
+  }
+  // Regular article content.
+  const int paragraphs = 2 + static_cast<int>(rng.below(5));
+  for (int i = 0; i < paragraphs; ++i) {
+    body += "<div class=\"article\">";
+    const int words = 30 + static_cast<int>(rng.below(120));
+    for (int w = 0; w < words; ++w) body += "lorem ";
+    body += "</div>\n";
+  }
+  // Hidden text ads: embedded in the HTML, never a request. The classes
+  // match the element-hiding rules the list generator ships.
+  if (publisher.ad_slots > 0) {
+    const int text_ads = static_cast<int>(rng.below(3));
+    static const char* kAdClasses[] = {"sponsored-link", "adsbox",
+                                       "ad-banner"};
+    for (int i = 0; i < text_ads; ++i) {
+      body += "<div class=\"";
+      body += kAdClasses[rng.below(3)];
+      body += "\">buy things - sponsored result " +
+              std::to_string(rng.below(100)) + "</div>\n";
+      ++page.hidden_text_ads;
+    }
+  }
+  html += "</head>\n" + body + "</body></html>\n";
+  page.requests[0].payload = std::move(html);
+  page.requests[0].size = page.requests[0].payload.size();
+}
+
+}  // namespace adscope::sim

@@ -1,0 +1,116 @@
+// Page-load model: what a browser's network activity looks like when it
+// opens a publisher page in the synthetic ecosystem.
+//
+// A page load is a request *tree* (parent links encode trigger
+// causality): main document -> content objects, trackers and ad chains
+// (ad-network script -> RTB exchange hop -> creative -> impression
+// beacon). The model injects the measurement imperfections the paper's
+// methodology has to survive:
+//   * Content-Type mismatches (scripts served as text/html — §4.2's
+//     false-positive source) and absent Content-Types,
+//   * creative fetches behind 302 redirects whose follow-up request
+//     carries no Referer (exercises Location patching, §3.1),
+//   * page URLs embedded in tracker/bid query strings (exercises
+//     embedded-URL extraction and query normalization),
+//   * HTTPS objects that are invisible to the HTTP pipeline.
+//
+// Every request carries ground-truth intent so validation tests and the
+// method-evaluation bench (Table 1) can score the passive classifier.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "http/mime.h"
+#include "sim/ecosystem.h"
+#include "util/rng.h"
+
+namespace adscope::sim {
+
+/// Ground truth for one simulated request.
+enum class Intent : std::uint8_t {
+  kContent,  // regular page content
+  kAd,       // advertisement delivery (EasyList territory)
+  kAaAd,     // acceptable-ads inventory (whitelisted by default config)
+  kTracker,  // tracking/analytics (EasyPrivacy territory)
+};
+
+struct SimRequest {
+  int parent = -1;       // index into the page's request vector
+  double offset_ms = 0;  // since page start
+
+  std::string url;      // absolute
+  std::string referer;  // "" = absent
+  std::string payload;  // document HTML (payload mode only)
+  http::RequestType true_type = http::RequestType::kOther;
+  std::string reported_mime;  // response Content-Type ("" = absent)
+  std::uint64_t size = 0;
+  std::uint16_t status = 200;
+  std::string location;  // redirect target for 3xx
+
+  netdb::IpV4 server_ip = 0;
+  netdb::AsNumber as_number = 0;
+  bool https = false;
+
+  Intent intent = Intent::kContent;
+  bool rtb = false;                  // auction delay applies
+  std::size_t company = SIZE_MAX;    // ecosystem company, when applicable
+};
+
+struct PageLoad {
+  std::size_t publisher = 0;
+  std::string page_url;
+  std::vector<SimRequest> requests;  // [0] is the main document
+  /// Ground truth: text advertisements embedded in the main HTML. They
+  /// cause no request — only payload-mode analysis can see them (§10).
+  int hidden_text_ads = 0;
+};
+
+struct PageModelOptions {
+  double mime_mismatch_rate = 0.04;
+  double missing_mime_rate = 0.08;
+  double creative_redirect_rate = 0.15;
+  double https_object_share = 0.06;
+  double quality_script_rate = 0.15;  // EL-exception scripts per ad chain
+  /// Attach the synthesized document HTML to main-document requests
+  /// (the §10 payload-mode extension). Off by default: the paper's
+  /// monitor cannot capture payloads.
+  bool generate_payloads = false;
+};
+
+class PageModel {
+ public:
+  PageModel(const Ecosystem& ecosystem, PageModelOptions options = {});
+
+  /// Build the unblocked request tree for one visit.
+  PageLoad build(std::size_t publisher_index, util::Rng& rng) const;
+
+  const PageModelOptions& options() const noexcept { return options_; }
+
+ private:
+  int add_content_object(PageLoad& page, util::Rng& rng,
+                         const Publisher& publisher) const;
+  void add_tracker(PageLoad& page, util::Rng& rng,
+                   const Publisher& publisher) const;
+  void add_ad_chain(PageLoad& page, util::Rng& rng, const Publisher& publisher,
+                    int slot) const;
+  void add_font(PageLoad& page, util::Rng& rng) const;
+
+  int push(PageLoad& page, SimRequest request) const;
+  void synthesize_payload(PageLoad& page, util::Rng& rng,
+                          const Publisher& publisher) const;
+  netdb::IpV4 pick_server(const AdCompany& company, util::Rng& rng) const;
+  void maybe_corrupt_mime(SimRequest& request, util::Rng& rng) const;
+  std::string cdn_host_for(const Publisher& publisher) const;
+  void add_google_api(PageLoad& page, util::Rng& rng) const;
+  void add_first_party_promo(PageLoad& page, util::Rng& rng,
+                             const Publisher& publisher) const;
+
+  const Ecosystem& ecosystem_;
+  PageModelOptions options_;
+  std::size_t gstatic_ = SIZE_MAX;
+  std::size_t google_apis_ = SIZE_MAX;
+};
+
+}  // namespace adscope::sim

@@ -1,0 +1,396 @@
+#include "sim/rbn_sim.h"
+
+#include <algorithm>
+#include <array>
+
+#include "sim/ua_factory.h"
+#include "util/hash.h"
+
+namespace adscope::sim {
+
+RbnOptions rbn1_options(std::uint32_t households) {
+  RbnOptions options;
+  options.name = "RBN-1";
+  options.households = households;
+  options.duration_s = 4ULL * 24 * 3600;  // 4 days
+  options.start_hour = 0;
+  options.start_weekday = 5;  // Saturday, 2015-04-11
+  options.start_unix_s = 1'428'710'400;
+  options.uplink_gbps = 3;
+  options.activity_scale = 0.45;  // long trace: keep volume tractable
+  return options;
+}
+
+RbnOptions rbn2_options(std::uint32_t households) {
+  RbnOptions options;
+  options.households = households;
+  return options;
+}
+
+RbnSimulator::RbnSimulator(const Ecosystem& ecosystem,
+                           const GeneratedLists& lists, std::uint64_t seed)
+    : ecosystem_(ecosystem),
+      lists_(lists),
+      page_model_(ecosystem),
+      emitter_(ecosystem),
+      seed_(seed) {
+  abp_pool_.resize(8);
+  for (std::size_t bits = 0; bits < 8; ++bits) {
+    ListSelection selection;
+    selection.easylist = true;
+    selection.easyprivacy = (bits & 1U) != 0;
+    selection.acceptable_ads = (bits & 2U) != 0;
+    selection.derivative = (bits & 4U) != 0;
+    abp_pool_[bits] = std::make_unique<AbpBlocker>(lists, selection);
+  }
+  ghostery_ = std::make_unique<GhosteryBlocker>(build_ghostery_db(ecosystem),
+                                                GhosteryDb::Selection::ads());
+  using adblock::FilterList;
+  using adblock::ListKind;
+  easylist_meta_ =
+      FilterList::parse(lists.easylist, ListKind::kEasyList, "easylist");
+  derivative_meta_ = FilterList::parse(
+      lists.easylist_derivative, ListKind::kEasyListDerivative,
+      "easylistgermany");
+  easyprivacy_meta_ = FilterList::parse(lists.easyprivacy,
+                                        ListKind::kEasyPrivacy,
+                                        "easyprivacy");
+  acceptable_ads_meta_ = FilterList::parse(
+      lists.acceptable_ads, ListKind::kAcceptableAds, "exceptionrules");
+}
+
+namespace {
+
+struct Device {
+  std::string user_agent;
+  std::uint32_t household = 0;
+  netdb::IpV4 ip = 0;  // address at trace start
+  ua::BrowserFamily family = ua::BrowserFamily::kNone;
+  bool is_browser = false;
+  bool mobile = false;
+  BlockerKind blocker_kind = BlockerKind::kNone;
+  ListSelection abp_config;
+  adblock::SubscriptionManager subscriptions;
+  const Blocker* blocker = nullptr;
+  double rate_pages_per_hour = 0;  // at diurnal weight 1.0
+  bool night_owl = false;
+  std::array<std::size_t, 3> preferred_categories{};
+  std::uint64_t rng_salt = 0;
+};
+
+constexpr std::size_t kCategoryCount = 10;
+
+}  // namespace
+
+RbnStats RbnSimulator::simulate(const RbnOptions& options,
+                                trace::TraceSink& sink) const {
+  RbnStats stats;
+  util::Rng rng(seed_ ^ util::fnv1a(options.name));
+
+  trace::TraceMeta meta;
+  meta.name = options.name;
+  meta.start_unix_s = options.start_unix_s;
+  meta.duration_s = options.duration_s;
+  meta.subscribers = options.households;
+  meta.uplink_gbps = options.uplink_gbps;
+  sink.on_meta(meta);
+
+  const DiurnalClock clock{options.start_hour, options.start_weekday};
+
+  // Publisher indices grouped by category, popularity order preserved.
+  std::vector<std::vector<std::size_t>> by_category(kCategoryCount);
+  for (std::size_t i = 0; i < ecosystem_.publishers().size(); ++i) {
+    by_category[static_cast<std::size_t>(
+                    ecosystem_.publishers()[i].category)]
+        .push_back(i);
+  }
+  std::vector<util::ZipfSampler> category_zipf;
+  category_zipf.reserve(kCategoryCount);
+  for (const auto& sites : by_category) {
+    category_zipf.emplace_back(std::max<std::size_t>(sites.size(), 1), 0.9);
+  }
+
+  // ------------------------------------------------------------------
+  // Build the device population.
+  // ------------------------------------------------------------------
+  std::vector<Device> devices;
+  std::vector<bool> household_has_abp(options.households, false);
+
+  auto browser_families = [&](util::Rng& r) {
+    const double draw = r.uniform();
+    if (draw < 0.42) return ua::BrowserFamily::kFirefox;
+    if (draw < 0.71) return ua::BrowserFamily::kChrome;
+    if (draw < 0.88) return ua::BrowserFamily::kSafari;
+    if (draw < 0.97) return ua::BrowserFamily::kInternetExplorer;
+    return ua::BrowserFamily::kOther;
+  };
+
+  for (std::uint32_t hh = 0; hh < options.households; ++hh) {
+    util::Rng hh_rng = rng.fork(hh + 1);
+    const netdb::IpV4 ip = ecosystem_.client_ip(hh);
+    const bool savvy = hh_rng.chance(options.savvy_household_share);
+    const std::uint32_t household_index = hh;
+    const int desktops = 1 + static_cast<int>(hh_rng.chance(0.45)) +
+                         static_cast<int>(hh_rng.chance(0.15));
+    const int mobiles = static_cast<int>(hh_rng.chance(0.75)) +
+                        static_cast<int>(hh_rng.chance(0.35));
+
+    auto add_browser = [&](bool mobile) {
+      Device device;
+      device.household = household_index;
+      device.ip = ip;
+      device.mobile = mobile;
+      device.is_browser = true;
+      device.family = mobile ? (hh_rng.chance(0.55)
+                                    ? ua::BrowserFamily::kSafari
+                                    : ua::BrowserFamily::kChrome)
+                             : browser_families(hh_rng);
+      device.user_agent = mobile ? make_mobile_ua(hh_rng)
+                                 : make_desktop_ua(device.family, hh_rng);
+      // Ad-blocker assignment: clustered per household.
+      double abp_rate = options.abp_baseline;
+      if (savvy) {
+        abp_rate = options.abp_mobile;
+        if (!mobile) {
+          switch (device.family) {
+            case ua::BrowserFamily::kFirefox:
+            case ua::BrowserFamily::kChrome:
+              abp_rate = options.abp_firefox_chrome;
+              break;
+            case ua::BrowserFamily::kSafari:
+              abp_rate = options.abp_safari;
+              break;
+            case ua::BrowserFamily::kInternetExplorer:
+              abp_rate = options.abp_ie;
+              break;
+            default:
+              abp_rate = 0.30;
+              break;
+          }
+        }
+      }
+      if (hh_rng.chance(abp_rate)) {
+        device.blocker_kind = BlockerKind::kAdblockPlus;
+        device.abp_config.easylist = true;
+        device.abp_config.easyprivacy = hh_rng.chance(options.abp_easyprivacy);
+        device.abp_config.acceptable_ads =
+            !hh_rng.chance(options.abp_aa_optout);
+        device.abp_config.derivative = hh_rng.chance(options.abp_derivative);
+        device.blocker = abp_pool_[config_bits(device.abp_config)].get();
+        device.night_owl = true;
+        household_has_abp[hh] = true;
+        // Subscribe with uniformly backdated last-update instants: the
+        // installation existed before the capture started, so each list
+        // is somewhere within its expiry window at trace start.
+        auto backdated = [&](const adblock::FilterList& list_meta) {
+          const auto window =
+              static_cast<std::int64_t>(list_meta.expires_hours()) * 3600;
+          return -static_cast<std::int64_t>(
+              hh_rng.below(static_cast<std::uint64_t>(window)));
+        };
+        device.subscriptions.subscribe(easylist_meta_,
+                                       backdated(easylist_meta_));
+        if (device.abp_config.derivative) {
+          device.subscriptions.subscribe(derivative_meta_,
+                                         backdated(derivative_meta_));
+        }
+        if (device.abp_config.easyprivacy) {
+          device.subscriptions.subscribe(easyprivacy_meta_,
+                                         backdated(easyprivacy_meta_));
+        }
+        if (device.abp_config.acceptable_ads) {
+          device.subscriptions.subscribe(acceptable_ads_meta_,
+                                         backdated(acceptable_ads_meta_));
+        }
+      } else if (hh_rng.chance(options.ghostery_share)) {
+        device.blocker_kind = BlockerKind::kGhostery;
+        device.blocker = ghostery_.get();
+      } else {
+        device.blocker = &no_blocker_;
+      }
+      // Heavy-tailed activity; ad-blocker users skew engaged/heavy.
+      double weight = std::min(20.0, hh_rng.pareto(0.55, 1.25));
+      if (device.blocker_kind == BlockerKind::kAdblockPlus) weight *= 1.6;
+      device.rate_pages_per_hour =
+          (mobile ? 1.1 : 2.1) * weight * options.activity_scale;
+      if (hh_rng.chance(options.low_ad_diet_share)) {
+        // Ad-light diet: search / reference / streaming / file sharing.
+        static constexpr std::size_t kLowAd[] = {
+            static_cast<std::size_t>(SiteCategory::kSearch),
+            static_cast<std::size_t>(SiteCategory::kReference),
+            static_cast<std::size_t>(SiteCategory::kVideo),
+            static_cast<std::size_t>(SiteCategory::kFileSharing)};
+        for (auto& cat : device.preferred_categories) {
+          cat = kLowAd[hh_rng.below(4)];
+        }
+      } else {
+        for (auto& cat : device.preferred_categories) {
+          cat = hh_rng.below(kCategoryCount);
+        }
+      }
+      device.rng_salt = hh_rng.next();
+      devices.push_back(std::move(device));
+      ++stats.browsers;
+      if (devices.back().blocker_kind == BlockerKind::kAdblockPlus) {
+        ++stats.abp_browsers;
+      }
+    };
+
+    for (int i = 0; i < desktops; ++i) add_browser(false);
+    for (int i = 0; i < mobiles; ++i) add_browser(true);
+
+    // Non-browser noise devices.
+    auto add_noise = [&](std::string ua_string, double rate) {
+      Device device;
+      device.household = household_index;
+      device.ip = ip;
+      device.user_agent = std::move(ua_string);
+      device.is_browser = false;
+      device.blocker = &no_blocker_;
+      device.rate_pages_per_hour = rate * options.activity_scale;
+      device.rng_salt = hh_rng.next();
+      for (auto& cat : device.preferred_categories) cat = 0;
+      devices.push_back(std::move(device));
+    };
+    if (hh_rng.chance(0.18)) add_noise(make_console_ua(hh_rng), 0.8);
+    if (hh_rng.chance(0.15)) add_noise(make_smarttv_ua(hh_rng), 0.6);
+    const int apps = static_cast<int>(hh_rng.range(0, 2));
+    for (int i = 0; i < apps; ++i) add_noise(make_app_ua(hh_rng), 1.2);
+  }
+  stats.devices = static_cast<std::uint32_t>(devices.size());
+  stats.abp_households = static_cast<std::uint32_t>(
+      std::count(household_has_abp.begin(), household_has_abp.end(), true));
+
+  // ------------------------------------------------------------------
+  // Generate traffic device by device.
+  // ------------------------------------------------------------------
+  const auto hours = (options.duration_s + 3599) / 3600;
+  const auto& abp_ips = ecosystem_.abp_servers();
+
+  // Dynamic addressing: deterministic permutation per re-assignment
+  // period, so devices of one household keep sharing one address.
+  auto address_at = [&](const Device& device, std::uint64_t hour) {
+    if (options.ip_reassignment_hours == 0) return device.ip;
+    const auto period = hour / options.ip_reassignment_hours;
+    if (period == 0) return device.ip;
+    const auto offset = static_cast<std::uint32_t>(
+        (static_cast<std::uint64_t>(device.household) + period * 7919) %
+        60000);
+    return ecosystem_.client_ip(offset);
+  };
+
+  for (auto& device : devices) {
+    util::Rng dev_rng(seed_ ^ device.rng_salt);
+
+    for (std::uint64_t hour = 0; hour < hours; ++hour) {
+      const std::uint64_t hour_start_s = hour * 3600;
+      const double weight =
+          diurnal_weight(clock, hour_start_s, device.night_owl);
+      const double lambda = device.rate_pages_per_hour * weight;
+      const auto pages = dev_rng.poisson(lambda);
+      if (pages == 0) continue;
+
+      // Adblock Plus checks the subscription schedule while the browser
+      // runs; soft-expired lists are re-downloaded over HTTPS (§3.2).
+      const netdb::IpV4 current_ip = address_at(device, hour);
+      if (device.blocker_kind == BlockerKind::kAdblockPlus) {
+        const auto now_s = static_cast<std::int64_t>(hour_start_s);
+        for (const auto* subscription : device.subscriptions.due(now_s)) {
+          trace::TlsFlow update;
+          update.timestamp_ms = (hour_start_s + dev_rng.below(3600)) * 1000;
+          update.client_ip = current_ip;
+          update.server_ip = abp_ips[dev_rng.below(abp_ips.size())];
+          update.server_port = 443;
+          update.bytes = subscription->download_bytes + dev_rng.below(4096);
+          sink.on_tls(update);
+          ++stats.https_flows;
+          device.subscriptions.mark_updated(subscription->name, now_s);
+        }
+      }
+
+      for (std::uint32_t p = 0; p < pages; ++p) {
+        const std::uint64_t t_ms =
+            (hour_start_s + dev_rng.below(3600)) * 1000 + dev_rng.below(1000);
+
+        if (!device.is_browser) {
+          // Consoles/TVs/apps: API chatter, occasionally in-app ads.
+          trace::HttpTransaction txn;
+          txn.timestamp_ms = t_ms;
+          txn.client_ip = current_ip;
+          const bool in_app_ad = dev_rng.chance(0.15);
+          const auto mopub = ecosystem_.company_by_name("Mopub");
+          if (in_app_ad && mopub != SIZE_MAX) {
+            const auto& company = ecosystem_.companies()[mopub];
+            txn.server_ip =
+                company.servers[dev_rng.below(company.servers.size())];
+            txn.host = company.domains.front();
+            txn.uri = "/rtb/getad?app=" + std::to_string(dev_rng.below(500));
+            txn.content_type = "application/xml";
+            txn.content_length = 900 + dev_rng.below(4000);
+          } else {
+            const auto& pub = ecosystem_.publishers()[
+                ecosystem_.popularity().sample(dev_rng)];
+            txn.server_ip = pub.server;
+            txn.host = "api." + pub.domain;
+            txn.uri = "/v1/status?device=" + std::to_string(dev_rng.below(64));
+            txn.content_type = "application/xml";
+            txn.content_length = 300 + dev_rng.below(2000);
+          }
+          txn.user_agent = device.user_agent;
+          txn.tcp_handshake_us =
+              12'000 + static_cast<std::uint32_t>(dev_rng.below(20'000));
+          txn.http_handshake_us =
+              txn.tcp_handshake_us + 1'000 +
+              static_cast<std::uint32_t>(dev_rng.below(8'000));
+          sink.on_http(txn);
+          ++stats.http_requests;
+          stats.bytes += txn.content_length;
+          continue;
+        }
+
+        // Category choice: preferred categories with time-of-day shift.
+        std::size_t category = device.preferred_categories[dev_rng.below(3)];
+        const unsigned local_hour = clock.hour_at(hour_start_s);
+        const bool night = local_hour >= 22 || local_hour < 6;
+        if (night && dev_rng.chance(0.35)) {
+          category = dev_rng.chance(0.6)
+                         ? static_cast<std::size_t>(SiteCategory::kVideo)
+                         : static_cast<std::size_t>(SiteCategory::kAdult);
+        } else if (!night && dev_rng.chance(0.10)) {
+          category = static_cast<std::size_t>(SiteCategory::kNews);
+        }
+        const auto& sites = by_category[category];
+        if (sites.empty()) continue;
+        const auto publisher_index =
+            sites[category_zipf[category].sample(dev_rng)];
+
+        const PageLoad page = page_model_.build(publisher_index, dev_rng);
+        const auto emitted = apply_blocking(page, *device.blocker);
+        const auto counts =
+            emitter_.emit_page(page, emitted, t_ms, current_ip,
+                               device.user_agent, sink, dev_rng);
+        ++stats.pages;
+        stats.http_requests += counts.http_requests;
+        stats.https_flows += counts.https_requests;
+        stats.bytes += counts.bytes;
+      }
+    }
+  }
+
+  // Ground truth for validation.
+  stats.truth.reserve(devices.size());
+  for (const auto& device : devices) {
+    if (!device.is_browser) continue;
+    BrowserTruth truth;
+    truth.ip = device.ip;
+    truth.user_agent = device.user_agent;
+    truth.family = device.family;
+    truth.mobile = device.mobile;
+    truth.blocker = device.blocker_kind;
+    truth.abp_config = device.abp_config;
+    stats.truth.push_back(std::move(truth));
+  }
+  return stats;
+}
+
+}  // namespace adscope::sim

@@ -1,0 +1,104 @@
+#include "sim/ua_factory.h"
+
+#include <initializer_list>
+#include <iterator>
+
+namespace adscope::sim {
+
+namespace {
+
+const char* pick(util::Rng& rng, std::initializer_list<const char*> options) {
+  auto it = options.begin();
+  std::advance(it, static_cast<std::ptrdiff_t>(rng.below(options.size())));
+  return *it;
+}
+
+std::string windows_token(util::Rng& rng) {
+  return pick(rng, {"Windows NT 6.1", "Windows NT 6.3", "Windows NT 10.0",
+                    "Windows NT 6.1; WOW64", "Windows NT 6.3; WOW64"});
+}
+
+}  // namespace
+
+std::string make_desktop_ua(ua::BrowserFamily family, util::Rng& rng) {
+  switch (family) {
+    case ua::BrowserFamily::kFirefox: {
+      const int version = static_cast<int>(rng.range(31, 40));
+      const std::string os =
+          rng.chance(0.8) ? windows_token(rng)
+                          : "X11; Linux x86_64";
+      return "Mozilla/5.0 (" + os + "; rv:" + std::to_string(version) +
+             ".0) Gecko/20100101 Firefox/" + std::to_string(version) + ".0";
+    }
+    case ua::BrowserFamily::kChrome: {
+      const int version = static_cast<int>(rng.range(39, 45));
+      return "Mozilla/5.0 (" + windows_token(rng) +
+             ") AppleWebKit/537.36 (KHTML, like Gecko) Chrome/" +
+             std::to_string(version) + ".0." +
+             std::to_string(rng.range(2171, 2454)) + ".95 Safari/537.36";
+    }
+    case ua::BrowserFamily::kSafari: {
+      const int minor = static_cast<int>(rng.range(0, 2));
+      return std::string("Mozilla/5.0 (Macintosh; Intel Mac OS X 10_10_") +
+             std::to_string(rng.range(1, 5)) +
+             ") AppleWebKit/600.5.17 (KHTML, like Gecko) Version/8." +
+             std::to_string(minor) + " Safari/600.5.17";
+    }
+    case ua::BrowserFamily::kInternetExplorer: {
+      if (rng.chance(0.5)) {
+        return "Mozilla/5.0 (" + windows_token(rng) +
+               "; Trident/7.0; rv:11.0) like Gecko";
+      }
+      return "Mozilla/4.0 (compatible; MSIE 9.0; " + windows_token(rng) +
+             "; Trident/5.0)";
+    }
+    default:
+      return "Mozilla/5.0 (" + windows_token(rng) +
+             ") AppleWebKit/537.36 (KHTML, like Gecko) Chrome/42.0.2311.90 "
+             "Safari/537.36 OPR/29.0." +
+             std::to_string(rng.range(1795, 1800)) + ".47";
+  }
+}
+
+std::string make_mobile_ua(util::Rng& rng) {
+  if (rng.chance(0.55)) {
+    const int ios = static_cast<int>(rng.range(7, 9));
+    return "Mozilla/5.0 (iPhone; CPU iPhone OS " + std::to_string(ios) +
+           "_1 like Mac OS X) AppleWebKit/600.1.4 (KHTML, like Gecko) "
+           "Version/" +
+           std::to_string(ios) + ".0 Mobile/12B411 Safari/600.1.4";
+  }
+  const int android_minor = static_cast<int>(rng.range(0, 2));
+  return "Mozilla/5.0 (Linux; Android 5." + std::to_string(android_minor) +
+         "; SM-G90" + std::to_string(rng.range(0, 9)) +
+         "F Build/LRX21T) AppleWebKit/537.36 (KHTML, like Gecko) Chrome/" +
+         std::to_string(rng.range(39, 43)) + ".0.2214.89 Mobile Safari/537.36";
+}
+
+std::string make_console_ua(util::Rng& rng) {
+  return pick(rng,
+              {"Mozilla/5.0 (PlayStation 4 2.51) AppleWebKit/537.73 (KHTML, "
+               "like Gecko)",
+               "Mozilla/5.0 (Windows NT 6.2; Trident/7.0; Xbox; Xbox One)",
+               "Mozilla/5.0 (Nintendo WiiU) AppleWebKit/536.30 (KHTML, like "
+               "Gecko) NX/3.0.4.2.12 NintendoBrowser/4.3.1.11264.US"});
+}
+
+std::string make_smarttv_ua(util::Rng& rng) {
+  return pick(rng,
+              {"Mozilla/5.0 (SMART-TV; Linux; Tizen 2.3) AppleWebKit/538.1 "
+               "(KHTML, like Gecko) SamsungBrowser/1.0 TV Safari/538.1",
+               "Mozilla/5.0 (Linux; GoogleTV 3.2) AppleWebKit/534.24 (KHTML, "
+               "like Gecko) Chrome/11.0.696.77 Safari/534.24",
+               "HbbTV/1.2.1 (;Panasonic;VIERA 2015;3.001;0071;)"});
+}
+
+std::string make_app_ua(util::Rng& rng) {
+  return pick(
+      rng, {"Dalvik/2.1.0 (Linux; U; Android 5.0.1; Nexus 5 Build/LRX22C)",
+            "MobileGame/3.2.1 CFNetwork/711.3.18 Darwin/14.0.0",
+            "okhttp/2.3.0", "WeatherApp/5.1 (Android 4.4.4; de_DE) AppSDK/2.0",
+            "NewsReader/2.7 CFNetwork/711.1.16 Darwin/14.0.0"});
+}
+
+}  // namespace adscope::sim

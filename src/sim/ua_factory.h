@@ -1,0 +1,21 @@
+// User-Agent string synthesis for the RBN population.
+//
+// Produces realistic 2015-era strings per browser family / device class
+// with enough version variety that the heavy-hitter annotation step
+// (§6.1) faces a nontrivial string population.
+#pragma once
+
+#include <string>
+
+#include "ua/user_agent.h"
+#include "util/rng.h"
+
+namespace adscope::sim {
+
+std::string make_desktop_ua(ua::BrowserFamily family, util::Rng& rng);
+std::string make_mobile_ua(util::Rng& rng);
+std::string make_console_ua(util::Rng& rng);
+std::string make_smarttv_ua(util::Rng& rng);
+std::string make_app_ua(util::Rng& rng);
+
+}  // namespace adscope::sim

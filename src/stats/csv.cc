@@ -1,0 +1,47 @@
+#include "stats/csv.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+
+namespace adscope::stats {
+
+std::optional<std::string> csv_export_dir() {
+  const char* dir = std::getenv("ADSCOPE_CSV_DIR");
+  if (dir == nullptr || *dir == '\0') return std::nullopt;
+  return std::string(dir);
+}
+
+CsvWriter::CsvWriter(const std::string& dir, const std::string& name,
+                     const std::vector<std::string>& header)
+    : path_(dir + "/" + name + ".csv"), columns_(header.size()) {
+  add_row(header);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+  std::string out = "\"";
+  for (char c : cell) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out += '"';
+  return out;
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < columns_; ++i) {
+    if (i != 0) buffer_ += ',';
+    if (i < cells.size()) buffer_ += escape(cells[i]);
+  }
+  buffer_ += '\n';
+}
+
+CsvWriter::~CsvWriter() {
+  if (flushed_) return;
+  std::ofstream out(path_, std::ios::trunc);
+  if (out) out << buffer_;
+  flushed_ = true;
+}
+
+}  // namespace adscope::stats

@@ -1,0 +1,39 @@
+// CSV export for experiment outputs.
+//
+// Every bench prints its table/figure as text; setting ADSCOPE_CSV_DIR
+// additionally writes machine-readable CSVs so the figures can be
+// re-plotted with external tooling.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace adscope::stats {
+
+class CsvWriter {
+ public:
+  /// Opens `<dir>/<name>.csv`; throws std::runtime_error on failure.
+  CsvWriter(const std::string& dir, const std::string& name,
+            const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& cells);
+
+  const std::string& path() const noexcept { return path_; }
+
+ private:
+  static std::string escape(const std::string& cell);
+
+  std::string path_;
+  std::size_t columns_;
+  std::string buffer_;
+  bool flushed_ = false;
+
+ public:
+  ~CsvWriter();
+};
+
+/// Directory from ADSCOPE_CSV_DIR, or nullopt when exporting is off.
+std::optional<std::string> csv_export_dir();
+
+}  // namespace adscope::stats

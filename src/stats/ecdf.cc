@@ -1,0 +1,44 @@
+#include "stats/ecdf.h"
+
+#include <algorithm>
+
+namespace adscope::stats {
+
+void Ecdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(values_.begin(), values_.end());
+    sorted_ = true;
+  }
+}
+
+double Ecdf::fraction_at_or_below(double x) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  const auto it = std::upper_bound(values_.begin(), values_.end(), x);
+  return static_cast<double>(it - values_.begin()) /
+         static_cast<double>(values_.size());
+}
+
+double Ecdf::value_at(double q) const {
+  if (values_.empty()) return 0.0;
+  ensure_sorted();
+  if (q <= 0.0) return values_.front();
+  auto index = static_cast<std::size_t>(
+      q * static_cast<double>(values_.size()));
+  if (index >= values_.size()) index = values_.size() - 1;
+  return values_[index];
+}
+
+std::vector<std::pair<double, double>> Ecdf::curve() const {
+  std::vector<std::pair<double, double>> points;
+  if (values_.empty()) return points;
+  ensure_sorted();
+  const auto n = static_cast<double>(values_.size());
+  for (std::size_t i = 0; i < values_.size(); ++i) {
+    if (i + 1 < values_.size() && values_[i + 1] == values_[i]) continue;
+    points.emplace_back(values_[i], static_cast<double>(i + 1) / n);
+  }
+  return points;
+}
+
+}  // namespace adscope::stats

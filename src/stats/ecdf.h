@@ -1,0 +1,36 @@
+// Empirical cumulative distribution function (Figure 4 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+namespace adscope::stats {
+
+class Ecdf {
+ public:
+  void add(double value) {
+    values_.push_back(value);
+    sorted_ = false;
+  }
+
+  std::size_t size() const noexcept { return values_.size(); }
+  bool empty() const noexcept { return values_.empty(); }
+
+  /// Fraction of samples <= x.
+  double fraction_at_or_below(double x) const;
+
+  /// Smallest sample v with fraction_at_or_below(v) >= q.
+  double value_at(double q) const;
+
+  /// (x, F(x)) pairs at every distinct sample — plot-ready.
+  std::vector<std::pair<double, double>> curve() const;
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> values_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace adscope::stats

@@ -1,0 +1,48 @@
+#include "stats/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+namespace adscope::stats {
+
+LogLogHeatmap::LogLogHeatmap(double log10_max_x, double log10_max_y,
+                             std::size_t bins_x, std::size_t bins_y)
+    : log_max_x_(log10_max_x),
+      log_max_y_(log10_max_y),
+      bins_x_(bins_x == 0 ? 1 : bins_x),
+      bins_y_(bins_y == 0 ? 1 : bins_y),
+      cells_(bins_x_ * bins_y_, 0) {}
+
+void LogLogHeatmap::add(double x, double y) {
+  const double lx = std::log10(x + 1.0);
+  const double ly = std::log10(y + 1.0);
+  auto bx = static_cast<std::size_t>(lx / log_max_x_ *
+                                     static_cast<double>(bins_x_));
+  auto by = static_cast<std::size_t>(ly / log_max_y_ *
+                                     static_cast<double>(bins_y_));
+  bx = std::min(bx, bins_x_ - 1);
+  by = std::min(by, bins_y_ - 1);
+  ++cells_[by * bins_x_ + bx];
+  ++total_;
+}
+
+std::uint64_t LogLogHeatmap::max_cell() const noexcept {
+  std::uint64_t best = 0;
+  for (const auto c : cells_) best = std::max(best, c);
+  return best;
+}
+
+double LogLogHeatmap::x_edge(std::size_t bx) const noexcept {
+  return std::pow(10.0, log_max_x_ * static_cast<double>(bx) /
+                            static_cast<double>(bins_x_)) -
+         1.0;
+}
+
+double LogLogHeatmap::y_edge(std::size_t by) const noexcept {
+  return std::pow(10.0, log_max_y_ * static_cast<double>(by) /
+                            static_cast<double>(bins_y_)) -
+         1.0;
+}
+
+}  // namespace adscope::stats

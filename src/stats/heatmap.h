@@ -1,0 +1,40 @@
+// 2-D log-log heat map (Figure 3 of the paper: total vs ad requests per
+// (IP, User-Agent) pair).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adscope::stats {
+
+class LogLogHeatmap {
+ public:
+  LogLogHeatmap(double log10_max_x, double log10_max_y, std::size_t bins_x,
+                std::size_t bins_y);
+
+  /// Add a point; zero values land in the first bin (log(0+1)).
+  void add(double x, double y);
+
+  std::size_t bins_x() const noexcept { return bins_x_; }
+  std::size_t bins_y() const noexcept { return bins_y_; }
+  std::uint64_t count(std::size_t bx, std::size_t by) const noexcept {
+    return cells_[by * bins_x_ + bx];
+  }
+  std::uint64_t total() const noexcept { return total_; }
+  std::uint64_t max_cell() const noexcept;
+
+  /// Linear-unit lower edge of a column/row.
+  double x_edge(std::size_t bx) const noexcept;
+  double y_edge(std::size_t by) const noexcept;
+
+ private:
+  double log_max_x_;
+  double log_max_y_;
+  std::size_t bins_x_;
+  std::size_t bins_y_;
+  std::vector<std::uint64_t> cells_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace adscope::stats

@@ -1,0 +1,63 @@
+#include "stats/histogram.h"
+
+#include <cmath>
+
+namespace adscope::stats {
+
+LinearHistogram::LinearHistogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins == 0 ? 1 : bins, 0.0) {}
+
+void LinearHistogram::add(double value, double weight) {
+  const auto bins = static_cast<double>(counts_.size());
+  double pos = (value - lo_) / (hi_ - lo_) * bins;
+  if (pos < 0) pos = 0;
+  auto index = static_cast<std::size_t>(pos);
+  if (index >= counts_.size()) index = counts_.size() - 1;
+  counts_[index] += weight;
+  total_ += weight;
+}
+
+double LinearHistogram::bin_lo(std::size_t i) const noexcept {
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) /
+                   static_cast<double>(counts_.size());
+}
+
+double LinearHistogram::bin_hi(std::size_t i) const noexcept {
+  return bin_lo(i + 1);
+}
+
+std::vector<double> LinearHistogram::density() const {
+  std::vector<double> out(counts_.size(), 0.0);
+  if (total_ <= 0) return out;
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i] / (total_ * width);
+  }
+  return out;
+}
+
+LogHistogram::LogHistogram(double log10_lo, double log10_hi, std::size_t bins)
+    : hist_(log10_lo, log10_hi, bins) {}
+
+void LogHistogram::add(double value, double weight) {
+  const double logv = value > 0 ? std::log10(value) : hist_.bin_lo(0);
+  hist_.add(logv, weight);
+}
+
+double LogHistogram::bin_lo(std::size_t i) const noexcept {
+  return std::pow(10.0, hist_.bin_lo(i));
+}
+
+double LogHistogram::bin_center(std::size_t i) const noexcept {
+  return std::pow(10.0, 0.5 * (hist_.bin_lo(i) + hist_.bin_hi(i)));
+}
+
+std::size_t LogHistogram::mode_bin() const noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < hist_.bin_count(); ++i) {
+    if (hist_.count(i) > hist_.count(best)) best = i;
+  }
+  return best;
+}
+
+}  // namespace adscope::stats

@@ -1,0 +1,62 @@
+// Histograms and log-scale densities (Figures 6 and 7 of the paper).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace adscope::stats {
+
+/// Fixed-width histogram over [lo, hi); out-of-range samples clamp to the
+/// edge bins.
+class LinearHistogram {
+ public:
+  LinearHistogram(double lo, double hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+
+  std::size_t bin_count() const noexcept { return counts_.size(); }
+  double bin_lo(std::size_t i) const noexcept;
+  double bin_hi(std::size_t i) const noexcept;
+  double count(std::size_t i) const noexcept { return counts_[i]; }
+  double total() const noexcept { return total_; }
+
+  /// Probability density per bin (integrates to ~1 over the range).
+  std::vector<double> density() const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<double> counts_;
+  double total_ = 0.0;
+};
+
+/// Histogram over log10(value) — the density-of-the-logarithm view the
+/// paper uses for object sizes and handshake deltas. Values <= 0 clamp to
+/// the lowest bin.
+class LogHistogram {
+ public:
+  /// Bins spanning [10^log10_lo, 10^log10_hi).
+  LogHistogram(double log10_lo, double log10_hi, std::size_t bins);
+
+  void add(double value, double weight = 1.0);
+
+  std::size_t bin_count() const noexcept { return hist_.bin_count(); }
+  /// Geometric bin center in linear units.
+  double bin_center(std::size_t i) const noexcept;
+  double bin_lo(std::size_t i) const noexcept;
+  double count(std::size_t i) const noexcept { return hist_.count(i); }
+  double total() const noexcept { return hist_.total(); }
+
+  /// Density of log10(value) — directly comparable across histograms.
+  std::vector<double> density() const { return hist_.density(); }
+
+  /// Index of the densest bin ("mode"), useful for locating the paper's
+  /// 1 ms / 10 ms / 120 ms RTB modes.
+  std::size_t mode_bin() const noexcept;
+
+ private:
+  LinearHistogram hist_;
+};
+
+}  // namespace adscope::stats

@@ -1,0 +1,116 @@
+#include "stats/render.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adscope::stats {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void TextTable::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string TextTable::to_string() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line;
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c != 0) line += "  ";
+      line += row[c];
+      line.append(widths[c] - row[c].size(), ' ');
+    }
+    while (!line.empty() && line.back() == ' ') line.pop_back();
+    return line + "\n";
+  };
+  std::string out = render_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) {
+    total += widths[c] + (c == 0 ? 0 : 2);
+  }
+  out += std::string(total, '-') + "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+std::string bar(double value, double max_value, std::size_t max_width) {
+  if (max_value <= 0 || value <= 0) return {};
+  auto chars = static_cast<std::size_t>(
+      std::round(value / max_value * static_cast<double>(max_width)));
+  chars = std::min(chars, max_width);
+  return std::string(chars, '#');
+}
+
+std::string sparkline(const std::vector<double>& values, double max_value) {
+  static const char* kLevels[] = {" ", ".", ":", "-", "=", "+", "*", "#"};
+  constexpr int kNumLevels = 8;
+  std::string out;
+  for (double v : values) {
+    int level = 0;
+    if (max_value > 0 && v > 0) {
+      level = static_cast<int>(v / max_value * (kNumLevels - 1) + 0.999);
+      level = std::clamp(level, 1, kNumLevels - 1);
+    }
+    out += kLevels[level];
+  }
+  return out;
+}
+
+std::string boxplot_line(const BoxStats& box, double lo, double hi,
+                         std::size_t width) {
+  if (width < 4 || hi <= lo) return {};
+  std::string line(width, ' ');
+  auto col = [&](double v) {
+    double pos = (v - lo) / (hi - lo) * static_cast<double>(width - 1);
+    pos = std::clamp(pos, 0.0, static_cast<double>(width - 1));
+    return static_cast<std::size_t>(pos);
+  };
+  const auto wl = col(box.whisker_low);
+  const auto q1 = col(box.q1);
+  const auto md = col(box.median);
+  const auto q3 = col(box.q3);
+  const auto wh = col(box.whisker_high);
+  for (std::size_t i = wl; i <= wh && i < width; ++i) line[i] = '-';
+  for (std::size_t i = q1; i <= q3 && i < width; ++i) line[i] = '=';
+  line[wl] = '|';
+  line[wh] = '|';
+  line[md] = 'M';
+  return line;
+}
+
+std::string render_heatmap(const LogLogHeatmap& map, std::size_t max_rows) {
+  static const char kShades[] = " .:-=+*%@#";
+  const std::size_t shade_count = sizeof(kShades) - 2;
+  const double max_cell = static_cast<double>(map.max_cell());
+  std::string out;
+  const std::size_t rows = std::min(map.bins_y(), max_rows);
+  // Print top row (largest y) first, like the paper's axes.
+  for (std::size_t r = 0; r < rows; ++r) {
+    const std::size_t by = map.bins_y() - 1 - r;
+    std::string line;
+    for (std::size_t bx = 0; bx < map.bins_x(); ++bx) {
+      const auto c = static_cast<double>(map.count(bx, by));
+      std::size_t shade = 0;
+      if (c > 0 && max_cell > 0) {
+        // log shading: single pairs must stay visible next to dense cells.
+        shade = 1 + static_cast<std::size_t>(
+                        std::log1p(c) / std::log1p(max_cell) *
+                        static_cast<double>(shade_count - 1));
+        shade = std::min(shade, shade_count);
+      }
+      line += kShades[shade];
+    }
+    out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace adscope::stats

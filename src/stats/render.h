@@ -1,0 +1,45 @@
+// ASCII rendering of tables and figures for benchmark harness output.
+//
+// Every experiment binary prints the paper's table/figure as text so that
+// paper-vs-measured comparisons live in the terminal (and in
+// bench_output.txt) with no plotting dependency.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "stats/heatmap.h"
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+
+namespace adscope::stats {
+
+/// Column-aligned text table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a header underline; columns padded to the widest cell.
+  std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal bar of width proportional to value/max (max_width chars).
+std::string bar(double value, double max_value, std::size_t max_width);
+
+/// Sparkline over a series using 8-level block characters.
+std::string sparkline(const std::vector<double>& values, double max_value);
+
+/// One-line ASCII box plot of `box` over the axis [lo, hi].
+std::string boxplot_line(const BoxStats& box, double lo, double hi,
+                         std::size_t width);
+
+/// Shade a log-log heatmap with density characters.
+std::string render_heatmap(const LogLogHeatmap& map, std::size_t max_rows);
+
+}  // namespace adscope::stats

@@ -1,0 +1,69 @@
+#include "stats/summary.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adscope::stats {
+
+double sorted_quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1.0 - frac) + sorted[lo + 1] * frac;
+}
+
+double quantile(std::vector<double> values, double q) {
+  std::sort(values.begin(), values.end());
+  return sorted_quantile(values, q);
+}
+
+double mean(const std::vector<double>& values) {
+  if (values.empty()) return 0.0;
+  double total = 0.0;
+  for (double v : values) total += v;
+  return total / static_cast<double>(values.size());
+}
+
+double stddev(const std::vector<double>& values) {
+  if (values.size() < 2) return 0.0;
+  const double m = mean(values);
+  double ss = 0.0;
+  for (double v : values) ss += (v - m) * (v - m);
+  return std::sqrt(ss / static_cast<double>(values.size() - 1));
+}
+
+BoxStats box_stats(std::vector<double> values) {
+  BoxStats box;
+  if (values.empty()) return box;
+  std::sort(values.begin(), values.end());
+  box.n = values.size();
+  box.min = values.front();
+  box.max = values.back();
+  box.q1 = sorted_quantile(values, 0.25);
+  box.median = sorted_quantile(values, 0.50);
+  box.q3 = sorted_quantile(values, 0.75);
+  const double iqr = box.q3 - box.q1;
+  const double lo_fence = box.q1 - 1.5 * iqr;
+  const double hi_fence = box.q3 + 1.5 * iqr;
+  box.whisker_low = box.max;
+  box.whisker_high = box.min;
+  for (double v : values) {
+    if (v >= lo_fence) {
+      box.whisker_low = v;
+      break;
+    }
+  }
+  for (auto it = values.rbegin(); it != values.rend(); ++it) {
+    if (*it <= hi_fence) {
+      box.whisker_high = *it;
+      break;
+    }
+  }
+  return box;
+}
+
+}  // namespace adscope::stats

@@ -1,0 +1,34 @@
+// Order statistics and box-plot summaries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace adscope::stats {
+
+/// Linear-interpolated quantile (R-7, the numpy default). `q` in [0, 1].
+/// Sorts a copy; use sorted_quantile for pre-sorted data.
+double quantile(std::vector<double> values, double q);
+
+/// Quantile over already-sorted data.
+double sorted_quantile(const std::vector<double>& sorted, double q);
+
+double mean(const std::vector<double>& values);
+double stddev(const std::vector<double>& values);
+
+/// Tukey box-plot summary: quartiles plus whiskers at the most extreme
+/// points within 1.5 * IQR of the box (Figure 2 of the paper).
+struct BoxStats {
+  double min = 0;
+  double whisker_low = 0;
+  double q1 = 0;
+  double median = 0;
+  double q3 = 0;
+  double whisker_high = 0;
+  double max = 0;
+  std::size_t n = 0;
+};
+
+BoxStats box_stats(std::vector<double> values);
+
+}  // namespace adscope::stats

@@ -1,0 +1,37 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+
+namespace adscope::stats {
+
+BinnedTimeSeries::BinnedTimeSeries(std::uint64_t duration_s,
+                                   std::uint64_t bin_s,
+                                   std::vector<std::string> series_names)
+    : bin_s_(bin_s == 0 ? 1 : bin_s),
+      bins_(static_cast<std::size_t>((duration_s + bin_s_ - 1) / bin_s_)),
+      names_(std::move(series_names)) {
+  if (bins_ == 0) bins_ = 1;
+  data_.assign(names_.size(), std::vector<double>(bins_, 0.0));
+}
+
+void BinnedTimeSeries::add(std::size_t series, std::uint64_t timestamp_s,
+                           double weight) {
+  auto bin = static_cast<std::size_t>(timestamp_s / bin_s_);
+  if (bin >= bins_) bin = bins_ - 1;
+  data_[series][bin] += weight;
+}
+
+double BinnedTimeSeries::series_max(std::size_t series) const {
+  const auto& row = data_[series];
+  return row.empty() ? 0.0 : *std::max_element(row.begin(), row.end());
+}
+
+double BinnedTimeSeries::global_max() const {
+  double best = 0.0;
+  for (std::size_t s = 0; s < data_.size(); ++s) {
+    best = std::max(best, series_max(s));
+  }
+  return best;
+}
+
+}  // namespace adscope::stats

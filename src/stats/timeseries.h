@@ -1,0 +1,37 @@
+// Multi-series binned time series (Figure 5: 1-hour request/byte bins).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace adscope::stats {
+
+class BinnedTimeSeries {
+ public:
+  /// `duration_s` split into `bin_s`-second bins; `series` named streams.
+  BinnedTimeSeries(std::uint64_t duration_s, std::uint64_t bin_s,
+                   std::vector<std::string> series_names);
+
+  void add(std::size_t series, std::uint64_t timestamp_s, double weight = 1.0);
+
+  std::size_t series_count() const noexcept { return names_.size(); }
+  std::size_t bin_count() const noexcept { return bins_; }
+  std::uint64_t bin_seconds() const noexcept { return bin_s_; }
+  const std::string& name(std::size_t series) const { return names_[series]; }
+  double value(std::size_t series, std::size_t bin) const {
+    return data_[series][bin];
+  }
+  const std::vector<double>& series(std::size_t s) const { return data_[s]; }
+
+  double series_max(std::size_t series) const;
+  double global_max() const;
+
+ private:
+  std::uint64_t bin_s_;
+  std::size_t bins_;
+  std::vector<std::string> names_;
+  std::vector<std::vector<double>> data_;
+};
+
+}  // namespace adscope::stats

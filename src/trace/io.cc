@@ -1,0 +1,47 @@
+#include "trace/io.h"
+
+namespace adscope::trace {
+
+void write_varint(std::ostream& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.put(static_cast<char>((value & 0x7F) | 0x80));
+    value >>= 7;
+  }
+  out.put(static_cast<char>(value));
+}
+
+bool read_varint(std::istream& in, std::uint64_t& value) {
+  value = 0;
+  int shift = 0;
+  for (;;) {
+    const int byte = in.get();
+    if (byte == std::istream::traits_type::eof()) {
+      if (shift == 0) return false;  // clean EOF
+      throw TraceFormatError("truncated varint");
+    }
+    value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+    if (shift >= 64) throw TraceFormatError("varint overflow");
+  }
+}
+
+void write_string(std::ostream& out, std::string_view value) {
+  write_varint(out, value.size());
+  out.write(value.data(), static_cast<std::streamsize>(value.size()));
+}
+
+std::string read_string(std::istream& in) {
+  std::uint64_t length = 0;
+  if (!read_varint(in, length)) throw TraceFormatError("missing string");
+  constexpr std::uint64_t kMaxString = 1 << 20;
+  if (length > kMaxString) throw TraceFormatError("oversized string");
+  std::string value(length, '\0');
+  in.read(value.data(), static_cast<std::streamsize>(length));
+  if (static_cast<std::uint64_t>(in.gcount()) != length) {
+    throw TraceFormatError("truncated string");
+  }
+  return value;
+}
+
+}  // namespace adscope::trace

@@ -1,0 +1,29 @@
+// Varint/string primitives for the binary trace format.
+#pragma once
+
+#include <cstdint>
+#include <istream>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+
+namespace adscope::trace {
+
+/// Thrown on malformed trace files.
+class TraceFormatError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// LEB128-style unsigned varint.
+void write_varint(std::ostream& out, std::uint64_t value);
+
+/// Reads a varint; returns false on clean EOF at a value boundary and
+/// throws TraceFormatError on truncation mid-value.
+bool read_varint(std::istream& in, std::uint64_t& value);
+
+/// Length-prefixed raw string.
+void write_string(std::ostream& out, std::string_view value);
+std::string read_string(std::istream& in);
+
+}  // namespace adscope::trace

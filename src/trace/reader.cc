@@ -1,0 +1,108 @@
+#include "trace/reader.h"
+
+#include <array>
+#include <stdexcept>
+
+#include "trace/io.h"
+#include "trace/writer.h"
+
+namespace adscope::trace {
+
+FileTraceReader::FileTraceReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) throw std::runtime_error("cannot open trace file: " + path);
+  std::array<char, 4> magic{};
+  in_.read(magic.data(), magic.size());
+  if (in_.gcount() != 4 || std::string_view(magic.data(), 4) !=
+                               std::string_view(kTraceMagic, 4)) {
+    throw TraceFormatError("bad trace magic");
+  }
+  std::uint64_t version = 0;
+  if (!read_varint(in_, version) || version != kTraceVersion) {
+    throw TraceFormatError("unsupported trace version");
+  }
+  meta_.name = read_string(in_);
+  std::uint64_t value = 0;
+  read_varint(in_, value);
+  meta_.start_unix_s = value;
+  read_varint(in_, value);
+  meta_.duration_s = value;
+  read_varint(in_, value);
+  meta_.subscribers = static_cast<std::uint32_t>(value);
+  read_varint(in_, value);
+  meta_.uplink_gbps = static_cast<std::uint32_t>(value);
+}
+
+std::string FileTraceReader::lookup(std::uint64_t id) {
+  if (id == 0) return {};
+  if (id == dictionary_.size() + 1) {
+    dictionary_.push_back(read_string(in_));
+    return dictionary_.back();
+  }
+  if (id > dictionary_.size()) throw TraceFormatError("dictionary gap");
+  return dictionary_[id - 1];
+}
+
+std::uint64_t FileTraceReader::replay(TraceSink& sink) {
+  sink.on_meta(meta_);
+  std::uint64_t records = 0;
+  std::uint64_t tag = 0;
+  while (read_varint(in_, tag)) {
+    switch (static_cast<RecordTag>(tag)) {
+      case RecordTag::kEnd:
+        return records;
+      case RecordTag::kHttp: {
+        HttpTransaction txn;
+        std::uint64_t value = 0;
+        read_varint(in_, txn.timestamp_ms);
+        read_varint(in_, value);
+        txn.client_ip = static_cast<netdb::IpV4>(value);
+        read_varint(in_, value);
+        txn.server_ip = static_cast<netdb::IpV4>(value);
+        read_varint(in_, value);
+        txn.server_port = static_cast<std::uint16_t>(value);
+        read_varint(in_, value);
+        txn.status_code = static_cast<std::uint16_t>(value);
+        read_varint(in_, value);
+        txn.host = lookup(value);
+        txn.uri = read_string(in_);
+        txn.referer = read_string(in_);
+        read_varint(in_, value);
+        txn.user_agent = lookup(value);
+        read_varint(in_, value);
+        txn.content_type = lookup(value);
+        txn.location = read_string(in_);
+        read_varint(in_, txn.content_length);
+        read_varint(in_, value);
+        txn.tcp_handshake_us = static_cast<std::uint32_t>(value);
+        read_varint(in_, value);
+        txn.http_handshake_us = static_cast<std::uint32_t>(value);
+        txn.payload = read_string(in_);
+        sink.on_http(txn);
+        ++records;
+        break;
+      }
+      case RecordTag::kTls: {
+        TlsFlow flow;
+        std::uint64_t value = 0;
+        read_varint(in_, flow.timestamp_ms);
+        read_varint(in_, value);
+        flow.client_ip = static_cast<netdb::IpV4>(value);
+        read_varint(in_, value);
+        flow.server_ip = static_cast<netdb::IpV4>(value);
+        read_varint(in_, value);
+        flow.server_port = static_cast<std::uint16_t>(value);
+        read_varint(in_, flow.bytes);
+        sink.on_tls(flow);
+        ++records;
+        break;
+      }
+      default:
+        throw TraceFormatError("unknown record tag");
+    }
+  }
+  // Missing end marker: tolerate (e.g. interrupted writer) but report.
+  return records;
+}
+
+}  // namespace adscope::trace

@@ -1,0 +1,32 @@
+// Binary trace reader — replays a ".adst" file into a TraceSink.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "trace/record.h"
+
+namespace adscope::trace {
+
+class FileTraceReader {
+ public:
+  /// Opens and validates the header; throws TraceFormatError /
+  /// std::runtime_error on failure.
+  explicit FileTraceReader(const std::string& path);
+
+  const TraceMeta& meta() const noexcept { return meta_; }
+
+  /// Replays every record into `sink` (on_meta first). Returns the number
+  /// of records delivered.
+  std::uint64_t replay(TraceSink& sink);
+
+ private:
+  std::string lookup(std::uint64_t id);
+
+  std::ifstream in_;
+  TraceMeta meta_;
+  std::vector<std::string> dictionary_;  // id 1 = index 0
+};
+
+}  // namespace adscope::trace

@@ -1,0 +1,121 @@
+// Header-level trace records — the paper's measurement surface.
+//
+// The monitoring infrastructure (§5) captures TCP/HTTP *headers* only:
+// no payload is ever available. Two record kinds cover everything the
+// methodology consumes:
+//  * HttpTransaction — one HTTP request/response pair on port 80 with the
+//    fields Bro extracts (Host, URI, Referer, User-Agent, Content-Type,
+//    Content-Length, Location, status) plus the TCP- and HTTP-handshake
+//    timings used by the RTB analysis (§8.2).
+//  * TlsFlow — an opaque port-443 flow (endpoints, byte count). HTTPS
+//    payloads and URLs are invisible; only the server IP can be matched
+//    against the Adblock Plus update servers (§3.2).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netdb/ipv4.h"
+
+namespace adscope::trace {
+
+struct TraceMeta {
+  std::string name;              // "RBN-1", "RBN-2", "crawl-vanilla", ...
+  std::uint64_t start_unix_s = 0;
+  std::uint64_t duration_s = 0;
+  std::uint32_t subscribers = 0;  // DSL lines behind the vantage point
+  std::uint32_t uplink_gbps = 0;
+};
+
+struct HttpTransaction {
+  std::uint64_t timestamp_ms = 0;  // request time relative to trace start
+  netdb::IpV4 client_ip = 0;
+  netdb::IpV4 server_ip = 0;
+  std::uint16_t server_port = 80;
+  std::uint16_t status_code = 200;
+
+  std::string host;          // request Host header
+  std::string uri;           // request target (/path?query)
+  std::string referer;       // request Referer (empty when absent)
+  std::string user_agent;    // request User-Agent
+  std::string content_type;  // response Content-Type (empty when absent)
+  std::string location;      // response Location (redirects; empty o/w)
+  std::uint64_t content_length = 0;
+
+  // Timing observed at the aggregation-network monitor.
+  std::uint32_t tcp_handshake_us = 0;   // SYN-ACK minus SYN
+  std::uint32_t http_handshake_us = 0;  // first response minus first request
+
+  /// Response body, normally EMPTY: the paper's monitor never captures
+  /// payloads (§5 privacy). Populated only by simulators running in the
+  /// §10 "payload mode" extension.
+  std::string payload;
+};
+
+struct TlsFlow {
+  std::uint64_t timestamp_ms = 0;
+  netdb::IpV4 client_ip = 0;
+  netdb::IpV4 server_ip = 0;
+  std::uint16_t server_port = 443;
+  std::uint64_t bytes = 0;
+};
+
+/// Push-style consumer of a trace stream. Records arrive in timestamp
+/// order within each kind.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void on_meta(const TraceMeta& meta) = 0;
+  virtual void on_http(const HttpTransaction& txn) = 0;
+  virtual void on_tls(const TlsFlow& flow) = 0;
+};
+
+/// In-memory trace; both a sink and a replayable source. Useful for tests
+/// and for pipelines that skip the file system.
+class MemoryTrace final : public TraceSink {
+ public:
+  void on_meta(const TraceMeta& meta) override { meta_ = meta; }
+  void on_http(const HttpTransaction& txn) override { http_.push_back(txn); }
+  void on_tls(const TlsFlow& flow) override { tls_.push_back(flow); }
+
+  void replay(TraceSink& sink) const {
+    sink.on_meta(meta_);
+    for (const auto& txn : http_) sink.on_http(txn);
+    for (const auto& flow : tls_) sink.on_tls(flow);
+  }
+
+  const TraceMeta& meta() const noexcept { return meta_; }
+  const std::vector<HttpTransaction>& http() const noexcept { return http_; }
+  const std::vector<TlsFlow>& tls() const noexcept { return tls_; }
+  void clear() {
+    http_.clear();
+    tls_.clear();
+  }
+
+ private:
+  TraceMeta meta_;
+  std::vector<HttpTransaction> http_;
+  std::vector<TlsFlow> tls_;
+};
+
+/// Sink that forwards to several downstream sinks (e.g. write a file and
+/// feed the analyzer in one pass).
+class TeeSink final : public TraceSink {
+ public:
+  void add(TraceSink& sink) { sinks_.push_back(&sink); }
+  void on_meta(const TraceMeta& meta) override {
+    for (auto* s : sinks_) s->on_meta(meta);
+  }
+  void on_http(const HttpTransaction& txn) override {
+    for (auto* s : sinks_) s->on_http(txn);
+  }
+  void on_tls(const TlsFlow& flow) override {
+    for (auto* s : sinks_) s->on_tls(flow);
+  }
+
+ private:
+  std::vector<TraceSink*> sinks_;
+};
+
+}  // namespace adscope::trace

@@ -1,0 +1,84 @@
+#include "trace/writer.h"
+
+#include <stdexcept>
+
+#include "trace/io.h"
+
+namespace adscope::trace {
+
+FileTraceWriter::FileTraceWriter(const std::string& path)
+    : out_(path, std::ios::binary | std::ios::trunc) {
+  if (!out_) throw std::runtime_error("cannot open trace file: " + path);
+  out_.write(kTraceMagic, sizeof(kTraceMagic));
+  write_varint(out_, kTraceVersion);
+}
+
+FileTraceWriter::~FileTraceWriter() { close(); }
+
+void FileTraceWriter::close() {
+  if (closed_ || !out_.is_open()) return;
+  write_varint(out_, static_cast<std::uint64_t>(RecordTag::kEnd));
+  out_.flush();
+  out_.close();
+  closed_ = true;
+}
+
+void FileTraceWriter::on_meta(const TraceMeta& meta) {
+  if (meta_written_) throw std::logic_error("trace meta written twice");
+  write_string(out_, meta.name);
+  write_varint(out_, meta.start_unix_s);
+  write_varint(out_, meta.duration_s);
+  write_varint(out_, meta.subscribers);
+  write_varint(out_, meta.uplink_gbps);
+  meta_written_ = true;
+}
+
+void FileTraceWriter::write_dict_string(const std::string& value) {
+  if (value.empty()) {
+    write_varint(out_, 0);
+    return;
+  }
+  const auto it = dictionary_.find(value);
+  if (it != dictionary_.end()) {
+    write_varint(out_, it->second);
+    return;
+  }
+  dictionary_.emplace(value, next_id_);
+  write_varint(out_, next_id_);
+  write_string(out_, value);  // definition follows first use
+  ++next_id_;
+}
+
+void FileTraceWriter::on_http(const HttpTransaction& txn) {
+  if (!meta_written_) throw std::logic_error("trace meta missing");
+  write_varint(out_, static_cast<std::uint64_t>(RecordTag::kHttp));
+  write_varint(out_, txn.timestamp_ms);
+  write_varint(out_, txn.client_ip);
+  write_varint(out_, txn.server_ip);
+  write_varint(out_, txn.server_port);
+  write_varint(out_, txn.status_code);
+  write_dict_string(txn.host);
+  write_string(out_, txn.uri);
+  write_string(out_, txn.referer);
+  write_dict_string(txn.user_agent);
+  write_dict_string(txn.content_type);
+  write_string(out_, txn.location);
+  write_varint(out_, txn.content_length);
+  write_varint(out_, txn.tcp_handshake_us);
+  write_varint(out_, txn.http_handshake_us);
+  write_string(out_, txn.payload);
+  ++records_;
+}
+
+void FileTraceWriter::on_tls(const TlsFlow& flow) {
+  if (!meta_written_) throw std::logic_error("trace meta missing");
+  write_varint(out_, static_cast<std::uint64_t>(RecordTag::kTls));
+  write_varint(out_, flow.timestamp_ms);
+  write_varint(out_, flow.client_ip);
+  write_varint(out_, flow.server_ip);
+  write_varint(out_, flow.server_port);
+  write_varint(out_, flow.bytes);
+  ++records_;
+}
+
+}  // namespace adscope::trace

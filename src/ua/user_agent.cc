@@ -1,0 +1,129 @@
+#include "ua/user_agent.h"
+
+#include "util/strings.h"
+
+namespace adscope::ua {
+
+namespace {
+
+using util::ifind;
+
+int version_after(std::string_view ua, std::string_view token) {
+  const auto pos = ifind(ua, token);
+  if (pos == std::string_view::npos) return 0;
+  std::size_t i = pos + token.size();
+  int version = 0;
+  while (i < ua.size() && util::is_ascii_digit(ua[i])) {
+    version = version * 10 + (ua[i] - '0');
+    ++i;
+  }
+  return version;
+}
+
+bool contains(std::string_view ua, std::string_view needle) {
+  return ifind(ua, needle) != std::string_view::npos;
+}
+
+}  // namespace
+
+std::string_view to_string(BrowserFamily family) noexcept {
+  switch (family) {
+    case BrowserFamily::kFirefox: return "Firefox";
+    case BrowserFamily::kChrome: return "Chrome";
+    case BrowserFamily::kSafari: return "Safari";
+    case BrowserFamily::kInternetExplorer: return "IE";
+    case BrowserFamily::kOther: return "OtherBrowser";
+    case BrowserFamily::kNone: return "None";
+  }
+  return "None";
+}
+
+std::string_view to_string(DeviceClass device) noexcept {
+  switch (device) {
+    case DeviceClass::kDesktop: return "PC";
+    case DeviceClass::kMobile: return "Mobile";
+    case DeviceClass::kConsole: return "Console";
+    case DeviceClass::kSmartTv: return "SmartTV";
+    case DeviceClass::kApp: return "App";
+    case DeviceClass::kRobot: return "Robot";
+    case DeviceClass::kUnknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+AgentInfo parse_user_agent(std::string_view ua) {
+  AgentInfo info;
+  if (util::trim(ua).empty()) return info;
+
+  // Non-browser device classes first: their strings often *also* contain
+  // browser engine tokens ("Safari" appears in nearly everything WebKit).
+  if (contains(ua, "PlayStation") || contains(ua, "Xbox") ||
+      contains(ua, "Nintendo")) {
+    info.device = DeviceClass::kConsole;
+    return info;
+  }
+  if (contains(ua, "SmartTV") || contains(ua, "SMART-TV") ||
+      contains(ua, "AppleTV") || contains(ua, "GoogleTV") ||
+      contains(ua, "HbbTV")) {
+    info.device = DeviceClass::kSmartTv;
+    return info;
+  }
+  if (contains(ua, "bot") || contains(ua, "spider") ||
+      contains(ua, "crawler") || contains(ua, "curl/") ||
+      contains(ua, "wget") || contains(ua, "Microsoft-CryptoAPI") ||
+      contains(ua, "Windows-Update-Agent") || contains(ua, "Valve/Steam") ||
+      contains(ua, "iTunes/") || contains(ua, "WindowsMediaPlayer") ||
+      contains(ua, "VLC/")) {
+    info.device = DeviceClass::kRobot;
+    return info;
+  }
+  // App-embedded agents (in-app webviews, SDK fetchers).
+  if (contains(ua, "Dalvik/") || contains(ua, "okhttp") ||
+      contains(ua, "CFNetwork") || contains(ua, "FBAN") ||
+      contains(ua, "Instagram") || contains(ua, "GameCenter") ||
+      contains(ua, "AppSDK")) {
+    info.device = DeviceClass::kApp;
+    return info;
+  }
+
+  const bool mobile = contains(ua, "Mobile") || contains(ua, "Android") ||
+                      contains(ua, "iPhone") || contains(ua, "iPad") ||
+                      contains(ua, "Windows Phone");
+  info.device = mobile ? DeviceClass::kMobile : DeviceClass::kDesktop;
+
+  // Family detection ordered from most to least specific token.
+  if (contains(ua, "Trident/") || contains(ua, "MSIE")) {
+    info.family = BrowserFamily::kInternetExplorer;
+    info.major_version = version_after(ua, "MSIE ");
+    if (info.major_version == 0) info.major_version = version_after(ua, "rv:");
+    return info;
+  }
+  if (contains(ua, "Firefox/")) {
+    info.family = BrowserFamily::kFirefox;
+    info.major_version = version_after(ua, "Firefox/");
+    return info;
+  }
+  if (contains(ua, "Edge/") || contains(ua, "OPR/") ||
+      contains(ua, "Opera")) {
+    info.family = BrowserFamily::kOther;
+    return info;
+  }
+  if (contains(ua, "Chrome/") || contains(ua, "CriOS/")) {
+    info.family = BrowserFamily::kChrome;
+    info.major_version = version_after(ua, "Chrome/");
+    if (info.major_version == 0) {
+      info.major_version = version_after(ua, "CriOS/");
+    }
+    return info;
+  }
+  if (contains(ua, "Safari/") && contains(ua, "AppleWebKit")) {
+    info.family = BrowserFamily::kSafari;
+    info.major_version = version_after(ua, "Version/");
+    return info;
+  }
+  info.family = BrowserFamily::kNone;
+  info.device = DeviceClass::kUnknown;
+  return info;
+}
+
+}  // namespace adscope::ua

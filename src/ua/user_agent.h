@@ -1,0 +1,55 @@
+// User-Agent string classification.
+//
+// The paper separates devices behind NAT gateways by (IP, User-Agent)
+// pair and then restricts the ad-blocker analysis to strings that belong
+// to well-known desktop or mobile *browsers*, discarding consoles, smart
+// TVs, update tools and app-specific agents (§6, §6.1). This module
+// implements that annotation step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace adscope::ua {
+
+enum class BrowserFamily : std::uint8_t {
+  kFirefox,
+  kChrome,
+  kSafari,
+  kInternetExplorer,
+  kOther,  // recognized browser outside the four families
+  kNone,   // not a browser
+};
+
+enum class DeviceClass : std::uint8_t {
+  kDesktop,
+  kMobile,
+  kConsole,
+  kSmartTv,
+  kApp,     // mobile/desktop application with a custom agent
+  kRobot,   // crawlers, update tools, media players
+  kUnknown,
+};
+
+std::string_view to_string(BrowserFamily family) noexcept;
+std::string_view to_string(DeviceClass device) noexcept;
+
+struct AgentInfo {
+  BrowserFamily family = BrowserFamily::kNone;
+  DeviceClass device = DeviceClass::kUnknown;
+  int major_version = 0;
+
+  /// The paper's analysis population: a desktop browser of a known family
+  /// or any mobile browser.
+  bool is_browser() const noexcept {
+    return family != BrowserFamily::kNone &&
+           (device == DeviceClass::kDesktop || device == DeviceClass::kMobile);
+  }
+};
+
+/// Parse a User-Agent header value. Unknown strings yield
+/// {kNone, kUnknown} and are excluded from browser-level analyses.
+AgentInfo parse_user_agent(std::string_view user_agent);
+
+}  // namespace adscope::ua

@@ -1,0 +1,56 @@
+#include "util/format.h"
+
+#include <array>
+#include <cmath>
+#include <cstdio>
+
+namespace adscope::util {
+
+std::string fixed(double value, int decimals) {
+  std::array<char, 64> buf{};
+  std::snprintf(buf.data(), buf.size(), "%.*f", decimals, value);
+  return std::string(buf.data());
+}
+
+std::string percent(double fraction, int decimals) {
+  return fixed(fraction * 100.0, decimals) + "%";
+}
+
+namespace {
+std::string with_suffix(double value, const char* suffix, int decimals) {
+  return fixed(value, decimals) + suffix;
+}
+}  // namespace
+
+std::string human_bytes(double bytes) {
+  constexpr double kKilo = 1000.0;
+  if (bytes >= kKilo * kKilo * kKilo * kKilo) {
+    return with_suffix(bytes / (kKilo * kKilo * kKilo * kKilo), "T", 1);
+  }
+  if (bytes >= kKilo * kKilo * kKilo) {
+    return with_suffix(bytes / (kKilo * kKilo * kKilo), "G", 1);
+  }
+  if (bytes >= kKilo * kKilo) {
+    return with_suffix(bytes / (kKilo * kKilo), "M", 1);
+  }
+  if (bytes >= kKilo) {
+    return with_suffix(bytes / kKilo, "K", 1);
+  }
+  return with_suffix(bytes, "B", 0);
+}
+
+std::string human_count(double count, int decimals) {
+  constexpr double kKilo = 1000.0;
+  if (count >= kKilo * kKilo * kKilo) {
+    return with_suffix(count / (kKilo * kKilo * kKilo), "B", decimals);
+  }
+  if (count >= kKilo * kKilo) {
+    return with_suffix(count / (kKilo * kKilo), "M", decimals);
+  }
+  if (count >= kKilo) {
+    return with_suffix(count / kKilo, "K", decimals);
+  }
+  return fixed(count, count == std::floor(count) ? 0 : decimals);
+}
+
+}  // namespace adscope::util

@@ -1,0 +1,21 @@
+// Small formatting helpers for bench/table output.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adscope::util {
+
+/// "12.3%" with the given number of decimals.
+std::string percent(double fraction, int decimals = 1);
+
+/// Human-readable byte count: "18.8T", "1.4G", "312K".
+std::string human_bytes(double bytes);
+
+/// Human-readable count: "131.95M", "19.7K".
+std::string human_count(double count, int decimals = 2);
+
+/// Fixed-width decimal with the given number of decimals.
+std::string fixed(double value, int decimals);
+
+}  // namespace adscope::util

@@ -1,0 +1,40 @@
+// FNV-1a hashing for strings and small keys.
+//
+// Used by the filter engine's token index and the user index; chosen for
+// determinism across platforms (std::hash makes no such promise).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace adscope::util {
+
+constexpr std::uint64_t kFnvOffset = 0xCBF29CE484222325ULL;
+constexpr std::uint64_t kFnvPrime = 0x100000001B3ULL;
+
+constexpr std::uint64_t fnv1a(std::string_view s,
+                              std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (char c : s) {
+    h ^= static_cast<std::uint8_t>(c);
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+constexpr std::uint64_t fnv1a_u64(std::uint64_t value,
+                                  std::uint64_t seed = kFnvOffset) noexcept {
+  std::uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (value >> (i * 8)) & 0xFFU;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+/// Combine two hashes (boost-style).
+constexpr std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) noexcept {
+  return a ^ (b + 0x9E3779B97F4A7C15ULL + (a << 12) + (a >> 4));
+}
+
+}  // namespace adscope::util

@@ -1,0 +1,197 @@
+// Deterministic pseudo-random number generation.
+//
+// All randomness in adscope flows from a single 64-bit seed so that every
+// synthetic trace, table and figure is bit-for-bit reproducible. We use
+// splitmix64 for seeding and xoshiro256** for the stream (public-domain
+// algorithms by Blackman & Vigna); <random> engines are avoided because
+// their distributions are not cross-platform deterministic.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <numbers>
+#include <vector>
+
+namespace adscope::util {
+
+/// splitmix64: used to expand one seed into generator state and to derive
+/// independent sub-streams (e.g. one per simulated user).
+constexpr std::uint64_t splitmix64(std::uint64_t& state) noexcept {
+  state += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** deterministic PRNG with explicit, portable distributions.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) noexcept {
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// Derive an independent generator; `salt` distinguishes sub-streams
+  /// spawned from the same parent state.
+  Rng fork(std::uint64_t salt) noexcept {
+    return Rng(next() ^ (salt * 0x9E3779B97F4A7C15ULL));
+  }
+
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound == 0 returns 0.
+  std::uint64_t below(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Rejection sampling to remove modulo bias.
+    const std::uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) noexcept {
+    const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+    return lo + static_cast<std::int64_t>(below(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept {
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) noexcept { return uniform() < p; }
+
+  /// Exponential with the given mean (mean > 0).
+  double exponential(double mean) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return -mean * std::log(u);
+  }
+
+  /// Standard normal via Box–Muller.
+  double normal() noexcept {
+    double u1;
+    do {
+      u1 = uniform();
+    } while (u1 <= 0.0);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * std::numbers::pi * u2);
+  }
+
+  double normal(double mean, double stddev) noexcept {
+    return mean + stddev * normal();
+  }
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) noexcept {
+    return std::exp(normal(mu, sigma));
+  }
+
+  /// Pareto (heavy tail) with scale xm > 0 and shape alpha > 0.
+  double pareto(double xm, double alpha) noexcept {
+    double u;
+    do {
+      u = uniform();
+    } while (u <= 0.0);
+    return xm / std::pow(u, 1.0 / alpha);
+  }
+
+  /// Poisson-distributed count. Knuth's method below lambda = 30, normal
+  /// approximation above (adequate for workload generation).
+  std::uint32_t poisson(double lambda) noexcept {
+    if (lambda <= 0.0) return 0;
+    if (lambda < 30.0) {
+      const double limit = std::exp(-lambda);
+      double product = uniform();
+      std::uint32_t count = 0;
+      while (product > limit) {
+        ++count;
+        product *= uniform();
+      }
+      return count;
+    }
+    const double value = normal(lambda, std::sqrt(lambda));
+    return value <= 0.0 ? 0 : static_cast<std::uint32_t>(value + 0.5);
+  }
+
+  /// Pick an index according to non-negative weights; weights must not all
+  /// be zero.
+  std::size_t weighted(const std::vector<double>& weights) noexcept {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double x = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      x -= weights[i];
+      if (x < 0.0) return i;
+    }
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Precomputed Zipf sampler over ranks [0, n): rank r has probability
+/// proportional to 1/(r+1)^s. Used for site popularity and user activity,
+/// which the paper observes to be heavy-tailed.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    double total = 0.0;
+    for (std::size_t r = 0; r < n; ++r) {
+      total += 1.0 / std::pow(static_cast<double>(r + 1), s);
+      cdf_[r] = total;
+    }
+    for (auto& v : cdf_) v /= total;
+  }
+
+  std::size_t size() const noexcept { return cdf_.size(); }
+
+  std::size_t sample(Rng& rng) const noexcept {
+    const double u = rng.uniform();
+    // Binary search for the first rank whose cumulative mass exceeds u.
+    std::size_t lo = 0;
+    std::size_t hi = cdf_.size();
+    while (lo < hi) {
+      const std::size_t mid = lo + (hi - lo) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo < cdf_.size() ? lo : cdf_.size() - 1;
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace adscope::util

@@ -1,0 +1,60 @@
+// String utilities shared across adscope.
+//
+// All functions are ASCII-oriented: HTTP header fields, URLs and filter
+// rules are ASCII by specification (non-ASCII bytes pass through
+// untouched), so no locale machinery is involved.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adscope::util {
+
+/// Lower-case a single ASCII character; non-letters pass through.
+constexpr char ascii_lower(char c) noexcept {
+  return (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+}
+
+constexpr bool is_ascii_digit(char c) noexcept { return c >= '0' && c <= '9'; }
+
+constexpr bool is_ascii_alpha(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z');
+}
+
+constexpr bool is_ascii_alnum(char c) noexcept {
+  return is_ascii_digit(c) || is_ascii_alpha(c);
+}
+
+/// Lower-case an entire string (ASCII only).
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix` (case-sensitive).
+bool starts_with(std::string_view s, std::string_view prefix) noexcept;
+
+/// True if `s` ends with `suffix` (case-sensitive).
+bool ends_with(std::string_view s, std::string_view suffix) noexcept;
+
+/// Case-insensitive ASCII equality.
+bool iequals(std::string_view a, std::string_view b) noexcept;
+
+/// Case-insensitive substring search; returns npos when absent.
+std::size_t ifind(std::string_view haystack, std::string_view needle) noexcept;
+
+/// Strip leading/trailing ASCII whitespace (SP, HTAB, CR, LF).
+std::string_view trim(std::string_view s) noexcept;
+
+/// Split on a single character; empty fields are kept.
+std::vector<std::string_view> split(std::string_view s, char sep);
+
+/// Split on a single character, dropping empty fields.
+std::vector<std::string_view> split_nonempty(std::string_view s, char sep);
+
+/// Join pieces with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Parse a non-negative decimal integer; returns false on any non-digit or
+/// overflow. Used for Content-Length and friends where leniency is a bug.
+bool parse_u64(std::string_view s, std::uint64_t& out) noexcept;
+
+}  // namespace adscope::util

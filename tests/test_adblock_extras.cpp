@@ -1,0 +1,151 @@
+// adblock extras: regex rules, element-hiding index, subscription
+// schedule.
+#include <gtest/gtest.h>
+
+#include "adblock/element_hiding.h"
+#include "adblock/engine.h"
+#include "adblock/subscription.h"
+
+namespace adscope::adblock {
+namespace {
+
+using http::RequestType;
+
+// ---------------------------------------------------------------- regex
+TEST(RegexFilter, BasicMatch) {
+  const auto filter = Filter::parse(R"(/banner\d+\.gif/)");
+  ASSERT_TRUE(filter.has_value());
+  EXPECT_TRUE(filter->is_regex());
+  EXPECT_TRUE(filter->matches(make_request("http://x.test/banner42.gif", "",
+                                           RequestType::kImage)));
+  EXPECT_FALSE(filter->matches(make_request("http://x.test/banner.gif", "",
+                                            RequestType::kImage)));
+}
+
+TEST(RegexFilter, CaseInsensitiveByDefault) {
+  const auto filter = Filter::parse(R"(/AD[0-9]+/)");
+  ASSERT_TRUE(filter.has_value());
+  EXPECT_TRUE(filter->matches(make_request("http://x.test/ad77", "",
+                                           RequestType::kImage)));
+}
+
+TEST(RegexFilter, PathLiteralIsNotRegex) {
+  // "/banners/" has no regex metacharacters: stays a substring rule.
+  const auto filter = Filter::parse("/banners/");
+  ASSERT_TRUE(filter.has_value());
+  EXPECT_FALSE(filter->is_regex());
+}
+
+TEST(RegexFilter, MalformedRegexDiscarded) {
+  EXPECT_FALSE(Filter::parse(R"(/ads[/)").has_value());
+}
+
+TEST(RegexFilter, OptionsStillApply) {
+  const auto filter = Filter::parse(R"(/track(er)?\.js/$script)");
+  ASSERT_TRUE(filter.has_value());
+  EXPECT_TRUE(filter->matches(make_request("http://x.test/tracker.js", "",
+                                           RequestType::kScript)));
+  EXPECT_FALSE(filter->matches(make_request("http://x.test/tracker.js", "",
+                                            RequestType::kImage)));
+}
+
+TEST(RegexFilter, UnindexedButReachableThroughEngine) {
+  FilterEngine engine;
+  engine.add_list(FilterList::parse(R"(/ad-[a-f0-9]{8}/)",
+                                    ListKind::kEasyList, "regex"));
+  const auto verdict = engine.classify(make_request(
+      "http://x.test/ad-deadbeef", "http://page.test/", RequestType::kImage));
+  EXPECT_EQ(verdict.decision, Decision::kBlocked);
+  EXPECT_EQ(engine.classify(make_request("http://x.test/ad-zzz", "",
+                                         RequestType::kImage))
+                .decision,
+            Decision::kNoMatch);
+}
+
+// -------------------------------------------------------- element hiding
+TEST(ElementHiding, GenericAndScopedSelectors) {
+  const auto list = FilterList::parse(
+      "##.ad-banner\n"
+      "news.test##.sponsored\n"
+      "news.test,~live.news.test###skyscraper\n"
+      "shop.test#@#.ad-banner\n",
+      ListKind::kEasyList, "el");
+  ElementHidingIndex index;
+  index.add_list(list);
+  EXPECT_EQ(index.rule_count(), 3u);
+  EXPECT_EQ(index.exception_count(), 1u);
+
+  const auto news = index.selectors_for("news.test");
+  EXPECT_EQ(news.size(), 3u);  // generic + both scoped rules
+
+  const auto live = index.selectors_for("live.news.test");
+  ASSERT_EQ(live.size(), 2u);  // #skyscraper excluded
+
+  const auto shop = index.selectors_for("shop.test");
+  // Generic .ad-banner is excepted on shop.test via "#@#".
+  EXPECT_TRUE(shop.empty());
+
+  const auto other = index.selectors_for("other.test");
+  ASSERT_EQ(other.size(), 1u);
+  EXPECT_EQ(other[0], ".ad-banner");
+}
+
+TEST(ElementHiding, SubdomainScoping) {
+  const auto list = FilterList::parse("news.test##.ad\n",
+                                      ListKind::kEasyList, "el");
+  ElementHidingIndex index;
+  index.add_list(list);
+  EXPECT_EQ(index.selectors_for("m.news.test").size(), 1u);
+  EXPECT_TRUE(index.selectors_for("newsy.test").empty());
+}
+
+// ----------------------------------------------------------- subscription
+FilterList list_with_expiry(const char* expires, const char* name) {
+  const std::string text =
+      std::string("! Expires: ") + expires + "\n/rule1/\n/rule2/x+/\n";
+  return FilterList::parse(text, ListKind::kEasyList, name);
+}
+
+TEST(Subscriptions, FreshInstallFetchesImmediately) {
+  SubscriptionManager manager;
+  manager.subscribe(list_with_expiry("4 days", "easylist"));
+  const auto due = manager.due(0);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0]->name, "easylist");
+  EXPECT_GT(due[0]->download_bytes, 0u);
+}
+
+TEST(Subscriptions, SoftExpirySchedule) {
+  SubscriptionManager manager;
+  manager.subscribe(list_with_expiry("1 days", "easyprivacy"),
+                    /*last_updated_s=*/0);
+  EXPECT_TRUE(manager.due(3600).empty());
+  EXPECT_EQ(manager.due(24 * 3600).size(), 1u);
+  manager.mark_updated("easyprivacy", 24 * 3600);
+  EXPECT_TRUE(manager.due(25 * 3600).empty());
+  EXPECT_EQ(manager.due(48 * 3600).size(), 1u);
+}
+
+TEST(Subscriptions, MixedExpiries) {
+  SubscriptionManager manager;
+  manager.subscribe(list_with_expiry("4 days", "easylist"), 0);
+  manager.subscribe(list_with_expiry("1 days", "easyprivacy"), 0);
+  EXPECT_EQ(manager.next_due_s(), 24 * 3600);
+  const auto due = manager.due(2 * 24 * 3600);
+  ASSERT_EQ(due.size(), 1u);
+  EXPECT_EQ(due[0]->name, "easyprivacy");
+  EXPECT_EQ(manager.due(5 * 24 * 3600).size(), 2u);
+}
+
+TEST(Subscriptions, BackdatedInstall) {
+  SubscriptionManager manager;
+  // Updated 3 days before the trace started; 4-day expiry -> due after
+  // one more day.
+  manager.subscribe(list_with_expiry("4 days", "easylist"),
+                    -3 * 24 * 3600);
+  EXPECT_TRUE(manager.due(12 * 3600).empty());
+  EXPECT_EQ(manager.due(25 * 3600).size(), 1u);
+}
+
+}  // namespace
+}  // namespace adscope::adblock

@@ -1,0 +1,145 @@
+// sim: browser-side blocking emulation — transitive suppression and the
+// §4.1 profile semantics.
+#include <gtest/gtest.h>
+
+#include "sim/browser_profile.h"
+
+namespace adscope::sim {
+namespace {
+
+class BlockingTest : public ::testing::Test {
+ protected:
+  static EcosystemOptions small() {
+    EcosystemOptions options;
+    options.publishers = 200;
+    return options;
+  }
+  Ecosystem eco_ = Ecosystem::generate(42, small());
+  GeneratedLists lists_ = generate_lists(eco_);
+  PageModel model_{eco_};
+};
+
+TEST_F(BlockingTest, NoBlockerKeepsEverything) {
+  NoBlocker blocker;
+  util::Rng rng(1);
+  const auto page = model_.build(0, rng);
+  const auto emitted = apply_blocking(page, blocker);
+  for (const auto flag : emitted) EXPECT_TRUE(flag);
+}
+
+TEST_F(BlockingTest, ChildrenOfBlockedRequestsSuppressed) {
+  // Hand-built page: doc -> ad script -> bid -> creative.
+  PageLoad page;
+  page.page_url = "http://news-0.example/";
+  SimRequest doc;
+  doc.parent = -1;
+  doc.url = page.page_url;
+  doc.true_type = http::RequestType::kDocument;
+  page.requests.push_back(doc);
+  SimRequest script;
+  script.parent = 0;
+  script.url = "http://adserv.googlesim.com/ads/show.js?slot=0";
+  script.true_type = http::RequestType::kScript;
+  page.requests.push_back(script);
+  SimRequest creative;
+  creative.parent = 1;
+  creative.url = "http://news-0.example/harmless.gif";  // itself unblocked
+  creative.true_type = http::RequestType::kImage;
+  page.requests.push_back(creative);
+
+  AbpBlocker blocker(lists_, ListSelection{});
+  const auto emitted = apply_blocking(page, blocker);
+  EXPECT_TRUE(emitted[0]);
+  EXPECT_FALSE(emitted[1]);  // blocked directly
+  EXPECT_FALSE(emitted[2]);  // suppressed transitively
+}
+
+TEST_F(BlockingTest, AbpParanoiaBlocksMoreThanAds) {
+  AbpBlocker ads(lists_, ListSelection{.easylist = true,
+                                       .derivative = false,
+                                       .easyprivacy = false,
+                                       .acceptable_ads = true});
+  AbpBlocker paranoia(lists_, ListSelection{.easylist = true,
+                                            .derivative = false,
+                                            .easyprivacy = true,
+                                            .acceptable_ads = false});
+  util::Rng rng(3);
+  std::size_t kept_ads = 0;
+  std::size_t kept_paranoia = 0;
+  for (std::size_t site = 0; site < 60; ++site) {
+    util::Rng page_rng(site);
+    const auto page = model_.build(site, page_rng);
+    for (const auto flag : apply_blocking(page, ads)) kept_ads += flag;
+    for (const auto flag : apply_blocking(page, paranoia)) {
+      kept_paranoia += flag;
+    }
+  }
+  EXPECT_LT(kept_paranoia, kept_ads);
+  (void)rng;
+}
+
+TEST_F(BlockingTest, AcceptableAdsSurviveDefaultConfig) {
+  AbpBlocker default_config(lists_, ListSelection{});  // EL + AA
+  AbpBlocker aa_optout(lists_, ListSelection{.easylist = true,
+                                             .derivative = false,
+                                             .easyprivacy = false,
+                                             .acceptable_ads = false});
+  PageLoad page;
+  page.page_url = "http://news-0.example/";
+  SimRequest doc;
+  doc.parent = -1;
+  doc.url = page.page_url;
+  doc.true_type = http::RequestType::kDocument;
+  page.requests.push_back(doc);
+  SimRequest aa_ad;
+  aa_ad.parent = 0;
+  aa_ad.url = "http://adserv.googlesim.com/aa/creative/b1.gif";
+  aa_ad.true_type = http::RequestType::kImage;
+  aa_ad.intent = Intent::kAaAd;
+  page.requests.push_back(aa_ad);
+
+  EXPECT_TRUE(apply_blocking(page, default_config)[1]);
+  EXPECT_FALSE(apply_blocking(page, aa_optout)[1]);
+}
+
+TEST_F(BlockingTest, GhosteryBlocksKnownThirdPartiesOnly) {
+  GhosteryBlocker blocker(build_ghostery_db(eco_),
+                          GhosteryDb::Selection::ads());
+  PageLoad page;
+  page.page_url = "http://news-0.example/";
+  SimRequest first_party;
+  first_party.url = "http://news-0.example/banners/self.gif";
+  SimRequest known_ad;
+  known_ad.url = "http://ad.doubleclick-sim.com/b.gif";
+  SimRequest unknown_host;
+  unknown_host.url = "http://unknown-server.test/b.gif";
+  EXPECT_FALSE(blocker.blocks(first_party, page));
+  EXPECT_TRUE(blocker.blocks(known_ad, page));
+  EXPECT_FALSE(blocker.blocks(unknown_host, page));
+}
+
+TEST_F(BlockingTest, ModeFactoryCoversAllProfiles) {
+  const BrowserMode modes[] = {
+      BrowserMode::kVanilla,        BrowserMode::kAbpAds,
+      BrowserMode::kAbpPrivacy,     BrowserMode::kAbpParanoia,
+      BrowserMode::kGhosteryAds,    BrowserMode::kGhosteryPrivacy,
+      BrowserMode::kGhosteryParanoia};
+  util::Rng rng(5);
+  const auto page = model_.build(0, rng);
+  for (const auto mode : modes) {
+    const auto blocker = make_blocker(mode, lists_, eco_);
+    ASSERT_NE(blocker, nullptr) << to_string(mode);
+    const auto emitted = apply_blocking(page, *blocker);
+    EXPECT_EQ(emitted.size(), page.requests.size());
+    EXPECT_TRUE(emitted[0]) << "main document must never be blocked";
+  }
+}
+
+TEST_F(BlockingTest, ProfileNamesMatchPaper) {
+  EXPECT_EQ(to_string(BrowserMode::kVanilla), "Vanilla");
+  EXPECT_EQ(to_string(BrowserMode::kAbpParanoia), "AdBP-Pa");
+  EXPECT_EQ(to_string(BrowserMode::kGhosteryPrivacy), "Ghostery-Pr");
+}
+
+}  // namespace
+}  // namespace adscope::sim

@@ -1,0 +1,132 @@
+// sim: ecosystem generation invariants and determinism.
+#include <gtest/gtest.h>
+
+#include "sim/ecosystem.h"
+
+namespace adscope::sim {
+namespace {
+
+class EcosystemTest : public ::testing::Test {
+ protected:
+  static EcosystemOptions small() {
+    EcosystemOptions options;
+    options.publishers = 300;
+    return options;
+  }
+  Ecosystem eco_ = Ecosystem::generate(42, small());
+};
+
+TEST_F(EcosystemTest, Determinism) {
+  const auto other = Ecosystem::generate(42, small());
+  ASSERT_EQ(eco_.publishers().size(), other.publishers().size());
+  for (std::size_t i = 0; i < eco_.publishers().size(); ++i) {
+    EXPECT_EQ(eco_.publishers()[i].domain, other.publishers()[i].domain);
+    EXPECT_EQ(eco_.publishers()[i].server, other.publishers()[i].server);
+  }
+  ASSERT_EQ(eco_.companies().size(), other.companies().size());
+  for (std::size_t i = 0; i < eco_.companies().size(); ++i) {
+    EXPECT_EQ(eco_.companies()[i].servers, other.companies()[i].servers);
+  }
+}
+
+TEST_F(EcosystemTest, DifferentSeedsDiffer) {
+  const auto other = Ecosystem::generate(43, small());
+  bool any_different = false;
+  for (std::size_t i = 0; i < eco_.publishers().size(); ++i) {
+    any_different |= eco_.publishers()[i].domain != other.publishers()[i].domain;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+TEST_F(EcosystemTest, ServersLiveInOwnersPrefix) {
+  for (const auto& company : eco_.companies()) {
+    const auto& entry = eco_.as_entry(company.as_number);
+    for (const auto ip : company.servers) {
+      EXPECT_TRUE(entry.prefix.contains(ip))
+          << company.name << " server outside its AS prefix";
+      EXPECT_EQ(eco_.asn_db().lookup(ip), company.as_number);
+    }
+  }
+}
+
+TEST_F(EcosystemTest, PublisherInvariants) {
+  for (const auto& publisher : eco_.publishers()) {
+    EXPECT_FALSE(publisher.domain.empty());
+    EXPECT_NE(publisher.server, 0u);
+    EXPECT_NE(publisher.cdn_server, 0u);
+    EXPECT_FALSE(publisher.ad_partners.empty());
+    EXPECT_FALSE(publisher.tracker_partners.empty());
+    for (const auto partner : publisher.ad_partners) {
+      ASSERT_LT(partner, eco_.companies().size());
+      const auto role = eco_.companies()[partner].role;
+      EXPECT_TRUE(role == CompanyRole::kAdNetwork ||
+                  role == CompanyRole::kAdExchange);
+    }
+    EXPECT_EQ(eco_.asn_db().lookup(publisher.server), publisher.as_number);
+    // Adult sites are never whitelisted (§7.3 finding baked as intent).
+    if (publisher.category == SiteCategory::kAdult) {
+      EXPECT_FALSE(publisher.acceptable_ads);
+    }
+  }
+}
+
+TEST_F(EcosystemTest, AbpServersRegistered) {
+  EXPECT_EQ(eco_.abp_servers().size(), 3u);
+  for (const auto ip : eco_.abp_servers()) {
+    EXPECT_TRUE(eco_.abp_registry().is_abp_server(ip));
+    EXPECT_EQ(eco_.asn_db().as_name(eco_.asn_db().lookup(ip)), "AdblockPlus");
+  }
+}
+
+TEST_F(EcosystemTest, ClientIpsInIspPrefix) {
+  for (std::uint32_t hh = 0; hh < 100; ++hh) {
+    const auto ip = eco_.client_ip(hh);
+    EXPECT_EQ(eco_.asn_db().as_name(eco_.asn_db().lookup(ip)), "ISP-RBN");
+  }
+  EXPECT_NE(eco_.client_ip(0), eco_.client_ip(1));
+}
+
+TEST_F(EcosystemTest, Table5AsesPresent) {
+  for (const char* name : {"Google", "Am.-EC2", "Akamai", "Am.-AWS",
+                           "Hetzner", "AppNexus", "MyLoc", "SoftLayer", "AOL",
+                           "Criteo"}) {
+    bool found = false;
+    for (const auto& entry : eco_.ases()) found |= entry.name == name;
+    EXPECT_TRUE(found) << name;
+  }
+}
+
+TEST_F(EcosystemTest, CompanyLookup) {
+  EXPECT_NE(eco_.company_by_name("GoogleAds"), SIZE_MAX);
+  EXPECT_NE(eco_.company_by_name("Criteo"), SIZE_MAX);
+  EXPECT_EQ(eco_.company_by_name("NoSuchCompany"), SIZE_MAX);
+}
+
+TEST_F(EcosystemTest, GoogleApisSharesAdFrontends) {
+  const auto apis = eco_.company_by_name("GoogleApis");
+  const auto ads = eco_.company_by_name("GoogleAds");
+  ASSERT_NE(apis, SIZE_MAX);
+  ASSERT_NE(ads, SIZE_MAX);
+  // Shared VIPs (DESIGN: mixed ad/content servers at Google).
+  EXPECT_EQ(eco_.companies()[apis].servers.front(),
+            eco_.companies()[ads].servers.front());
+}
+
+TEST_F(EcosystemTest, PopularitySamplerMatchesCatalog) {
+  EXPECT_EQ(eco_.popularity().size(), eco_.publishers().size());
+}
+
+class PublisherCounts : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PublisherCounts, GeneratesRequestedSize) {
+  EcosystemOptions options;
+  options.publishers = GetParam();
+  const auto eco = Ecosystem::generate(1, options);
+  EXPECT_EQ(eco.publishers().size(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PublisherCounts,
+                         ::testing::Values(10, 100, 1000));
+
+}  // namespace
+}  // namespace adscope::sim

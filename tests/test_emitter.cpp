@@ -1,0 +1,163 @@
+// sim: traffic emitter timing model and diurnal activity curve.
+#include <gtest/gtest.h>
+
+#include "sim/diurnal.h"
+#include "sim/emitter.h"
+#include "sim/listgen.h"
+
+namespace adscope::sim {
+namespace {
+
+class EmitterTest : public ::testing::Test {
+ protected:
+  static EcosystemOptions small() {
+    EcosystemOptions options;
+    options.publishers = 100;
+    return options;
+  }
+  Ecosystem eco_ = Ecosystem::generate(42, small());
+  PageModel model_{eco_};
+  TrafficEmitter emitter_{eco_};
+  NoBlocker no_blocker_;
+
+  trace::MemoryTrace emit_pages(int pages, util::Rng& rng) {
+    trace::MemoryTrace memory;
+    memory.on_meta(trace::TraceMeta{});
+    for (int p = 0; p < pages; ++p) {
+      const auto page =
+          model_.build(static_cast<std::size_t>(p) % 100, rng);
+      const auto emitted = apply_blocking(page, no_blocker_);
+      emitter_.emit_page(page, emitted,
+                         static_cast<std::uint64_t>(p) * 10'000,
+                         eco_.client_ip(0), "UA", memory, rng);
+    }
+    return memory;
+  }
+};
+
+TEST_F(EmitterTest, HttpHandshakeAlwaysAfterTcp) {
+  util::Rng rng(1);
+  const auto memory = emit_pages(30, rng);
+  ASSERT_GT(memory.http().size(), 500u);
+  for (const auto& txn : memory.http()) {
+    EXPECT_GE(txn.http_handshake_us, txn.tcp_handshake_us);
+    EXPECT_GT(txn.tcp_handshake_us, 0u);
+  }
+}
+
+TEST_F(EmitterTest, RttTracksServerAs) {
+  util::Rng rng(2);
+  const auto memory = emit_pages(60, rng);
+  // Partition hand-shakes by AS distance: EU hosting vs US clouds.
+  std::vector<double> eu;
+  std::vector<double> us;
+  for (const auto& txn : memory.http()) {
+    const auto as_name =
+        eco_.asn_db().as_name(eco_.asn_db().lookup(txn.server_ip));
+    if (as_name == "EU-Host-1" || as_name == "Hetzner") {
+      eu.push_back(txn.tcp_handshake_us);
+    } else if (as_name == "Am.-EC2" || as_name == "US-Host-1") {
+      us.push_back(txn.tcp_handshake_us);
+    }
+  }
+  ASSERT_GT(eu.size(), 20u);
+  ASSERT_GT(us.size(), 20u);
+  double eu_mean = 0;
+  for (const auto v : eu) eu_mean += v;
+  eu_mean /= static_cast<double>(eu.size());
+  double us_mean = 0;
+  for (const auto v : us) us_mean += v;
+  us_mean /= static_cast<double>(us.size());
+  EXPECT_GT(us_mean, 3 * eu_mean);  // ~100 ms vs ~15 ms
+}
+
+TEST_F(EmitterTest, RtbRequestsCarryAuctionDelay) {
+  util::Rng rng(3);
+  trace::MemoryTrace memory;
+  memory.on_meta(trace::TraceMeta{});
+  std::vector<std::string> rtb_uris;
+  for (int p = 0; p < 200; ++p) {
+    const auto page = model_.build(static_cast<std::size_t>(p) % 100, rng);
+    const auto emitted = apply_blocking(page, no_blocker_);
+    emitter_.emit_page(page, emitted, 0, eco_.client_ip(0), "UA", memory,
+                       rng);
+  }
+  std::size_t rtb_seen = 0;
+  for (const auto& txn : memory.http()) {
+    if (txn.uri.find("/rtb/bid") == std::string::npos) continue;
+    ++rtb_seen;
+    const auto delta = txn.http_handshake_us - txn.tcp_handshake_us;
+    EXPECT_GT(delta, 60'000u) << "auction must take >= 60 ms";
+    EXPECT_LT(delta, 250'000u);
+  }
+  EXPECT_GT(rtb_seen, 30u);
+}
+
+TEST_F(EmitterTest, HttpsBecomesTlsFlow) {
+  util::Rng rng(4);
+  const auto memory = emit_pages(60, rng);
+  EXPECT_GT(memory.tls().size(), 0u);
+  for (const auto& flow : memory.tls()) {
+    EXPECT_EQ(flow.server_port, 443);
+    EXPECT_GT(flow.bytes, 0u);
+  }
+}
+
+TEST_F(EmitterTest, HttpsRefererNotLeakedToHttp) {
+  // A page served over HTTPS must not contribute Referer headers to its
+  // HTTP subresources.
+  util::Rng rng(5);
+  trace::MemoryTrace memory;
+  memory.on_meta(trace::TraceMeta{});
+  for (int p = 0; p < 400; ++p) {
+    const auto page = model_.build(static_cast<std::size_t>(p) % 100, rng);
+    if (!page.requests[0].https) continue;
+    const auto emitted = apply_blocking(page, no_blocker_);
+    emitter_.emit_page(page, emitted, 0, eco_.client_ip(0), "UA", memory,
+                       rng);
+  }
+  for (const auto& txn : memory.http()) {
+    EXPECT_EQ(txn.referer.rfind("https://", 0), std::string::npos)
+        << txn.referer;
+  }
+}
+
+TEST(Diurnal, EveningPeaksOverNight) {
+  const DiurnalClock clock{0, 0};  // Monday 00:00
+  const double night = diurnal_weight(clock, 3 * 3600);
+  const double evening = diurnal_weight(clock, 20 * 3600);
+  EXPECT_GT(evening, 3 * night);
+}
+
+TEST(Diurnal, LunchDipVisible) {
+  const DiurnalClock clock{0, 0};
+  EXPECT_LT(diurnal_weight(clock, 12 * 3600),
+            diurnal_weight(clock, 11 * 3600));
+}
+
+TEST(Diurnal, SaturdayQuieter) {
+  const DiurnalClock weekday{0, 1};   // Tuesday
+  const DiurnalClock saturday{0, 5};  // Saturday
+  EXPECT_LT(diurnal_weight(saturday, 20 * 3600),
+            diurnal_weight(weekday, 20 * 3600));
+}
+
+TEST(Diurnal, ClockWrapsAcrossDays) {
+  const DiurnalClock clock{15, 1};  // Tuesday 15:00
+  EXPECT_EQ(clock.hour_at(0), 15u);
+  EXPECT_EQ(clock.hour_at(9 * 3600), 0u);   // midnight -> Wednesday
+  EXPECT_EQ(clock.weekday_at(9 * 3600), 2u);
+  EXPECT_EQ(clock.weekday_at((9 + 24 * 6) * 3600), 1u);  // wraps the week
+}
+
+TEST(Diurnal, NightOwlFlattensCurve) {
+  const DiurnalClock clock{0, 0};
+  const double regular_ratio = diurnal_weight(clock, 20 * 3600) /
+                               diurnal_weight(clock, 3 * 3600);
+  const double owl_ratio = diurnal_weight(clock, 20 * 3600, true) /
+                           diurnal_weight(clock, 3 * 3600, true);
+  EXPECT_LT(owl_ratio, regular_ratio);
+}
+
+}  // namespace
+}  // namespace adscope::sim

@@ -1,0 +1,96 @@
+// adblock: FilterList parsing — metadata, element hiding, discards.
+#include <gtest/gtest.h>
+
+#include "adblock/filter_list.h"
+
+namespace adscope::adblock {
+namespace {
+
+constexpr const char* kListText = R"([Adblock Plus 2.0]
+! Title: Test List
+! Version: 201504110815
+! Expires: 4 days (update frequency)
+! Homepage: https://example.test
+/banners/*
+||ads.example.com^$third-party
+@@||ads.example.com/ok$script
+
+! a comment between rules
+##.ad-class
+example.com##.sponsored
+example.com,~shop.example.com###ad-box
+news.test#@#.whitelisted-ad
+bogus-option-rule$nonsense
+$$$
+)";
+
+TEST(FilterListParse, Metadata) {
+  const auto list = FilterList::parse(kListText, ListKind::kEasyList, "test");
+  EXPECT_EQ(list.name(), "test");
+  EXPECT_EQ(list.kind(), ListKind::kEasyList);
+  EXPECT_EQ(list.title(), "Test List");
+  EXPECT_EQ(list.version(), "201504110815");
+  EXPECT_EQ(list.expires_hours(), 96u);
+}
+
+TEST(FilterListParse, ExpiresHours) {
+  const auto list = FilterList::parse("! Expires: 12 hours\n/x/",
+                                      ListKind::kEasyPrivacy, "ep");
+  EXPECT_EQ(list.expires_hours(), 12u);
+  const auto fallback =
+      FilterList::parse("/x/", ListKind::kCustom, "c");
+  EXPECT_EQ(fallback.expires_hours(), 120u);  // ABP default
+}
+
+TEST(FilterListParse, RuleCounts) {
+  const auto list = FilterList::parse(kListText, ListKind::kEasyList, "test");
+  EXPECT_EQ(list.filters().size(), 3u);
+  EXPECT_EQ(list.exception_count(), 1u);
+  EXPECT_EQ(list.element_hiding_rules().size(), 4u);
+  // "bogus-option-rule$nonsense" and "$$$" are discarded.
+  EXPECT_EQ(list.discarded_rules(), 2u);
+}
+
+TEST(FilterListParse, ElementHidingDomains) {
+  const auto list = FilterList::parse(kListText, ListKind::kEasyList, "test");
+  const auto& rules = list.element_hiding_rules();
+  // "##.ad-class": generic.
+  EXPECT_TRUE(rules[0].include_domains.empty());
+  EXPECT_EQ(rules[0].selector, ".ad-class");
+  EXPECT_FALSE(rules[0].exception);
+  // "example.com##.sponsored".
+  ASSERT_EQ(rules[1].include_domains.size(), 1u);
+  EXPECT_EQ(rules[1].include_domains[0], "example.com");
+  // "example.com,~shop.example.com###ad-box".
+  ASSERT_EQ(rules[2].exclude_domains.size(), 1u);
+  EXPECT_EQ(rules[2].exclude_domains[0], "shop.example.com");
+  EXPECT_EQ(rules[2].selector, "#ad-box");
+  // "news.test#@#.whitelisted-ad" is an exception.
+  EXPECT_TRUE(rules[3].exception);
+}
+
+TEST(FilterListParse, EmptyAndCommentOnly) {
+  const auto empty = FilterList::parse("", ListKind::kCustom, "e");
+  EXPECT_TRUE(empty.filters().empty());
+  const auto comments =
+      FilterList::parse("! one\n! two\n", ListKind::kCustom, "c");
+  EXPECT_TRUE(comments.filters().empty());
+  EXPECT_EQ(comments.discarded_rules(), 0u);
+}
+
+TEST(FilterListParse, CrLfLineEndings) {
+  const auto list = FilterList::parse("/a/\r\n/b/\r\n", ListKind::kCustom,
+                                      "crlf");
+  ASSERT_EQ(list.filters().size(), 2u);
+  EXPECT_EQ(list.filters()[0].pattern(), "/a/");
+}
+
+TEST(FilterListParse, KindNames) {
+  EXPECT_EQ(to_string(ListKind::kEasyList), "EasyList");
+  EXPECT_EQ(to_string(ListKind::kEasyPrivacy), "EasyPrivacy");
+  EXPECT_EQ(to_string(ListKind::kAcceptableAds), "non-intrusive-ads");
+  EXPECT_EQ(to_string(ListKind::kEasyListDerivative), "EasyList-derivative");
+}
+
+}  // namespace
+}  // namespace adscope::adblock

@@ -1,0 +1,117 @@
+// html: tokenizer and payload-mode structure extraction (§10).
+#include <gtest/gtest.h>
+
+#include "adblock/element_hiding.h"
+#include "html/resource_extractor.h"
+#include "html/tokenizer.h"
+
+namespace adscope::html {
+namespace {
+
+TEST(Tokenizer, TagsTextAndComments) {
+  const auto tokens = tokenize(
+      "<html><body>hello <b>world</b><!-- note --></body></html>");
+  ASSERT_EQ(tokens.size(), 9u);
+  EXPECT_EQ(tokens[0].kind, Token::Kind::kStartTag);
+  EXPECT_EQ(tokens[0].name, "html");
+  EXPECT_EQ(tokens[2].kind, Token::Kind::kText);
+  EXPECT_EQ(tokens[2].text, "hello");
+  EXPECT_EQ(tokens[5].kind, Token::Kind::kEndTag);
+  EXPECT_EQ(tokens[5].name, "b");
+  EXPECT_EQ(tokens[6].kind, Token::Kind::kComment);
+}
+
+TEST(Tokenizer, Attributes) {
+  const auto tokens = tokenize(
+      R"(<img SRC="http://x.test/a.gif" alt='pic' width=10 />)");
+  ASSERT_EQ(tokens.size(), 1u);
+  const auto& img = tokens[0];
+  EXPECT_EQ(img.name, "img");
+  EXPECT_TRUE(img.self_closing);
+  EXPECT_EQ(img.attr("src"), "http://x.test/a.gif");
+  EXPECT_EQ(img.attr("alt"), "pic");
+  EXPECT_EQ(img.attr("width"), "10");
+  EXPECT_EQ(img.attr("missing"), "");
+}
+
+TEST(Tokenizer, ScriptBodyIsRawText) {
+  const auto tokens = tokenize(
+      "<script>if (a < b) { x(\"<div>\"); }</script><p>after</p>");
+  ASSERT_GE(tokens.size(), 4u);
+  EXPECT_EQ(tokens[0].name, "script");
+  EXPECT_EQ(tokens[1].kind, Token::Kind::kText);
+  EXPECT_NE(tokens[1].text.find("a < b"), std::string::npos);
+  EXPECT_EQ(tokens[2].kind, Token::Kind::kEndTag);
+  EXPECT_EQ(tokens[3].name, "p");
+}
+
+TEST(Tokenizer, SurvivesGarbage) {
+  // Must not crash or hang on malformed markup.
+  tokenize("<");
+  tokenize("<<<>>>");
+  tokenize("<img src=");
+  tokenize("<script>never closed");
+  tokenize("<!-- never closed");
+  tokenize("<a b='unclosed quote>");
+  tokenize("plain text only");
+  SUCCEED();
+}
+
+TEST(Extractor, CollectsTypedResources) {
+  const auto base = *http::Url::parse("http://site.test/dir/page.html");
+  const auto structure = extract_structure(R"(
+    <html><head>
+      <link rel="stylesheet" href="/css/site.css"/>
+      <script src="http://ads.test/show.js"></script>
+    </head><body>
+      <img src="img/logo.png"/>
+      <iframe src="http://frame.test/inner.html"></iframe>
+      <video src="/media/v.mp4"></video>
+      <embed src="/flash/x.swf"/>
+      <img/>
+    </body></html>)",
+                                            base);
+  ASSERT_EQ(structure.resources.size(), 6u);
+  EXPECT_EQ(structure.resources[0].url, "http://site.test/css/site.css");
+  EXPECT_EQ(structure.resources[0].type, http::RequestType::kStylesheet);
+  EXPECT_EQ(structure.resources[1].url, "http://ads.test/show.js");
+  EXPECT_EQ(structure.resources[1].type, http::RequestType::kScript);
+  EXPECT_EQ(structure.resources[2].url, "http://site.test/dir/img/logo.png");
+  EXPECT_EQ(structure.resources[2].type, http::RequestType::kImage);
+  EXPECT_EQ(structure.resources[3].type, http::RequestType::kSubdocument);
+  EXPECT_EQ(structure.resources[4].type, http::RequestType::kMedia);
+  EXPECT_EQ(structure.resources[5].type, http::RequestType::kObject);
+}
+
+TEST(Extractor, TextBlocksWithClassesAndIds) {
+  const auto base = *http::Url::parse("http://site.test/");
+  const auto structure = extract_structure(R"(
+    <div class="article main">real content here</div>
+    <div class="sponsored-link">buy things now</div>
+    <div id="ad-leaderboard">more ads</div>
+    <span>no attrs</span>)",
+                                           base);
+  ASSERT_EQ(structure.text_blocks.size(), 4u);
+  EXPECT_EQ(structure.text_blocks[0].classes.size(), 2u);
+  EXPECT_EQ(structure.text_blocks[0].classes[0], "article");
+  EXPECT_GT(structure.text_blocks[0].text_length, 0u);
+  EXPECT_EQ(structure.text_blocks[1].classes[0], "sponsored-link");
+  EXPECT_EQ(structure.text_blocks[2].id, "ad-leaderboard");
+}
+
+TEST(SelectorMatch, ClassIdAndPrefix) {
+  using adblock::selector_matches_block;
+  const std::vector<std::string> classes = {"sponsored-link", "wide"};
+  EXPECT_TRUE(selector_matches_block(".sponsored-link", classes, ""));
+  EXPECT_FALSE(selector_matches_block(".sponsored", classes, ""));
+  EXPECT_TRUE(selector_matches_block("#ad-box", {}, "ad-box"));
+  EXPECT_FALSE(selector_matches_block("#ad-box", {}, "ad"));
+  EXPECT_TRUE(
+      selector_matches_block("div[id^=\"ad-\"]", {}, "ad-leaderboard"));
+  EXPECT_FALSE(selector_matches_block("div[id^=\"ad-\"]", {}, "header"));
+  EXPECT_TRUE(selector_matches_block("div[class^=\"spons\"]", classes, ""));
+  EXPECT_FALSE(selector_matches_block("", classes, "x"));
+}
+
+}  // namespace
+}  // namespace adscope::html

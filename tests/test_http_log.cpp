@@ -1,0 +1,106 @@
+// analyzer: Bro-style http.log writer and the §5 FQDN-truncation
+// anonymization; stats: CSV export.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "analyzer/http_log.h"
+#include "stats/csv.h"
+
+namespace adscope {
+namespace {
+
+analyzer::WebObject sample_object() {
+  analyzer::WebObject object;
+  object.timestamp_ms = 1234;
+  object.client_ip = 0x0AC80001;
+  object.server_ip = 0x0A010001;
+  object.url = *http::Url::parse(
+      "http://news.test/very/private/path?user=secret");
+  object.referer = "http://other.test/also/private?q=1";
+  object.user_agent = "UA with\ttab";
+  object.content_type = "text/html";
+  object.content_length = 512;
+  object.status_code = 200;
+  object.tcp_handshake_us = 100;
+  object.http_handshake_us = 200;
+  return object;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+TEST(HttpLog, TruncateToFqdn) {
+  EXPECT_EQ(analyzer::truncate_to_fqdn(
+                *http::Url::parse("https://a.b.test/p/q?x=1")),
+            "https://a.b.test/");
+  EXPECT_EQ(analyzer::truncate_to_fqdn(http::Url{}), "");
+}
+
+TEST(HttpLog, FullModeKeepsUrls) {
+  const std::string path = "/tmp/adscope_httplog_full.tsv";
+  {
+    analyzer::HttpLogWriter writer(path,
+                                   analyzer::HttpLogWriter::Privacy::kFull);
+    writer.write(sample_object());
+    EXPECT_EQ(writer.lines_written(), 1u);
+  }
+  const auto content = read_file(path);
+  EXPECT_NE(content.find("/very/private/path"), std::string::npos);
+  EXPECT_NE(content.find("#fields"), std::string::npos);
+  // Tab inside a field must not break the TSV.
+  EXPECT_NE(content.find("UA with tab"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(HttpLog, TruncatedModeRemovesSensitiveParts) {
+  const std::string path = "/tmp/adscope_httplog_trunc.tsv";
+  {
+    analyzer::HttpLogWriter writer(
+        path, analyzer::HttpLogWriter::Privacy::kFqdnTruncated);
+    writer.write(sample_object());
+  }
+  const auto content = read_file(path);
+  EXPECT_EQ(content.find("private"), std::string::npos);
+  EXPECT_EQ(content.find("secret"), std::string::npos);
+  EXPECT_NE(content.find("http://news.test/"), std::string::npos);
+  EXPECT_NE(content.find("http://other.test/"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(HttpLog, OpenFailureThrows) {
+  EXPECT_THROW(analyzer::HttpLogWriter("/nonexistent-dir/x.tsv",
+                                       analyzer::HttpLogWriter::Privacy::kFull),
+               std::runtime_error);
+}
+
+TEST(Csv, WritesEscapedRows) {
+  {
+    stats::CsvWriter csv("/tmp", "adscope_csv_test", {"a", "b"});
+    csv.add_row({"plain", "with,comma"});
+    csv.add_row({"with\"quote", "x"});
+  }
+  const auto content = read_file("/tmp/adscope_csv_test.csv");
+  EXPECT_NE(content.find("a,b\n"), std::string::npos);
+  EXPECT_NE(content.find("plain,\"with,comma\"\n"), std::string::npos);
+  EXPECT_NE(content.find("\"with\"\"quote\",x\n"), std::string::npos);
+  std::remove("/tmp/adscope_csv_test.csv");
+}
+
+TEST(Csv, ExportDirFromEnvironment) {
+  unsetenv("ADSCOPE_CSV_DIR");
+  EXPECT_FALSE(stats::csv_export_dir().has_value());
+  setenv("ADSCOPE_CSV_DIR", "/tmp", 1);
+  ASSERT_TRUE(stats::csv_export_dir().has_value());
+  EXPECT_EQ(*stats::csv_export_dir(), "/tmp");
+  unsetenv("ADSCOPE_CSV_DIR");
+}
+
+}  // namespace
+}  // namespace adscope

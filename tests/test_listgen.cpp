@@ -1,0 +1,155 @@
+// sim: generated filter lists parse cleanly and behave like their real
+// counterparts; Ghostery database coverage.
+#include <gtest/gtest.h>
+
+#include "sim/listgen.h"
+
+namespace adscope::sim {
+namespace {
+
+class ListGenTest : public ::testing::Test {
+ protected:
+  static EcosystemOptions small() {
+    EcosystemOptions options;
+    options.publishers = 300;
+    return options;
+  }
+  Ecosystem eco_ = Ecosystem::generate(42, small());
+  GeneratedLists lists_ = generate_lists(eco_);
+};
+
+TEST_F(ListGenTest, ListsParseWithoutDiscards) {
+  using adblock::FilterList;
+  using adblock::ListKind;
+  const struct {
+    const std::string* text;
+    ListKind kind;
+  } cases[] = {
+      {&lists_.easylist, ListKind::kEasyList},
+      {&lists_.easylist_derivative, ListKind::kEasyListDerivative},
+      {&lists_.easyprivacy, ListKind::kEasyPrivacy},
+      {&lists_.acceptable_ads, ListKind::kAcceptableAds},
+  };
+  for (const auto& c : cases) {
+    const auto list = FilterList::parse(*c.text, c.kind, "x");
+    EXPECT_EQ(list.discarded_rules(), 0u) << to_string(c.kind);
+    EXPECT_FALSE(list.filters().empty()) << to_string(c.kind);
+    EXPECT_FALSE(list.title().empty());
+  }
+}
+
+TEST_F(ListGenTest, ExpiryMatchesPaper) {
+  const auto el = adblock::FilterList::parse(
+      lists_.easylist, adblock::ListKind::kEasyList, "el");
+  EXPECT_EQ(el.expires_hours(), 96u);  // 4 days [1]
+  const auto ep = adblock::FilterList::parse(
+      lists_.easyprivacy, adblock::ListKind::kEasyPrivacy, "ep");
+  EXPECT_EQ(ep.expires_hours(), 24u);  // 1 day [2]
+}
+
+TEST_F(ListGenTest, AcceptableAdsIsPureWhitelist) {
+  const auto aa = adblock::FilterList::parse(
+      lists_.acceptable_ads, adblock::ListKind::kAcceptableAds, "aa");
+  EXPECT_EQ(aa.exception_count(), aa.filters().size());
+}
+
+TEST_F(ListGenTest, EasyListHasElementHidingRules) {
+  const auto el = adblock::FilterList::parse(
+      lists_.easylist, adblock::ListKind::kEasyList, "el");
+  EXPECT_FALSE(el.element_hiding_rules().empty());
+}
+
+TEST_F(ListGenTest, EngineSelectionControlsLists) {
+  const auto full = make_engine(lists_, ListSelection{.easylist = true,
+                                                      .derivative = true,
+                                                      .easyprivacy = true,
+                                                      .acceptable_ads = true});
+  EXPECT_EQ(full.list_count(), 4u);
+  const auto default_config = make_engine(lists_, ListSelection{});
+  EXPECT_EQ(default_config.list_count(), 2u);  // EasyList + acceptable ads
+  EXPECT_NE(full.find_list(adblock::ListKind::kEasyPrivacy),
+            adblock::kNoList);
+  EXPECT_EQ(default_config.find_list(adblock::ListKind::kEasyPrivacy),
+            adblock::kNoList);
+}
+
+TEST_F(ListGenTest, EngineBlocksKnownAdDomains) {
+  const auto engine = make_engine(lists_, ListSelection{});
+  const auto request = adblock::make_request(
+      "http://adserv.googlesim.com/ads/show.js?slot=1",
+      "http://news-0.example/", http::RequestType::kScript);
+  EXPECT_EQ(engine.classify(request).decision, adblock::Decision::kBlocked);
+}
+
+TEST_F(ListGenTest, GermanDomainsOnlyInDerivative) {
+  const auto without = make_engine(lists_, ListSelection{});
+  const auto with = make_engine(lists_, ListSelection{.derivative = true});
+  const auto request = adblock::make_request(
+      "http://euroads-sim.de/banner/x.gif", "http://news-0.example/",
+      http::RequestType::kImage);
+  EXPECT_EQ(without.classify(request).decision,
+            adblock::Decision::kNoMatch);
+  EXPECT_EQ(with.classify(request).decision, adblock::Decision::kBlocked);
+}
+
+TEST_F(ListGenTest, GstaticWhitelistedWholesale) {
+  // The over-general acceptable-ads rule (§7.3): fonts — plain content —
+  // match the whitelist.
+  const auto engine = make_engine(lists_, ListSelection{});
+  const auto font = adblock::make_request(
+      "http://fonts.gstaticsim.com/s/font1.woff", "http://news-0.example/",
+      http::RequestType::kFont);
+  const auto verdict = engine.classify(font);
+  EXPECT_EQ(verdict.decision, adblock::Decision::kWhitelisted);
+  EXPECT_EQ(verdict.list_kind, adblock::ListKind::kAcceptableAds);
+  EXPECT_FALSE(verdict.whitelist_saved_it());  // no blacklist match
+}
+
+TEST_F(ListGenTest, AaInventoryWhitelistedOverBlock) {
+  const auto engine = make_engine(lists_, ListSelection{});
+  const auto aa_ad = adblock::make_request(
+      "http://adserv.googlesim.com/aa/creative/b1.gif",
+      "http://news-0.example/", http::RequestType::kImage);
+  const auto verdict = engine.classify(aa_ad);
+  EXPECT_EQ(verdict.decision, adblock::Decision::kWhitelisted);
+  EXPECT_TRUE(verdict.whitelist_saved_it());
+  EXPECT_EQ(verdict.blocked_by_kind, adblock::ListKind::kEasyList);
+}
+
+TEST_F(ListGenTest, TrackersCaughtByEasyPrivacyOnly) {
+  const auto el_only = make_engine(lists_, ListSelection{});
+  const auto with_ep = make_engine(lists_, ListSelection{.easyprivacy = true});
+  const auto beacon = adblock::make_request(
+      "http://pixellayer-sim.com/pixel.gif?cb=123",
+      "http://news-0.example/", http::RequestType::kImage);
+  EXPECT_EQ(el_only.classify(beacon).decision, adblock::Decision::kNoMatch);
+  const auto verdict = with_ep.classify(beacon);
+  EXPECT_EQ(verdict.decision, adblock::Decision::kBlocked);
+  EXPECT_EQ(verdict.list_kind, adblock::ListKind::kEasyPrivacy);
+}
+
+TEST_F(ListGenTest, GhosteryDbCoversKnownCompanies) {
+  const auto db = build_ghostery_db(eco_);
+  EXPECT_GT(db.size(), 0u);
+  // DoubleClick is ghostery_known; advertising category.
+  EXPECT_TRUE(db.blocks("ad.doubleclick-sim.com",
+                        GhosteryDb::Selection::ads()));
+  EXPECT_FALSE(db.blocks("ad.doubleclick-sim.com",
+                         GhosteryDb::Selection::privacy_mode()));
+  // GStatic is not ghostery_known (CDNs excluded).
+  EXPECT_FALSE(db.blocks("fonts.gstaticsim.com",
+                         GhosteryDb::Selection::paranoia()));
+  // Unknown hosts are never blocked.
+  EXPECT_FALSE(db.blocks("news-0.example", GhosteryDb::Selection::paranoia()));
+}
+
+TEST_F(ListGenTest, Determinism) {
+  const auto again = generate_lists(eco_);
+  EXPECT_EQ(lists_.easylist, again.easylist);
+  EXPECT_EQ(lists_.easyprivacy, again.easyprivacy);
+  EXPECT_EQ(lists_.acceptable_ads, again.acceptable_ads);
+  EXPECT_EQ(lists_.easylist_derivative, again.easylist_derivative);
+}
+
+}  // namespace
+}  // namespace adscope::sim

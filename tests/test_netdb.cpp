@@ -1,0 +1,99 @@
+// netdb: IPv4 parsing, prefixes, longest-prefix matching, ABP registry.
+#include <gtest/gtest.h>
+
+#include "netdb/abp_servers.h"
+#include "netdb/asn_db.h"
+#include "netdb/ipv4.h"
+
+namespace adscope::netdb {
+namespace {
+
+TEST(IpV4, ParseAndFormat) {
+  const auto ip = parse_ipv4("10.1.2.3");
+  ASSERT_TRUE(ip.has_value());
+  EXPECT_EQ(*ip, 0x0A010203u);
+  EXPECT_EQ(to_string(*ip), "10.1.2.3");
+  EXPECT_EQ(to_string(0xFFFFFFFFu), "255.255.255.255");
+}
+
+TEST(IpV4, ParseRejectsBadInput) {
+  EXPECT_FALSE(parse_ipv4("").has_value());
+  EXPECT_FALSE(parse_ipv4("10.1.2").has_value());
+  EXPECT_FALSE(parse_ipv4("10.1.2.3.4").has_value());
+  EXPECT_FALSE(parse_ipv4("10.1.2.256").has_value());
+  EXPECT_FALSE(parse_ipv4("10.1.2.x").has_value());
+  EXPECT_FALSE(parse_ipv4("10..2.3").has_value());
+}
+
+TEST(Prefix, ContainsBoundaries) {
+  const auto prefix = parse_prefix("10.1.0.0/16");
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_TRUE(prefix->contains(*parse_ipv4("10.1.0.0")));
+  EXPECT_TRUE(prefix->contains(*parse_ipv4("10.1.255.255")));
+  EXPECT_FALSE(prefix->contains(*parse_ipv4("10.2.0.0")));
+  EXPECT_FALSE(prefix->contains(*parse_ipv4("10.0.255.255")));
+
+  const Prefix everything{0, 0};
+  EXPECT_TRUE(everything.contains(0xDEADBEEF));
+  const Prefix host{*parse_ipv4("1.2.3.4"), 32};
+  EXPECT_TRUE(host.contains(*parse_ipv4("1.2.3.4")));
+  EXPECT_FALSE(host.contains(*parse_ipv4("1.2.3.5")));
+}
+
+TEST(Prefix, ParseAndFormat) {
+  EXPECT_FALSE(parse_prefix("10.0.0.0").has_value());
+  EXPECT_FALSE(parse_prefix("10.0.0.0/33").has_value());
+  EXPECT_EQ(to_string(*parse_prefix("10.0.0.0/8")), "10.0.0.0/8");
+}
+
+TEST(AsnDb, LongestPrefixWins) {
+  AsnDatabase db;
+  db.add_route(*parse_prefix("10.0.0.0/8"), 100);
+  db.add_route(*parse_prefix("10.1.0.0/16"), 200);
+  db.add_route(*parse_prefix("10.1.2.0/24"), 300);
+
+  EXPECT_EQ(db.lookup(*parse_ipv4("10.9.9.9")), 100u);
+  EXPECT_EQ(db.lookup(*parse_ipv4("10.1.9.9")), 200u);
+  EXPECT_EQ(db.lookup(*parse_ipv4("10.1.2.9")), 300u);
+  EXPECT_EQ(db.lookup(*parse_ipv4("11.0.0.1")), kUnknownAs);
+  EXPECT_EQ(db.route_count(), 3u);
+}
+
+TEST(AsnDb, OverwriteSamePrefix) {
+  AsnDatabase db;
+  db.add_route(*parse_prefix("10.0.0.0/8"), 1);
+  db.add_route(*parse_prefix("10.0.0.0/8"), 2);
+  EXPECT_EQ(db.lookup(*parse_ipv4("10.0.0.1")), 2u);
+  EXPECT_EQ(db.route_count(), 1u);
+}
+
+TEST(AsnDb, Names) {
+  AsnDatabase db;
+  db.set_as_info(15169, "Google");
+  EXPECT_EQ(db.as_name(15169), "Google");
+  EXPECT_EQ(db.as_name(1), "AS1");
+  db.set_as_info(15169, "Google LLC");  // update
+  EXPECT_EQ(db.as_name(15169), "Google LLC");
+}
+
+TEST(AsnDb, DefaultRoute) {
+  AsnDatabase db;
+  db.add_route(Prefix{0, 0}, 7);
+  EXPECT_EQ(db.lookup(0x12345678), 7u);
+}
+
+TEST(AbpRegistry, MembershipAndEnumeration) {
+  AbpServerRegistry registry;
+  EXPECT_FALSE(registry.is_abp_server(1));
+  registry.add_server(1);
+  registry.add_server(2);
+  registry.add_server(1);  // duplicate
+  EXPECT_TRUE(registry.is_abp_server(1));
+  EXPECT_TRUE(registry.is_abp_server(2));
+  EXPECT_FALSE(registry.is_abp_server(3));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_EQ(registry.servers().size(), 2u);
+}
+
+}  // namespace
+}  // namespace adscope::netdb

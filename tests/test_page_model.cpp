@@ -1,0 +1,212 @@
+// sim: page model — request-tree structure, ground-truth consistency
+// with the filter lists, imperfection injection. Mostly property-style
+// over many generated pages.
+#include <gtest/gtest.h>
+
+#include "http/url.h"
+#include "sim/listgen.h"
+#include "sim/page_model.h"
+
+namespace adscope::sim {
+namespace {
+
+class PageModelTest : public ::testing::Test {
+ protected:
+  static EcosystemOptions small() {
+    EcosystemOptions options;
+    options.publishers = 200;
+    return options;
+  }
+  Ecosystem eco_ = Ecosystem::generate(42, small());
+  GeneratedLists lists_ = generate_lists(eco_);
+  PageModel model_{eco_};
+};
+
+TEST_F(PageModelTest, TreeStructureIsValid) {
+  util::Rng rng(1);
+  for (std::size_t site = 0; site < 100; ++site) {
+    const auto page = model_.build(site, rng);
+    ASSERT_FALSE(page.requests.empty());
+    EXPECT_EQ(page.requests[0].parent, -1);
+    EXPECT_EQ(page.requests[0].true_type, http::RequestType::kDocument);
+    EXPECT_EQ(page.requests[0].url, page.page_url);
+    for (std::size_t i = 1; i < page.requests.size(); ++i) {
+      const auto& request = page.requests[i];
+      // Parents precede children (forward tree).
+      ASSERT_GE(request.parent, 0);
+      ASSERT_LT(static_cast<std::size_t>(request.parent), i);
+      // Every URL parses.
+      ASSERT_TRUE(http::Url::parse(request.url).has_value()) << request.url;
+      EXPECT_NE(request.server_ip, 0u) << request.url;
+    }
+  }
+}
+
+TEST_F(PageModelTest, Determinism) {
+  util::Rng rng_a(7);
+  util::Rng rng_b(7);
+  const auto a = model_.build(3, rng_a);
+  const auto b = model_.build(3, rng_b);
+  ASSERT_EQ(a.requests.size(), b.requests.size());
+  for (std::size_t i = 0; i < a.requests.size(); ++i) {
+    EXPECT_EQ(a.requests[i].url, b.requests[i].url);
+    EXPECT_EQ(a.requests[i].size, b.requests[i].size);
+  }
+}
+
+// Property: ground-truth ad intents line up with what the default ABP
+// configuration would do, given full information and correct headers.
+TEST_F(PageModelTest, IntentConsistentWithLists) {
+  const auto engine = make_engine(lists_, ListSelection{.easylist = true,
+                                                        .derivative = true,
+                                                        .easyprivacy = true,
+                                                        .acceptable_ads = true});
+  util::Rng rng(11);
+  std::size_t checked_ads = 0;
+  std::size_t checked_trackers = 0;
+  std::size_t ad_misses = 0;
+  std::size_t tracker_misses = 0;
+  for (std::size_t site = 0; site < 150; ++site) {
+    const auto page = model_.build(site, rng);
+    for (const auto& request : page.requests) {
+      const auto query = adblock::make_request(request.url, page.page_url,
+                                               request.true_type);
+      const auto verdict = engine.classify(query);
+      switch (request.intent) {
+        case Intent::kAd:
+          ++checked_ads;
+          ad_misses += verdict.decision != adblock::Decision::kBlocked;
+          break;
+        case Intent::kAaAd:
+          ++checked_ads;
+          // AA inventory is whitelisted under the default config.
+          ad_misses += verdict.decision == adblock::Decision::kNoMatch;
+          break;
+        case Intent::kTracker:
+          ++checked_trackers;
+          // Most trackers are blocked by EasyPrivacy; a whitelisted
+          // analytics provider's beacons are acceptable-ads matches.
+          tracker_misses += verdict.decision == adblock::Decision::kNoMatch;
+          break;
+        case Intent::kContent:
+          break;
+      }
+    }
+  }
+  ASSERT_GT(checked_ads, 200u);
+  ASSERT_GT(checked_trackers, 200u);
+  // The lists are generated from the same catalog: coverage must be
+  // essentially total (a few first-party promos on whitelisted own-ad
+  // platforms legitimately escape).
+  EXPECT_LT(static_cast<double>(ad_misses) / static_cast<double>(checked_ads),
+            0.02);
+  EXPECT_LT(static_cast<double>(tracker_misses) /
+                static_cast<double>(checked_trackers),
+            0.02);
+}
+
+TEST_F(PageModelTest, ImperfectionsInjected) {
+  util::Rng rng(13);
+  std::size_t redirects = 0;
+  std::size_t broken_referer = 0;
+  std::size_t missing_mime = 0;
+  std::size_t lying_scripts = 0;
+  std::size_t https = 0;
+  std::size_t total = 0;
+  for (std::size_t site = 0; site < 200; ++site) {
+    const auto page = model_.build(site % 200, rng);
+    for (const auto& request : page.requests) {
+      ++total;
+      redirects += request.status == 302;
+      broken_referer += request.parent >= 0 && request.referer.empty();
+      missing_mime += request.reported_mime.empty() && request.status == 200;
+      https += request.https;
+      lying_scripts += request.true_type == http::RequestType::kScript &&
+                       request.reported_mime == "text/html";
+    }
+  }
+  EXPECT_GT(redirects, 0u);
+  EXPECT_GT(broken_referer, 0u);
+  EXPECT_GT(missing_mime, 0u);
+  EXPECT_GT(lying_scripts, 0u);
+  EXPECT_GT(https, 0u);
+  // But they stay rare.
+  EXPECT_LT(missing_mime, total / 5);
+}
+
+TEST_F(PageModelTest, RedirectChainsAreConsistent) {
+  util::Rng rng(17);
+  for (std::size_t site = 0; site < 120; ++site) {
+    const auto page = model_.build(site % 200, rng);
+    for (std::size_t i = 0; i < page.requests.size(); ++i) {
+      const auto& request = page.requests[i];
+      if (request.status != 302) continue;
+      EXPECT_FALSE(request.location.empty());
+      // The redirect target must appear later, refererless, as a child.
+      bool found = false;
+      for (std::size_t j = i + 1; j < page.requests.size(); ++j) {
+        if (page.requests[j].url == request.location) {
+          EXPECT_EQ(page.requests[j].parent, static_cast<int>(i));
+          EXPECT_TRUE(page.requests[j].referer.empty());
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found) << request.url;
+    }
+  }
+}
+
+TEST_F(PageModelTest, TrackingPixelsAre43Bytes) {
+  util::Rng rng(19);
+  std::size_t pixels = 0;
+  for (std::size_t site = 0; site < 100; ++site) {
+    const auto page = model_.build(site, rng);
+    for (const auto& request : page.requests) {
+      if (request.url.find("/pixel.gif?") != std::string::npos) {
+        EXPECT_EQ(request.size, 43u);
+        EXPECT_EQ(request.intent, Intent::kTracker);
+        ++pixels;
+      }
+    }
+  }
+  EXPECT_GT(pixels, 20u);
+}
+
+TEST_F(PageModelTest, RtbOnlyOnExchangeBids) {
+  util::Rng rng(23);
+  std::size_t bids = 0;
+  for (std::size_t site = 0; site < 100; ++site) {
+    const auto page = model_.build(site, rng);
+    for (const auto& request : page.requests) {
+      if (request.rtb) {
+        ++bids;
+        EXPECT_NE(request.url.find("/rtb/bid"), std::string::npos);
+        EXPECT_NE(request.intent, Intent::kContent);
+      }
+    }
+  }
+  EXPECT_GT(bids, 10u);
+}
+
+TEST_F(PageModelTest, VideoSitesEmitLargeMedia) {
+  util::Rng rng(29);
+  std::size_t video_sites_seen = 0;
+  for (std::size_t site = 0; site < 200; ++site) {
+    const auto& publisher = eco_.publishers()[site];
+    if (publisher.category != SiteCategory::kVideo) continue;
+    ++video_sites_seen;
+    const auto page = model_.build(site, rng);
+    std::uint64_t media_bytes = 0;
+    for (const auto& request : page.requests) {
+      if (request.true_type == http::RequestType::kMedia) {
+        media_bytes += request.size;
+      }
+    }
+    EXPECT_GT(media_bytes, 0u) << publisher.domain;
+  }
+  EXPECT_GT(video_sites_seen, 0u);
+}
+
+}  // namespace
+}  // namespace adscope::sim

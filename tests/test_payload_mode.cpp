@@ -1,0 +1,174 @@
+// §10 payload mode end to end: payload generation, type hints, hidden
+// text-ad detection.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/classifier.h"
+#include "sim/emitter.h"
+#include "sim/listgen.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+
+namespace adscope {
+namespace {
+
+class PayloadModeTest : public ::testing::Test {
+ protected:
+  static sim::EcosystemOptions small() {
+    sim::EcosystemOptions options;
+    options.publishers = 150;
+    return options;
+  }
+  PayloadModeTest()
+      : eco_(sim::Ecosystem::generate(42, small())),
+        lists_(sim::generate_lists(eco_)),
+        engine_(sim::make_engine(lists_,
+                                 sim::ListSelection{.easylist = true,
+                                                    .derivative = true,
+                                                    .easyprivacy = true,
+                                                    .acceptable_ads = true})) {
+  }
+
+  sim::PageModel payload_model() {
+    sim::PageModelOptions options;
+    options.generate_payloads = true;
+    return sim::PageModel(eco_, options);
+  }
+
+  sim::Ecosystem eco_;
+  sim::GeneratedLists lists_;
+  adblock::FilterEngine engine_;
+};
+
+TEST_F(PayloadModeTest, DocumentsCarryTheirStructure) {
+  auto model = payload_model();
+  util::Rng rng(1);
+  int with_text_ads = 0;
+  for (std::size_t site = 0; site < 60; ++site) {
+    const auto page = model.build(site, rng);
+    const auto& payload = page.requests[0].payload;
+    ASSERT_FALSE(payload.empty());
+    // Every direct HTTP child with a markup type is referenced.
+    for (std::size_t i = 1; i < page.requests.size(); ++i) {
+      const auto& request = page.requests[i];
+      if (request.parent != 0 || request.https) continue;
+      if (request.true_type == http::RequestType::kImage ||
+          request.true_type == http::RequestType::kScript) {
+        EXPECT_NE(payload.find(request.url), std::string::npos)
+            << request.url;
+      }
+    }
+    with_text_ads += page.hidden_text_ads > 0;
+  }
+  EXPECT_GT(with_text_ads, 5);
+}
+
+TEST_F(PayloadModeTest, HeaderOnlyModeIgnoresPayloads) {
+  sim::PageModel plain(eco_);  // payloads off by default
+  util::Rng rng(2);
+  const auto page = plain.build(0, rng);
+  EXPECT_TRUE(page.requests[0].payload.empty());
+  EXPECT_EQ(page.hidden_text_ads, 0);
+}
+
+TEST_F(PayloadModeTest, ClassifierUsesTypeHints) {
+  // A script with a lying Content-Type and no extension: header-only
+  // analysis types it wrong; payload mode recovers the <script> tag.
+  analyzer::WebObject document;
+  document.url = *http::Url::parse("http://site.test/index.html");
+  document.content_type = "text/html";
+  document.payload =
+      "<html><body><script src=\"http://site.test/loader?v=2\"></script>"
+      "</body></html>";
+  document.client_ip = 1;
+  document.user_agent = "ua";
+
+  analyzer::WebObject script;
+  script.url = *http::Url::parse("http://site.test/loader?v=2");
+  script.referer = "http://site.test/index.html";
+  script.content_type = "text/html";  // the lie
+  script.client_ip = 1;
+  script.user_agent = "ua";
+
+  auto run = [&](bool use_payloads) {
+    core::ClassifierOptions options;
+    options.use_payloads = use_payloads;
+    core::TraceClassifier classifier(engine_, options);
+    http::RequestType script_type = http::RequestType::kOther;
+    classifier.set_callback([&](const core::ClassifiedObject& object) {
+      if (object.object.url.spec() == "http://site.test/loader?v=2") {
+        script_type = object.type;
+      }
+    });
+    classifier.process(document);
+    classifier.process(script);
+    classifier.flush();
+    return script_type;
+  };
+
+  EXPECT_EQ(run(false), http::RequestType::kSubdocument);  // fooled
+  EXPECT_EQ(run(true), http::RequestType::kScript);        // recovered
+}
+
+TEST_F(PayloadModeTest, HiddenTextAdsDetected) {
+  auto model = payload_model();
+  sim::TrafficEmitter emitter(eco_);
+  sim::NoBlocker no_blocker;
+  util::Rng rng(3);
+
+  trace::MemoryTrace memory;
+  memory.on_meta(trace::TraceMeta{});
+  int truth_hidden = 0;
+  for (std::size_t p = 0; p < 150; ++p) {
+    const auto page = model.build(p % 150, rng);
+    truth_hidden += page.hidden_text_ads;
+    const auto emitted = apply_blocking(page, no_blocker);
+    emitter.emit_page(page, emitted, p * 5'000, eco_.client_ip(0), "ua",
+                      memory, rng);
+  }
+  ASSERT_GT(truth_hidden, 20);
+
+  core::ClassifierOptions options;
+  options.use_payloads = true;
+  analyzer::HttpExtractor extractor;
+  core::TraceClassifier classifier(engine_, options);
+  classifier.set_callback([](const core::ClassifiedObject&) {});
+  extractor.set_object_callback(
+      [&](const analyzer::WebObject& object) { classifier.process(object); });
+  for (const auto& txn : memory.http()) extractor.on_http(txn);
+  classifier.flush();
+
+  // HTTPS landing pages are invisible, so detection is a lower bound —
+  // but it must recover the bulk of the embedded ads.
+  EXPECT_GT(classifier.hidden_text_ads(),
+            static_cast<std::uint64_t>(truth_hidden) * 6 / 10);
+  EXPECT_LE(classifier.hidden_text_ads(),
+            static_cast<std::uint64_t>(truth_hidden));
+  EXPECT_GT(classifier.payload_type_hints_used(), 100u);
+}
+
+TEST_F(PayloadModeTest, PayloadSurvivesTraceRoundTrip) {
+  auto model = payload_model();
+  util::Rng rng(4);
+  const auto page = model.build(1, rng);
+
+  trace::HttpTransaction txn;
+  txn.host = "site.test";
+  txn.uri = "/";
+  txn.payload = page.requests[0].payload;
+  {
+    trace::FileTraceWriter writer("/tmp/adscope_payload.adst");
+    writer.on_meta(trace::TraceMeta{});
+    writer.on_http(txn);
+  }
+  trace::FileTraceReader reader("/tmp/adscope_payload.adst");
+  trace::MemoryTrace memory;
+  reader.replay(memory);
+  ASSERT_EQ(memory.http().size(), 1u);
+  EXPECT_EQ(memory.http()[0].payload, page.requests[0].payload);
+  std::remove("/tmp/adscope_payload.adst");
+}
+
+}  // namespace
+}  // namespace adscope

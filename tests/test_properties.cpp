@@ -1,0 +1,232 @@
+// Property-based tests: randomized consistency and robustness checks.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "adblock/engine.h"
+#include "http/url.h"
+#include "trace/io.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "util/rng.h"
+
+namespace adscope {
+namespace {
+
+// ---------------------------------------------------------------------
+// Engine vs brute force: the token index must never change semantics.
+// ---------------------------------------------------------------------
+
+std::string random_token(util::Rng& rng, std::size_t min_len,
+                         std::size_t max_len) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+  const auto length = min_len + rng.below(max_len - min_len + 1);
+  std::string out;
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+std::string random_rule(util::Rng& rng) {
+  std::string rule;
+  if (rng.chance(0.15)) rule += "@@";
+  switch (rng.below(4)) {
+    case 0:
+      rule += "||" + random_token(rng, 3, 8) + ".test^";
+      break;
+    case 1:
+      rule += "/" + random_token(rng, 3, 8) + "/";
+      break;
+    case 2:
+      rule += "&" + random_token(rng, 2, 6) + "=";
+      break;
+    default:
+      rule += "/" + random_token(rng, 3, 6) + "/*" +
+              random_token(rng, 3, 6);
+      break;
+  }
+  if (rng.chance(0.2)) rule += "$third-party";
+  else if (rng.chance(0.1)) rule += "$image";
+  return rule;
+}
+
+std::string random_url(util::Rng& rng,
+                       const std::vector<std::string>& rules) {
+  std::string url = "http://" + random_token(rng, 3, 8) + ".test/";
+  // Half the time, splice a fragment of a real rule into the URL so
+  // matches actually occur.
+  if (!rules.empty() && rng.chance(0.6)) {
+    auto fragment = rules[rng.below(rules.size())];
+    // Strip rule syntax.
+    std::erase(fragment, '@');
+    std::erase(fragment, '|');
+    std::erase(fragment, '^');
+    std::erase(fragment, '*');
+    const auto dollar = fragment.find('$');
+    if (dollar != std::string::npos) fragment.resize(dollar);
+    url += random_token(rng, 1, 4) + fragment + random_token(rng, 1, 4);
+  } else {
+    url += random_token(rng, 4, 12) + "/" + random_token(rng, 4, 12);
+  }
+  if (rng.chance(0.4)) url += "?" + random_token(rng, 2, 5) + "=" +
+                              random_token(rng, 2, 10);
+  return url;
+}
+
+TEST(PropertyEngine, TokenIndexMatchesBruteForce) {
+  util::Rng rng(20150828);
+  for (int round = 0; round < 8; ++round) {
+    std::vector<std::string> rule_texts;
+    std::string list_text;
+    for (int i = 0; i < 120; ++i) {
+      const auto rule = random_rule(rng);
+      rule_texts.push_back(rule);
+      list_text += rule + "\n";
+    }
+    adblock::FilterEngine engine;
+    engine.add_list(adblock::FilterList::parse(
+        list_text, adblock::ListKind::kEasyList, "fuzz"));
+    const auto& list = engine.list(0);
+
+    for (int probe = 0; probe < 400; ++probe) {
+      const auto url = random_url(rng, rule_texts);
+      const auto request = adblock::make_request(
+          url, rng.chance(0.5) ? "http://page.test/" : "",
+          rng.chance(0.3) ? http::RequestType::kScript
+                          : http::RequestType::kImage);
+      // Brute force with ABP semantics: any exception wins, else first
+      // blocking match.
+      const adblock::Filter* exception = nullptr;
+      const adblock::Filter* blocking = nullptr;
+      for (const auto& filter : list.filters()) {
+        if (!filter.matches(request)) continue;
+        if (filter.is_exception()) {
+          if (exception == nullptr) exception = &filter;
+        } else if (blocking == nullptr) {
+          blocking = &filter;
+        }
+      }
+      auto expected = adblock::Decision::kNoMatch;
+      if (exception != nullptr) {
+        expected = adblock::Decision::kWhitelisted;
+      } else if (blocking != nullptr) {
+        expected = adblock::Decision::kBlocked;
+      }
+      const auto verdict = engine.classify(request);
+      ASSERT_EQ(verdict.decision, expected)
+          << "round " << round << " url " << url;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------
+// Parser robustness: hostile inputs must not crash or throw.
+// ---------------------------------------------------------------------
+
+TEST(PropertyRobustness, UrlParserSurvivesGarbage) {
+  util::Rng rng(77);
+  for (int i = 0; i < 3000; ++i) {
+    std::string garbage;
+    const auto length = rng.below(80);
+    for (std::size_t j = 0; j < length; ++j) {
+      garbage.push_back(static_cast<char>(rng.below(256)));
+    }
+    const auto url = http::Url::parse(garbage);  // must not crash
+    if (url) {
+      EXPECT_FALSE(url->host().empty());
+      EXPECT_FALSE(url->spec().empty());
+    }
+    http::Url base = http::Url::from_host_and_target("h.test", "/x");
+    base.resolve(garbage);  // must not crash either
+  }
+}
+
+TEST(PropertyRobustness, FilterParserSurvivesGarbage) {
+  util::Rng rng(78);
+  const char kChars[] = "abc|^*$@~=/.,!#?&()[]{}\\ \t";
+  for (int i = 0; i < 5000; ++i) {
+    std::string garbage;
+    const auto length = rng.below(40);
+    for (std::size_t j = 0; j < length; ++j) {
+      garbage.push_back(kChars[rng.below(sizeof(kChars) - 1)]);
+    }
+    const auto filter = adblock::Filter::parse(garbage);
+    if (filter) {
+      // A parsed filter must be usable.
+      filter->matches(adblock::make_request("http://x.test/abc", "",
+                                            http::RequestType::kImage));
+    }
+  }
+}
+
+TEST(PropertyRobustness, FilterListParserSurvivesGarbage) {
+  util::Rng rng(79);
+  std::string text;
+  for (int i = 0; i < 500; ++i) {
+    const auto length = rng.below(60);
+    for (std::size_t j = 0; j < length; ++j) {
+      text.push_back(static_cast<char>(32 + rng.below(95)));
+    }
+    text.push_back('\n');
+  }
+  const auto list =
+      adblock::FilterList::parse(text, adblock::ListKind::kCustom, "fuzz");
+  EXPECT_LE(list.filters().size(), 500u);
+}
+
+TEST(PropertyRobustness, TraceReaderSurvivesTruncation) {
+  // Write a valid trace, then replay progressively truncated copies:
+  // each must either succeed partially or throw TraceFormatError —
+  // never crash or loop.
+  const std::string path = "/tmp/adscope_trunc_src.adst";
+  {
+    trace::FileTraceWriter writer(path);
+    trace::TraceMeta meta;
+    meta.name = "t";
+    writer.on_meta(meta);
+    for (int i = 0; i < 20; ++i) {
+      trace::HttpTransaction txn;
+      txn.host = "host" + std::to_string(i) + ".test";
+      txn.uri = "/u";
+      txn.user_agent = "ua";
+      writer.on_http(txn);
+    }
+  }
+  std::ifstream in(path, std::ios::binary);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string bytes = buffer.str();
+
+  for (std::size_t cut = 5; cut < bytes.size(); cut += 7) {
+    const std::string truncated_path = "/tmp/adscope_trunc_cut.adst";
+    {
+      std::ofstream out(truncated_path, std::ios::binary);
+      out.write(bytes.data(), static_cast<std::streamsize>(cut));
+    }
+    try {
+      trace::FileTraceReader reader(truncated_path);
+      trace::MemoryTrace memory;
+      reader.replay(memory);
+    } catch (const trace::TraceFormatError&) {
+      // acceptable
+    }
+  }
+  std::remove(path.c_str());
+  std::remove("/tmp/adscope_trunc_cut.adst");
+}
+
+TEST(PropertyRobustness, EngineHandlesHugeUrls) {
+  adblock::FilterEngine engine;
+  engine.add_list(adblock::FilterList::parse(
+      "/banners/\n||ads.test^\n", adblock::ListKind::kEasyList, "el"));
+  std::string url = "http://x.test/";
+  for (int i = 0; i < 2000; ++i) url += "segment/";
+  url += "banners/x.gif";
+  const auto verdict = engine.classify(
+      adblock::make_request(url, "", http::RequestType::kImage));
+  EXPECT_EQ(verdict.decision, adblock::Decision::kBlocked);
+}
+
+}  // namespace
+}  // namespace adscope

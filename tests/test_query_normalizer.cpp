@@ -1,0 +1,93 @@
+// core: filter-aware query normalization (§3.1 "Base URL").
+#include <gtest/gtest.h>
+
+#include "adblock/engine.h"
+#include "core/query_normalizer.h"
+
+namespace adscope::core {
+namespace {
+
+adblock::FilterEngine make_engine() {
+  adblock::FilterEngine engine;
+  engine.add_list(adblock::FilterList::parse(
+      "@@*jsp?callback=aslHandleAds*\n"
+      "/banners/\n"
+      "&ad_unit=\n",
+      adblock::ListKind::kEasyList, "el"));
+  return engine;
+}
+
+class NormalizerTest : public ::testing::Test {
+ protected:
+  adblock::FilterEngine engine_ = make_engine();
+  QueryNormalizer normalizer_{engine_};
+};
+
+TEST_F(NormalizerTest, StaticValuesKept) {
+  EXPECT_TRUE(normalizer_.must_preserve("page", "home"));
+  EXPECT_TRUE(normalizer_.must_preserve("v", "2"));
+}
+
+TEST_F(NormalizerTest, DynamicValuesDetected) {
+  // Long tokens, embedded URLs, timestamps.
+  EXPECT_FALSE(normalizer_.must_preserve(
+      "sid", "0123456789abcdef0123456789abcdef"));
+  EXPECT_FALSE(normalizer_.must_preserve("u", "http://x.test/p"));
+  EXPECT_FALSE(normalizer_.must_preserve("cb", "1428710400"));
+}
+
+TEST_F(NormalizerTest, FilterKeyedValuesPreserved) {
+  // "callback=" appears in the exception rule: even dynamic-looking
+  // values must survive (the paper's aslHandleAds example).
+  EXPECT_TRUE(normalizer_.must_preserve(
+      "callback", "aslHandleAds0123456789abcdef"));
+}
+
+TEST_F(NormalizerTest, NormalizeRewritesOnlyDynamic) {
+  const auto url = *http::Url::parse(
+      "http://s.test/a?page=home&cb=1428710400&u=http%3A%2F%2Fx%2Fy");
+  const auto normalized = normalizer_.normalize(url);
+  EXPECT_EQ(normalized.query(), "page=home&cb=x&u=x");
+}
+
+TEST_F(NormalizerTest, ExceptionSurvivesNormalization) {
+  const auto url = *http::Url::parse(
+      "http://s.test/serve.jsp?callback=aslHandleAds0123456789abcdef"
+      "&sid=00112233445566778899aabbccddeeff");
+  const auto normalized = normalizer_.normalize(url);
+  const auto request = adblock::make_request(
+      normalized.spec(), "http://page.test/", http::RequestType::kScript);
+  // Still matched by "@@*jsp?callback=aslHandleAds*".
+  EXPECT_EQ(engine_.classify(request).decision,
+            adblock::Decision::kWhitelisted);
+}
+
+TEST_F(NormalizerTest, NaiveModeBreaksException) {
+  QueryNormalizer naive(engine_, /*filter_aware=*/false);
+  const auto url = *http::Url::parse(
+      "http://s.test/serve.jsp?callback=aslHandleAds0123456789abcdef&v=1");
+  const auto normalized = naive.normalize(url);
+  EXPECT_EQ(normalized.query(), "callback=x&v=1");
+}
+
+TEST_F(NormalizerTest, QueryWithoutValuesUntouched) {
+  const auto url = *http::Url::parse("http://s.test/a?flag&other");
+  EXPECT_EQ(normalizer_.normalize(url).query(), "flag&other");
+  const auto no_query = *http::Url::parse("http://s.test/a");
+  EXPECT_EQ(normalizer_.normalize(no_query).query(), "");
+}
+
+TEST_F(NormalizerTest, EmbeddedAdUrlNeutralized) {
+  // Raw embedded ad URL would spuriously match "/banners/".
+  const auto url = *http::Url::parse(
+      "http://pub.test/outclick?u=http://ad.test/banners/b1.gif&t=2");
+  const auto normalized = normalizer_.normalize(url);
+  EXPECT_EQ(normalized.query().find("/banners/"), std::string::npos);
+  const auto request = adblock::make_request(
+      normalized.spec(), "http://pub.test/", http::RequestType::kXhr);
+  EXPECT_EQ(engine_.classify(request).decision,
+            adblock::Decision::kNoMatch);
+}
+
+}  // namespace
+}  // namespace adscope::core

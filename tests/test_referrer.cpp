@@ -1,0 +1,98 @@
+// core: bounded maps, referrer map, embedded-URL extraction.
+#include <gtest/gtest.h>
+
+#include "core/bounded_map.h"
+#include "core/referrer_map.h"
+
+namespace adscope::core {
+namespace {
+
+TEST(BoundedMap, PutGetTake) {
+  BoundedStringMap map(4);
+  map.put("a", "1");
+  EXPECT_EQ(map.get("a"), "1");
+  map.put("a", "2");  // overwrite, no growth
+  EXPECT_EQ(map.get("a"), "2");
+  EXPECT_EQ(map.size(), 1u);
+  EXPECT_EQ(map.take("a"), "2");
+  EXPECT_FALSE(map.get("a").has_value());
+  EXPECT_FALSE(map.take("a").has_value());
+}
+
+TEST(BoundedMap, FifoEviction) {
+  BoundedStringMap map(3);
+  map.put("a", "1");
+  map.put("b", "2");
+  map.put("c", "3");
+  map.put("d", "4");  // evicts "a"
+  EXPECT_FALSE(map.get("a").has_value());
+  EXPECT_EQ(map.get("d"), "4");
+  EXPECT_LE(map.size(), 3u);
+}
+
+TEST(BoundedMap, HardCapUnderChurn) {
+  BoundedStringMap map(16);
+  for (int i = 0; i < 10000; ++i) {
+    map.put("key" + std::to_string(i), "v");
+    ASSERT_LE(map.size(), 16u);
+  }
+}
+
+TEST(ReferrerMap, ObjectPages) {
+  ReferrerMap map(64);
+  map.note_object("http://s.test/img.gif", "http://s.test/");
+  EXPECT_EQ(map.page_of("http://s.test/img.gif"), "http://s.test/");
+  EXPECT_FALSE(map.page_of("http://unknown/").has_value());
+}
+
+TEST(ReferrerMap, RedirectConsumedOnce) {
+  ReferrerMap map(64);
+  map.note_redirect("http://cdn.test/banner.gif", "http://s.test/");
+  EXPECT_EQ(map.take_redirect_page("http://cdn.test/banner.gif"),
+            "http://s.test/");
+  EXPECT_FALSE(
+      map.take_redirect_page("http://cdn.test/banner.gif").has_value());
+}
+
+TEST(ReferrerMap, EmbeddedPages) {
+  ReferrerMap map(64);
+  map.note_embedded("http://ad.test/x.gif", "http://s.test/");
+  EXPECT_EQ(map.embedded_page("http://ad.test/x.gif"), "http://s.test/");
+}
+
+TEST(EmbeddedUrls, PlainUrlInQuery) {
+  const auto urls =
+      extract_embedded_urls("u=http://a.test/path&x=1");
+  ASSERT_EQ(urls.size(), 1u);
+  EXPECT_EQ(urls[0], "http://a.test/path");
+}
+
+TEST(EmbeddedUrls, PercentEncodedUrl) {
+  const auto urls = extract_embedded_urls(
+      "dl=http%3A%2F%2Fnews.test%2Fstory.html&z=9");
+  ASSERT_GE(urls.size(), 1u);
+  EXPECT_EQ(urls[0], "http://news.test/story.html");
+}
+
+TEST(EmbeddedUrls, MultipleAndHttps) {
+  const auto urls = extract_embedded_urls(
+      "a=http://one.test/&b=https://two.test/x");
+  ASSERT_EQ(urls.size(), 2u);
+  EXPECT_EQ(urls[0], "http://one.test/");
+  EXPECT_EQ(urls[1], "https://two.test/x");
+}
+
+TEST(EmbeddedUrls, IgnoresNonUrls) {
+  EXPECT_TRUE(extract_embedded_urls("q=httpstatus&x=http").empty());
+  EXPECT_TRUE(extract_embedded_urls("").empty());
+  EXPECT_TRUE(extract_embedded_urls("plain=value").empty());
+}
+
+TEST(EmbeddedUrls, StopsAtDelimiters) {
+  const auto urls = extract_embedded_urls("u=http://a.test/p&next=1");
+  ASSERT_EQ(urls.size(), 1u);
+  EXPECT_EQ(urls[0], "http://a.test/p");
+}
+
+}  // namespace
+}  // namespace adscope::core

@@ -1,0 +1,80 @@
+// core: study report rendering.
+#include <gtest/gtest.h>
+
+#include "core/report.h"
+#include "sim/listgen.h"
+#include "sim/rbn_sim.h"
+
+namespace adscope::core {
+namespace {
+
+class ReportTest : public ::testing::Test {
+ protected:
+  static const sim::Ecosystem& eco() {
+    static const sim::Ecosystem instance = [] {
+      sim::EcosystemOptions options;
+      options.publishers = 120;
+      return sim::Ecosystem::generate(42, options);
+    }();
+    return instance;
+  }
+
+  ReportTest()
+      : lists_(sim::generate_lists(eco())),
+        engine_(sim::make_engine(lists_,
+                                 sim::ListSelection{.easylist = true,
+                                                    .derivative = true,
+                                                    .easyprivacy = true,
+                                                    .acceptable_ads = true})),
+        study_(engine_, eco().abp_registry()) {
+    sim::RbnSimulator simulator(eco(), lists_, 42);
+    auto options = sim::rbn2_options(30);
+    options.duration_s = 2 * 3600;
+    simulator.simulate(options, study_);
+    study_.finish();
+  }
+
+  sim::GeneratedLists lists_;
+  adblock::FilterEngine engine_;
+  TraceStudy study_;
+};
+
+TEST_F(ReportTest, TrafficSectionHasKeyNumbers) {
+  const auto report = render_traffic_report(study_);
+  EXPECT_NE(report.find("HTTP transactions:"), std::string::npos);
+  EXPECT_NE(report.find("ad requests:"), std::string::npos);
+  EXPECT_NE(report.find("EasyList:"), std::string::npos);
+  EXPECT_NE(report.find("EasyPrivacy:"), std::string::npos);
+  EXPECT_NE(report.find("non-intrusive:"), std::string::npos);
+  EXPECT_NE(report.find("page views:"), std::string::npos);
+}
+
+TEST_F(ReportTest, InferenceSectionListsClasses) {
+  const auto report = render_inference_report(study_);
+  for (const char* cls : {"class A", "class B", "class C", "class D"}) {
+    EXPECT_NE(report.find(cls), std::string::npos) << cls;
+  }
+  EXPECT_NE(report.find("likely Adblock Plus users"), std::string::npos);
+}
+
+TEST_F(ReportTest, InfrastructureSectionRanksAses) {
+  const auto report =
+      render_infrastructure_report(study_, eco().asn_db());
+  EXPECT_NE(report.find("top ASes"), std::string::npos);
+  EXPECT_NE(report.find("Google"), std::string::npos);
+  EXPECT_NE(report.find("RTB regime"), std::string::npos);
+}
+
+TEST_F(ReportTest, FullReportComposesAndSkipsAsnWhenNull) {
+  const auto with_asn = render_full_report(study_, &eco().asn_db());
+  EXPECT_NE(with_asn.find("== traffic"), std::string::npos);
+  EXPECT_NE(with_asn.find("== ad-blocker usage"), std::string::npos);
+  EXPECT_NE(with_asn.find("== infrastructure"), std::string::npos);
+
+  const auto without = render_full_report(study_);
+  EXPECT_EQ(without.find("== infrastructure"), std::string::npos);
+  EXPECT_NE(without.find("== traffic"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adscope::core

@@ -1,0 +1,222 @@
+// sim: crawl and RBN simulators — determinism, profile ordering, trace
+// well-formedness, ABP update flows.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "sim/crawl_sim.h"
+#include "sim/rbn_sim.h"
+#include "ua/user_agent.h"
+
+namespace adscope::sim {
+namespace {
+
+class SimulatorTest : public ::testing::Test {
+ protected:
+  static EcosystemOptions small() {
+    EcosystemOptions options;
+    options.publishers = 150;
+    return options;
+  }
+  static RbnOptions tiny_rbn() {
+    auto options = rbn2_options(40);
+    options.duration_s = 3 * 3600;
+    return options;
+  }
+  Ecosystem eco_ = Ecosystem::generate(42, small());
+  GeneratedLists lists_ = generate_lists(eco_);
+};
+
+TEST_F(SimulatorTest, CrawlDeterministicPerMode) {
+  CrawlSimulator crawler(eco_, lists_, 7);
+  const auto a = crawler.crawl(BrowserMode::kVanilla, 50);
+  const auto b = crawler.crawl(BrowserMode::kVanilla, 50);
+  ASSERT_EQ(a.http_requests, b.http_requests);
+  ASSERT_EQ(a.trace.http().size(), b.trace.http().size());
+  for (std::size_t i = 0; i < a.trace.http().size(); ++i) {
+    EXPECT_EQ(a.trace.http()[i].uri, b.trace.http()[i].uri);
+  }
+}
+
+TEST_F(SimulatorTest, CrawlBlockerTracesAreSubsets) {
+  CrawlSimulator crawler(eco_, lists_, 7);
+  const auto vanilla = crawler.crawl(BrowserMode::kVanilla, 60);
+  const auto paranoia = crawler.crawl(BrowserMode::kAbpParanoia, 60);
+  EXPECT_LT(paranoia.http_requests, vanilla.http_requests);
+  // Same sites => every paranoia URL also occurs in the vanilla trace.
+  std::unordered_set<std::string> vanilla_urls;
+  for (const auto& txn : vanilla.trace.http()) {
+    vanilla_urls.insert(txn.host + txn.uri);
+  }
+  for (const auto& txn : paranoia.trace.http()) {
+    EXPECT_TRUE(vanilla_urls.contains(txn.host + txn.uri))
+        << txn.host << txn.uri;
+  }
+}
+
+TEST_F(SimulatorTest, CrawlVisitRangesPartitionTrace) {
+  CrawlSimulator crawler(eco_, lists_, 7);
+  const auto result = crawler.crawl(BrowserMode::kVanilla, 40);
+  EXPECT_EQ(result.visits.size(), 40u);
+  std::size_t expected_start = 0;
+  for (const auto& visit : result.visits) {
+    EXPECT_EQ(visit.first_txn, expected_start);
+    expected_start += visit.txn_count;
+  }
+  EXPECT_EQ(expected_start, result.trace.http().size());
+}
+
+TEST_F(SimulatorTest, RbnMetaAndVolume) {
+  RbnSimulator simulator(eco_, lists_, 11);
+  trace::MemoryTrace memory;
+  const auto stats = simulator.simulate(tiny_rbn(), memory);
+  EXPECT_EQ(memory.meta().name, "RBN-2");
+  EXPECT_EQ(memory.meta().subscribers, 40u);
+  EXPECT_EQ(memory.meta().duration_s, 3u * 3600u);
+  EXPECT_GT(stats.http_requests, 1000u);
+  EXPECT_EQ(stats.http_requests + stats.https_flows,
+            memory.http().size() + memory.tls().size());
+  EXPECT_GT(stats.browsers, 40u);
+  EXPECT_GT(stats.abp_browsers, 0u);
+  // Timestamps stay within the trace window.
+  for (const auto& txn : memory.http()) {
+    EXPECT_LT(txn.timestamp_ms, (tiny_rbn().duration_s + 1) * 1000);
+  }
+}
+
+TEST_F(SimulatorTest, RbnDeterminism) {
+  RbnSimulator simulator(eco_, lists_, 11);
+  trace::MemoryTrace a;
+  trace::MemoryTrace b;
+  simulator.simulate(tiny_rbn(), a);
+  simulator.simulate(tiny_rbn(), b);
+  ASSERT_EQ(a.http().size(), b.http().size());
+  for (std::size_t i = 0; i < a.http().size(); i += 97) {
+    EXPECT_EQ(a.http()[i].uri, b.http()[i].uri);
+    EXPECT_EQ(a.http()[i].timestamp_ms, b.http()[i].timestamp_ms);
+  }
+}
+
+TEST_F(SimulatorTest, AbpHouseholdsEmitUpdateFlows) {
+  RbnSimulator simulator(eco_, lists_, 11);
+  trace::MemoryTrace memory;
+  const auto stats = simulator.simulate(tiny_rbn(), memory);
+  ASSERT_GT(stats.abp_households, 0u);
+  // Find TLS flows to ABP servers; their client IPs must be a subset of
+  // the ABP households.
+  std::unordered_set<netdb::IpV4> abp_clients;
+  for (const auto& flow : memory.tls()) {
+    if (eco_.abp_registry().is_abp_server(flow.server_ip)) {
+      abp_clients.insert(flow.client_ip);
+    }
+  }
+  EXPECT_GT(abp_clients.size(), 0u);
+  EXPECT_LE(abp_clients.size(), stats.abp_households);
+}
+
+TEST_F(SimulatorTest, GroundTruthMatchesPopulation) {
+  RbnSimulator simulator(eco_, lists_, 11);
+  trace::MemoryTrace memory;
+  const auto stats = simulator.simulate(tiny_rbn(), memory);
+  EXPECT_EQ(stats.truth.size(), stats.browsers);
+  std::size_t abp = 0;
+  for (const auto& browser : stats.truth) {
+    abp += browser.blocker == BlockerKind::kAdblockPlus;
+    EXPECT_FALSE(browser.user_agent.empty());
+    // Family annotation consistent with the UA string.
+    const auto parsed = ua::parse_user_agent(browser.user_agent);
+    EXPECT_TRUE(parsed.is_browser()) << browser.user_agent;
+  }
+  EXPECT_EQ(abp, stats.abp_browsers);
+}
+
+TEST_F(SimulatorTest, NonBrowserNoisePresent) {
+  RbnSimulator simulator(eco_, lists_, 11);
+  trace::MemoryTrace memory;
+  const auto stats = simulator.simulate(tiny_rbn(), memory);
+  EXPECT_GT(stats.devices, stats.browsers);
+  bool saw_non_browser_ua = false;
+  for (const auto& txn : memory.http()) {
+    if (!ua::parse_user_agent(txn.user_agent).is_browser()) {
+      saw_non_browser_ua = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(saw_non_browser_ua);
+}
+
+TEST_F(SimulatorTest, Rbn1PresetDiffers) {
+  const auto rbn1 = rbn1_options(30);
+  EXPECT_EQ(rbn1.name, "RBN-1");
+  EXPECT_EQ(rbn1.duration_s, 4u * 24 * 3600);
+  EXPECT_EQ(rbn1.start_hour, 0u);
+  EXPECT_EQ(rbn1.start_weekday, 5u);  // Saturday
+  EXPECT_LT(rbn1.activity_scale, 1.0);
+}
+
+TEST_F(SimulatorTest, DynamicIpReassignmentOnMultiDayTraces) {
+  // §5: households keep an address only for ~a day. A 3-day trace must
+  // show each browser under several client IPs; a 15.5 h trace must not.
+  RbnSimulator simulator(eco_, lists_, 11);
+  auto long_options = rbn1_options(20);
+  long_options.duration_s = 3 * 24 * 3600;
+  trace::MemoryTrace long_trace;
+  simulator.simulate(long_options, long_trace);
+  std::unordered_map<std::string, std::unordered_set<netdb::IpV4>> ips_by_ua;
+  for (const auto& txn : long_trace.http()) {
+    ips_by_ua[txn.user_agent].insert(txn.client_ip);
+  }
+  std::size_t multi_ip_agents = 0;
+  for (const auto& [ua, ips] : ips_by_ua) {
+    multi_ip_agents += ips.size() > 1;
+  }
+  EXPECT_GT(multi_ip_agents, ips_by_ua.size() / 2);
+
+  // Within one lease period (3 h trace) no re-addressing happens: the
+  // set of client IPs is exactly the household allocation.
+  trace::MemoryTrace short_trace;
+  simulator.simulate(tiny_rbn(), short_trace);
+  std::unordered_set<netdb::IpV4> short_ips;
+  for (const auto& txn : short_trace.http()) {
+    short_ips.insert(txn.client_ip);
+  }
+  EXPECT_LE(short_ips.size(), 40u);
+
+  // The long trace, by contrast, shows many more addresses than
+  // households — the §5 reason per-user analysis needs short traces.
+  std::unordered_set<netdb::IpV4> long_ips;
+  for (const auto& txn : long_trace.http()) long_ips.insert(txn.client_ip);
+  EXPECT_GT(long_ips.size(), 20u);
+}
+
+TEST_F(SimulatorTest, StaticAddressingWhenDisabled) {
+  RbnSimulator simulator(eco_, lists_, 11);
+  auto options = rbn1_options(10);
+  options.duration_s = 2 * 24 * 3600;
+  options.ip_reassignment_hours = 0;
+  trace::MemoryTrace memory;
+  simulator.simulate(options, memory);
+  std::unordered_set<netdb::IpV4> ips;
+  for (const auto& txn : memory.http()) ips.insert(txn.client_ip);
+  EXPECT_LE(ips.size(), 10u);
+}
+
+TEST_F(SimulatorTest, DiurnalPatternVisible) {
+  RbnSimulator simulator(eco_, lists_, 11);
+  trace::MemoryTrace memory;
+  auto options = rbn2_options(60);
+  options.duration_s = 24 * 3600;
+  options.start_hour = 0;
+  simulator.simulate(options, memory);
+  std::uint64_t night = 0;  // 02:00-05:00
+  std::uint64_t evening = 0;  // 19:00-22:00
+  for (const auto& txn : memory.http()) {
+    const auto hour = txn.timestamp_ms / 1000 / 3600;
+    if (hour >= 2 && hour < 5) ++night;
+    if (hour >= 19 && hour < 22) ++evening;
+  }
+  EXPECT_GT(evening, night * 2);
+}
+
+}  // namespace
+}  // namespace adscope::sim

@@ -1,0 +1,168 @@
+// stats: order statistics, ECDF, histograms, heat map, time series,
+// rendering.
+#include <gtest/gtest.h>
+
+#include "stats/ecdf.h"
+#include "stats/heatmap.h"
+#include "stats/histogram.h"
+#include "stats/render.h"
+#include "stats/summary.h"
+#include "stats/timeseries.h"
+
+namespace adscope::stats {
+namespace {
+
+TEST(Summary, Quantiles) {
+  std::vector<double> values = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile(values, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile(values, 0.25), 2.0);
+  EXPECT_DOUBLE_EQ(quantile({1, 2}, 0.5), 1.5);  // interpolation
+  EXPECT_DOUBLE_EQ(quantile({}, 0.5), 0.0);
+}
+
+TEST(Summary, MeanStddev) {
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 6}), 2.0, 1e-9);
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+}
+
+TEST(Summary, BoxStatsWhiskers) {
+  // 1..12 plus an outlier at 100: whisker must stop at 12.
+  std::vector<double> values;
+  for (int i = 1; i <= 12; ++i) values.push_back(i);
+  values.push_back(100.0);
+  const auto box = box_stats(values);
+  EXPECT_EQ(box.n, 13u);
+  EXPECT_DOUBLE_EQ(box.median, 7.0);
+  EXPECT_DOUBLE_EQ(box.max, 100.0);
+  EXPECT_DOUBLE_EQ(box.whisker_high, 12.0);
+  EXPECT_DOUBLE_EQ(box.whisker_low, 1.0);
+}
+
+TEST(Ecdf, FractionsAndValues) {
+  Ecdf ecdf;
+  for (const double v : {1.0, 2.0, 2.0, 3.0}) ecdf.add(v);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(99.0), 1.0);
+  EXPECT_DOUBLE_EQ(ecdf.value_at(0.0), 1.0);
+  const auto curve = ecdf.curve();
+  ASSERT_EQ(curve.size(), 3u);  // distinct values only
+  EXPECT_DOUBLE_EQ(curve[1].first, 2.0);
+  EXPECT_DOUBLE_EQ(curve[1].second, 0.75);
+}
+
+TEST(Ecdf, Empty) {
+  Ecdf ecdf;
+  EXPECT_TRUE(ecdf.empty());
+  EXPECT_DOUBLE_EQ(ecdf.fraction_at_or_below(1.0), 0.0);
+  EXPECT_TRUE(ecdf.curve().empty());
+}
+
+TEST(LinearHistogram, BinningAndDensity) {
+  LinearHistogram hist(0.0, 10.0, 10);
+  hist.add(0.5);
+  hist.add(9.5);
+  hist.add(100.0);  // clamps to last bin
+  hist.add(-5.0);   // clamps to first bin
+  EXPECT_DOUBLE_EQ(hist.count(0), 2.0);
+  EXPECT_DOUBLE_EQ(hist.count(9), 2.0);
+  EXPECT_DOUBLE_EQ(hist.total(), 4.0);
+  const auto density = hist.density();
+  double integral = 0;
+  for (const auto d : density) integral += d * 1.0;  // bin width 1
+  EXPECT_NEAR(integral, 1.0, 1e-9);
+}
+
+TEST(LogHistogram, ModesInLogSpace) {
+  LogHistogram hist(0.0, 6.0, 24);
+  for (int i = 0; i < 100; ++i) hist.add(43.0);      // beacons
+  for (int i = 0; i < 10; ++i) hist.add(1.0e6);      // megabyte objects
+  const auto mode = hist.bin_center(hist.mode_bin());
+  EXPECT_GT(mode, 20.0);
+  EXPECT_LT(mode, 100.0);
+  EXPECT_DOUBLE_EQ(hist.total(), 110.0);
+  hist.add(0.0);  // non-positive clamps, no crash
+}
+
+TEST(Heatmap, CountsAndEdges) {
+  LogLogHeatmap map(4.0, 4.0, 8, 8);
+  map.add(0, 0);
+  map.add(9999, 9999);
+  map.add(9999, 0);
+  EXPECT_EQ(map.total(), 3u);
+  EXPECT_EQ(map.count(0, 0), 1u);
+  EXPECT_EQ(map.count(7, 7), 1u);
+  EXPECT_EQ(map.count(7, 0), 1u);
+  EXPECT_EQ(map.max_cell(), 1u);
+  EXPECT_NEAR(map.x_edge(0), 0.0, 1e-9);
+}
+
+TEST(TimeSeries, BinningAndMax) {
+  BinnedTimeSeries series(7200, 3600, {"a", "b"});
+  EXPECT_EQ(series.bin_count(), 2u);
+  series.add(0, 10);
+  series.add(0, 3599);
+  series.add(0, 3600, 5.0);
+  series.add(1, 999999);  // clamps to last bin
+  EXPECT_DOUBLE_EQ(series.value(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(series.value(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(series.value(1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(series.series_max(0), 5.0);
+  EXPECT_DOUBLE_EQ(series.global_max(), 5.0);
+  EXPECT_EQ(series.name(1), "b");
+}
+
+TEST(Render, TextTableAlignment) {
+  TextTable table({"col", "longer-column"});
+  table.add_row({"a-very-long-cell", "b"});
+  const auto out = table.to_string();
+  EXPECT_NE(out.find("col"), std::string::npos);
+  EXPECT_NE(out.find("a-very-long-cell"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // Rows: header, separator, one data row.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+}
+
+TEST(Render, Bar) {
+  EXPECT_EQ(bar(5, 10, 10).size(), 5u);
+  EXPECT_EQ(bar(20, 10, 10).size(), 10u);  // clamped
+  EXPECT_TRUE(bar(0, 10, 10).empty());
+  EXPECT_TRUE(bar(5, 0, 10).empty());
+}
+
+TEST(Render, Sparkline) {
+  const auto line = sparkline({0.0, 0.5, 1.0}, 1.0);
+  EXPECT_EQ(line.size(), 3u);
+  EXPECT_EQ(line[0], ' ');
+  EXPECT_EQ(line[2], '#');
+}
+
+TEST(Render, BoxplotLine) {
+  BoxStats box;
+  box.whisker_low = 1;
+  box.q1 = 2;
+  box.median = 5;
+  box.q3 = 8;
+  box.whisker_high = 9;
+  const auto line = boxplot_line(box, 0, 10, 21);
+  EXPECT_EQ(line.size(), 21u);
+  EXPECT_EQ(line[10], 'M');
+  EXPECT_EQ(line[2], '|');
+  EXPECT_TRUE(boxplot_line(box, 0, 0, 21).empty());
+}
+
+TEST(Render, HeatmapShadesDensity) {
+  LogLogHeatmap map(2.0, 2.0, 4, 4);
+  for (int i = 0; i < 100; ++i) map.add(50, 50);
+  map.add(0, 0);
+  const auto out = render_heatmap(map, 4);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find('#'), std::string::npos);  // dense cell
+}
+
+}  // namespace
+}  // namespace adscope::stats

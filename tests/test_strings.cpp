@@ -1,0 +1,207 @@
+// util: strings, formatting, hashing, deterministic RNG.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/format.h"
+#include "util/hash.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace adscope::util {
+namespace {
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("AbC-12%Z"), "abc-12%z");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("http://x", "http"));
+  EXPECT_FALSE(starts_with("ttp://x", "http"));
+  EXPECT_FALSE(starts_with("ht", "http"));
+  EXPECT_TRUE(ends_with("a.gif", ".gif"));
+  EXPECT_FALSE(ends_with("gif", ".gif"));
+}
+
+TEST(Strings, CaseInsensitiveEquals) {
+  EXPECT_TRUE(iequals("Content-Type", "content-type"));
+  EXPECT_FALSE(iequals("Content-Type", "content-typ"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Strings, CaseInsensitiveFind) {
+  EXPECT_EQ(ifind("Hello World", "world"), 6u);
+  EXPECT_EQ(ifind("Hello", "xyz"), std::string_view::npos);
+  EXPECT_EQ(ifind("abc", ""), 0u);
+  EXPECT_EQ(ifind("ab", "abc"), std::string_view::npos);
+}
+
+TEST(Strings, Trim) {
+  EXPECT_EQ(trim("  a b \r\n"), "a b");
+  EXPECT_EQ(trim("\t\t"), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Strings, Split) {
+  const auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+  EXPECT_EQ(split_nonempty("a,,b,", ',').size(), 2u);
+  EXPECT_EQ(split("", ',').size(), 1u);
+}
+
+TEST(Strings, ParseU64) {
+  std::uint64_t value = 0;
+  EXPECT_TRUE(parse_u64("0", value));
+  EXPECT_EQ(value, 0u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", value));
+  EXPECT_EQ(value, UINT64_MAX);
+  EXPECT_FALSE(parse_u64("18446744073709551616", value));  // overflow
+  EXPECT_FALSE(parse_u64("", value));
+  EXPECT_FALSE(parse_u64("12a", value));
+  EXPECT_FALSE(parse_u64("-1", value));
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(percent(0.123), "12.3%");
+  EXPECT_EQ(percent(0.12345, 2), "12.35%");
+  EXPECT_EQ(percent(0.0, 0), "0%");
+}
+
+TEST(Format, HumanBytes) {
+  EXPECT_EQ(human_bytes(500), "500B");
+  EXPECT_EQ(human_bytes(18.8e12), "18.8T");
+  EXPECT_EQ(human_bytes(1.5e6), "1.5M");
+}
+
+TEST(Format, HumanCount) {
+  EXPECT_EQ(human_count(131.95e6), "131.95M");
+  EXPECT_EQ(human_count(19700, 1), "19.7K");
+  EXPECT_EQ(human_count(42), "42");
+}
+
+TEST(Hash, Deterministic) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a_u64(1), fnv1a_u64(2));
+  EXPECT_NE(hash_combine(1, 2), hash_combine(2, 1));
+}
+
+TEST(Rng, SeedDeterminism) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+  Rng c(8);
+  EXPECT_NE(Rng(7).next(), c.next());
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(1);
+  Rng child_a = parent.fork(1);
+  Rng child_b = parent.fork(2);
+  EXPECT_NE(child_a.next(), child_b.next());
+}
+
+TEST(Rng, BelowBounds) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.below(17), 17u);
+  }
+  EXPECT_EQ(rng.below(0), 0u);
+  EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Rng, ExponentialMean) {
+  Rng rng(11);
+  double sum = 0;
+  for (int i = 0; i < 20000; ++i) sum += rng.exponential(5.0);
+  EXPECT_NEAR(sum / 20000.0, 5.0, 0.25);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(13);
+  double sum = 0;
+  double sq = 0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / kN;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(sq / kN - mean * mean, 4.0, 0.3);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(17);
+  for (const double lambda : {0.5, 3.0, 50.0}) {
+    double sum = 0;
+    for (int i = 0; i < 5000; ++i) sum += rng.poisson(lambda);
+    EXPECT_NEAR(sum / 5000.0, lambda, lambda * 0.1 + 0.1) << lambda;
+  }
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+}
+
+TEST(Rng, WeightedRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 0.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 8000; ++i) ++counts[rng.weighted(weights)];
+  EXPECT_EQ(counts[1], 0);
+  EXPECT_GT(counts[2], counts[0]);
+  EXPECT_NEAR(static_cast<double>(counts[2]) / counts[0], 3.0, 0.5);
+}
+
+TEST(Zipf, RankOrdering) {
+  ZipfSampler zipf(100, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+class ZipfExponents : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponents, SamplesInRange) {
+  ZipfSampler zipf(50, GetParam());
+  Rng rng(29);
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_LT(zipf.sample(rng), 50u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ZipfExponents,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.2, 2.0));
+
+}  // namespace
+}  // namespace adscope::util

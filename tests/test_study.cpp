@@ -1,0 +1,129 @@
+// core: TraceStudy facade — wiring, meta handling, HTTPS accounting,
+// finish() semantics.
+#include <gtest/gtest.h>
+
+#include "core/study.h"
+
+namespace adscope::core {
+namespace {
+
+class StudyTest : public ::testing::Test {
+ protected:
+  StudyTest() {
+    engine_.add_list(adblock::FilterList::parse(
+        "||adnet.test^$third-party\n", adblock::ListKind::kEasyList, "el"));
+    registry_.add_server(0x01020304);
+  }
+
+  trace::HttpTransaction txn(const std::string& host, const std::string& uri,
+                             std::uint64_t t_ms = 0) {
+    trace::HttpTransaction out;
+    out.timestamp_ms = t_ms;
+    out.client_ip = 0x0AC80001;
+    out.server_ip = 0x0A010001;
+    out.host = host;
+    out.uri = uri;
+    out.user_agent =
+        "Mozilla/5.0 (Windows NT 6.1; rv:38.0) Gecko/20100101 Firefox/38.0";
+    out.content_type = "image/gif";
+    out.content_length = 100;
+    out.tcp_handshake_us = 1000;
+    out.http_handshake_us = 2000;
+    return out;
+  }
+
+  adblock::FilterEngine engine_;
+  netdb::AbpServerRegistry registry_;
+};
+
+TEST_F(StudyTest, MetaDrivesTimeSeriesDuration) {
+  TraceStudy study(engine_, registry_);
+  trace::TraceMeta meta;
+  meta.name = "t";
+  meta.duration_s = 7200;
+  study.on_meta(meta);
+  study.on_http(txn("a.test", "/x"));
+  study.finish();
+  EXPECT_EQ(study.traffic().series().bin_count(), 2u);
+  EXPECT_EQ(study.meta().name, "t");
+}
+
+TEST_F(StudyTest, ToleratesMissingMeta) {
+  TraceStudy study(engine_, registry_);
+  study.on_http(txn("a.test", "/x"));  // no on_meta first
+  study.finish();
+  EXPECT_EQ(study.traffic().requests(), 1u);
+}
+
+TEST_F(StudyTest, AllAggregatorsSeeEachObject) {
+  TraceStudy study(engine_, registry_);
+  study.on_meta(trace::TraceMeta{});
+  study.on_http(txn("site.test", "/index.html"));
+  auto ad = txn("adnet.test", "/b.gif", 5);
+  ad.referer = "http://site.test/index.html";
+  study.on_http(ad);
+  study.finish();
+
+  EXPECT_EQ(study.traffic().requests(), 2u);
+  EXPECT_EQ(study.traffic().ad_requests(), 1u);
+  EXPECT_EQ(study.users().total_requests(), 2u);
+  EXPECT_EQ(study.users().total_ad_requests(), 1u);
+  EXPECT_EQ(study.infra().total_objects(), 2u);
+  EXPECT_EQ(study.infra().total_ads(), 1u);
+  EXPECT_EQ(study.whitelist().ad_requests(), 1u);
+  EXPECT_GT(study.rtb().ad_delta_ms().total() +
+                study.rtb().non_ad_delta_ms().total(),
+            0.0);
+}
+
+TEST_F(StudyTest, HttpsFlowsCountedAndMatchedAgainstRegistry) {
+  TraceStudy study(engine_, registry_);
+  study.on_meta(trace::TraceMeta{});
+  trace::TlsFlow abp_flow;
+  abp_flow.client_ip = 0x0AC80001;
+  abp_flow.server_ip = 0x01020304;  // registered ABP server
+  abp_flow.server_port = 443;
+  study.on_tls(abp_flow);
+  trace::TlsFlow other_flow;
+  other_flow.client_ip = 0x0AC80001;
+  other_flow.server_ip = 0x05060708;
+  other_flow.server_port = 443;
+  study.on_tls(other_flow);
+  study.finish();
+
+  EXPECT_EQ(study.https_flows(), 2u);
+  EXPECT_EQ(study.users().tls_to_abp_servers(), 1u);
+  EXPECT_EQ(study.users().abp_household_count(), 1u);
+}
+
+TEST_F(StudyTest, FinishFlushesHeldRedirects) {
+  TraceStudy study(engine_, registry_);
+  study.on_meta(trace::TraceMeta{});
+  auto redirect = txn("adnet.test", "/adclick?d=1");
+  redirect.status_code = 302;
+  redirect.location = "http://never-fetched.test/x.gif";
+  study.on_http(redirect);
+  EXPECT_EQ(study.traffic().requests(), 0u);  // held
+  study.finish();
+  EXPECT_EQ(study.traffic().requests(), 1u);
+  study.finish();  // idempotent
+  EXPECT_EQ(study.traffic().requests(), 1u);
+}
+
+TEST_F(StudyTest, InferenceUsesConfiguredThresholds) {
+  StudyOptions options;
+  options.inference.min_requests = 3;
+  TraceStudy study(engine_, registry_, options);
+  study.on_meta(trace::TraceMeta{});
+  for (int i = 0; i < 5; ++i) {
+    study.on_http(txn("site.test", "/p" + std::to_string(i)));
+  }
+  study.finish();
+  const auto inference = study.inference();
+  EXPECT_EQ(inference.active_browsers.size(), 1u);
+  const auto report = study.configurations(inference);
+  EXPECT_EQ(report.low_hit_cut, 10u);
+}
+
+}  // namespace
+}  // namespace adscope::core

@@ -1,0 +1,264 @@
+// adscope — command-line front end.
+//
+//   adscope gen         synthesize an RBN header trace (.adst)
+//   adscope study       run the full paper pipeline on a trace or pcap,
+//                       optionally writing a privacy-truncated http.log
+//   adscope export-pcap render a trace as Ethernet/IPv4/TCP pcap frames
+//   adscope lists       write the generated filter lists as ABP text
+//   adscope classify    one-shot URL classification
+//
+// Run without arguments for the option reference.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "analyzer/http_log.h"
+#include "core/report.h"
+#include "pcap/pcap.h"
+#include "core/study.h"
+#include "sim/ecosystem.h"
+#include "sim/listgen.h"
+#include "sim/rbn_sim.h"
+#include "trace/reader.h"
+#include "trace/writer.h"
+#include "util/format.h"
+
+namespace {
+
+using namespace adscope;
+
+struct Args {
+  std::map<std::string, std::string> named;
+  bool flag(const std::string& name) const { return named.contains(name); }
+  std::string get(const std::string& name, std::string fallback = "") const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback : it->second;
+  }
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback
+                             : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse_args(int argc, char** argv, int first) {
+  Args args;
+  for (int i = first; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.named[key] = argv[++i];
+    } else {
+      args.named[key] = "";
+    }
+  }
+  return args;
+}
+
+struct WorldBundle {
+  sim::Ecosystem ecosystem;
+  sim::GeneratedLists lists;
+  adblock::FilterEngine engine;
+
+  explicit WorldBundle(std::uint64_t seed)
+      : ecosystem(sim::Ecosystem::generate(seed)),
+        lists(sim::generate_lists(ecosystem)),
+        engine(sim::make_engine(lists,
+                                sim::ListSelection{.easylist = true,
+                                                   .derivative = true,
+                                                   .easyprivacy = true,
+                                                   .acceptable_ads = true})) {}
+};
+
+int cmd_gen(const Args& args) {
+  const auto out = args.get("out", "trace.adst");
+  const auto seed = args.get_u64("seed", 42);
+  WorldBundle world(seed);
+  sim::RbnSimulator simulator(world.ecosystem, world.lists, seed);
+  auto options =
+      args.flag("rbn1")
+          ? sim::rbn1_options(static_cast<std::uint32_t>(
+                args.get_u64("households", 250)))
+          : sim::rbn2_options(static_cast<std::uint32_t>(
+                args.get_u64("households", 300)));
+  if (args.named.contains("hours")) {
+    options.duration_s = args.get_u64("hours", 15) * 3600;
+  }
+  std::printf("generating %s: %u households, %.1f h ...\n",
+              options.name.c_str(), options.households,
+              static_cast<double>(options.duration_s) / 3600.0);
+  trace::FileTraceWriter writer(out);
+  const auto stats = simulator.simulate(options, writer);
+  writer.close();
+  std::printf("wrote %s: %llu HTTP transactions, %llu TLS flows, %s\n",
+              out.c_str(),
+              static_cast<unsigned long long>(stats.http_requests),
+              static_cast<unsigned long long>(stats.https_flows),
+              util::human_bytes(static_cast<double>(stats.bytes)).c_str());
+  return 0;
+}
+
+int cmd_study(const Args& args) {
+  const auto path = args.get("trace");
+  const auto pcap_path = args.get("pcap");
+  if (path.empty() && pcap_path.empty()) {
+    std::fprintf(stderr, "study: --trace or --pcap required\n");
+    return 2;
+  }
+  const auto seed = args.get_u64("seed", 42);
+  WorldBundle world(seed);
+
+  core::StudyOptions options;
+  options.inference.min_requests = args.get_u64("active-min", 1000);
+  core::TraceStudy study(world.engine, world.ecosystem.abp_registry(),
+                         options);
+
+  // Optional privacy-preserving transaction log (the paper's §5 output).
+  std::unique_ptr<analyzer::HttpLogWriter> log;
+  analyzer::HttpExtractor log_extractor;
+  if (!args.get("log").empty()) {
+    const auto privacy = args.get("privacy", "fqdn") == "full"
+                             ? analyzer::HttpLogWriter::Privacy::kFull
+                             : analyzer::HttpLogWriter::Privacy::kFqdnTruncated;
+    log = std::make_unique<analyzer::HttpLogWriter>(args.get("log"), privacy);
+    log_extractor.set_object_callback(
+        [&](const analyzer::WebObject& object) { log->write(object); });
+  }
+
+  trace::TeeSink tee;
+  tee.add(study);
+  if (log) tee.add(log_extractor);
+  std::uint64_t records = 0;
+  if (!pcap_path.empty()) {
+    pcap::PcapHttpReader reader(pcap_path);
+    records = reader.replay(tee);
+  } else {
+    trace::FileTraceReader reader(path);
+    records = reader.replay(tee);
+  }
+  study.finish();
+
+  std::printf("read %llu records from %s\n\n",
+              static_cast<unsigned long long>(records),
+              (pcap_path.empty() ? path : pcap_path).c_str());
+  std::fputs(
+      core::render_full_report(study, &world.ecosystem.asn_db()).c_str(),
+      stdout);
+  if (log) {
+    std::printf("http.log: %llu lines -> %s\n",
+                static_cast<unsigned long long>(log->lines_written()),
+                args.get("log").c_str());
+  }
+  return 0;
+}
+
+int cmd_export_pcap(const Args& args) {
+  const auto in_path = args.get("trace");
+  const auto out_path = args.get("out", "trace.pcap");
+  if (in_path.empty()) {
+    std::fprintf(stderr, "export-pcap: --trace required\n");
+    return 2;
+  }
+  trace::FileTraceReader reader(in_path);
+  pcap::PcapWriter writer(out_path);
+  const auto records = reader.replay(writer);
+  std::printf("converted %llu records into %llu pcap frames -> %s\n",
+              static_cast<unsigned long long>(records),
+              static_cast<unsigned long long>(writer.packets_written()),
+              out_path.c_str());
+  return 0;
+}
+
+int cmd_lists(const Args& args) {
+  const auto dir = args.get("out-dir", ".");
+  WorldBundle world(args.get_u64("seed", 42));
+  const struct {
+    const char* file;
+    const std::string* text;
+  } outputs[] = {
+      {"easylist.txt", &world.lists.easylist},
+      {"easylistgermany.txt", &world.lists.easylist_derivative},
+      {"easyprivacy.txt", &world.lists.easyprivacy},
+      {"exceptionrules.txt", &world.lists.acceptable_ads},
+  };
+  for (const auto& output : outputs) {
+    const auto path = dir + "/" + output.file;
+    std::FILE* file = std::fopen(path.c_str(), "w");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::fwrite(output.text->data(), 1, output.text->size(), file);
+    std::fclose(file);
+    std::printf("wrote %s (%zu bytes)\n", path.c_str(), output.text->size());
+  }
+  return 0;
+}
+
+int cmd_classify(const Args& args) {
+  const auto url = args.get("url");
+  if (url.empty()) {
+    std::fprintf(stderr, "classify: --url required\n");
+    return 2;
+  }
+  WorldBundle world(args.get_u64("seed", 42));
+  auto type = http::RequestType::kOther;
+  const auto type_name = args.get("type", "other");
+  for (int t = 0; t <= static_cast<int>(http::RequestType::kOther); ++t) {
+    if (to_string(static_cast<http::RequestType>(t)) == type_name) {
+      type = static_cast<http::RequestType>(t);
+      break;
+    }
+  }
+  const auto request = adblock::make_request(url, args.get("page"), type);
+  const auto verdict = world.engine.classify(request);
+  std::printf("%s\n", std::string(to_string(verdict.decision)).c_str());
+  if (verdict.filter != nullptr) {
+    std::printf("  rule: %s\n  list: %s\n", verdict.filter->text().c_str(),
+                std::string(to_string(verdict.list_kind)).c_str());
+  }
+  if (verdict.whitelist_saved_it()) {
+    std::printf("  would be blocked by: %s\n",
+                verdict.blocked_by->text().c_str());
+  }
+  std::printf("  is_ad: %s\n", verdict.is_ad() ? "yes" : "no");
+  return verdict.is_ad() ? 0 : 1;
+}
+
+void usage() {
+  std::fputs(
+      "usage: adscope <gen|study|export-pcap|lists|classify> [options]\n"
+      "  gen        --out FILE [--households N] [--hours H] [--rbn1] [--seed S]\n"
+      "  study      --trace FILE | --pcap FILE  [--log FILE --privacy "
+      "fqdn|full]\n"
+      "             [--active-min N] [--seed S]\n"
+      "  export-pcap --trace FILE --out FILE\n"
+      "  lists    --out-dir DIR [--seed S]\n"
+      "  classify --url URL [--page URL] [--type image|script|...]\n",
+      stderr);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const auto args = parse_args(argc, argv, 2);
+  try {
+    if (command == "gen") return cmd_gen(args);
+    if (command == "study") return cmd_study(args);
+    if (command == "export-pcap") return cmd_export_pcap(args);
+    if (command == "lists") return cmd_lists(args);
+    if (command == "classify") return cmd_classify(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "adscope %s: %s\n", command.c_str(), error.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
