@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_referrer_repairs.dir/bench_ablation_referrer_repairs.cpp.o"
+  "CMakeFiles/bench_ablation_referrer_repairs.dir/bench_ablation_referrer_repairs.cpp.o.d"
+  "bench_ablation_referrer_repairs"
+  "bench_ablation_referrer_repairs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_referrer_repairs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

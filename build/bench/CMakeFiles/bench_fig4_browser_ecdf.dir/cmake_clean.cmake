@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_browser_ecdf.dir/bench_fig4_browser_ecdf.cpp.o"
+  "CMakeFiles/bench_fig4_browser_ecdf.dir/bench_fig4_browser_ecdf.cpp.o.d"
+  "bench_fig4_browser_ecdf"
+  "bench_fig4_browser_ecdf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_browser_ecdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_timeseries.dir/bench_fig5_timeseries.cpp.o"
+  "CMakeFiles/bench_fig5_timeseries.dir/bench_fig5_timeseries.cpp.o.d"
+  "bench_fig5_timeseries"
+  "bench_fig5_timeseries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_timeseries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

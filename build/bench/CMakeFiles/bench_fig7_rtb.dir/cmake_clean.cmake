@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_rtb.dir/bench_fig7_rtb.cpp.o"
+  "CMakeFiles/bench_fig7_rtb.dir/bench_fig7_rtb.cpp.o.d"
+  "bench_fig7_rtb"
+  "bench_fig7_rtb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_rtb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_micro_pipeline.cpp" "bench/CMakeFiles/bench_micro_pipeline.dir/bench_micro_pipeline.cpp.o" "gcc" "bench/CMakeFiles/bench_micro_pipeline.dir/bench_micro_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/adscope_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/adscope_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/adblock/CMakeFiles/adscope_adblock.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/adscope_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/adscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/adscope_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/pcap/CMakeFiles/adscope_pcap.dir/DependInfo.cmake"
+  "/root/repo/build/src/ua/CMakeFiles/adscope_ua.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdb/CMakeFiles/adscope_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/adscope_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

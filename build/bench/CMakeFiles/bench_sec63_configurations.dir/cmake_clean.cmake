@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec63_configurations.dir/bench_sec63_configurations.cpp.o"
+  "CMakeFiles/bench_sec63_configurations.dir/bench_sec63_configurations.cpp.o.d"
+  "bench_sec63_configurations"
+  "bench_sec63_configurations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec63_configurations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec71_category_mix.dir/bench_sec71_category_mix.cpp.o"
+  "CMakeFiles/bench_sec71_category_mix.dir/bench_sec71_category_mix.cpp.o.d"
+  "bench_sec71_category_mix"
+  "bench_sec71_category_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec71_category_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_sec71_category_mix.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec73_whitelist.dir/bench_sec73_whitelist.cpp.o"
+  "CMakeFiles/bench_sec73_whitelist.dir/bench_sec73_whitelist.cpp.o.d"
+  "bench_sec73_whitelist"
+  "bench_sec73_whitelist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec73_whitelist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

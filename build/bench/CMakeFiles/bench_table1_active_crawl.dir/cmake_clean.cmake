@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_active_crawl.dir/bench_table1_active_crawl.cpp.o"
+  "CMakeFiles/bench_table1_active_crawl.dir/bench_table1_active_crawl.cpp.o.d"
+  "bench_table1_active_crawl"
+  "bench_table1_active_crawl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_active_crawl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

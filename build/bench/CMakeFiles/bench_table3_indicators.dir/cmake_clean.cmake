@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_indicators.dir/bench_table3_indicators.cpp.o"
+  "CMakeFiles/bench_table3_indicators.dir/bench_table3_indicators.cpp.o.d"
+  "bench_table3_indicators"
+  "bench_table3_indicators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_indicators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adblock_detector.dir/adblock_detector.cpp.o"
+  "CMakeFiles/adblock_detector.dir/adblock_detector.cpp.o.d"
+  "adblock_detector"
+  "adblock_detector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adblock_detector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for adblock_detector.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_trace.dir/classify_trace.cpp.o"
+  "CMakeFiles/classify_trace.dir/classify_trace.cpp.o.d"
+  "classify_trace"
+  "classify_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crawl_lab.dir/crawl_lab.cpp.o"
+  "CMakeFiles/crawl_lab.dir/crawl_lab.cpp.o.d"
+  "crawl_lab"
+  "crawl_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crawl_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

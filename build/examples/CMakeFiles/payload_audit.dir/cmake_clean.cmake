@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/payload_audit.dir/payload_audit.cpp.o"
+  "CMakeFiles/payload_audit.dir/payload_audit.cpp.o.d"
+  "payload_audit"
+  "payload_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/payload_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

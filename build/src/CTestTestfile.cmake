@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("http")
+subdirs("html")
+subdirs("netdb")
+subdirs("stats")
+subdirs("adblock")
+subdirs("ua")
+subdirs("trace")
+subdirs("pcap")
+subdirs("analyzer")
+subdirs("sim")
+subdirs("core")

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adblock/element_hiding.cc" "src/adblock/CMakeFiles/adscope_adblock.dir/element_hiding.cc.o" "gcc" "src/adblock/CMakeFiles/adscope_adblock.dir/element_hiding.cc.o.d"
+  "/root/repo/src/adblock/engine.cc" "src/adblock/CMakeFiles/adscope_adblock.dir/engine.cc.o" "gcc" "src/adblock/CMakeFiles/adscope_adblock.dir/engine.cc.o.d"
+  "/root/repo/src/adblock/filter.cc" "src/adblock/CMakeFiles/adscope_adblock.dir/filter.cc.o" "gcc" "src/adblock/CMakeFiles/adscope_adblock.dir/filter.cc.o.d"
+  "/root/repo/src/adblock/filter_list.cc" "src/adblock/CMakeFiles/adscope_adblock.dir/filter_list.cc.o" "gcc" "src/adblock/CMakeFiles/adscope_adblock.dir/filter_list.cc.o.d"
+  "/root/repo/src/adblock/subscription.cc" "src/adblock/CMakeFiles/adscope_adblock.dir/subscription.cc.o" "gcc" "src/adblock/CMakeFiles/adscope_adblock.dir/subscription.cc.o.d"
+  "/root/repo/src/adblock/token_index.cc" "src/adblock/CMakeFiles/adscope_adblock.dir/token_index.cc.o" "gcc" "src/adblock/CMakeFiles/adscope_adblock.dir/token_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/adscope_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

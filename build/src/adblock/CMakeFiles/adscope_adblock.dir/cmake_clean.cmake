@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_adblock.dir/element_hiding.cc.o"
+  "CMakeFiles/adscope_adblock.dir/element_hiding.cc.o.d"
+  "CMakeFiles/adscope_adblock.dir/engine.cc.o"
+  "CMakeFiles/adscope_adblock.dir/engine.cc.o.d"
+  "CMakeFiles/adscope_adblock.dir/filter.cc.o"
+  "CMakeFiles/adscope_adblock.dir/filter.cc.o.d"
+  "CMakeFiles/adscope_adblock.dir/filter_list.cc.o"
+  "CMakeFiles/adscope_adblock.dir/filter_list.cc.o.d"
+  "CMakeFiles/adscope_adblock.dir/subscription.cc.o"
+  "CMakeFiles/adscope_adblock.dir/subscription.cc.o.d"
+  "CMakeFiles/adscope_adblock.dir/token_index.cc.o"
+  "CMakeFiles/adscope_adblock.dir/token_index.cc.o.d"
+  "libadscope_adblock.a"
+  "libadscope_adblock.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_adblock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

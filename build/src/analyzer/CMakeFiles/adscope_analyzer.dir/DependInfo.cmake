@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analyzer/http_extractor.cc" "src/analyzer/CMakeFiles/adscope_analyzer.dir/http_extractor.cc.o" "gcc" "src/analyzer/CMakeFiles/adscope_analyzer.dir/http_extractor.cc.o.d"
+  "/root/repo/src/analyzer/http_log.cc" "src/analyzer/CMakeFiles/adscope_analyzer.dir/http_log.cc.o" "gcc" "src/analyzer/CMakeFiles/adscope_analyzer.dir/http_log.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/adscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/adscope_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdb/CMakeFiles/adscope_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

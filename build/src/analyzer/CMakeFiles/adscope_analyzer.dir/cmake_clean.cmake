@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_analyzer.dir/http_extractor.cc.o"
+  "CMakeFiles/adscope_analyzer.dir/http_extractor.cc.o.d"
+  "CMakeFiles/adscope_analyzer.dir/http_log.cc.o"
+  "CMakeFiles/adscope_analyzer.dir/http_log.cc.o.d"
+  "libadscope_analyzer.a"
+  "libadscope_analyzer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_analyzer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/classifier.cc" "src/core/CMakeFiles/adscope_core.dir/classifier.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/classifier.cc.o.d"
+  "/root/repo/src/core/content_inference.cc" "src/core/CMakeFiles/adscope_core.dir/content_inference.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/content_inference.cc.o.d"
+  "/root/repo/src/core/inference.cc" "src/core/CMakeFiles/adscope_core.dir/inference.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/inference.cc.o.d"
+  "/root/repo/src/core/infra_analysis.cc" "src/core/CMakeFiles/adscope_core.dir/infra_analysis.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/infra_analysis.cc.o.d"
+  "/root/repo/src/core/page_segmenter.cc" "src/core/CMakeFiles/adscope_core.dir/page_segmenter.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/page_segmenter.cc.o.d"
+  "/root/repo/src/core/query_normalizer.cc" "src/core/CMakeFiles/adscope_core.dir/query_normalizer.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/query_normalizer.cc.o.d"
+  "/root/repo/src/core/referrer_map.cc" "src/core/CMakeFiles/adscope_core.dir/referrer_map.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/referrer_map.cc.o.d"
+  "/root/repo/src/core/report.cc" "src/core/CMakeFiles/adscope_core.dir/report.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/report.cc.o.d"
+  "/root/repo/src/core/rtb_analysis.cc" "src/core/CMakeFiles/adscope_core.dir/rtb_analysis.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/rtb_analysis.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/core/CMakeFiles/adscope_core.dir/study.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/study.cc.o.d"
+  "/root/repo/src/core/traffic_stats.cc" "src/core/CMakeFiles/adscope_core.dir/traffic_stats.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/traffic_stats.cc.o.d"
+  "/root/repo/src/core/user_index.cc" "src/core/CMakeFiles/adscope_core.dir/user_index.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/user_index.cc.o.d"
+  "/root/repo/src/core/whitelist_analysis.cc" "src/core/CMakeFiles/adscope_core.dir/whitelist_analysis.cc.o" "gcc" "src/core/CMakeFiles/adscope_core.dir/whitelist_analysis.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adblock/CMakeFiles/adscope_adblock.dir/DependInfo.cmake"
+  "/root/repo/build/src/analyzer/CMakeFiles/adscope_analyzer.dir/DependInfo.cmake"
+  "/root/repo/build/src/html/CMakeFiles/adscope_html.dir/DependInfo.cmake"
+  "/root/repo/build/src/ua/CMakeFiles/adscope_ua.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/adscope_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdb/CMakeFiles/adscope_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/adscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/adscope_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_core.dir/classifier.cc.o"
+  "CMakeFiles/adscope_core.dir/classifier.cc.o.d"
+  "CMakeFiles/adscope_core.dir/content_inference.cc.o"
+  "CMakeFiles/adscope_core.dir/content_inference.cc.o.d"
+  "CMakeFiles/adscope_core.dir/inference.cc.o"
+  "CMakeFiles/adscope_core.dir/inference.cc.o.d"
+  "CMakeFiles/adscope_core.dir/infra_analysis.cc.o"
+  "CMakeFiles/adscope_core.dir/infra_analysis.cc.o.d"
+  "CMakeFiles/adscope_core.dir/page_segmenter.cc.o"
+  "CMakeFiles/adscope_core.dir/page_segmenter.cc.o.d"
+  "CMakeFiles/adscope_core.dir/query_normalizer.cc.o"
+  "CMakeFiles/adscope_core.dir/query_normalizer.cc.o.d"
+  "CMakeFiles/adscope_core.dir/referrer_map.cc.o"
+  "CMakeFiles/adscope_core.dir/referrer_map.cc.o.d"
+  "CMakeFiles/adscope_core.dir/report.cc.o"
+  "CMakeFiles/adscope_core.dir/report.cc.o.d"
+  "CMakeFiles/adscope_core.dir/rtb_analysis.cc.o"
+  "CMakeFiles/adscope_core.dir/rtb_analysis.cc.o.d"
+  "CMakeFiles/adscope_core.dir/study.cc.o"
+  "CMakeFiles/adscope_core.dir/study.cc.o.d"
+  "CMakeFiles/adscope_core.dir/traffic_stats.cc.o"
+  "CMakeFiles/adscope_core.dir/traffic_stats.cc.o.d"
+  "CMakeFiles/adscope_core.dir/user_index.cc.o"
+  "CMakeFiles/adscope_core.dir/user_index.cc.o.d"
+  "CMakeFiles/adscope_core.dir/whitelist_analysis.cc.o"
+  "CMakeFiles/adscope_core.dir/whitelist_analysis.cc.o.d"
+  "libadscope_core.a"
+  "libadscope_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/html/resource_extractor.cc" "src/html/CMakeFiles/adscope_html.dir/resource_extractor.cc.o" "gcc" "src/html/CMakeFiles/adscope_html.dir/resource_extractor.cc.o.d"
+  "/root/repo/src/html/tokenizer.cc" "src/html/CMakeFiles/adscope_html.dir/tokenizer.cc.o" "gcc" "src/html/CMakeFiles/adscope_html.dir/tokenizer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/http/CMakeFiles/adscope_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

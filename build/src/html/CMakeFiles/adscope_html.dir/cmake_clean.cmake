@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_html.dir/resource_extractor.cc.o"
+  "CMakeFiles/adscope_html.dir/resource_extractor.cc.o.d"
+  "CMakeFiles/adscope_html.dir/tokenizer.cc.o"
+  "CMakeFiles/adscope_html.dir/tokenizer.cc.o.d"
+  "libadscope_html.a"
+  "libadscope_html.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_html.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/http/headers.cc" "src/http/CMakeFiles/adscope_http.dir/headers.cc.o" "gcc" "src/http/CMakeFiles/adscope_http.dir/headers.cc.o.d"
+  "/root/repo/src/http/mime.cc" "src/http/CMakeFiles/adscope_http.dir/mime.cc.o" "gcc" "src/http/CMakeFiles/adscope_http.dir/mime.cc.o.d"
+  "/root/repo/src/http/public_suffix.cc" "src/http/CMakeFiles/adscope_http.dir/public_suffix.cc.o" "gcc" "src/http/CMakeFiles/adscope_http.dir/public_suffix.cc.o.d"
+  "/root/repo/src/http/url.cc" "src/http/CMakeFiles/adscope_http.dir/url.cc.o" "gcc" "src/http/CMakeFiles/adscope_http.dir/url.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_http.dir/headers.cc.o"
+  "CMakeFiles/adscope_http.dir/headers.cc.o.d"
+  "CMakeFiles/adscope_http.dir/mime.cc.o"
+  "CMakeFiles/adscope_http.dir/mime.cc.o.d"
+  "CMakeFiles/adscope_http.dir/public_suffix.cc.o"
+  "CMakeFiles/adscope_http.dir/public_suffix.cc.o.d"
+  "CMakeFiles/adscope_http.dir/url.cc.o"
+  "CMakeFiles/adscope_http.dir/url.cc.o.d"
+  "libadscope_http.a"
+  "libadscope_http.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_http.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

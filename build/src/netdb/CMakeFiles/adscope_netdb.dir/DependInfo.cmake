@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netdb/asn_db.cc" "src/netdb/CMakeFiles/adscope_netdb.dir/asn_db.cc.o" "gcc" "src/netdb/CMakeFiles/adscope_netdb.dir/asn_db.cc.o.d"
+  "/root/repo/src/netdb/ipv4.cc" "src/netdb/CMakeFiles/adscope_netdb.dir/ipv4.cc.o" "gcc" "src/netdb/CMakeFiles/adscope_netdb.dir/ipv4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/adscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_netdb.dir/asn_db.cc.o"
+  "CMakeFiles/adscope_netdb.dir/asn_db.cc.o.d"
+  "CMakeFiles/adscope_netdb.dir/ipv4.cc.o"
+  "CMakeFiles/adscope_netdb.dir/ipv4.cc.o.d"
+  "libadscope_netdb.a"
+  "libadscope_netdb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_netdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

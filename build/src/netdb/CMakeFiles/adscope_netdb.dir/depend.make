@@ -1,0 +1,2 @@
+# Empty dependencies file for adscope_netdb.
+# This may be replaced when dependencies are built.

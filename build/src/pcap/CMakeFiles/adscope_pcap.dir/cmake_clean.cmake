@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_pcap.dir/pcap.cc.o"
+  "CMakeFiles/adscope_pcap.dir/pcap.cc.o.d"
+  "libadscope_pcap.a"
+  "libadscope_pcap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_pcap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/browser_profile.cc" "src/sim/CMakeFiles/adscope_sim.dir/browser_profile.cc.o" "gcc" "src/sim/CMakeFiles/adscope_sim.dir/browser_profile.cc.o.d"
+  "/root/repo/src/sim/crawl_sim.cc" "src/sim/CMakeFiles/adscope_sim.dir/crawl_sim.cc.o" "gcc" "src/sim/CMakeFiles/adscope_sim.dir/crawl_sim.cc.o.d"
+  "/root/repo/src/sim/ecosystem.cc" "src/sim/CMakeFiles/adscope_sim.dir/ecosystem.cc.o" "gcc" "src/sim/CMakeFiles/adscope_sim.dir/ecosystem.cc.o.d"
+  "/root/repo/src/sim/emitter.cc" "src/sim/CMakeFiles/adscope_sim.dir/emitter.cc.o" "gcc" "src/sim/CMakeFiles/adscope_sim.dir/emitter.cc.o.d"
+  "/root/repo/src/sim/listgen.cc" "src/sim/CMakeFiles/adscope_sim.dir/listgen.cc.o" "gcc" "src/sim/CMakeFiles/adscope_sim.dir/listgen.cc.o.d"
+  "/root/repo/src/sim/page_model.cc" "src/sim/CMakeFiles/adscope_sim.dir/page_model.cc.o" "gcc" "src/sim/CMakeFiles/adscope_sim.dir/page_model.cc.o.d"
+  "/root/repo/src/sim/rbn_sim.cc" "src/sim/CMakeFiles/adscope_sim.dir/rbn_sim.cc.o" "gcc" "src/sim/CMakeFiles/adscope_sim.dir/rbn_sim.cc.o.d"
+  "/root/repo/src/sim/ua_factory.cc" "src/sim/CMakeFiles/adscope_sim.dir/ua_factory.cc.o" "gcc" "src/sim/CMakeFiles/adscope_sim.dir/ua_factory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adblock/CMakeFiles/adscope_adblock.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/adscope_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/ua/CMakeFiles/adscope_ua.dir/DependInfo.cmake"
+  "/root/repo/build/src/netdb/CMakeFiles/adscope_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/http/CMakeFiles/adscope_http.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

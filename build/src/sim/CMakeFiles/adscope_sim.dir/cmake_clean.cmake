@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_sim.dir/browser_profile.cc.o"
+  "CMakeFiles/adscope_sim.dir/browser_profile.cc.o.d"
+  "CMakeFiles/adscope_sim.dir/crawl_sim.cc.o"
+  "CMakeFiles/adscope_sim.dir/crawl_sim.cc.o.d"
+  "CMakeFiles/adscope_sim.dir/ecosystem.cc.o"
+  "CMakeFiles/adscope_sim.dir/ecosystem.cc.o.d"
+  "CMakeFiles/adscope_sim.dir/emitter.cc.o"
+  "CMakeFiles/adscope_sim.dir/emitter.cc.o.d"
+  "CMakeFiles/adscope_sim.dir/listgen.cc.o"
+  "CMakeFiles/adscope_sim.dir/listgen.cc.o.d"
+  "CMakeFiles/adscope_sim.dir/page_model.cc.o"
+  "CMakeFiles/adscope_sim.dir/page_model.cc.o.d"
+  "CMakeFiles/adscope_sim.dir/rbn_sim.cc.o"
+  "CMakeFiles/adscope_sim.dir/rbn_sim.cc.o.d"
+  "CMakeFiles/adscope_sim.dir/ua_factory.cc.o"
+  "CMakeFiles/adscope_sim.dir/ua_factory.cc.o.d"
+  "libadscope_sim.a"
+  "libadscope_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_stats.dir/csv.cc.o"
+  "CMakeFiles/adscope_stats.dir/csv.cc.o.d"
+  "CMakeFiles/adscope_stats.dir/ecdf.cc.o"
+  "CMakeFiles/adscope_stats.dir/ecdf.cc.o.d"
+  "CMakeFiles/adscope_stats.dir/heatmap.cc.o"
+  "CMakeFiles/adscope_stats.dir/heatmap.cc.o.d"
+  "CMakeFiles/adscope_stats.dir/histogram.cc.o"
+  "CMakeFiles/adscope_stats.dir/histogram.cc.o.d"
+  "CMakeFiles/adscope_stats.dir/render.cc.o"
+  "CMakeFiles/adscope_stats.dir/render.cc.o.d"
+  "CMakeFiles/adscope_stats.dir/summary.cc.o"
+  "CMakeFiles/adscope_stats.dir/summary.cc.o.d"
+  "CMakeFiles/adscope_stats.dir/timeseries.cc.o"
+  "CMakeFiles/adscope_stats.dir/timeseries.cc.o.d"
+  "libadscope_stats.a"
+  "libadscope_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

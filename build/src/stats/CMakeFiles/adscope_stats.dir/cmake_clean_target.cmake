@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libadscope_stats.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/io.cc" "src/trace/CMakeFiles/adscope_trace.dir/io.cc.o" "gcc" "src/trace/CMakeFiles/adscope_trace.dir/io.cc.o.d"
+  "/root/repo/src/trace/reader.cc" "src/trace/CMakeFiles/adscope_trace.dir/reader.cc.o" "gcc" "src/trace/CMakeFiles/adscope_trace.dir/reader.cc.o.d"
+  "/root/repo/src/trace/writer.cc" "src/trace/CMakeFiles/adscope_trace.dir/writer.cc.o" "gcc" "src/trace/CMakeFiles/adscope_trace.dir/writer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netdb/CMakeFiles/adscope_netdb.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/adscope_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

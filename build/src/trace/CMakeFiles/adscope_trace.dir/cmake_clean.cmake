@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_trace.dir/io.cc.o"
+  "CMakeFiles/adscope_trace.dir/io.cc.o.d"
+  "CMakeFiles/adscope_trace.dir/reader.cc.o"
+  "CMakeFiles/adscope_trace.dir/reader.cc.o.d"
+  "CMakeFiles/adscope_trace.dir/writer.cc.o"
+  "CMakeFiles/adscope_trace.dir/writer.cc.o.d"
+  "libadscope_trace.a"
+  "libadscope_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_ua.dir/user_agent.cc.o"
+  "CMakeFiles/adscope_ua.dir/user_agent.cc.o.d"
+  "libadscope_ua.a"
+  "libadscope_ua.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_ua.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

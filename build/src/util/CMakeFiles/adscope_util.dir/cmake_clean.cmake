@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope_util.dir/format.cc.o"
+  "CMakeFiles/adscope_util.dir/format.cc.o.d"
+  "CMakeFiles/adscope_util.dir/strings.cc.o"
+  "CMakeFiles/adscope_util.dir/strings.cc.o.d"
+  "libadscope_util.a"
+  "libadscope_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

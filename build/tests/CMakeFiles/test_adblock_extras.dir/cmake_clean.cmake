@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_adblock_extras.dir/test_adblock_extras.cpp.o"
+  "CMakeFiles/test_adblock_extras.dir/test_adblock_extras.cpp.o.d"
+  "test_adblock_extras"
+  "test_adblock_extras.pdb"
+  "test_adblock_extras[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_adblock_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

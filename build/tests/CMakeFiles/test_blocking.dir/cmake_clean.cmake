@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_blocking.dir/test_blocking.cpp.o"
+  "CMakeFiles/test_blocking.dir/test_blocking.cpp.o.d"
+  "test_blocking"
+  "test_blocking.pdb"
+  "test_blocking[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_blocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

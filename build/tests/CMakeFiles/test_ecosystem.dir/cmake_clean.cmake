@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ecosystem.dir/test_ecosystem.cpp.o"
+  "CMakeFiles/test_ecosystem.dir/test_ecosystem.cpp.o.d"
+  "test_ecosystem"
+  "test_ecosystem.pdb"
+  "test_ecosystem[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ecosystem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

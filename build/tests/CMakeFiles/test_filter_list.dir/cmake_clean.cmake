@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_filter_list.dir/test_filter_list.cpp.o"
+  "CMakeFiles/test_filter_list.dir/test_filter_list.cpp.o.d"
+  "test_filter_list"
+  "test_filter_list.pdb"
+  "test_filter_list[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_filter_list.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_http_log.dir/test_http_log.cpp.o"
+  "CMakeFiles/test_http_log.dir/test_http_log.cpp.o.d"
+  "test_http_log"
+  "test_http_log.pdb"
+  "test_http_log[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_http_log.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

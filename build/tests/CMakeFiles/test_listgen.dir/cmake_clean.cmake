@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_listgen.dir/test_listgen.cpp.o"
+  "CMakeFiles/test_listgen.dir/test_listgen.cpp.o.d"
+  "test_listgen"
+  "test_listgen.pdb"
+  "test_listgen[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_listgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_netdb.dir/test_netdb.cpp.o"
+  "CMakeFiles/test_netdb.dir/test_netdb.cpp.o.d"
+  "test_netdb"
+  "test_netdb.pdb"
+  "test_netdb[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_netdb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

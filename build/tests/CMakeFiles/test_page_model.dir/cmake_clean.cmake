@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_model.dir/test_page_model.cpp.o"
+  "CMakeFiles/test_page_model.dir/test_page_model.cpp.o.d"
+  "test_page_model"
+  "test_page_model.pdb"
+  "test_page_model[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_page_segmenter.dir/test_page_segmenter.cpp.o"
+  "CMakeFiles/test_page_segmenter.dir/test_page_segmenter.cpp.o.d"
+  "test_page_segmenter"
+  "test_page_segmenter.pdb"
+  "test_page_segmenter[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_page_segmenter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

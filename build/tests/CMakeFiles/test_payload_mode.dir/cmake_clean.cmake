@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_payload_mode.dir/test_payload_mode.cpp.o"
+  "CMakeFiles/test_payload_mode.dir/test_payload_mode.cpp.o.d"
+  "test_payload_mode"
+  "test_payload_mode.pdb"
+  "test_payload_mode[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_payload_mode.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

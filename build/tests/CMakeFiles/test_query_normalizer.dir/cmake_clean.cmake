@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_query_normalizer.dir/test_query_normalizer.cpp.o"
+  "CMakeFiles/test_query_normalizer.dir/test_query_normalizer.cpp.o.d"
+  "test_query_normalizer"
+  "test_query_normalizer.pdb"
+  "test_query_normalizer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_query_normalizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_referrer.dir/test_referrer.cpp.o"
+  "CMakeFiles/test_referrer.dir/test_referrer.cpp.o.d"
+  "test_referrer"
+  "test_referrer.pdb"
+  "test_referrer[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_referrer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

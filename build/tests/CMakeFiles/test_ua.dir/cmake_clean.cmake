@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ua.dir/test_ua.cpp.o"
+  "CMakeFiles/test_ua.dir/test_ua.cpp.o.d"
+  "test_ua"
+  "test_ua.pdb"
+  "test_ua[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ua.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adscope.dir/adscope_cli.cc.o"
+  "CMakeFiles/adscope.dir/adscope_cli.cc.o.d"
+  "adscope"
+  "adscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
