@@ -1,0 +1,129 @@
+// Micro-benchmarks: sharded parallel analysis (core::ParallelTraceStudy)
+// vs the serial TraceStudy on the same RBN-2-style sample trace.
+//
+// BM_ParallelStudy/N reports end-to-end wall time at N worker threads
+// (compare against BM_SerialStudy for the speedup curve; on an M-core
+// machine the 4-thread run should be >= 2x the serial throughput).
+// BM_ShardMerge isolates the cost of combining finished shard
+// aggregates — the serial tail every parallel run pays once.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/parallel_study.h"
+#include "experiment_common.h"
+#include "util/hash.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace adscope;
+
+const bench::World& world() {
+  static const bench::World instance = bench::make_world();
+  return instance;
+}
+
+// The RBN-2-style sample trace shared by every benchmark below,
+// pre-materialized so trace generation is outside the timed region.
+const trace::MemoryTrace& sample_trace() {
+  static const trace::MemoryTrace trace = [] {
+    trace::MemoryTrace memory;
+    sim::RbnSimulator simulator(world().ecosystem, world().lists,
+                                world().seed);
+    auto options = sim::rbn2_options(40);
+    options.duration_s = 4 * 3600;
+    simulator.simulate(options, memory);
+    return memory;
+  }();
+  return trace;
+}
+
+void BM_SerialStudy(benchmark::State& state) {
+  const auto& trace = sample_trace();
+  for (auto _ : state) {
+    core::TraceStudy study(world().engine, world().ecosystem.abp_registry());
+    trace.replay(study);
+    study.finish();
+    benchmark::DoNotOptimize(study.traffic().ad_requests());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.http().size()));
+}
+BENCHMARK(BM_SerialStudy)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ParallelStudy(benchmark::State& state) {
+  const auto& trace = sample_trace();
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  // The pool is reused across iterations — thread start-up is a one-time
+  // cost, exactly as in a long-running deployment.
+  util::ThreadPool pool(threads);
+  for (auto _ : state) {
+    core::ParallelStudyOptions options;
+    options.threads = threads;
+    core::ParallelTraceStudy study(world().engine,
+                                   world().ecosystem.abp_registry(), options,
+                                   &pool);
+    trace.replay(study);
+    study.finish();
+    benchmark::DoNotOptimize(study.traffic().ad_requests());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(trace.http().size()));
+}
+BENCHMARK(BM_ParallelStudy)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+void BM_ShardMerge(benchmark::State& state) {
+  // Pre-run N finished shard studies (outside the timed region); measure
+  // only the aggregate combination.
+  const auto shards = static_cast<std::size_t>(state.range(0));
+  std::vector<std::unique_ptr<core::TraceStudy>> studies;
+  for (std::size_t i = 0; i < shards; ++i) {
+    studies.push_back(std::make_unique<core::TraceStudy>(
+        world().engine, world().ecosystem.abp_registry()));
+    studies.back()->on_meta(sample_trace().meta());
+  }
+  for (const auto& txn : sample_trace().http()) {
+    studies[util::fnv1a_u64(txn.client_ip) % shards]->on_http(txn);
+  }
+  for (const auto& flow : sample_trace().tls()) {
+    studies[util::fnv1a_u64(flow.client_ip) % shards]->on_tls(flow);
+  }
+  for (auto& study : studies) study->finish();
+
+  const auto duration = sample_trace().meta().duration_s;
+  for (auto _ : state) {
+    core::UserIndex users;
+    core::TrafficStats traffic(duration);
+    core::WhitelistAnalysis whitelist;
+    core::InfraAnalysis infra;
+    core::RtbAnalysis rtb;
+    core::PageViewStats page_views;
+    core::ClassifierCounters counters;
+    for (const auto& study : studies) {
+      users.merge(study->users());
+      traffic.merge(study->traffic());
+      whitelist.merge(study->whitelist());
+      infra.merge(study->infra());
+      rtb.merge(study->rtb());
+      page_views.merge(study->page_views());
+      counters.merge(study->classifier().counters());
+    }
+    benchmark::DoNotOptimize(users.total_requests());
+    benchmark::DoNotOptimize(traffic.ad_requests());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(shards));
+}
+BENCHMARK(BM_ShardMerge)->Arg(2)->Arg(4)->Arg(8);
+
+}  // namespace
+
+BENCHMARK_MAIN();

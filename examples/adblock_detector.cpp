@@ -5,9 +5,16 @@
 // Synthesizes an RBN trace with known ground truth, runs the two-
 // indicator inference, prints per-class summaries and a confusion matrix
 // against the simulator's ground truth.
+//
+// Usage: ./adblock_detector [--threads N]  — N>1 shards the analysis by
+// client IP (core::ParallelTraceStudy); the inference is identical.
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
 #include <unordered_map>
 
+#include "core/parallel_study.h"
 #include "core/study.h"
 #include "sim/ecosystem.h"
 #include "sim/listgen.h"
@@ -17,7 +24,14 @@
 
 using namespace adscope;
 
-int main() {
+int main(int argc, char** argv) {
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--threads" && i + 1 < argc) {
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    }
+  }
+
   const auto ecosystem = sim::Ecosystem::generate(42);
   const auto lists = sim::generate_lists(ecosystem);
   const auto engine = sim::make_engine(
@@ -30,12 +44,29 @@ int main() {
               "seconds)...\n");
   core::StudyOptions options;
   options.inference.min_requests = 500;
-  core::TraceStudy study(engine, ecosystem.abp_registry(), options);
   sim::RbnSimulator simulator(ecosystem, lists, /*seed=*/42);
-  const auto truth = simulator.simulate(sim::rbn2_options(250), study);
-  study.finish();
-
-  const auto inference = study.inference();
+  sim::RbnStats truth;
+  core::InferenceResult inference;  // holds pointers into the live study
+  std::unique_ptr<core::TraceStudy> serial;
+  std::unique_ptr<core::ParallelTraceStudy> parallel;
+  if (threads > 1) {
+    core::ParallelStudyOptions parallel_options;
+    parallel_options.study = options;
+    parallel_options.threads = threads;
+    parallel = std::make_unique<core::ParallelTraceStudy>(
+        engine, ecosystem.abp_registry(), parallel_options);
+    truth = simulator.simulate(sim::rbn2_options(250), *parallel);
+    parallel->finish();
+    inference = parallel->inference();
+    std::printf("(analyzed on %zu shard threads)\n", parallel->shard_count());
+  } else {
+    serial = std::make_unique<core::TraceStudy>(engine,
+                                                ecosystem.abp_registry(),
+                                                options);
+    truth = simulator.simulate(sim::rbn2_options(250), *serial);
+    serial->finish();
+    inference = serial->inference();
+  }
   std::printf("\nactive browsers (>%llu requests): %zu\n",
               static_cast<unsigned long long>(options.inference.min_requests),
               inference.active_browsers.size());

@@ -1,12 +1,17 @@
 // classify_trace — the ISP-operator scenario: study ad traffic in a
 // captured header trace (the paper's §7 analysis as a CLI tool).
 //
-// Usage: ./classify_trace [trace.adst]
-// Without an argument, a small demo trace is synthesized first so the
-// example runs out of the box.
+// Usage: ./classify_trace [trace.adst] [--threads N]
+// Without a trace argument, a small demo trace is synthesized first so
+// the example runs out of the box. --threads N shards the analysis by
+// client IP across N workers (core::ParallelTraceStudy); the printed
+// numbers are identical either way.
 #include <cstdio>
+#include <cstdlib>
+#include <memory>
 #include <string>
 
+#include "core/parallel_study.h"
 #include "core/study.h"
 #include "sim/crawl_sim.h"
 #include "sim/ecosystem.h"
@@ -19,6 +24,22 @@
 using namespace adscope;
 
 int main(int argc, char** argv) {
+  std::string path;
+  std::size_t threads = 1;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--threads") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr,
+                     "usage: classify_trace [trace.adst] [--threads N]\n");
+        return 2;
+      }
+      threads = std::strtoull(argv[++i], nullptr, 10);
+    } else {
+      path = arg;
+    }
+  }
+
   // World setup: ecosystem (for list generation + AS mapping) and the
   // analysis engine with all four lists, as in the paper.
   const auto ecosystem = sim::Ecosystem::generate(42);
@@ -29,10 +50,7 @@ int main(int argc, char** argv) {
                                 .easyprivacy = true,
                                 .acceptable_ads = true});
 
-  std::string path;
-  if (argc > 1) {
-    path = argv[1];
-  } else {
+  if (path.empty()) {
     path = "/tmp/adscope_demo_trace.adst";
     std::printf("no trace given; synthesizing a demo RBN trace at %s ...\n",
                 path.c_str());
@@ -44,13 +62,29 @@ int main(int argc, char** argv) {
   }
 
   trace::FileTraceReader reader(path);
-  core::TraceStudy study(engine, ecosystem.abp_registry());
-  const auto records = reader.replay(study);
-  study.finish();
+  std::unique_ptr<core::TraceStudy> serial;
+  std::unique_ptr<core::ParallelTraceStudy> parallel;
+  std::uint64_t records = 0;
+  core::StudyView view;
+  if (threads > 1) {
+    core::ParallelStudyOptions options;
+    options.threads = threads;
+    parallel = std::make_unique<core::ParallelTraceStudy>(
+        engine, ecosystem.abp_registry(), options);
+    records = reader.replay(*parallel);
+    parallel->finish();
+    view = parallel->view();
+    std::printf("(analyzed on %zu shard threads)\n", parallel->shard_count());
+  } else {
+    serial = std::make_unique<core::TraceStudy>(engine,
+                                                ecosystem.abp_registry());
+    records = reader.replay(*serial);
+    serial->finish();
+    view = serial->view();
+  }
 
-  const auto& traffic = study.traffic();
-  std::printf("\n=== trace '%s': %llu records ===\n",
-              study.meta().name.c_str(),
+  const auto& traffic = *view.traffic;
+  std::printf("\n=== trace '%s': %llu records ===\n", view.meta->name.c_str(),
               static_cast<unsigned long long>(records));
   std::printf("HTTP transactions: %llu (%s)\n",
               static_cast<unsigned long long>(traffic.requests()),
@@ -77,7 +111,7 @@ int main(int argc, char** argv) {
                   .c_str());
 
   std::printf("\ntop ad-serving ASes:\n");
-  for (const auto& row : study.infra().as_ranking(ecosystem.asn_db(), 5)) {
+  for (const auto& row : view.infra->as_ranking(ecosystem.asn_db(), 5)) {
     std::printf("  %-12s %8llu ad objects (%s of its traffic)\n",
                 row.name.c_str(),
                 static_cast<unsigned long long>(row.ad_requests),
@@ -88,7 +122,7 @@ int main(int argc, char** argv) {
 
   std::printf("\nRTB signal: %s of ad requests show >=90 ms hand-shake "
               "inflation (vs %s of the rest)\n",
-              util::percent(study.rtb().ad_share_in_rtb_regime()).c_str(),
-              util::percent(study.rtb().non_ad_share_in_rtb_regime()).c_str());
+              util::percent(view.rtb->ad_share_in_rtb_regime()).c_str(),
+              util::percent(view.rtb->non_ad_share_in_rtb_regime()).c_str());
   return 0;
 }

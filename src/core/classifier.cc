@@ -37,7 +37,7 @@ void TraceClassifier::analyze_payload(UserState& user,
     for (const auto selector : selectors) {
       if (adblock::selector_matches_block(selector, block.classes,
                                           block.id)) {
-        ++hidden_ads_;
+        ++counters_.hidden_text_ads;
         break;
       }
     }
@@ -105,7 +105,7 @@ void TraceClassifier::expire_pending(UserState& user) {
     const auto inference = infer_type(it->second.object, /*is_own_page=*/false);
     classify_and_emit(it->second.object, it->second.page, inference.type,
                       inference.from_extension);
-    ++expired_;
+    ++counters_.redirects_expired;
     user.pending.erase(it);
   }
 }
@@ -120,7 +120,7 @@ void TraceClassifier::flush() {
 }
 
 void TraceClassifier::process(const analyzer::WebObject& object) {
-  ++processed_;
+  ++counters_.processed;
   UserState& user = user_state(object.client_ip, object.user_agent);
   ++user.counter;
   expire_pending(user);
@@ -156,7 +156,7 @@ void TraceClassifier::process(const analyzer::WebObject& object) {
       inference.type =
           static_cast<http::RequestType>((*hint)[0] - '0');
       inference.from_extension = false;
-      ++hints_used_;
+      ++counters_.payload_type_hints_used;
     }
   }
   if (page.empty() && inference.type == http::RequestType::kDocument) {
@@ -189,7 +189,7 @@ void TraceClassifier::process(const analyzer::WebObject& object) {
     if (it != user.pending.end()) {
       classify_and_emit(it->second.object, it->second.page, inference.type,
                         inference.from_extension);
-      ++patched_;
+      ++counters_.redirects_patched;
       user.pending.erase(it);
     }
   }

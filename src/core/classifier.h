@@ -64,6 +64,24 @@ struct ClassifierOptions {
   std::uint64_t redirect_window = 32;
 };
 
+/// Pipeline throughput/diagnostic counters; mergeable so sharded runs
+/// can combine per-worker classifiers into trace-wide totals.
+struct ClassifierCounters {
+  std::uint64_t processed = 0;
+  std::uint64_t redirects_patched = 0;
+  std::uint64_t redirects_expired = 0;
+  std::uint64_t hidden_text_ads = 0;
+  std::uint64_t payload_type_hints_used = 0;
+
+  void merge(const ClassifierCounters& other) noexcept {
+    processed += other.processed;
+    redirects_patched += other.redirects_patched;
+    redirects_expired += other.redirects_expired;
+    hidden_text_ads += other.hidden_text_ads;
+    payload_type_hints_used += other.payload_type_hints_used;
+  }
+};
+
 class TraceClassifier {
  public:
   using Callback = std::function<void(const ClassifiedObject&)>;
@@ -79,15 +97,22 @@ class TraceClassifier {
   /// Emit everything still held (end of trace).
   void flush();
 
-  std::uint64_t processed() const noexcept { return processed_; }
-  std::uint64_t redirects_patched() const noexcept { return patched_; }
-  std::uint64_t redirects_expired() const noexcept { return expired_; }
+  std::uint64_t processed() const noexcept { return counters_.processed; }
+  std::uint64_t redirects_patched() const noexcept {
+    return counters_.redirects_patched;
+  }
+  std::uint64_t redirects_expired() const noexcept {
+    return counters_.redirects_expired;
+  }
   /// Payload mode only: embedded text ads found via element hiding.
-  std::uint64_t hidden_text_ads() const noexcept { return hidden_ads_; }
+  std::uint64_t hidden_text_ads() const noexcept {
+    return counters_.hidden_text_ads;
+  }
   /// Payload mode only: requests typed from the document structure.
   std::uint64_t payload_type_hints_used() const noexcept {
-    return hints_used_;
+    return counters_.payload_type_hints_used;
   }
+  const ClassifierCounters& counters() const noexcept { return counters_; }
 
  private:
   struct PendingRedirect {
@@ -125,11 +150,7 @@ class TraceClassifier {
 
   std::unordered_map<std::uint64_t, UserState> users_;
   std::deque<std::uint64_t> user_order_;
-  std::uint64_t processed_ = 0;
-  std::uint64_t patched_ = 0;
-  std::uint64_t expired_ = 0;
-  std::uint64_t hidden_ads_ = 0;
-  std::uint64_t hints_used_ = 0;
+  ClassifierCounters counters_;
 };
 
 }  // namespace adscope::core

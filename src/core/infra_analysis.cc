@@ -27,6 +27,20 @@ void InfraAnalysis::add(const ClassifiedObject& object) {
   }
 }
 
+void InfraAnalysis::merge(const InfraAnalysis& other) {
+  for (const auto& [ip, theirs] : other.servers_) {
+    auto& ours = servers_[ip];
+    ours.objects += theirs.objects;
+    ours.bytes += theirs.bytes;
+    ours.ads_easylist += theirs.ads_easylist;
+    ours.ads_easyprivacy += theirs.ads_easyprivacy;
+    ours.ad_bytes += theirs.ad_bytes;
+  }
+  total_ads_ += other.total_ads_;
+  total_ad_bytes_ += other.total_ad_bytes_;
+  total_objects_ += other.total_objects_;
+}
+
 std::size_t InfraAnalysis::easylist_server_count() const {
   std::size_t n = 0;
   for (const auto& [ip, s] : servers_) n += s.ads_easylist > 0;
@@ -108,9 +122,14 @@ stats::BoxStats InfraAnalysis::ads_per_server_distribution(
 
 std::pair<netdb::IpV4, std::uint64_t> InfraAnalysis::busiest_ad_server()
     const {
+  // Lowest IP wins ties so the answer does not depend on hash-table
+  // iteration order (which differs between serial and merged maps).
   std::pair<netdb::IpV4, std::uint64_t> best{0, 0};
   for (const auto& [ip, s] : servers_) {
-    if (s.ad_objects() > best.second) best = {ip, s.ad_objects()};
+    const auto ads = s.ad_objects();
+    if (ads > best.second || (ads == best.second && ads > 0 && ip < best.first)) {
+      best = {ip, ads};
+    }
   }
   return best;
 }
@@ -133,8 +152,11 @@ std::vector<AsRow> InfraAnalysis::as_ranking(const netdb::AsnDatabase& db,
     row.name = db.as_name(as_number);
     rows.push_back(std::move(row));
   }
+  // AS-number tie-break: a total order keeps the ranking identical no
+  // matter how the per-server map was accumulated.
   std::sort(rows.begin(), rows.end(), [](const AsRow& a, const AsRow& b) {
-    return a.ad_requests > b.ad_requests;
+    if (a.ad_requests != b.ad_requests) return a.ad_requests > b.ad_requests;
+    return a.as_number < b.as_number;
   });
   if (rows.size() > top_n) rows.resize(top_n);
   return rows;

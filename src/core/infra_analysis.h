@@ -49,6 +49,10 @@ class InfraAnalysis {
 
   void add(const ClassifiedObject& object);
 
+  /// Accumulate another analysis (shard combination); per-server stats
+  /// and totals sum. Commutative and associative.
+  void merge(const InfraAnalysis& other);
+
   const std::unordered_map<netdb::IpV4, ServerStats>& servers() const {
     return servers_;
   }

@@ -1,0 +1,138 @@
+#include "core/parallel_study.h"
+
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace adscope::core {
+
+ParallelTraceStudy::ParallelTraceStudy(const adblock::FilterEngine& engine,
+                                       const netdb::AbpServerRegistry& registry,
+                                       ParallelStudyOptions options,
+                                       util::ThreadPool* pool)
+    : options_(options) {
+  const auto shards = util::resolve_thread_count(options.threads);
+  if (pool != nullptr) {
+    if (pool->thread_count() < shards) {
+      throw std::invalid_argument(
+          "ParallelTraceStudy: pool smaller than shard count (drain loops "
+          "would starve each other)");
+    }
+    pool_ = pool;
+  } else {
+    owned_pool_ = std::make_unique<util::ThreadPool>(shards);
+    pool_ = owned_pool_.get();
+  }
+
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        engine, registry, options_.study, options_.queue_capacity));
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->done = pool_->submit([s] {
+      Record record;
+      while (s->queue.pop(record)) {
+        std::visit(
+            [s](const auto& r) {
+              using T = std::decay_t<decltype(r)>;
+              if constexpr (std::is_same_v<T, trace::TraceMeta>) {
+                s->study.on_meta(r);
+              } else if constexpr (std::is_same_v<T, trace::HttpTransaction>) {
+                s->study.on_http(r);
+              } else {
+                s->study.on_tls(r);
+              }
+            },
+            record);
+      }
+      s->study.finish();
+    });
+  }
+}
+
+ParallelTraceStudy::~ParallelTraceStudy() {
+  try {
+    finish();
+  } catch (...) {
+    // Destructors must not throw; a worker exception was already
+    // swallowed here — finish() explicitly rethrows for callers that
+    // care.
+  }
+}
+
+std::size_t ParallelTraceStudy::shard_of(netdb::IpV4 client_ip) const noexcept {
+  // FNV over the IP (not the raw value): client addresses share prefixes,
+  // and modulo on sequential integers would lump whole subnets together.
+  return util::fnv1a_u64(client_ip) % shards_.size();
+}
+
+void ParallelTraceStudy::on_meta(const trace::TraceMeta& meta) {
+  meta_ = meta;
+  for (auto& shard : shards_) shard->queue.push(Record{meta});
+}
+
+void ParallelTraceStudy::on_http(const trace::HttpTransaction& txn) {
+  shards_[shard_of(txn.client_ip)]->queue.push(Record{txn});
+}
+
+void ParallelTraceStudy::on_tls(const trace::TlsFlow& flow) {
+  shards_[shard_of(flow.client_ip)]->queue.push(Record{flow});
+}
+
+void ParallelTraceStudy::finish() {
+  if (finished_) return;
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) shard->done.get();  // rethrows worker errors
+  merge_shards();
+  finished_ = true;
+}
+
+void ParallelTraceStudy::merge_shards() {
+  // Deterministic merge order (shard 0, 1, …): every merge() is a
+  // commutative/associative sum, but fixing the order removes even the
+  // possibility of scheduling-dependent results.
+  const auto duration = meta_.duration_s > 0
+                            ? meta_.duration_s
+                            : options_.study.default_duration_s;
+  traffic_ = std::make_unique<TrafficStats>(duration,
+                                            options_.study.timeseries_bin_s);
+  for (const auto& shard : shards_) {
+    const TraceStudy& study = shard->study;
+    users_.merge(study.users());
+    if (study.has_traffic()) traffic_->merge(study.traffic());
+    whitelist_.merge(study.whitelist());
+    infra_.merge(study.infra());
+    rtb_.merge(study.rtb());
+    page_views_.merge(study.page_views());
+    classifier_counters_.merge(study.classifier().counters());
+    https_flows_ += study.https_flows();
+    transactions_before_meta_ += study.transactions_before_meta();
+  }
+}
+
+InferenceResult ParallelTraceStudy::inference() const {
+  return infer_adblock_usage(users_, options_.study.inference);
+}
+
+ConfigurationReport ParallelTraceStudy::configurations(
+    const InferenceResult& inference) const {
+  return analyze_configurations(inference, traffic_->whitelisted_requests());
+}
+
+StudyView ParallelTraceStudy::view() const noexcept {
+  StudyView view;
+  view.meta = &meta_;
+  view.users = &users_;
+  view.traffic = traffic_.get();
+  view.whitelist = &whitelist_;
+  view.infra = &infra_;
+  view.rtb = &rtb_;
+  view.page_views = &page_views_;
+  view.https_flows = https_flows_;
+  view.inference_options = options_.study.inference;
+  return view;
+}
+
+}  // namespace adscope::core

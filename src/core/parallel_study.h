@@ -1,0 +1,131 @@
+// ParallelTraceStudy — sharded multi-core version of TraceStudy.
+//
+// Every piece of per-user pipeline state (the classifier's ReferrerMap,
+// UserIndex, PageSegmenter) is keyed by client_ip, so the trace can be
+// partitioned by hash(client_ip) % nshards without changing any
+// per-user processing order. Each shard runs a complete serial
+// TraceStudy on its own worker thread, fed through a bounded record
+// queue (backpressure keeps memory flat when a shard falls behind);
+// finish() closes the queues, joins the workers, and merges the shard
+// aggregates in shard-index order.
+//
+// Determinism guarantee: the merged result is identical to a serial
+// TraceStudy over the same trace — per-user record order is preserved
+// inside a shard, every aggregate's merge() is a commutative/
+// associative sum, and the fixed merge order makes even hash-map
+// iteration consequences reproducible. The one caveat: the classifier's
+// and segmenter's per-shard user caps (ClassifierOptions::max_users,
+// PageSegmenter::Options::max_users) trigger later than in a serial run
+// because each shard sees fewer users; below the caps (the normal
+// case), reports are byte-identical. Asserted in
+// tests/test_parallel_study.cpp.
+#pragma once
+
+#include <cstddef>
+#include <future>
+#include <memory>
+#include <variant>
+#include <vector>
+
+#include "core/study.h"
+#include "util/bounded_queue.h"
+#include "util/thread_pool.h"
+
+namespace adscope::core {
+
+struct ParallelStudyOptions {
+  /// Forwarded verbatim to every shard's TraceStudy.
+  StudyOptions study;
+  /// Worker (= shard) count; 0 picks the hardware concurrency.
+  std::size_t threads = 0;
+  /// Records buffered per shard before the feeding thread blocks.
+  std::size_t queue_capacity = 4096;
+};
+
+class ParallelTraceStudy final : public trace::TraceSink {
+ public:
+  /// `pool` optionally supplies reusable worker threads (it must have
+  /// at least `threads` of them, or the shard drain loops could starve
+  /// each other — enforced with std::invalid_argument). Without a pool
+  /// the study owns one sized to the shard count. Engine, registry and
+  /// pool must outlive the study.
+  ParallelTraceStudy(const adblock::FilterEngine& engine,
+                     const netdb::AbpServerRegistry& registry,
+                     ParallelStudyOptions options = {},
+                     util::ThreadPool* pool = nullptr);
+  ~ParallelTraceStudy() override;
+
+  ParallelTraceStudy(const ParallelTraceStudy&) = delete;
+  ParallelTraceStudy& operator=(const ParallelTraceStudy&) = delete;
+
+  // TraceSink (call from one thread; records fan out to the shards):
+  void on_meta(const trace::TraceMeta& meta) override;
+  void on_http(const trace::HttpTransaction& txn) override;
+  void on_tls(const trace::TlsFlow& flow) override;
+
+  /// Close the shard queues, join the workers, merge. Idempotent.
+  void finish();
+
+  std::size_t shard_count() const noexcept { return shards_.size(); }
+
+  // Merged per-section results; valid after finish().
+  const trace::TraceMeta& meta() const noexcept { return meta_; }
+  const UserIndex& users() const noexcept { return users_; }
+  const TrafficStats& traffic() const { return *traffic_; }
+  const WhitelistAnalysis& whitelist() const noexcept { return whitelist_; }
+  const InfraAnalysis& infra() const noexcept { return infra_; }
+  const RtbAnalysis& rtb() const noexcept { return rtb_; }
+  const PageViewStats& page_views() const noexcept { return page_views_; }
+  const ClassifierCounters& classifier_counters() const noexcept {
+    return classifier_counters_;
+  }
+  std::uint64_t https_flows() const noexcept { return https_flows_; }
+  std::uint64_t transactions_before_meta() const noexcept {
+    return transactions_before_meta_;
+  }
+
+  InferenceResult inference() const;
+  ConfigurationReport configurations(const InferenceResult& inference) const;
+
+  /// Same window the serial study exposes — feeds the shared report
+  /// renderers. Valid after finish().
+  StudyView view() const noexcept;
+
+ private:
+  using Record =
+      std::variant<trace::TraceMeta, trace::HttpTransaction, trace::TlsFlow>;
+
+  struct Shard {
+    explicit Shard(const adblock::FilterEngine& engine,
+                   const netdb::AbpServerRegistry& registry,
+                   const StudyOptions& options, std::size_t queue_capacity)
+        : study(engine, registry, options), queue(queue_capacity) {}
+
+    TraceStudy study;
+    util::BoundedQueue<Record> queue;
+    std::future<void> done;
+  };
+
+  std::size_t shard_of(netdb::IpV4 client_ip) const noexcept;
+  void merge_shards();
+
+  ParallelStudyOptions options_;
+  std::unique_ptr<util::ThreadPool> owned_pool_;
+  util::ThreadPool* pool_;  // owned_pool_.get() or the caller's
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Merged aggregates (filled by finish()).
+  trace::TraceMeta meta_;
+  UserIndex users_;
+  std::unique_ptr<TrafficStats> traffic_;
+  WhitelistAnalysis whitelist_;
+  InfraAnalysis infra_;
+  RtbAnalysis rtb_;
+  PageViewStats page_views_;
+  ClassifierCounters classifier_counters_;
+  std::uint64_t https_flows_ = 0;
+  std::uint64_t transactions_before_meta_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace adscope::core

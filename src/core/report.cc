@@ -14,8 +14,8 @@ double share(std::uint64_t part, std::uint64_t whole) {
 
 }  // namespace
 
-std::string render_traffic_report(const TraceStudy& study) {
-  const auto& traffic = study.traffic();
+std::string render_traffic_report(const StudyView& view) {
+  const auto& traffic = *view.traffic;
   const auto ads = traffic.ad_requests();
   std::string out;
   out += "== traffic (§7) ==\n";
@@ -23,7 +23,7 @@ std::string render_traffic_report(const TraceStudy& study) {
          util::human_count(static_cast<double>(traffic.requests())) + " (" +
          util::human_bytes(static_cast<double>(traffic.bytes())) + ")\n";
   out += "HTTPS flows:       " +
-         util::human_count(static_cast<double>(study.https_flows())) + "\n";
+         util::human_count(static_cast<double>(view.https_flows)) + "\n";
   out += "ad requests:       " +
          util::human_count(static_cast<double>(ads)) + " = " +
          util::percent(share(ads, traffic.requests())) + " of requests, " +
@@ -35,7 +35,7 @@ std::string render_traffic_report(const TraceStudy& study) {
          util::percent(share(traffic.easyprivacy_requests(), ads)) + "\n";
   out += "  non-intrusive:   " +
          util::percent(share(traffic.whitelisted_requests(), ads)) + "\n";
-  const auto& views = study.page_views();
+  const auto& views = *view.page_views;
   out += "page views:        " +
          util::human_count(static_cast<double>(views.views)) + " (" +
          util::fixed(views.objects_per_view(), 1) + " objects, " +
@@ -43,9 +43,9 @@ std::string render_traffic_report(const TraceStudy& study) {
   return out;
 }
 
-std::string render_inference_report(const TraceStudy& study) {
-  const auto inference = study.inference();
-  const auto report = study.configurations(inference);
+std::string render_inference_report(const StudyView& view) {
+  const auto inference = view.inference();
+  const auto report = view.configurations(inference);
   std::string out;
   out += "== ad-blocker usage (§6) ==\n";
   out += "active browsers: " +
@@ -69,8 +69,8 @@ std::string render_inference_report(const TraceStudy& study) {
   out += "likely Adblock Plus users (type C): " +
          util::percent(inference.abp_share()) + "\n";
   out += "households contacting ABP servers: " +
-         util::percent(share(study.users().abp_household_count(),
-                             study.users().household_count())) +
+         util::percent(share(view.users->abp_household_count(),
+                             view.users->household_count())) +
          "\n";
   out += "estimated EasyPrivacy adoption gap: ABP users without "
          "EasyPrivacy hits " +
@@ -79,9 +79,9 @@ std::string render_inference_report(const TraceStudy& study) {
   return out;
 }
 
-std::string render_infrastructure_report(const TraceStudy& study,
+std::string render_infrastructure_report(const StudyView& view,
                                          const netdb::AsnDatabase& asn_db) {
-  const auto& infra = study.infra();
+  const auto& infra = *view.infra;
   std::string out;
   out += "== infrastructure (§8) ==\n";
   out += "servers: " + std::to_string(infra.server_count()) +
@@ -103,20 +103,20 @@ std::string render_infrastructure_report(const TraceStudy& study,
            util::percent(share(row.ad_requests, row.total_requests)) +
            " of its own traffic)\n";
   }
-  const auto& rtb = study.rtb();
+  const auto& rtb = *view.rtb;
   out += "RTB regime (>=90 ms): ads " +
          util::percent(rtb.ad_share_in_rtb_regime()) + " vs rest " +
          util::percent(rtb.non_ad_share_in_rtb_regime()) + "\n";
   return out;
 }
 
-std::string render_full_report(const TraceStudy& study,
+std::string render_full_report(const StudyView& view,
                                const netdb::AsnDatabase* asn_db) {
-  std::string out = "=== adscope study: " + study.meta().name + " ===\n\n";
-  out += render_traffic_report(study) + "\n";
-  out += render_inference_report(study);
+  std::string out = "=== adscope study: " + view.meta->name + " ===\n\n";
+  out += render_traffic_report(view) + "\n";
+  out += render_inference_report(view);
   if (asn_db != nullptr) {
-    out += "\n" + render_infrastructure_report(study, *asn_db);
+    out += "\n" + render_infrastructure_report(view, *asn_db);
   }
   return out;
 }

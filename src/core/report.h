@@ -1,9 +1,14 @@
 // Textual study reports.
 //
-// One place that turns a finished TraceStudy into the human-readable
-// summary the paper's sections would print — used by the CLI, the
-// examples, and anywhere else that wants "the §6-§8 numbers" without
-// re-assembling them from the analysis objects.
+// One place that turns a finished study into the human-readable summary
+// the paper's sections would print — used by the CLI, the examples, and
+// anywhere else that wants "the §6-§8 numbers" without re-assembling
+// them from the analysis objects.
+//
+// The renderers consume a StudyView, so serial (TraceStudy) and sharded
+// (ParallelTraceStudy) runs print through the same code path — the
+// basis of the parallel path's "identical report" guarantee. The
+// TraceStudy overloads below keep existing call sites working.
 #pragma once
 
 #include <string>
@@ -15,20 +20,35 @@ namespace adscope::core {
 
 /// §7.1-style traffic summary: volumes, ad shares, list attribution,
 /// page views.
-std::string render_traffic_report(const TraceStudy& study);
+std::string render_traffic_report(const StudyView& view);
 
 /// §6-style ad-blocker usage summary: indicator classes, household
 /// download share, configuration estimates.
-std::string render_inference_report(const TraceStudy& study);
+std::string render_inference_report(const StudyView& view);
 
 /// §8-style infrastructure summary: server counts, dedicated servers,
 /// top ASes, RTB regime.
-std::string render_infrastructure_report(const TraceStudy& study,
+std::string render_infrastructure_report(const StudyView& view,
                                          const netdb::AsnDatabase& asn_db);
 
 /// Everything above, in paper order. `asn_db` may be null (section
 /// skipped).
-std::string render_full_report(const TraceStudy& study,
+std::string render_full_report(const StudyView& view,
                                const netdb::AsnDatabase* asn_db = nullptr);
+
+inline std::string render_traffic_report(const TraceStudy& study) {
+  return render_traffic_report(study.view());
+}
+inline std::string render_inference_report(const TraceStudy& study) {
+  return render_inference_report(study.view());
+}
+inline std::string render_infrastructure_report(
+    const TraceStudy& study, const netdb::AsnDatabase& asn_db) {
+  return render_infrastructure_report(study.view(), asn_db);
+}
+inline std::string render_full_report(const TraceStudy& study,
+                                      const netdb::AsnDatabase* asn_db = nullptr) {
+  return render_full_report(study.view(), asn_db);
+}
 
 }  // namespace adscope::core

@@ -41,6 +41,18 @@ void RtbAnalysis::add(const ClassifiedObject& object) {
   }
 }
 
+void RtbAnalysis::merge(const RtbAnalysis& other) {
+  ad_.merge(other.ad_);
+  non_ad_.merge(other.non_ad_);
+  ad_above_ += other.ad_above_;
+  ad_total_ += other.ad_total_;
+  non_ad_above_ += other.non_ad_above_;
+  non_ad_total_ += other.non_ad_total_;
+  for (const auto& [domain, count] : other.rtb_domains_) {
+    rtb_domains_[domain] += count;
+  }
+}
+
 double RtbAnalysis::ad_share_in_rtb_regime() const noexcept {
   return ad_total_ == 0 ? 0.0
                         : static_cast<double>(ad_above_) /
@@ -64,8 +76,11 @@ std::vector<RtbAnalysis::RtbHost> RtbAnalysis::rtb_hosts(
         total == 0 ? 0.0
                    : static_cast<double>(count) / static_cast<double>(total)});
   }
+  // Domain tie-break: the tally map is unordered, so equal counts need
+  // a total order to rank reproducibly.
   std::sort(hosts.begin(), hosts.end(), [](const auto& a, const auto& b) {
-    return a.requests > b.requests;
+    if (a.requests != b.requests) return a.requests > b.requests;
+    return a.domain < b.domain;
   });
   if (hosts.size() > top_n) hosts.resize(top_n);
   return hosts;

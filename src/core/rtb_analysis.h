@@ -24,6 +24,11 @@ class RtbAnalysis {
 
   void add(const ClassifiedObject& object);
 
+  /// Accumulate another analysis (shard combination): histograms add
+  /// bin-wise, counters and RTB-domain tallies sum. Commutative and
+  /// associative.
+  void merge(const RtbAnalysis& other);
+
   const stats::LogHistogram& ad_delta_ms() const noexcept { return ad_; }
   const stats::LogHistogram& non_ad_delta_ms() const noexcept {
     return non_ad_;

@@ -32,14 +32,27 @@ TraceStudy::TraceStudy(const adblock::FilterEngine& engine,
 
 void TraceStudy::on_meta(const trace::TraceMeta& meta) {
   meta_ = meta;
+  meta_seen_ = true;
   const auto duration =
       meta.duration_s > 0 ? meta.duration_s : options_.default_duration_s;
   traffic_ = std::make_unique<TrafficStats>(duration,
                                             options_.timeseries_bin_s);
 }
 
+void TraceStudy::ensure_traffic() {
+  if (traffic_) return;
+  // Tolerate traces without a meta block, but build the aggregate
+  // directly instead of re-feeding a default meta through on_meta()
+  // (which would also implicitly reset meta_ state).
+  const auto duration = meta_.duration_s > 0 ? meta_.duration_s
+                                             : options_.default_duration_s;
+  traffic_ = std::make_unique<TrafficStats>(duration,
+                                            options_.timeseries_bin_s);
+}
+
 void TraceStudy::on_http(const trace::HttpTransaction& txn) {
-  if (!traffic_) on_meta(meta_);  // tolerate traces without a meta block
+  if (!meta_seen_) ++transactions_before_meta_;  // observable, not silent
+  ensure_traffic();
   extractor_.on_http(txn);
 }
 
@@ -59,6 +72,20 @@ InferenceResult TraceStudy::inference() const {
 ConfigurationReport TraceStudy::configurations(
     const InferenceResult& inference) const {
   return analyze_configurations(inference, traffic_->whitelisted_requests());
+}
+
+StudyView TraceStudy::view() const noexcept {
+  StudyView view;
+  view.meta = &meta_;
+  view.users = &users_;
+  view.traffic = traffic_.get();
+  view.whitelist = &whitelist_;
+  view.infra = &infra_;
+  view.rtb = &rtb_;
+  view.page_views = &page_views_;
+  view.https_flows = https_flows_;
+  view.inference_options = options_.inference;
+  return view;
 }
 
 }  // namespace adscope::core

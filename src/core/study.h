@@ -9,6 +9,9 @@
 //   whitelist() — §7.3
 //   infra()     — §8.1, Table 5 (needs an AsnDatabase)
 //   rtb()       — §8.2, Figure 7
+//
+// For multi-core analysis of the same trace see core::ParallelTraceStudy
+// (parallel_study.h), which runs one of these per shard and merges.
 #pragma once
 
 #include <memory>
@@ -37,6 +40,55 @@ struct StudyOptions {
   std::uint64_t default_duration_s = 24 * 3600;
 };
 
+/// Page-view statistics from the ReSurf-style segmentation.
+struct PageViewStats {
+  std::uint64_t views = 0;
+  std::uint64_t objects = 0;
+  std::uint64_t ad_objects = 0;
+
+  void merge(const PageViewStats& other) noexcept {
+    views += other.views;
+    objects += other.objects;
+    ad_objects += other.ad_objects;
+  }
+
+  double objects_per_view() const noexcept {
+    return views == 0 ? 0.0
+                      : static_cast<double>(objects) /
+                            static_cast<double>(views);
+  }
+  double ads_per_view() const noexcept {
+    return views == 0 ? 0.0
+                      : static_cast<double>(ad_objects) /
+                            static_cast<double>(views);
+  }
+};
+
+/// Read-only window onto a finished study's per-section results.
+///
+/// Both TraceStudy and ParallelTraceStudy expose one via view(), so the
+/// report renderers (core/report.h) and any downstream consumer work on
+/// either pipeline without caring how the aggregates were produced.
+struct StudyView {
+  const trace::TraceMeta* meta = nullptr;
+  const UserIndex* users = nullptr;
+  const TrafficStats* traffic = nullptr;
+  const WhitelistAnalysis* whitelist = nullptr;
+  const InfraAnalysis* infra = nullptr;
+  const RtbAnalysis* rtb = nullptr;
+  const PageViewStats* page_views = nullptr;
+  std::uint64_t https_flows = 0;
+  InferenceOptions inference_options;
+
+  /// Run the §6.2 inference over the aggregated users.
+  InferenceResult inference() const {
+    return infer_adblock_usage(*users, inference_options);
+  }
+  ConfigurationReport configurations(const InferenceResult& result) const {
+    return analyze_configurations(result, traffic->whitelisted_requests());
+  }
+};
+
 class TraceStudy final : public trace::TraceSink {
  public:
   /// `registry` may be empty (then indicator 2 never fires). The engine
@@ -62,28 +114,11 @@ class TraceStudy final : public trace::TraceSink {
   const trace::TraceMeta& meta() const noexcept { return meta_; }
   const UserIndex& users() const noexcept { return users_; }
   const TrafficStats& traffic() const { return *traffic_; }
+  bool has_traffic() const noexcept { return traffic_ != nullptr; }
   const WhitelistAnalysis& whitelist() const noexcept { return whitelist_; }
   const InfraAnalysis& infra() const noexcept { return infra_; }
   const RtbAnalysis& rtb() const noexcept { return rtb_; }
   const TraceClassifier& classifier() const noexcept { return classifier_; }
-
-  /// Page-view statistics from the ReSurf-style segmentation.
-  struct PageViewStats {
-    std::uint64_t views = 0;
-    std::uint64_t objects = 0;
-    std::uint64_t ad_objects = 0;
-
-    double objects_per_view() const noexcept {
-      return views == 0 ? 0.0
-                        : static_cast<double>(objects) /
-                              static_cast<double>(views);
-    }
-    double ads_per_view() const noexcept {
-      return views == 0 ? 0.0
-                        : static_cast<double>(ad_objects) /
-                              static_cast<double>(views);
-    }
-  };
   const PageViewStats& page_views() const noexcept { return page_views_; }
 
   /// Run the §6.2 inference over the aggregated users (after finish()).
@@ -91,8 +126,19 @@ class TraceStudy final : public trace::TraceSink {
   ConfigurationReport configurations(const InferenceResult& inference) const;
 
   std::uint64_t https_flows() const noexcept { return https_flows_; }
+  /// HTTP transactions seen before any meta block (the time series then
+  /// runs on the fallback duration — observable instead of silent).
+  std::uint64_t transactions_before_meta() const noexcept {
+    return transactions_before_meta_;
+  }
+
+  StudyView view() const noexcept;
 
  private:
+  /// Lazily build the time-series aggregate when a trace carries no
+  /// meta block, counting the transactions affected.
+  void ensure_traffic();
+
   const adblock::FilterEngine& engine_;
   const netdb::AbpServerRegistry& registry_;
   StudyOptions options_;
@@ -108,6 +154,8 @@ class TraceStudy final : public trace::TraceSink {
   InfraAnalysis infra_;
   RtbAnalysis rtb_;
   std::uint64_t https_flows_ = 0;
+  std::uint64_t transactions_before_meta_ = 0;
+  bool meta_seen_ = false;
   bool finished_ = false;
 };
 

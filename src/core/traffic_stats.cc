@@ -81,12 +81,39 @@ void TrafficStats::add(const ClassifiedObject& object) {
   }
 }
 
+void TrafficStats::merge(const TrafficStats& other) {
+  series_.merge(other.series_);
+  requests_ += other.requests_;
+  bytes_ += other.bytes_;
+  easylist_reqs_ += other.easylist_reqs_;
+  derivative_reqs_ += other.derivative_reqs_;
+  easyprivacy_reqs_ += other.easyprivacy_reqs_;
+  whitelist_reqs_ += other.whitelist_reqs_;
+  ad_bytes_ += other.ad_bytes_;
+  for (const auto& [mime, theirs] : other.content_) {
+    auto& row = content_[mime];
+    row.ad_requests += theirs.ad_requests;
+    row.ad_bytes += theirs.ad_bytes;
+    row.non_ad_requests += theirs.non_ad_requests;
+    row.non_ad_bytes += theirs.non_ad_bytes;
+  }
+  for (std::size_t i = 0; i < ad_size_.size(); ++i) {
+    ad_size_[i].merge(other.ad_size_[i]);
+    non_ad_size_[i].merge(other.non_ad_size_[i]);
+  }
+}
+
 std::vector<std::pair<std::string, ContentTypeRow>>
 TrafficStats::content_table() const {
   std::vector<std::pair<std::string, ContentTypeRow>> rows(content_.begin(),
                                                            content_.end());
+  // Tie-break on the MIME string: a total order keeps the table stable
+  // no matter how the rows were accumulated (serial vs merged shards).
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    return a.second.ad_requests > b.second.ad_requests;
+    if (a.second.ad_requests != b.second.ad_requests) {
+      return a.second.ad_requests > b.second.ad_requests;
+    }
+    return a.first < b.first;
   });
   return rows;
 }

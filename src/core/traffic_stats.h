@@ -40,6 +40,11 @@ class TrafficStats {
 
   void add(const ClassifiedObject& object);
 
+  /// Accumulate a shard with the same duration/bin configuration
+  /// (counters and content rows sum; time series and size histograms
+  /// add bin-wise). Throws std::invalid_argument on a shape mismatch.
+  void merge(const TrafficStats& other);
+
   // §7.1 aggregates.
   std::uint64_t requests() const noexcept { return requests_; }
   std::uint64_t bytes() const noexcept { return bytes_; }

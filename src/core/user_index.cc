@@ -45,6 +45,32 @@ void UserIndex::add(const ClassifiedObject& object) {
   }
 }
 
+void UserIndex::merge(const UserIndex& other) {
+  for (const auto& [key, theirs] : other.users_) {
+    auto [it, inserted] = users_.try_emplace(key);
+    UserStats& ours = it->second;
+    if (inserted) {
+      ours.ip = theirs.ip;
+      ours.user_agent = theirs.user_agent;
+    }
+    ours.requests += theirs.requests;
+    ours.bytes += theirs.bytes;
+    ours.ads_easylist += theirs.ads_easylist;
+    ours.ads_derivative += theirs.ads_derivative;
+    ours.ads_easyprivacy += theirs.ads_easyprivacy;
+    ours.ads_whitelisted += theirs.ads_whitelisted;
+    ours.ad_bytes += theirs.ad_bytes;
+    ours.first_ms = std::min(ours.first_ms, theirs.first_ms);
+    ours.last_ms = std::max(ours.last_ms, theirs.last_ms);
+  }
+  households_.insert(other.households_.begin(), other.households_.end());
+  abp_households_.insert(other.abp_households_.begin(),
+                         other.abp_households_.end());
+  total_requests_ += other.total_requests_;
+  total_ads_ += other.total_ads_;
+  abp_flows_ += other.abp_flows_;
+}
+
 void UserIndex::add_tls(const trace::TlsFlow& flow,
                         const netdb::AbpServerRegistry& registry) {
   if (flow.server_port != 443) return;

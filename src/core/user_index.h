@@ -56,6 +56,11 @@ class UserIndex {
   void add_tls(const trace::TlsFlow& flow,
                const netdb::AbpServerRegistry& registry);
 
+  /// Accumulate another index (shard combination). Per-user stats sum;
+  /// household sets union. Commutative and associative, so shard merge
+  /// order cannot change the result.
+  void merge(const UserIndex& other);
+
   bool household_downloads_easylist(netdb::IpV4 ip) const {
     return abp_households_.contains(ip);
   }

@@ -52,6 +52,24 @@ void WhitelistAnalysis::add(const ClassifiedObject& object) {
   }
 }
 
+void WhitelistAnalysis::merge(const WhitelistAnalysis& other) {
+  ad_requests_ += other.ad_requests_;
+  whitelisted_ += other.whitelisted_;
+  would_block_ += other.would_block_;
+  would_block_ep_ += other.would_block_ep_;
+  easylist_family_ads_ += other.easylist_family_ads_;
+  for (const auto& [fqdn, counts] : other.by_page_) {
+    auto& row = by_page_[fqdn];
+    row.blacklisted += counts.blacklisted;
+    row.whitelisted += counts.whitelisted;
+  }
+  for (const auto& [fqdn, counts] : other.by_request_host_) {
+    auto& row = by_request_host_[fqdn];
+    row.blacklisted += counts.blacklisted;
+    row.whitelisted += counts.whitelisted;
+  }
+}
+
 std::vector<BeneficiaryRow> WhitelistAnalysis::top_rows(
     const std::unordered_map<std::string, Counts>& map,
     std::uint64_t min_blacklisted) {
@@ -61,8 +79,13 @@ std::vector<BeneficiaryRow> WhitelistAnalysis::top_rows(
     rows.push_back(BeneficiaryRow{fqdn, counts.blacklisted,
                                   counts.whitelisted});
   }
+  // FQDN tie-break: rows come out of an unordered map, so without a
+  // total order equal-volume rows would rank by hash-table history.
   std::sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
-    return a.blacklisted + a.whitelisted > b.blacklisted + b.whitelisted;
+    const auto a_total = a.blacklisted + a.whitelisted;
+    const auto b_total = b.blacklisted + b.whitelisted;
+    if (a_total != b_total) return a_total > b_total;
+    return a.fqdn < b.fqdn;
   });
   return rows;
 }

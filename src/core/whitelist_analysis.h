@@ -34,6 +34,10 @@ class WhitelistAnalysis {
 
   void add(const ClassifiedObject& object);
 
+  /// Accumulate another analysis (shard combination); counters sum and
+  /// beneficiary tables add row-wise. Commutative and associative.
+  void merge(const WhitelistAnalysis& other);
+
   std::uint64_t ad_requests() const noexcept { return ad_requests_; }
   std::uint64_t whitelisted() const noexcept { return whitelisted_; }
   /// Whitelisted requests a blacklist rule also matched ("match the

@@ -1,6 +1,7 @@
 #include "stats/histogram.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace adscope::stats {
 
@@ -15,6 +16,17 @@ void LinearHistogram::add(double value, double weight) {
   if (index >= counts_.size()) index = counts_.size() - 1;
   counts_[index] += weight;
   total_ += weight;
+}
+
+void LinearHistogram::merge(const LinearHistogram& other) {
+  if (lo_ != other.lo_ || hi_ != other.hi_ ||
+      counts_.size() != other.counts_.size()) {
+    throw std::invalid_argument("LinearHistogram::merge: bin layout mismatch");
+  }
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    counts_[i] += other.counts_[i];
+  }
+  total_ += other.total_;
 }
 
 double LinearHistogram::bin_lo(std::size_t i) const noexcept {

@@ -15,6 +15,11 @@ class LinearHistogram {
 
   void add(double value, double weight = 1.0);
 
+  /// Accumulate another histogram with the same [lo, hi) and bin count
+  /// (bin-wise addition). Throws std::invalid_argument on a layout
+  /// mismatch — merging differently-binned histograms is meaningless.
+  void merge(const LinearHistogram& other);
+
   std::size_t bin_count() const noexcept { return counts_.size(); }
   double bin_lo(std::size_t i) const noexcept;
   double bin_hi(std::size_t i) const noexcept;
@@ -40,6 +45,9 @@ class LogHistogram {
   LogHistogram(double log10_lo, double log10_hi, std::size_t bins);
 
   void add(double value, double weight = 1.0);
+
+  /// Bin-wise accumulation; layouts must match (see LinearHistogram).
+  void merge(const LogHistogram& other) { hist_.merge(other.hist_); }
 
   std::size_t bin_count() const noexcept { return hist_.bin_count(); }
   /// Geometric bin center in linear units.

@@ -1,6 +1,7 @@
 #include "stats/timeseries.h"
 
 #include <algorithm>
+#include <stdexcept>
 
 namespace adscope::stats {
 
@@ -19,6 +20,18 @@ void BinnedTimeSeries::add(std::size_t series, std::uint64_t timestamp_s,
   auto bin = static_cast<std::size_t>(timestamp_s / bin_s_);
   if (bin >= bins_) bin = bins_ - 1;
   data_[series][bin] += weight;
+}
+
+void BinnedTimeSeries::merge(const BinnedTimeSeries& other) {
+  if (bin_s_ != other.bin_s_ || bins_ != other.bins_ ||
+      data_.size() != other.data_.size()) {
+    throw std::invalid_argument("BinnedTimeSeries::merge: shape mismatch");
+  }
+  for (std::size_t s = 0; s < data_.size(); ++s) {
+    for (std::size_t b = 0; b < bins_; ++b) {
+      data_[s][b] += other.data_[s][b];
+    }
+  }
 }
 
 double BinnedTimeSeries::series_max(std::size_t series) const {

@@ -15,6 +15,11 @@ class BinnedTimeSeries {
 
   void add(std::size_t series, std::uint64_t timestamp_s, double weight = 1.0);
 
+  /// Bin-wise accumulation of a series set with identical shape (same
+  /// bin width, bin count and series count). Throws std::invalid_argument
+  /// on a shape mismatch.
+  void merge(const BinnedTimeSeries& other);
+
   std::size_t series_count() const noexcept { return names_.size(); }
   std::size_t bin_count() const noexcept { return bins_; }
   std::uint64_t bin_seconds() const noexcept { return bin_s_; }

@@ -1,0 +1,80 @@
+// Bounded multi-producer blocking queue with backpressure.
+//
+// The sharded analysis path (core::ParallelTraceStudy) feeds one queue
+// per shard worker: the trace-reading thread blocks in push() when a
+// shard falls behind, so memory stays bounded no matter how large the
+// trace is. close() releases consumers once the producer is done;
+// pop() then drains the remaining records and finally reports
+// exhaustion.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+namespace adscope::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks while the queue is full (backpressure). Returns false when
+  /// the queue was closed (the item is dropped).
+  bool push(T item) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock,
+                   [this] { return items_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available or the queue is closed and
+  /// drained. Returns false only on exhaustion.
+  bool pop(T& out) {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// No further push() succeeds; consumers drain what remains.
+  void close() {
+    {
+      std::lock_guard lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  std::size_t size() const {
+    std::lock_guard lock(mutex_);
+    return items_.size();
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace adscope::util

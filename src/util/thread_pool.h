@@ -1,0 +1,50 @@
+// Reusable fixed-size worker pool.
+//
+// Workers are started once and reused across submissions — the sharded
+// analysis path runs many studies (benchmarks, repeated CLI runs)
+// without re-paying thread start-up each time. Tasks may block (the
+// shard drain loops block on their record queues), so callers that
+// submit N interdependent long-running tasks must size the pool with at
+// least N threads; ParallelTraceStudy enforces this.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace adscope::util {
+
+class ThreadPool {
+ public:
+  /// `threads == 0` uses the hardware concurrency (at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; the future resolves when it finishes (exceptions
+  /// propagate through the future).
+  std::future<void> submit(std::function<void()> task);
+
+  std::size_t thread_count() const noexcept { return workers_.size(); }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::mutex mutex_;
+  std::condition_variable wake_;
+  std::deque<std::packaged_task<void()>> tasks_;
+  bool stopping_ = false;
+};
+
+/// Pool sizing helper: explicit request, else hardware concurrency.
+std::size_t resolve_thread_count(std::size_t requested) noexcept;
+
+}  // namespace adscope::util

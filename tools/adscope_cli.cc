@@ -14,6 +14,7 @@
 #include <string>
 
 #include "analyzer/http_log.h"
+#include "core/parallel_study.h"
 #include "core/report.h"
 #include "pcap/pcap.h"
 #include "core/study.h"
@@ -112,8 +113,25 @@ int cmd_study(const Args& args) {
 
   core::StudyOptions options;
   options.inference.min_requests = args.get_u64("active-min", 1000);
-  core::TraceStudy study(world.engine, world.ecosystem.abp_registry(),
-                         options);
+
+  // --threads N shards the pipeline by client IP; N=1 (default) keeps
+  // the serial study. Results are identical either way.
+  const auto threads = args.get_u64("threads", 1);
+  std::unique_ptr<core::TraceStudy> serial;
+  std::unique_ptr<core::ParallelTraceStudy> parallel;
+  trace::TraceSink* study = nullptr;
+  if (threads > 1) {
+    core::ParallelStudyOptions parallel_options;
+    parallel_options.study = options;
+    parallel_options.threads = threads;
+    parallel = std::make_unique<core::ParallelTraceStudy>(
+        world.engine, world.ecosystem.abp_registry(), parallel_options);
+    study = parallel.get();
+  } else {
+    serial = std::make_unique<core::TraceStudy>(
+        world.engine, world.ecosystem.abp_registry(), options);
+    study = serial.get();
+  }
 
   // Optional privacy-preserving transaction log (the paper's §5 output).
   std::unique_ptr<analyzer::HttpLogWriter> log;
@@ -128,7 +146,7 @@ int cmd_study(const Args& args) {
   }
 
   trace::TeeSink tee;
-  tee.add(study);
+  tee.add(*study);
   if (log) tee.add(log_extractor);
   std::uint64_t records = 0;
   if (!pcap_path.empty()) {
@@ -138,13 +156,23 @@ int cmd_study(const Args& args) {
     trace::FileTraceReader reader(path);
     records = reader.replay(tee);
   }
-  study.finish();
+  core::StudyView view;
+  if (parallel) {
+    parallel->finish();
+    view = parallel->view();
+  } else {
+    serial->finish();
+    view = serial->view();
+  }
 
-  std::printf("read %llu records from %s\n\n",
+  std::printf("read %llu records from %s",
               static_cast<unsigned long long>(records),
               (pcap_path.empty() ? path : pcap_path).c_str());
+  if (threads > 1) std::printf(" (%llu analysis threads)",
+                               static_cast<unsigned long long>(threads));
+  std::printf("\n\n");
   std::fputs(
-      core::render_full_report(study, &world.ecosystem.asn_db()).c_str(),
+      core::render_full_report(view, &world.ecosystem.asn_db()).c_str(),
       stdout);
   if (log) {
     std::printf("http.log: %llu lines -> %s\n",
@@ -233,7 +261,7 @@ void usage() {
       "  gen        --out FILE [--households N] [--hours H] [--rbn1] [--seed S]\n"
       "  study      --trace FILE | --pcap FILE  [--log FILE --privacy "
       "fqdn|full]\n"
-      "             [--active-min N] [--seed S]\n"
+      "             [--active-min N] [--seed S] [--threads N]\n"
       "  export-pcap --trace FILE --out FILE\n"
       "  lists    --out-dir DIR [--seed S]\n"
       "  classify --url URL [--page URL] [--type image|script|...]\n",
