@@ -1,0 +1,140 @@
+// Micro-benchmark: live ingest path — wire decode, socket ingest
+// throughput at 1/2/4 analysis shards, and snapshot-merge latency.
+//
+// Unlike the google-benchmark micros this is a harness binary (the
+// subjects are whole threads + sockets, not a tight loop): it prints a
+// table and records machine-readable numbers through JsonMetrics
+// (`ADSCOPE_JSON_DIR=... -> BENCH_live_ingest.json`).
+//
+//   ADSCOPE_HOUSEHOLDS  trace scale     (default 150 subscribers)
+//   ADSCOPE_HOURS       trace duration  (default 2)
+//   ADSCOPE_SNAPSHOTS   merge-latency repetitions (default 20)
+#include <chrono>
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+#include "experiment_common.h"
+#include "live/live_study.h"
+#include "live/replay.h"
+#include "live/stream_server.h"
+#include "trace/stream.h"
+#include "trace/writer.h"
+#include "util/socket.h"
+
+namespace {
+
+using namespace adscope;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// TraceSink that discards everything — isolates pure decode cost.
+struct NullSink final : trace::TraceSink {
+  void on_meta(const trace::TraceMeta&) override {}
+  void on_http(const trace::HttpTransaction&) override {}
+  void on_tls(const trace::TlsFlow&) override {}
+};
+
+}  // namespace
+
+int main() {
+  bench::preamble(
+      "micro: live ingest (wire decode, socket ingest, snapshot merge)",
+      "n/a — operational throughput of the adscoped daemon path");
+
+  const auto world = bench::make_world();
+  const auto households = static_cast<std::uint32_t>(
+      bench::env_u64("ADSCOPE_HOUSEHOLDS", 600) / 4);
+  const auto hours = bench::env_u64("ADSCOPE_HOURS", 2);
+
+  trace::MemoryTrace memory;
+  {
+    sim::RbnSimulator simulator(world.ecosystem, world.lists, world.seed);
+    auto options = sim::rbn2_options(households);
+    options.duration_s = hours * 3600;
+    simulator.simulate(options, memory);
+    live::sort_by_time(memory);
+  }
+  const std::uint64_t records = memory.http().size() + memory.tls().size();
+
+  std::string wire;
+  {
+    std::ostringstream encoded;
+    trace::TraceEncoder encoder(encoded);
+    live::replay_time_ordered(memory, encoder);
+    encoder.finish();
+    wire = encoded.str();
+  }
+  std::printf("trace: %llu records, %.1f MB on the wire (%u households, "
+              "%llu h)\n\n",
+              static_cast<unsigned long long>(records),
+              static_cast<double>(wire.size()) / 1e6, households,
+              static_cast<unsigned long long>(hours));
+
+  bench::JsonMetrics metrics("live_ingest");
+  metrics.record("records", static_cast<double>(records));
+  metrics.record("wire_bytes", static_cast<double>(wire.size()));
+
+  // -- pure decode (no sockets, no analysis) ---------------------------
+  {
+    NullSink null;
+    trace::StreamDecoder decoder(null);
+    const auto start = Clock::now();
+    decoder.feed(wire);
+    const auto elapsed = seconds_since(start);
+    const auto rate = static_cast<double>(records) / elapsed;
+    std::printf("%-28s %10.0f records/s\n", "decode only:", rate);
+    metrics.record("decode_records_per_s", rate);
+  }
+
+  // -- socket ingest at 1/2/4 shards -----------------------------------
+  for (const std::size_t threads : {1u, 2u, 4u}) {
+    live::LiveStudyOptions options;
+    options.study.inference.min_requests = 1000;
+    options.threads = threads;
+    options.bucket_seconds = 300;
+    live::LiveStudy study(world.engine, world.ecosystem.abp_registry(),
+                          options);
+    live::TraceStreamServer server(study, util::ListenSocket::tcp(0));
+    server.start();
+
+    const auto start = Clock::now();
+    {
+      auto fd = util::connect_tcp("127.0.0.1", server.port());
+      util::send_all(fd.get(), wire);
+    }
+    while (server.streams_completed() == 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    const auto elapsed = seconds_since(start);
+    server.stop();
+
+    const auto rate = static_cast<double>(study.records_ingested()) / elapsed;
+    std::printf("ingest @%zu shard(s):          %10.0f records/s\n", threads,
+                rate);
+    metrics.record("ingest_records_per_s_t" + std::to_string(threads), rate);
+
+    if (threads == 4) {
+      // -- snapshot-merge latency over the populated study -------------
+      const auto repetitions = bench::env_u64("ADSCOPE_SNAPSHOTS", 20);
+      const auto merge_start = Clock::now();
+      std::uint64_t merged = 0;
+      for (std::uint64_t i = 0; i < repetitions; ++i) {
+        merged += study.snapshot().buckets_merged();
+      }
+      const auto merge_s = seconds_since(merge_start) /
+                           static_cast<double>(repetitions);
+      std::printf("%-28s %10.2f ms (%llu buckets)\n",
+                  "snapshot merge:", merge_s * 1e3,
+                  static_cast<unsigned long long>(merged / repetitions));
+      metrics.record("snapshot_merge_ms", merge_s * 1e3);
+      metrics.record("snapshot_buckets",
+                     static_cast<double>(merged / repetitions));
+    }
+    study.close();
+  }
+  return 0;
+}

@@ -1,0 +1,325 @@
+#include "live/http_endpoint.h"
+
+#include <charconv>
+#include <sstream>
+#include <stdexcept>
+#include <string_view>
+#include <utility>
+
+#include "live/study_json.h"
+#include "stats/json.h"
+
+namespace adscope::live {
+
+namespace {
+
+/// Parses "?window_s=N" from a request target. Returns 0 (= whole ring)
+/// when absent; throws std::invalid_argument on malformed values so the
+/// caller can answer 400 instead of silently serving the wrong window.
+std::uint64_t parse_window_s(const std::string& target) {
+  const auto query_at = target.find('?');
+  if (query_at == std::string::npos) return 0;
+  std::string_view query(target);
+  query.remove_prefix(query_at + 1);
+  while (!query.empty()) {
+    const auto amp = query.find('&');
+    const auto param = query.substr(0, amp);
+    if (param.substr(0, 9) == "window_s=") {
+      const auto value = param.substr(9);
+      std::uint64_t parsed = 0;
+      const auto [end, ec] =
+          std::from_chars(value.data(), value.data() + value.size(), parsed);
+      if (ec != std::errc{} || end != value.data() + value.size() ||
+          parsed == 0) {
+        throw std::invalid_argument("window_s must be a positive integer");
+      }
+      return parsed;
+    }
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return 0;
+}
+
+std::string path_of(const std::string& target) {
+  const auto query_at = target.find('?');
+  return query_at == std::string::npos ? target : target.substr(0, query_at);
+}
+
+std::string error_json(const std::string& message) {
+  std::string body = "{\"error\":\"";
+  stats::json_escape(body, message);
+  body += "\"}";
+  return body;
+}
+
+}  // namespace
+
+HttpEndpoint::HttpEndpoint(LiveStudy& study, util::ListenSocket socket,
+                           const netdb::AsnDatabase* asn_db,
+                           const TraceStreamServer* ingest,
+                           HttpEndpointOptions options)
+    : study_(study),
+      socket_(std::move(socket)),
+      asn_db_(asn_db),
+      ingest_(ingest),
+      options_(options) {
+  if (options_.poll_ms <= 0) options_.poll_ms = 100;
+  if (options_.max_request_bytes < 64) options_.max_request_bytes = 64;
+}
+
+HttpEndpoint::~HttpEndpoint() { stop(); }
+
+void HttpEndpoint::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void HttpEndpoint::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lock(connections_mutex_);
+    handlers.swap(connections_);
+  }
+  for (auto& thread : handlers) {
+    if (thread.joinable()) thread.join();
+  }
+  running_.store(false);
+  stopping_.store(false);
+}
+
+void HttpEndpoint::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    util::Fd client = socket_.accept(options_.poll_ms);
+    if (!client.valid()) {
+      if (connections_active_.load(std::memory_order_relaxed) == 0) {
+        std::lock_guard lock(connections_mutex_);
+        for (auto& thread : connections_) {
+          if (thread.joinable()) thread.join();
+        }
+        connections_.clear();
+      }
+      continue;
+    }
+    if (connections_active_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      continue;  // Fd destructor closes the socket
+    }
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(connections_mutex_);
+    connections_.emplace_back([this, fd = std::move(client)]() mutable {
+      handle_connection(std::move(fd));
+      connections_active_.fetch_sub(1, std::memory_order_relaxed);
+    });
+  }
+}
+
+void HttpEndpoint::handle_connection(util::Fd fd) {
+  // Read until the header terminator; request bodies are not supported
+  // (every route is a GET) so the headers are the whole request.
+  std::string request;
+  char chunk[2048];
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    if (request.find("\r\n\r\n") != std::string::npos) break;
+    if (request.size() >= options_.max_request_bytes) break;
+    if (!util::wait_readable(fd.get(), options_.poll_ms)) continue;
+    std::size_t n = 0;
+    try {
+      n = util::recv_some(fd.get(), chunk, sizeof(chunk));
+    } catch (const std::system_error&) {
+      return;
+    }
+    if (n == 0) break;
+    request.append(chunk, n);
+  }
+
+  // Request line: METHOD SP TARGET SP VERSION.
+  const auto line_end = request.find("\r\n");
+  const auto line =
+      line_end == std::string::npos ? request : request.substr(0, line_end);
+  const auto sp1 = line.find(' ');
+  const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                            : line.find(' ', sp1 + 1);
+  Response response;
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    requests_bad_.fetch_add(1, std::memory_order_relaxed);
+    response = Response{400, "application/json", error_json("bad request")};
+  } else {
+    response = handle(line.substr(0, sp1), line.substr(sp1 + 1, sp2 - sp1 - 1));
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (response.status >= 400) {
+      requests_bad_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::ostringstream out;
+  out << "HTTP/1.1 " << status_line(response.status) << "\r\n"
+      << "Content-Type: " << response.content_type << "\r\n"
+      << "Content-Length: " << response.body.size() << "\r\n"
+      << "Connection: close\r\n\r\n"
+      << response.body;
+  util::send_all(fd.get(), out.str());
+}
+
+std::string HttpEndpoint::status_line(int status) {
+  switch (status) {
+    case 200:
+      return "200 OK";
+    case 400:
+      return "400 Bad Request";
+    case 404:
+      return "404 Not Found";
+    case 405:
+      return "405 Method Not Allowed";
+    default:
+      return std::to_string(status) + " Error";
+  }
+}
+
+HttpEndpoint::Response HttpEndpoint::handle(const std::string& method,
+                                            const std::string& target) const {
+  if (method != "GET") {
+    return {405, "application/json", error_json("only GET is supported")};
+  }
+  const auto path = path_of(target);
+  if (path == "/healthz") return {200, "text/plain", "ok\n"};
+  if (path == "/metrics") {
+    return {200, "text/plain; version=0.0.4", render_metrics()};
+  }
+
+  if (path.rfind("/study/", 0) == 0) {
+    std::uint64_t window_s = 0;
+    try {
+      window_s = parse_window_s(target);
+    } catch (const std::invalid_argument& error) {
+      return {400, "application/json", error_json(error.what())};
+    }
+    const auto snapshot = window_s == 0 ? study_.snapshot()
+                                        : study_.snapshot_window(window_s);
+    if (path == "/study/summary") {
+      return {200, "application/json", summary_json(snapshot)};
+    }
+    if (path == "/study/traffic") {
+      return {200, "application/json", traffic_json(snapshot)};
+    }
+    if (path == "/study/users") {
+      return {200, "application/json", users_json(snapshot)};
+    }
+    if (path == "/study/infra") {
+      return {200, "application/json",
+              infra_json(snapshot, asn_db_, options_.top_ases)};
+    }
+  }
+  return {404, "application/json", error_json("no such route")};
+}
+
+std::string HttpEndpoint::render_metrics() const {
+  std::ostringstream out;
+  const auto ingested = study_.records_ingested();
+
+  // Ingest rate: records since the previous scrape over the wall time
+  // between scrapes (a gauge; Prometheus' own rate() over the counter
+  // is the robust version, this one is for `curl | grep`).
+  double rate = 0.0;
+  {
+    std::lock_guard lock(rate_mutex_);
+    const auto now = std::chrono::steady_clock::now();
+    if (scraped_before_) {
+      const std::chrono::duration<double> dt = now - last_scrape_time_;
+      if (dt.count() > 0 && ingested >= last_scrape_records_) {
+        rate = static_cast<double>(ingested - last_scrape_records_) /
+               dt.count();
+      }
+    }
+    last_scrape_records_ = ingested;
+    last_scrape_time_ = now;
+    scraped_before_ = true;
+  }
+
+  out << "# HELP adscoped_records_ingested_total Records accepted into "
+         "shard queues.\n"
+      << "# TYPE adscoped_records_ingested_total counter\n"
+      << "adscoped_records_ingested_total " << ingested << "\n";
+  out << "# HELP adscoped_records_dropped_total Records dropped before "
+         "aggregation, by reason.\n"
+      << "# TYPE adscoped_records_dropped_total counter\n"
+      << "adscoped_records_dropped_total{reason=\"late\"} "
+      << study_.late_drops() << "\n"
+      << "adscoped_records_dropped_total{reason=\"pre_meta\"} "
+      << study_.pre_meta_drops() << "\n"
+      << "adscoped_records_dropped_total{reason=\"closed\"} "
+      << study_.closed_drops() << "\n";
+  out << "# HELP adscoped_ingest_rate_records_per_second Records ingested "
+         "per second since the previous scrape.\n"
+      << "# TYPE adscoped_ingest_rate_records_per_second gauge\n"
+      << "adscoped_ingest_rate_records_per_second " << rate << "\n";
+  out << "# HELP adscoped_queue_depth Records waiting in shard queues.\n"
+      << "# TYPE adscoped_queue_depth gauge\n"
+      << "adscoped_queue_depth " << study_.queue_depth() << "\n";
+  out << "# HELP adscoped_buckets Live aggregation buckets held in "
+         "memory.\n"
+      << "# TYPE adscoped_buckets gauge\n"
+      << "adscoped_buckets " << study_.bucket_count() << "\n";
+  out << "# HELP adscoped_buckets_evicted_total Buckets evicted by the "
+         "sliding window.\n"
+      << "# TYPE adscoped_buckets_evicted_total counter\n"
+      << "adscoped_buckets_evicted_total " << study_.buckets_evicted() << "\n";
+  out << "# HELP adscoped_metas_ignored_total Trace meta blocks ignored "
+         "after the first.\n"
+      << "# TYPE adscoped_metas_ignored_total counter\n"
+      << "adscoped_metas_ignored_total " << study_.metas_ignored() << "\n";
+  out << "# HELP adscoped_watermark_ms Highest record timestamp seen "
+         "(trace clock).\n"
+      << "# TYPE adscoped_watermark_ms gauge\n"
+      << "adscoped_watermark_ms " << study_.watermark_ms() << "\n";
+
+  if (ingest_ != nullptr) {
+    out << "# HELP adscoped_stream_connections_total Ingest connections "
+           "accepted.\n"
+        << "# TYPE adscoped_stream_connections_total counter\n"
+        << "adscoped_stream_connections_total "
+        << ingest_->connections_total() << "\n";
+    out << "# HELP adscoped_stream_connections_active Ingest connections "
+           "currently open.\n"
+        << "# TYPE adscoped_stream_connections_active gauge\n"
+        << "adscoped_stream_connections_active "
+        << ingest_->connections_active() << "\n";
+    out << "# HELP adscoped_stream_connections_rejected_total Ingest "
+           "connections refused over the cap.\n"
+        << "# TYPE adscoped_stream_connections_rejected_total counter\n"
+        << "adscoped_stream_connections_rejected_total "
+        << ingest_->connections_rejected() << "\n";
+    out << "# HELP adscoped_stream_bytes_received_total Raw bytes read "
+           "from ingest sockets.\n"
+        << "# TYPE adscoped_stream_bytes_received_total counter\n"
+        << "adscoped_stream_bytes_received_total "
+        << ingest_->bytes_received() << "\n";
+    out << "# HELP adscoped_stream_decode_errors_total Connections "
+           "dropped on malformed input.\n"
+        << "# TYPE adscoped_stream_decode_errors_total counter\n"
+        << "adscoped_stream_decode_errors_total " << ingest_->decode_errors()
+        << "\n";
+    out << "# HELP adscoped_streams_completed_total Streams that sent a "
+           "clean end marker.\n"
+        << "# TYPE adscoped_streams_completed_total counter\n"
+        << "adscoped_streams_completed_total " << ingest_->streams_completed()
+        << "\n";
+  }
+
+  out << "# HELP adscoped_http_requests_total HTTP requests answered.\n"
+      << "# TYPE adscoped_http_requests_total counter\n"
+      << "adscoped_http_requests_total "
+      << requests_served_.load(std::memory_order_relaxed) << "\n";
+  out << "# HELP adscoped_http_requests_bad_total HTTP requests answered "
+         "with a 4xx/5xx status.\n"
+      << "# TYPE adscoped_http_requests_bad_total counter\n"
+      << "adscoped_http_requests_bad_total "
+      << requests_bad_.load(std::memory_order_relaxed) << "\n";
+  return out.str();
+}
+
+}  // namespace adscope::live

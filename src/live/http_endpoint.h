@@ -1,0 +1,112 @@
+// HttpEndpoint — minimal HTTP/1.1 query server for a LiveStudy.
+//
+// Serves GET only, one request per connection (Connection: close), no
+// TLS, no keep-alive: operational plumbing in front of snapshot(), in
+// the spirit of the ugreg "JSON aggregator in front of a slow backend"
+// pattern — queries merge sealed buckets on demand and never block
+// ingest.
+//
+// Routes:
+//   /healthz                    liveness probe ("ok")
+//   /metrics                    Prometheus text format (ingest rate,
+//                               queue depth, drops, buckets, HTTP stats)
+//   /study/summary[?window_s=N] headline JSON (traffic + user classes)
+//   /study/traffic[?window_s=N] §7 detail: lists, content types,
+//                               time series, size histograms
+//   /study/users[?window_s=N]   §6 detail: indicator classes, ECDFs,
+//                               configuration estimates
+//   /study/infra[?window_s=N]   §8 detail: servers, top ASes, RTB
+//
+// `window_s` restricts the merge to the trailing N seconds (whole
+// buckets); default is every sealed bucket still in the ring.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "live/live_study.h"
+#include "live/stream_server.h"
+#include "netdb/asn_db.h"
+#include "util/socket.h"
+
+namespace adscope::live {
+
+struct HttpEndpointOptions {
+  /// Accept/read poll granularity — the latency of stop().
+  int poll_ms = 100;
+  std::size_t max_request_bytes = 8192;
+  std::size_t max_connections = 32;
+  /// Rows in /study/infra's AS ranking.
+  std::size_t top_ases = 10;
+};
+
+class HttpEndpoint {
+ public:
+  /// `asn_db` (nullable) enables the AS ranking; `ingest` (nullable)
+  /// adds the stream server's counters to /metrics. Both must outlive
+  /// the endpoint.
+  HttpEndpoint(LiveStudy& study, util::ListenSocket socket,
+               const netdb::AsnDatabase* asn_db = nullptr,
+               const TraceStreamServer* ingest = nullptr,
+               HttpEndpointOptions options = {});
+  ~HttpEndpoint();
+
+  HttpEndpoint(const HttpEndpoint&) = delete;
+  HttpEndpoint& operator=(const HttpEndpoint&) = delete;
+
+  void start();
+  void stop();
+
+  std::uint16_t port() const noexcept { return socket_.port(); }
+
+  std::uint64_t requests_served() const noexcept {
+    return requests_served_.load(std::memory_order_relaxed);
+  }
+
+  struct Response {
+    int status = 200;
+    std::string content_type = "application/json";
+    std::string body;
+  };
+
+  /// Route dispatch without the socket layer — what the daemon's
+  /// shutdown snapshot and the unit tests call directly.
+  Response handle(const std::string& method, const std::string& target) const;
+
+  /// The Prometheus exposition (also available as /metrics).
+  std::string render_metrics() const;
+
+ private:
+  void accept_loop();
+  void handle_connection(util::Fd fd);
+  static std::string status_line(int status);
+
+  LiveStudy& study_;
+  util::ListenSocket socket_;
+  const netdb::AsnDatabase* asn_db_;
+  const TraceStreamServer* ingest_;
+  HttpEndpointOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+  std::atomic<std::uint64_t> connections_active_{0};
+
+  std::atomic<std::uint64_t> requests_served_{0};
+  std::atomic<std::uint64_t> requests_bad_{0};
+
+  // Ingest-rate gauge: delta of records_ingested between scrapes.
+  mutable std::mutex rate_mutex_;
+  mutable std::uint64_t last_scrape_records_ = 0;
+  mutable std::chrono::steady_clock::time_point last_scrape_time_{};
+  mutable bool scraped_before_ = false;
+};
+
+}  // namespace adscope::live

@@ -1,0 +1,326 @@
+#include "live/live_study.h"
+
+#include <condition_variable>
+#include <stdexcept>
+
+#include "util/hash.h"
+
+namespace adscope::live {
+
+// ---------------------------------------------------------------------------
+// StudySnapshot
+
+StudySnapshot::StudySnapshot(const trace::TraceMeta& meta,
+                             const core::StudyOptions& options)
+    : meta_(meta), options_(options) {
+  const auto duration =
+      meta.duration_s > 0 ? meta.duration_s : options.default_duration_s;
+  traffic_ =
+      std::make_unique<core::TrafficStats>(duration, options.timeseries_bin_s);
+}
+
+void StudySnapshot::absorb(const core::TraceStudy& study) {
+  users_.merge(study.users());
+  if (study.has_traffic()) traffic_->merge(study.traffic());
+  whitelist_.merge(study.whitelist());
+  infra_.merge(study.infra());
+  rtb_.merge(study.rtb());
+  page_views_.merge(study.page_views());
+  classifier_counters_.merge(study.classifier().counters());
+  https_flows_ += study.https_flows();
+  ++buckets_merged_;
+}
+
+core::StudyView StudySnapshot::view() const noexcept {
+  core::StudyView view;
+  view.meta = &meta_;
+  view.users = &users_;
+  view.traffic = traffic_.get();
+  view.whitelist = &whitelist_;
+  view.infra = &infra_;
+  view.rtb = &rtb_;
+  view.page_views = &page_views_;
+  view.https_flows = https_flows_;
+  view.inference_options = options_.inference;
+  return view;
+}
+
+// ---------------------------------------------------------------------------
+// LiveStudy
+
+LiveStudy::LiveStudy(const adblock::FilterEngine& engine,
+                     const netdb::AbpServerRegistry& registry,
+                     LiveStudyOptions options, util::ThreadPool* pool)
+    : engine_(engine), registry_(registry), options_(options) {
+  if (options_.bucket_seconds == 0) options_.bucket_seconds = 1;
+  if (options_.window_buckets == 0) options_.window_buckets = 1;
+  const auto shards = util::resolve_thread_count(options_.threads);
+  if (pool != nullptr) {
+    if (pool->thread_count() < shards) {
+      throw std::invalid_argument(
+          "LiveStudy: pool smaller than shard count (drain loops would "
+          "starve each other)");
+    }
+    pool_ = pool;
+  } else {
+    owned_pool_ = std::make_unique<util::ThreadPool>(shards);
+    pool_ = owned_pool_.get();
+  }
+
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity));
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->done = pool_->submit([this, s] { worker_loop(*s); });
+  }
+}
+
+LiveStudy::~LiveStudy() {
+  try {
+    close();
+  } catch (...) {
+    // Worker exceptions surface through close() for callers that care;
+    // the destructor must not throw.
+  }
+}
+
+std::size_t LiveStudy::shard_of(netdb::IpV4 client_ip) const noexcept {
+  // Same FNV spreading as ParallelTraceStudy: client addresses share
+  // prefixes, plain modulo would lump whole subnets together.
+  return util::fnv1a_u64(client_ip) % shards_.size();
+}
+
+void LiveStudy::note_watermark(std::uint64_t timestamp_ms) {
+  auto seen = watermark_ms_.load(std::memory_order_relaxed);
+  while (timestamp_ms > seen &&
+         !watermark_ms_.compare_exchange_weak(seen, timestamp_ms,
+                                              std::memory_order_relaxed)) {
+  }
+}
+
+void LiveStudy::on_meta(const trace::TraceMeta& meta) {
+  std::lock_guard lock(meta_mutex_);
+  if (meta_set_.load(std::memory_order_relaxed)) {
+    metas_ignored_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  meta_ = meta;
+  meta_set_.store(true, std::memory_order_release);
+}
+
+void LiveStudy::push_record(std::size_t shard, Record record) {
+  if (!shards_[shard]->queue.push(std::move(record))) {
+    closed_drops_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void LiveStudy::on_http(const trace::HttpTransaction& txn) {
+  if (!meta_set_.load(std::memory_order_acquire)) {
+    pre_meta_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  note_watermark(txn.timestamp_ms);
+  records_ingested_.fetch_add(1, std::memory_order_relaxed);
+  push_record(shard_of(txn.client_ip), Record{txn});
+}
+
+void LiveStudy::on_tls(const trace::TlsFlow& flow) {
+  if (!meta_set_.load(std::memory_order_acquire)) {
+    pre_meta_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  note_watermark(flow.timestamp_ms);
+  records_ingested_.fetch_add(1, std::memory_order_relaxed);
+  push_record(shard_of(flow.client_ip), Record{flow});
+}
+
+void LiveStudy::broadcast(Record record) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) push_record(i, record);
+}
+
+void LiveStudy::seal_before(std::uint64_t bucket) {
+  broadcast(Record{Control{Control::Kind::kSealBefore, bucket}});
+}
+
+void LiveStudy::evict_before(std::uint64_t bucket) {
+  broadcast(Record{Control{Control::Kind::kEvictBefore, bucket}});
+}
+
+void LiveStudy::maintain() {
+  if (records_ingested() == 0) return;
+  const auto open = current_bucket();
+  if (open > options_.seal_lag_buckets) {
+    seal_before(open - options_.seal_lag_buckets);
+  }
+  if (open >= options_.window_buckets) {
+    evict_before(open - options_.window_buckets + 1);
+  }
+}
+
+void LiveStudy::flush() {
+  auto barrier = std::make_shared<FlushBarrier>();
+  std::size_t expected = 0;
+  for (auto& shard : shards_) {
+    // Count only queues that accept the barrier: after close() the
+    // workers have already drained everything, nothing to wait for.
+    {
+      std::lock_guard lock(barrier->mutex);
+      ++barrier->remaining;
+    }
+    if (shard->queue.push(Record{barrier})) {
+      ++expected;
+    } else {
+      std::lock_guard lock(barrier->mutex);
+      --barrier->remaining;
+    }
+  }
+  if (expected == 0) return;
+  std::unique_lock lock(barrier->mutex);
+  barrier->cv.wait(lock, [&] { return barrier->remaining == 0; });
+}
+
+void LiveStudy::worker_loop(Shard& shard) {
+  Record record;
+  while (shard.queue.pop(record)) {
+    if (auto* txn = std::get_if<trace::HttpTransaction>(&record)) {
+      process(shard, txn->timestamp_ms, txn, nullptr);
+    } else if (auto* flow = std::get_if<trace::TlsFlow>(&record)) {
+      process(shard, flow->timestamp_ms, nullptr, flow);
+    } else if (auto* control = std::get_if<Control>(&record)) {
+      apply_control(shard, *control);
+    } else {
+      auto& barrier = *std::get<std::shared_ptr<FlushBarrier>>(record);
+      {
+        std::lock_guard lock(barrier.mutex);
+        --barrier.remaining;
+      }
+      barrier.cv.notify_all();
+    }
+  }
+  // Queue closed and drained: buckets stay as-is; close() decides
+  // whether a final snapshot seals them.
+}
+
+void LiveStudy::process(Shard& shard, std::uint64_t timestamp_ms,
+                        const trace::HttpTransaction* txn,
+                        const trace::TlsFlow* flow) {
+  const auto bucket_id = bucket_of_ms(timestamp_ms);
+  std::lock_guard lock(shard.mutex);
+  if (bucket_id < shard.floor) {
+    late_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  auto it = shard.buckets.find(bucket_id);
+  if (it == shard.buckets.end()) {
+    auto bucket = std::make_unique<Bucket>(engine_, registry_, options_.study);
+    {
+      // The push path guarantees meta_ was registered before any data
+      // record was enqueued.
+      std::lock_guard meta_lock(meta_mutex_);
+      bucket->study.on_meta(meta_);
+    }
+    it = shard.buckets.emplace(bucket_id, std::move(bucket)).first;
+  }
+  if (it->second->sealed) {
+    late_drops_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (txn != nullptr) {
+    it->second->study.on_http(*txn);
+  } else {
+    it->second->study.on_tls(*flow);
+  }
+}
+
+void LiveStudy::apply_control(Shard& shard, const Control& control) {
+  std::lock_guard lock(shard.mutex);
+  switch (control.kind) {
+    case Control::Kind::kSealBefore:
+      for (auto& [id, bucket] : shard.buckets) {
+        if (id >= control.bucket) break;
+        if (!bucket->sealed) {
+          bucket->study.finish();
+          bucket->sealed = true;
+        }
+      }
+      if (control.bucket != kAllBuckets && control.bucket > shard.floor) {
+        shard.floor = control.bucket;
+      }
+      break;
+    case Control::Kind::kEvictBefore: {
+      auto it = shard.buckets.begin();
+      while (it != shard.buckets.end() && it->first < control.bucket) {
+        it = shard.buckets.erase(it);
+        buckets_evicted_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (control.bucket > shard.floor) shard.floor = control.bucket;
+      break;
+    }
+  }
+}
+
+StudySnapshot LiveStudy::snapshot(std::uint64_t min_bucket,
+                                  std::uint64_t max_bucket) const {
+  trace::TraceMeta meta;
+  {
+    std::lock_guard lock(meta_mutex_);
+    meta = meta_;
+  }
+  StudySnapshot snap(meta, options_.study);
+  snap.bucket_seconds = options_.bucket_seconds;
+  snap.watermark_ms = watermark_ms();
+  snap.records_ingested = records_ingested();
+  snap.records_dropped = total_drops();
+  // Shard-major merge order; every aggregate's merge() is commutative
+  // and associative (asserted by the PR-1 merge-law tests), so this is
+  // equivalent to any other order, and deterministic.
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (const auto& [id, bucket] : shard->buckets) {
+      if (id < min_bucket || id > max_bucket || !bucket->sealed) continue;
+      snap.absorb(bucket->study);
+      if (id < snap.first_bucket_) snap.first_bucket_ = id;
+      if (id > snap.last_bucket_) snap.last_bucket_ = id;
+    }
+  }
+  return snap;
+}
+
+StudySnapshot LiveStudy::snapshot_window(std::uint64_t window_s) const {
+  if (window_s == 0) return snapshot();
+  const auto open = current_bucket();
+  const auto span = (window_s + options_.bucket_seconds - 1) /
+                    options_.bucket_seconds;
+  const auto min_bucket = open >= span ? open - span + 1 : 0;
+  return snapshot(min_bucket, kAllBuckets);
+}
+
+void LiveStudy::close() {
+  if (closed_.exchange(true)) {
+    for (auto& shard : shards_) {
+      if (shard->done.valid()) shard->done.get();
+    }
+    return;
+  }
+  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) shard->done.get();  // rethrows worker errors
+}
+
+std::size_t LiveStudy::queue_depth() const {
+  std::size_t depth = 0;
+  for (const auto& shard : shards_) depth += shard->queue.size();
+  return depth;
+}
+
+std::size_t LiveStudy::bucket_count() const {
+  std::size_t count = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    count += shard->buckets.size();
+  }
+  return count;
+}
+
+}  // namespace adscope::live

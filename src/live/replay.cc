@@ -1,0 +1,162 @@
+#include "live/replay.h"
+
+#include <algorithm>
+#include <chrono>
+#include <sstream>
+#include <stdexcept>
+#include <system_error>
+#include <thread>
+
+#include "trace/reader.h"
+#include "trace/record.h"
+#include "trace/writer.h"
+#include "util/socket.h"
+
+namespace adscope::live {
+
+namespace {
+
+/// TraceSink that re-encodes records into a buffer and drains it to a
+/// socket, pacing sends against the record timestamps.
+class PacingSender final : public trace::TraceSink {
+ public:
+  PacingSender(util::Fd fd, const ReplayOptions& options)
+      : fd_(std::move(fd)),
+        encoder_(buffer_),
+        speedup_(options.speedup),
+        batch_bytes_(options.batch_bytes == 0 ? 1 : options.batch_bytes),
+        wall_start_(std::chrono::steady_clock::now()) {}
+
+  void on_meta(const trace::TraceMeta& meta) override {
+    encoder_.on_meta(meta);
+    maybe_drain();
+  }
+
+  void on_http(const trace::HttpTransaction& txn) override {
+    pace(txn.timestamp_ms);
+    encoder_.on_http(txn);
+    maybe_drain();
+  }
+
+  void on_tls(const trace::TlsFlow& flow) override {
+    pace(flow.timestamp_ms);
+    encoder_.on_tls(flow);
+    maybe_drain();
+  }
+
+  /// Sends the end marker and everything still buffered.
+  void finish() {
+    encoder_.finish();
+    drain();
+  }
+
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  void pace(std::uint64_t timestamp_ms) {
+    if (speedup_ <= 0.0) return;
+    if (!have_epoch_) {
+      trace_epoch_ms_ = timestamp_ms;
+      have_epoch_ = true;
+      return;
+    }
+    const double elapsed_trace_ms =
+        timestamp_ms >= trace_epoch_ms_
+            ? static_cast<double>(timestamp_ms - trace_epoch_ms_)
+            : 0.0;
+    const auto due =
+        wall_start_ + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              elapsed_trace_ms / speedup_));
+    if (due > std::chrono::steady_clock::now()) {
+      // Flush buffered records before sleeping so the daemon sees them
+      // at their trace time, not a batch boundary later.
+      drain();
+      std::this_thread::sleep_until(due);
+    }
+  }
+
+  void maybe_drain() {
+    if (static_cast<std::size_t>(buffer_.tellp()) >= batch_bytes_) drain();
+  }
+
+  void drain() {
+    std::string bytes = buffer_.str();
+    if (bytes.empty()) return;
+    buffer_.str(std::string());
+    if (!util::send_all(fd_.get(), bytes)) {
+      throw std::runtime_error("replay: daemon closed the connection");
+    }
+    bytes_sent_ += bytes.size();
+  }
+
+  util::Fd fd_;
+  std::ostringstream buffer_;
+  trace::TraceEncoder encoder_;
+  double speedup_;
+  std::size_t batch_bytes_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::uint64_t trace_epoch_ms_ = 0;
+  bool have_epoch_ = false;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace
+
+void sort_by_time(trace::MemoryTrace& buffered) {
+  const auto by_time = [](const auto& a, const auto& b) {
+    return a.timestamp_ms < b.timestamp_ms;
+  };
+  std::stable_sort(buffered.http_mutable().begin(),
+                   buffered.http_mutable().end(), by_time);
+  std::stable_sort(buffered.tls_mutable().begin(),
+                   buffered.tls_mutable().end(), by_time);
+}
+
+std::uint64_t replay_time_ordered(const trace::MemoryTrace& buffered,
+                                  trace::TraceSink& sink) {
+  sink.on_meta(buffered.meta());
+  const auto& http = buffered.http();
+  const auto& tls = buffered.tls();
+  std::size_t h = 0;
+  std::size_t t = 0;
+  while (h < http.size() || t < tls.size()) {
+    const bool take_http =
+        t >= tls.size() ||
+        (h < http.size() && http[h].timestamp_ms <= tls[t].timestamp_ms);
+    if (take_http) {
+      sink.on_http(http[h++]);
+    } else {
+      sink.on_tls(tls[t++]);
+    }
+  }
+  return 1 + http.size() + tls.size();
+}
+
+ReplayStats replay_trace(const ReplayOptions& options) {
+  trace::FileTraceReader reader(options.trace_path);
+  trace::MemoryTrace buffered;
+  if (options.time_order) {
+    reader.replay(buffered);
+    sort_by_time(buffered);
+  }
+
+  util::Fd fd = options.unix_path.empty()
+                    ? util::connect_tcp(options.host, options.port)
+                    : util::connect_unix(options.unix_path);
+
+  const auto start = std::chrono::steady_clock::now();
+  PacingSender sender(std::move(fd), options);
+  ReplayStats stats;
+  stats.records = options.time_order ? replay_time_ordered(buffered, sender)
+                                     : reader.replay(sender);
+  sender.finish();
+  stats.bytes = sender.bytes_sent();
+  stats.wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  return stats;
+}
+
+}  // namespace adscope::live

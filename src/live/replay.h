@@ -1,0 +1,68 @@
+// Replay client — streams an on-disk .adst trace into a running
+// adscoped daemon over TCP or a Unix socket.
+//
+// The file's records are re-encoded with a fresh TraceEncoder (the wire
+// stream carries its own dictionary) and sent in batches. With
+// `speedup > 0` the send of each record is delayed until
+//   wall_start + (record.timestamp_ms - trace_start) / speedup,
+// so `--speedup 60` compresses an hour of trace into a minute and
+// `--speedup 1` replays in real time; `speedup == 0` sends as fast as
+// the daemon's backpressure allows.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace adscope::live {
+
+struct ReplayOptions {
+  std::string trace_path;
+  /// TCP target (used when `unix_path` is empty).
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  /// Unix-socket target; takes precedence over host:port when set.
+  std::string unix_path;
+  /// Trace-time acceleration factor; 0 = no pacing (maximum rate).
+  double speedup = 0.0;
+  /// Flush threshold: send once the encode buffer exceeds this.
+  std::size_t batch_bytes = 64 * 1024;
+  /// Re-order the file into global timestamp order before sending.
+  /// .adst files are written producer-major (simulator devices, pcap
+  /// conversion), but a live vantage point observes traffic in time
+  /// order — and the daemon's watermark sealing assumes it. Costs one
+  /// in-memory copy of the trace; disable for pre-sorted input.
+  bool time_order = true;
+};
+
+struct ReplayStats {
+  std::uint64_t records = 0;
+  std::uint64_t bytes = 0;
+  double wall_s = 0.0;
+};
+
+/// Streams the trace and sends the end-of-stream marker. Throws
+/// std::runtime_error / std::system_error on unreadable traces or
+/// connection failures (a daemon-side close mid-stream surfaces here).
+ReplayStats replay_trace(const ReplayOptions& options);
+
+}  // namespace adscope::live
+
+namespace adscope::trace {
+class MemoryTrace;
+class TraceSink;
+}  // namespace adscope::trace
+
+namespace adscope::live {
+
+/// Replays a buffered trace as one timestamp-ordered stream, merging
+/// the (individually sorted) HTTP and TLS tracks. Exposed so offline
+/// reference studies can consume records in exactly the order a
+/// time-ordered replay delivers them. Returns records delivered
+/// (meta included).
+std::uint64_t replay_time_ordered(const trace::MemoryTrace& buffered,
+                                  trace::TraceSink& sink);
+
+/// Sorts both record tracks of `buffered` by timestamp in place.
+void sort_by_time(trace::MemoryTrace& buffered);
+
+}  // namespace adscope::live

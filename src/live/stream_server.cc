@@ -1,0 +1,116 @@
+#include "live/stream_server.h"
+
+#include <utility>
+
+#include "trace/stream.h"
+
+namespace adscope::live {
+
+TraceStreamServer::TraceStreamServer(LiveStudy& study,
+                                     util::ListenSocket socket,
+                                     StreamServerOptions options)
+    : study_(study), socket_(std::move(socket)), options_(options) {
+  if (options_.poll_ms <= 0) options_.poll_ms = 100;
+  if (options_.read_buffer_bytes == 0) options_.read_buffer_bytes = 4096;
+}
+
+TraceStreamServer::~TraceStreamServer() { stop(); }
+
+void TraceStreamServer::start() {
+  bool expected = false;
+  if (!running_.compare_exchange_strong(expected, true)) return;
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+void TraceStreamServer::stop() {
+  if (!running_.load()) return;
+  stopping_.store(true);
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lock(connections_mutex_);
+    handlers.swap(connections_);
+  }
+  for (auto& thread : handlers) {
+    if (thread.joinable()) thread.join();
+  }
+  running_.store(false);
+  stopping_.store(false);
+}
+
+void TraceStreamServer::reap_finished_connections() {
+  // Handler threads detach themselves from the active count when done;
+  // their std::thread objects are joined here (fast — already exited)
+  // so the vector does not grow without bound on long uptimes.
+  if (connections_active_.load(std::memory_order_relaxed) > 0) return;
+  std::lock_guard lock(connections_mutex_);
+  if (connections_active_.load(std::memory_order_relaxed) > 0) return;
+  for (auto& thread : connections_) {
+    if (thread.joinable()) thread.join();
+  }
+  connections_.clear();
+}
+
+void TraceStreamServer::accept_loop() {
+  while (!stopping_.load(std::memory_order_relaxed)) {
+    util::Fd client = socket_.accept(options_.poll_ms);
+    if (options_.auto_maintain) {
+      const auto bucket = study_.current_bucket();
+      if (bucket != last_maintained_bucket_ && study_.records_ingested() > 0) {
+        study_.maintain();
+        last_maintained_bucket_ = bucket;
+      }
+    }
+    if (!client.valid()) {
+      reap_finished_connections();
+      continue;
+    }
+    if (connections_active_.load(std::memory_order_relaxed) >=
+        options_.max_connections) {
+      connections_rejected_.fetch_add(1, std::memory_order_relaxed);
+      continue;  // Fd destructor closes the socket
+    }
+    connections_total_.fetch_add(1, std::memory_order_relaxed);
+    connections_active_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(connections_mutex_);
+    connections_.emplace_back(
+        [this, fd = std::move(client)]() mutable {
+          handle_connection(std::move(fd));
+          connections_active_.fetch_sub(1, std::memory_order_relaxed);
+        });
+  }
+}
+
+void TraceStreamServer::handle_connection(util::Fd fd) {
+  trace::StreamDecoder decoder(study_);
+  std::string buffer(options_.read_buffer_bytes, '\0');
+  bool clean_end = false;
+  try {
+    while (!stopping_.load(std::memory_order_relaxed)) {
+      if (!util::wait_readable(fd.get(), options_.poll_ms)) continue;
+      const auto n = util::recv_some(fd.get(), buffer.data(), buffer.size());
+      if (n == 0) break;  // peer closed
+      bytes_received_.fetch_add(n, std::memory_order_relaxed);
+      decoder.feed(std::string_view(buffer.data(), n));
+      if (decoder.finished()) {
+        clean_end = true;
+        break;
+      }
+    }
+  } catch (const trace::TraceFormatError&) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  } catch (const std::system_error&) {
+    decode_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (clean_end) {
+    // End marker = "trace complete": make every record visible to the
+    // query side before the next scrape.
+    study_.seal_all();
+    study_.flush();
+    streams_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace adscope::live

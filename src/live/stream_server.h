@@ -1,0 +1,111 @@
+// TraceStreamServer — accepts .adst byte streams over TCP or a Unix
+// socket and feeds them into a LiveStudy.
+//
+// One acceptor thread waits on the listener (poll with a short timeout
+// so stop() is prompt); each connection gets its own handler thread that
+// reads chunks, runs them through a trace::StreamDecoder and forwards
+// the records to the study — the study's bounded shard queues provide
+// the backpressure, so a slow analysis stalls the socket reads instead
+// of growing memory.
+//
+// A clean end-of-stream marker means "this trace is complete": the
+// server seals every bucket and flushes the study, so the HTTP views
+// immediately reflect the whole stream (the end-to-end identity
+// guarantee). A peer that just disconnects leaves its records in the
+// normal watermark-driven seal cycle. Malformed streams are dropped and
+// counted, never fatal.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "live/live_study.h"
+#include "util/socket.h"
+
+namespace adscope::live {
+
+struct StreamServerOptions {
+  /// Accept/read poll granularity — the latency of stop().
+  int poll_ms = 100;
+  std::size_t read_buffer_bytes = 64 * 1024;
+  /// Connections beyond this are accepted and immediately closed.
+  std::size_t max_connections = 64;
+  /// Call study.maintain() from the acceptor loop whenever the
+  /// watermark enters a new bucket (off for tests that drive sealing
+  /// explicitly).
+  bool auto_maintain = true;
+};
+
+class TraceStreamServer {
+ public:
+  TraceStreamServer(LiveStudy& study, util::ListenSocket socket,
+                    StreamServerOptions options = {});
+  ~TraceStreamServer();
+
+  TraceStreamServer(const TraceStreamServer&) = delete;
+  TraceStreamServer& operator=(const TraceStreamServer&) = delete;
+
+  /// Launches the acceptor thread. Call once.
+  void start();
+
+  /// Stops accepting, interrupts the connection handlers and joins
+  /// every thread. In-flight decoded records are already in the study;
+  /// pair with study.seal_all()/flush() for a lossless shutdown.
+  /// Idempotent.
+  void stop();
+
+  std::uint16_t port() const noexcept { return socket_.port(); }
+  const std::string& unix_socket_path() const noexcept {
+    return socket_.path();
+  }
+
+  // -- observability ---------------------------------------------------
+  std::uint64_t connections_total() const noexcept {
+    return connections_total_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_active() const noexcept {
+    return connections_active_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t connections_rejected() const noexcept {
+    return connections_rejected_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_received() const noexcept {
+    return bytes_received_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t decode_errors() const noexcept {
+    return decode_errors_.load(std::memory_order_relaxed);
+  }
+  /// Streams that delivered a clean end-of-stream marker.
+  std::uint64_t streams_completed() const noexcept {
+    return streams_completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void accept_loop();
+  void handle_connection(util::Fd fd);
+  void reap_finished_connections();
+
+  LiveStudy& study_;
+  util::ListenSocket socket_;
+  StreamServerOptions options_;
+
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex connections_mutex_;
+  std::vector<std::thread> connections_;
+  std::uint64_t last_maintained_bucket_ = UINT64_MAX;
+
+  std::atomic<std::uint64_t> connections_total_{0};
+  std::atomic<std::uint64_t> connections_active_{0};
+  std::atomic<std::uint64_t> connections_rejected_{0};
+  std::atomic<std::uint64_t> bytes_received_{0};
+  std::atomic<std::uint64_t> decode_errors_{0};
+  std::atomic<std::uint64_t> streams_completed_{0};
+};
+
+}  // namespace adscope::live

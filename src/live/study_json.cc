@@ -1,0 +1,291 @@
+#include "live/study_json.h"
+
+#include <array>
+
+#include "core/inference.h"
+#include "core/report.h"
+#include "stats/json.h"
+
+namespace adscope::live {
+
+namespace {
+
+using stats::JsonWriter;
+
+double share(std::uint64_t part, std::uint64_t whole) {
+  return whole == 0 ? 0.0
+                    : static_cast<double>(part) / static_cast<double>(whole);
+}
+
+void write_window(JsonWriter& json, const StudySnapshot& snapshot) {
+  json.key("window").begin_object();
+  json.field("bucket_seconds", snapshot.bucket_seconds);
+  json.field("buckets_merged", snapshot.buckets_merged());
+  if (snapshot.buckets_merged() > 0) {
+    json.field("first_bucket", snapshot.first_bucket());
+    json.field("last_bucket", snapshot.last_bucket());
+  }
+  json.field("watermark_ms", snapshot.watermark_ms);
+  json.field("records_ingested", snapshot.records_ingested);
+  json.field("records_dropped", snapshot.records_dropped);
+  json.end_object();
+}
+
+void write_trace(JsonWriter& json, const StudySnapshot& snapshot) {
+  const auto& meta = snapshot.meta();
+  json.key("trace").begin_object();
+  json.field("name", meta.name);
+  json.field("start_unix_s", meta.start_unix_s);
+  json.field("duration_s", meta.duration_s);
+  json.field("subscribers", static_cast<std::uint64_t>(meta.subscribers));
+  json.end_object();
+}
+
+void write_classes(JsonWriter& json, const core::InferenceResult& inference) {
+  json.key("classes").begin_object();
+  const double active = static_cast<double>(inference.active_browsers.size());
+  for (std::size_t c = 0; c < inference.classes.size(); ++c) {
+    const auto& row = inference.classes[c];
+    const char name[2] = {
+        core::to_char(static_cast<core::IndicatorClass>(c)), '\0'};
+    json.key(name).begin_object();
+    json.field("instances", row.instances);
+    json.field("requests", row.requests);
+    json.field("ad_requests", row.ad_requests);
+    json.field("active_share",
+               active == 0 ? 0.0 : static_cast<double>(row.instances) / active);
+    json.field("ad_request_share",
+               share(row.ad_requests, inference.trace_ad_requests));
+    json.end_object();
+  }
+  json.end_object();
+}
+
+}  // namespace
+
+std::string summary_json(const StudySnapshot& snapshot) {
+  const auto view = snapshot.view();
+  const auto inference = view.inference();
+  const auto& traffic = *view.traffic;
+  const auto ads = traffic.ad_requests();
+
+  JsonWriter json;
+  json.begin_object();
+  write_trace(json, snapshot);
+  write_window(json, snapshot);
+
+  json.key("traffic").begin_object();
+  json.field("requests", traffic.requests());
+  json.field("bytes", traffic.bytes());
+  json.field("ad_requests", ads);
+  json.field("ad_bytes", traffic.ad_bytes());
+  json.field("ad_request_share", share(ads, traffic.requests()));
+  json.field("ad_byte_share", share(traffic.ad_bytes(), traffic.bytes()));
+  json.field("https_flows", view.https_flows);
+  json.end_object();
+
+  json.key("users").begin_object();
+  json.field("households",
+             static_cast<std::uint64_t>(view.users->household_count()));
+  json.field("abp_households",
+             static_cast<std::uint64_t>(view.users->abp_household_count()));
+  json.field("pairs_total", static_cast<std::uint64_t>(inference.pairs_total));
+  json.field("browsers_total",
+             static_cast<std::uint64_t>(inference.browsers_total));
+  json.field("active_browsers",
+             static_cast<std::uint64_t>(inference.active_browsers.size()));
+  json.field("abp_share", inference.abp_share());
+  write_classes(json, inference);
+  json.end_object();
+
+  json.key("page_views").begin_object();
+  json.field("views", view.page_views->views);
+  json.field("objects_per_view", view.page_views->objects_per_view());
+  json.field("ads_per_view", view.page_views->ads_per_view());
+  json.end_object();
+
+  json.end_object();
+  return json.str();
+}
+
+std::string traffic_json(const StudySnapshot& snapshot) {
+  const auto view = snapshot.view();
+  const auto& traffic = *view.traffic;
+  const auto ads = traffic.ad_requests();
+
+  JsonWriter json;
+  json.begin_object();
+  write_trace(json, snapshot);
+  write_window(json, snapshot);
+
+  json.key("totals").begin_object();
+  json.field("requests", traffic.requests());
+  json.field("bytes", traffic.bytes());
+  json.field("ad_requests", ads);
+  json.field("ad_bytes", traffic.ad_bytes());
+  json.end_object();
+
+  json.key("list_attribution").begin_object();
+  json.field("easylist_share", share(traffic.easylist_requests(), ads));
+  json.field("easyprivacy_share", share(traffic.easyprivacy_requests(), ads));
+  json.field("whitelist_share", share(traffic.whitelisted_requests(), ads));
+  json.end_object();
+
+  json.key("content_types").begin_array();
+  for (const auto& [mime, row] : traffic.content_table()) {
+    json.begin_object();
+    json.field("mime", mime);
+    json.field("ad_requests", row.ad_requests);
+    json.field("ad_bytes", row.ad_bytes);
+    json.field("non_ad_requests", row.non_ad_requests);
+    json.field("non_ad_bytes", row.non_ad_bytes);
+    json.end_object();
+  }
+  json.end_array();
+
+  const auto& series = traffic.series();
+  json.key("timeseries").begin_object();
+  json.field("bin_seconds", series.bin_seconds());
+  json.field("bins", static_cast<std::uint64_t>(series.bin_count()));
+  json.key("series").begin_array();
+  for (std::size_t s = 0; s < series.series_count(); ++s) {
+    json.begin_object();
+    json.field("name", series.name(s));
+    json.key("values").begin_array();
+    for (std::size_t b = 0; b < series.bin_count(); ++b) {
+      json.value(series.value(s, b));
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+
+  constexpr std::array kClasses = {
+      http::ContentClass::kImage, http::ContentClass::kText,
+      http::ContentClass::kVideo, http::ContentClass::kApplication,
+      http::ContentClass::kOther};
+  json.key("object_sizes").begin_array();
+  for (const auto cls : kClasses) {
+    const auto& ad = traffic.ad_sizes(cls);
+    const auto& non_ad = traffic.non_ad_sizes(cls);
+    json.begin_object();
+    json.field("class", to_string(cls));
+    json.field("ad_objects", ad.total());
+    json.field("non_ad_objects", non_ad.total());
+    json.key("bin_lo_bytes").begin_array();
+    for (std::size_t b = 0; b < ad.bin_count(); ++b) json.value(ad.bin_lo(b));
+    json.end_array();
+    json.key("ad_counts").begin_array();
+    for (std::size_t b = 0; b < ad.bin_count(); ++b) json.value(ad.count(b));
+    json.end_array();
+    json.key("non_ad_counts").begin_array();
+    for (std::size_t b = 0; b < non_ad.bin_count(); ++b) {
+      json.value(non_ad.count(b));
+    }
+    json.end_array();
+    json.end_object();
+  }
+  json.end_array();
+
+  json.end_object();
+  return json.str();
+}
+
+std::string users_json(const StudySnapshot& snapshot) {
+  const auto view = snapshot.view();
+  const auto inference = view.inference();
+  const auto configurations = view.configurations(inference);
+
+  JsonWriter json;
+  json.begin_object();
+  write_trace(json, snapshot);
+  write_window(json, snapshot);
+
+  json.field("pairs_total", static_cast<std::uint64_t>(inference.pairs_total));
+  json.field("browsers_total",
+             static_cast<std::uint64_t>(inference.browsers_total));
+  json.field("active_browsers",
+             static_cast<std::uint64_t>(inference.active_browsers.size()));
+  json.field("abp_share", inference.abp_share());
+  json.field("households",
+             static_cast<std::uint64_t>(view.users->household_count()));
+  json.field("abp_households",
+             static_cast<std::uint64_t>(view.users->abp_household_count()));
+  write_classes(json, inference);
+
+  // Figure 4 as deciles: per-family ECDF of the EasyList ad ratio (%).
+  json.key("family_easylist_ratio_deciles").begin_object();
+  for (const auto& [family, ecdf] : inference.family_ecdf) {
+    if (ecdf.empty()) continue;
+    json.key(to_string(family)).begin_array();
+    for (int d = 0; d <= 10; ++d) {
+      json.value(ecdf.value_at(static_cast<double>(d) / 10.0));
+    }
+    json.end_array();
+  }
+  json.end_object();
+
+  json.key("configurations").begin_object();
+  json.field("abp_zero_easyprivacy_share", configurations.abp_zero_ep_share);
+  json.field("non_abp_zero_easyprivacy_share",
+             configurations.non_abp_zero_ep_share);
+  json.field("abp_zero_acceptable_ads_share", configurations.abp_zero_aa_share);
+  json.field("non_abp_zero_acceptable_ads_share",
+             configurations.non_abp_zero_aa_share);
+  json.field("whitelisted_from_abp_users",
+             configurations.whitelisted_from_abp_users);
+  json.field("whitelisted_from_non_abp_users",
+             configurations.whitelisted_from_non_abp_users);
+  json.end_object();
+
+  json.end_object();
+  return json.str();
+}
+
+std::string infra_json(const StudySnapshot& snapshot,
+                       const netdb::AsnDatabase* asn_db, std::size_t top_n) {
+  const auto view = snapshot.view();
+  const auto& infra = *view.infra;
+
+  JsonWriter json;
+  json.begin_object();
+  write_trace(json, snapshot);
+  write_window(json, snapshot);
+
+  json.field("servers", static_cast<std::uint64_t>(infra.server_count()));
+  json.field("ad_serving_servers",
+             static_cast<std::uint64_t>(infra.ad_serving_server_count()));
+  const auto dedicated = infra.dedicated_ad_servers();
+  json.key("dedicated_ad_servers").begin_object();
+  json.field("servers", static_cast<std::uint64_t>(dedicated.servers));
+  json.field("ads", dedicated.ads);
+  json.field("ad_share_of_trace", dedicated.ad_share_of_trace);
+  json.end_object();
+
+  const auto& rtb = *view.rtb;
+  json.key("rtb").begin_object();
+  json.field("ad_share_in_rtb_regime", rtb.ad_share_in_rtb_regime());
+  json.field("non_ad_share_in_rtb_regime", rtb.non_ad_share_in_rtb_regime());
+  json.end_object();
+
+  json.key("top_ases").begin_array();
+  if (asn_db != nullptr) {
+    const auto total_ads = infra.total_ads();
+    for (const auto& row : infra.as_ranking(*asn_db, top_n)) {
+      json.begin_object();
+      json.field("as_number", static_cast<std::uint64_t>(row.as_number));
+      json.field("name", row.name);
+      json.field("ad_requests", row.ad_requests);
+      json.field("total_requests", row.total_requests);
+      json.field("share_of_ads", share(row.ad_requests, total_ads));
+      json.end_object();
+    }
+  }
+  json.end_array();
+
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace adscope::live

@@ -1,0 +1,146 @@
+#include "stats/json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace adscope::stats {
+
+void json_escape(std::string& out, std::string_view value) {
+  for (const char c : value) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += hex;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+JsonWriter& JsonWriter::open(char bracket) {
+  separate();
+  out_ += bracket;
+  stack_.push_back(bracket);
+  has_items_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::close(char bracket) {
+  if (stack_.empty() || key_pending_) {
+    throw std::logic_error("JsonWriter: unbalanced close");
+  }
+  const char want = bracket == '}' ? '{' : '[';
+  if (stack_.back() != want) {
+    throw std::logic_error("JsonWriter: mismatched close");
+  }
+  stack_.pop_back();
+  has_items_.pop_back();
+  out_ += bracket;
+  if (!has_items_.empty()) has_items_.back() = true;
+  return *this;
+}
+
+void JsonWriter::separate() {
+  if (key_pending_) {
+    key_pending_ = false;
+    return;  // the key already wrote "name":
+  }
+  if (!has_items_.empty()) {
+    if (stack_.back() == '{') {
+      throw std::logic_error("JsonWriter: value without key inside object");
+    }
+    if (has_items_.back()) out_ += ',';
+  }
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  if (stack_.empty() || stack_.back() != '{' || key_pending_) {
+    throw std::logic_error("JsonWriter: key outside object");
+  }
+  if (has_items_.back()) out_ += ',';
+  has_items_.back() = true;
+  out_ += '"';
+  json_escape(out_, name);
+  out_ += "\":";
+  key_pending_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  if (!has_items_.empty()) has_items_.back() = true;
+  out_ += '"';
+  json_escape(out_, text);
+  out_ += '"';
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separate();
+  if (!has_items_.empty()) has_items_.back() = true;
+  if (!std::isfinite(number)) {
+    out_ += "null";  // JSON has no NaN/Inf
+    return *this;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.10g", number);
+  out_ += buf;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separate();
+  if (!has_items_.empty()) has_items_.back() = true;
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  if (!has_items_.empty()) has_items_.back() = true;
+  out_ += std::to_string(number);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  if (!has_items_.empty()) has_items_.back() = true;
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+JsonWriter& JsonWriter::null() {
+  separate();
+  if (!has_items_.empty()) has_items_.back() = true;
+  out_ += "null";
+  return *this;
+}
+
+const std::string& JsonWriter::str() const {
+  if (!stack_.empty() || key_pending_) {
+    throw std::logic_error("JsonWriter: document not closed");
+  }
+  return out_;
+}
+
+}  // namespace adscope::stats

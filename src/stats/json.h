@@ -1,0 +1,61 @@
+// Minimal JSON emitter for the serving layer.
+//
+// The /study/* endpoints and the shutdown snapshot render aggregates as
+// JSON; this writer handles escaping, comma placement and number
+// formatting in one place so the render code reads as the schema.
+// Arrays/objects nest freely; keys are only legal inside objects
+// (checked with std::logic_error in debug-style fail-fast fashion).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adscope::stats {
+
+/// Appends `value` escaped per RFC 8259 (quotes not included).
+void json_escape(std::string& out, std::string_view value);
+
+class JsonWriter {
+ public:
+  JsonWriter() { out_.reserve(256); }
+
+  JsonWriter& begin_object() { return open('{'); }
+  JsonWriter& end_object() { return close('}'); }
+  JsonWriter& begin_array() { return open('['); }
+  JsonWriter& end_array() { return close(']'); }
+
+  /// Key for the next value; must be inside an object.
+  JsonWriter& key(std::string_view name);
+
+  JsonWriter& value(std::string_view text);
+  JsonWriter& value(const char* text) { return value(std::string_view(text)); }
+  JsonWriter& value(double number);
+  JsonWriter& value(std::uint64_t number);
+  JsonWriter& value(std::int64_t number);
+  JsonWriter& value(bool flag);
+  JsonWriter& null();
+
+  /// Shorthand: key + value.
+  template <typename T>
+  JsonWriter& field(std::string_view name, T&& v) {
+    key(name);
+    return value(std::forward<T>(v));
+  }
+
+  /// The finished document; valid once every container was closed.
+  const std::string& str() const;
+
+ private:
+  JsonWriter& open(char bracket);
+  JsonWriter& close(char bracket);
+  void separate();
+
+  std::string out_;
+  std::vector<char> stack_;      // '{' or '['
+  std::vector<bool> has_items_;  // per level: needs a comma
+  bool key_pending_ = false;
+};
+
+}  // namespace adscope::stats

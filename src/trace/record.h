@@ -88,6 +88,9 @@ class MemoryTrace final : public TraceSink {
   const TraceMeta& meta() const noexcept { return meta_; }
   const std::vector<HttpTransaction>& http() const noexcept { return http_; }
   const std::vector<TlsFlow>& tls() const noexcept { return tls_; }
+  /// In-place access for re-ordering passes (e.g. time-sorted replay).
+  std::vector<HttpTransaction>& http_mutable() noexcept { return http_; }
+  std::vector<TlsFlow>& tls_mutable() noexcept { return tls_; }
   void clear() {
     http_.clear();
     tls_.clear();

@@ -1,0 +1,209 @@
+#include "trace/stream.h"
+
+#include <cstring>
+
+#include "trace/io.h"
+#include "trace/writer.h"
+
+namespace adscope::trace {
+
+namespace {
+
+/// Rollback-safe reader over the buffered bytes: every get_* consumes
+/// from a local offset, so an incomplete record leaves the decoder's
+/// real position untouched.
+struct Cursor {
+  const std::string& buf;
+  std::size_t pos;
+
+  bool varint(std::uint64_t& value) {
+    value = 0;
+    int shift = 0;
+    while (pos < buf.size()) {
+      const auto byte = static_cast<std::uint8_t>(buf[pos++]);
+      if (shift >= 64) throw TraceFormatError("varint overflow");
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return true;
+      shift += 7;
+    }
+    return false;  // incomplete
+  }
+
+  bool str(std::string& value) {
+    const auto saved = pos;
+    std::uint64_t length = 0;
+    if (!varint(length)) return false;
+    if (length > StreamDecoder::kMaxStringBytes) {
+      throw TraceFormatError("string length exceeds stream limit");
+    }
+    if (buf.size() - pos < length) {
+      pos = saved;
+      return false;  // incomplete
+    }
+    value.assign(buf, pos, static_cast<std::size_t>(length));
+    pos += static_cast<std::size_t>(length);
+    return true;
+  }
+};
+
+}  // namespace
+
+std::size_t StreamDecoder::feed(std::string_view data) {
+  if (state_ == State::kPoisoned) {
+    throw TraceFormatError("decoder poisoned by earlier stream error");
+  }
+  if (!data.empty() && state_ == State::kDone) {
+    state_ = State::kPoisoned;
+    throw TraceFormatError("bytes after end-of-stream marker");
+  }
+  buf_.append(data.data(), data.size());
+  std::size_t delivered = 0;
+  try {
+    while (try_decode_one()) ++delivered;
+  } catch (...) {
+    state_ = State::kPoisoned;
+    throw;
+  }
+  // Reclaim the consumed prefix once it dominates the buffer.
+  if (pos_ > 4096 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  return delivered;
+}
+
+bool StreamDecoder::decode_header() {
+  Cursor cursor{buf_, pos_};
+  if (buf_.size() - pos_ < sizeof(kTraceMagic)) return false;
+  if (std::memcmp(buf_.data() + pos_, kTraceMagic, sizeof(kTraceMagic)) != 0) {
+    throw TraceFormatError("bad trace magic");
+  }
+  cursor.pos += sizeof(kTraceMagic);
+  std::uint64_t version = 0;
+  if (!cursor.varint(version)) return false;
+  if (version != kTraceVersion) {
+    throw TraceFormatError("unsupported trace version");
+  }
+  TraceMeta meta;
+  std::uint64_t value = 0;
+  if (!cursor.str(meta.name)) return false;
+  if (!cursor.varint(meta.start_unix_s)) return false;
+  if (!cursor.varint(meta.duration_s)) return false;
+  if (!cursor.varint(value)) return false;
+  meta.subscribers = static_cast<std::uint32_t>(value);
+  if (!cursor.varint(value)) return false;
+  meta.uplink_gbps = static_cast<std::uint32_t>(value);
+  pos_ = cursor.pos;
+  state_ = State::kRecords;
+  sink_->on_meta(meta);
+  ++records_;
+  return true;
+}
+
+bool StreamDecoder::decode_http() {
+  Cursor cursor{buf_, pos_};
+  std::uint64_t tag = 0;
+  cursor.varint(tag);  // already known complete by caller
+  HttpTransaction txn;
+  std::uint64_t value = 0;
+  // Dictionary ids may define new entries mid-record; stage them and
+  // commit only when the whole record decoded.
+  std::vector<std::string> staged;
+  const auto dict = [&](std::uint64_t id, std::string& out) -> int {
+    if (id == 0) {
+      out.clear();
+      return 1;
+    }
+    const auto next = dictionary_.size() + staged.size() + 1;
+    if (id == next) {
+      if (!cursor.str(out)) return 0;
+      staged.push_back(out);
+      return 1;
+    }
+    if (id > next) throw TraceFormatError("dictionary gap");
+    if (id > dictionary_.size()) {
+      out = staged[static_cast<std::size_t>(id) - dictionary_.size() - 1];
+    } else {
+      out = dictionary_[static_cast<std::size_t>(id) - 1];
+    }
+    return 1;
+  };
+
+  if (!cursor.varint(txn.timestamp_ms)) return false;
+  if (!cursor.varint(value)) return false;
+  txn.client_ip = static_cast<netdb::IpV4>(value);
+  if (!cursor.varint(value)) return false;
+  txn.server_ip = static_cast<netdb::IpV4>(value);
+  if (!cursor.varint(value)) return false;
+  txn.server_port = static_cast<std::uint16_t>(value);
+  if (!cursor.varint(value)) return false;
+  txn.status_code = static_cast<std::uint16_t>(value);
+  if (!cursor.varint(value)) return false;
+  if (dict(value, txn.host) == 0) return false;
+  if (!cursor.str(txn.uri)) return false;
+  if (!cursor.str(txn.referer)) return false;
+  if (!cursor.varint(value)) return false;
+  if (dict(value, txn.user_agent) == 0) return false;
+  if (!cursor.varint(value)) return false;
+  if (dict(value, txn.content_type) == 0) return false;
+  if (!cursor.str(txn.location)) return false;
+  if (!cursor.varint(txn.content_length)) return false;
+  if (!cursor.varint(value)) return false;
+  txn.tcp_handshake_us = static_cast<std::uint32_t>(value);
+  if (!cursor.varint(value)) return false;
+  txn.http_handshake_us = static_cast<std::uint32_t>(value);
+  if (!cursor.str(txn.payload)) return false;
+
+  for (auto& entry : staged) dictionary_.push_back(std::move(entry));
+  pos_ = cursor.pos;
+  sink_->on_http(txn);
+  ++records_;
+  return true;
+}
+
+bool StreamDecoder::decode_tls() {
+  Cursor cursor{buf_, pos_};
+  std::uint64_t tag = 0;
+  cursor.varint(tag);
+  TlsFlow flow;
+  std::uint64_t value = 0;
+  if (!cursor.varint(flow.timestamp_ms)) return false;
+  if (!cursor.varint(value)) return false;
+  flow.client_ip = static_cast<netdb::IpV4>(value);
+  if (!cursor.varint(value)) return false;
+  flow.server_ip = static_cast<netdb::IpV4>(value);
+  if (!cursor.varint(value)) return false;
+  flow.server_port = static_cast<std::uint16_t>(value);
+  if (!cursor.varint(flow.bytes)) return false;
+  pos_ = cursor.pos;
+  sink_->on_tls(flow);
+  ++records_;
+  return true;
+}
+
+bool StreamDecoder::try_decode_one() {
+  if (state_ == State::kDone) return false;
+  if (state_ == State::kHeader) return decode_header();
+
+  Cursor peek{buf_, pos_};
+  std::uint64_t tag = 0;
+  if (!peek.varint(tag)) return false;
+  switch (static_cast<RecordTag>(tag)) {
+    case RecordTag::kEnd:
+      pos_ = peek.pos;
+      state_ = State::kDone;
+      if (buf_.size() > pos_) {
+        state_ = State::kPoisoned;
+        throw TraceFormatError("bytes after end-of-stream marker");
+      }
+      return false;
+    case RecordTag::kHttp:
+      return decode_http();
+    case RecordTag::kTls:
+      return decode_tls();
+    default:
+      throw TraceFormatError("unknown record tag");
+  }
+}
+
+}  // namespace adscope::trace

@@ -1,0 +1,69 @@
+// Incremental decoder for the .adst byte stream (the live wire protocol).
+//
+// FileTraceReader wants a seekable file; the streaming daemon gets the
+// same bytes in arbitrary-sized chunks off a socket. StreamDecoder
+// buffers the unconsumed tail and delivers every *complete* record to a
+// TraceSink as soon as its last byte arrives — a record split across
+// chunks is parsed tentatively and rolled back (including any dictionary
+// entries it defined) until the rest shows up, so feed() never blocks
+// and never re-delivers.
+//
+// Malformed input (bad magic, unknown tag, over-long string) throws
+// TraceFormatError; the connection handler drops the peer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/io.h"
+#include "trace/record.h"
+
+namespace adscope::trace {
+
+class StreamDecoder {
+ public:
+  /// Strings longer than this are treated as stream corruption rather
+  /// than buffered forever (no legitimate header field comes close).
+  static constexpr std::uint64_t kMaxStringBytes = 1 << 24;
+
+  explicit StreamDecoder(TraceSink& sink) : sink_(&sink) {}
+
+  /// Buffers `data` and delivers every record that is now complete.
+  /// Returns the number of records delivered (meta counts as one).
+  /// Throws TraceFormatError on malformed input; the decoder is then
+  /// poisoned and every later feed() rethrows.
+  std::size_t feed(std::string_view data);
+
+  /// True once the end marker was decoded; later bytes are an error.
+  bool finished() const noexcept { return state_ == State::kDone; }
+
+  /// True until the full header (magic + version + meta) was decoded.
+  bool awaiting_header() const noexcept { return state_ != State::kRecords &&
+                                                 state_ != State::kDone; }
+
+  std::uint64_t records_decoded() const noexcept { return records_; }
+  std::size_t buffered_bytes() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  enum class State { kHeader, kRecords, kDone, kPoisoned };
+
+  /// Attempts to decode one item from buf_ at pos_. Returns false when
+  /// the buffer holds only a prefix (nothing consumed, dictionary
+  /// untouched); true when an item was delivered and consumed.
+  bool try_decode_one();
+  bool decode_header();
+  bool decode_http();
+  bool decode_tls();
+
+  TraceSink* sink_;
+  State state_ = State::kHeader;
+  std::string buf_;
+  std::size_t pos_ = 0;
+  std::vector<std::string> dictionary_;  // id 1 = index 0
+  std::uint64_t records_ = 0;
+};
+
+}  // namespace adscope::trace

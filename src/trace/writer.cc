@@ -6,24 +6,12 @@
 
 namespace adscope::trace {
 
-FileTraceWriter::FileTraceWriter(const std::string& path)
-    : out_(path, std::ios::binary | std::ios::trunc) {
-  if (!out_) throw std::runtime_error("cannot open trace file: " + path);
+TraceEncoder::TraceEncoder(std::ostream& out) : out_(out) {
   out_.write(kTraceMagic, sizeof(kTraceMagic));
   write_varint(out_, kTraceVersion);
 }
 
-FileTraceWriter::~FileTraceWriter() { close(); }
-
-void FileTraceWriter::close() {
-  if (closed_ || !out_.is_open()) return;
-  write_varint(out_, static_cast<std::uint64_t>(RecordTag::kEnd));
-  out_.flush();
-  out_.close();
-  closed_ = true;
-}
-
-void FileTraceWriter::on_meta(const TraceMeta& meta) {
+void TraceEncoder::on_meta(const TraceMeta& meta) {
   if (meta_written_) throw std::logic_error("trace meta written twice");
   write_string(out_, meta.name);
   write_varint(out_, meta.start_unix_s);
@@ -33,7 +21,7 @@ void FileTraceWriter::on_meta(const TraceMeta& meta) {
   meta_written_ = true;
 }
 
-void FileTraceWriter::write_dict_string(const std::string& value) {
+void TraceEncoder::write_dict_string(const std::string& value) {
   if (value.empty()) {
     write_varint(out_, 0);
     return;
@@ -49,7 +37,7 @@ void FileTraceWriter::write_dict_string(const std::string& value) {
   ++next_id_;
 }
 
-void FileTraceWriter::on_http(const HttpTransaction& txn) {
+void TraceEncoder::on_http(const HttpTransaction& txn) {
   if (!meta_written_) throw std::logic_error("trace meta missing");
   write_varint(out_, static_cast<std::uint64_t>(RecordTag::kHttp));
   write_varint(out_, txn.timestamp_ms);
@@ -70,7 +58,7 @@ void FileTraceWriter::on_http(const HttpTransaction& txn) {
   ++records_;
 }
 
-void FileTraceWriter::on_tls(const TlsFlow& flow) {
+void TraceEncoder::on_tls(const TlsFlow& flow) {
   if (!meta_written_) throw std::logic_error("trace meta missing");
   write_varint(out_, static_cast<std::uint64_t>(RecordTag::kTls));
   write_varint(out_, flow.timestamp_ms);
@@ -79,6 +67,30 @@ void FileTraceWriter::on_tls(const TlsFlow& flow) {
   write_varint(out_, flow.server_port);
   write_varint(out_, flow.bytes);
   ++records_;
+}
+
+void TraceEncoder::finish() {
+  if (finished_) return;
+  write_varint(out_, static_cast<std::uint64_t>(RecordTag::kEnd));
+  finished_ = true;
+}
+
+FileTraceWriter::FileTraceWriter(const std::string& path)
+    : out_([&path] {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot open trace file: " + path);
+        return out;
+      }()),
+      encoder_(out_) {}
+
+FileTraceWriter::~FileTraceWriter() { close(); }
+
+void FileTraceWriter::close() {
+  if (closed_ || !out_.is_open()) return;
+  encoder_.finish();
+  out_.flush();
+  out_.close();
+  closed_ = true;
 }
 
 }  // namespace adscope::trace

@@ -8,9 +8,15 @@
 //   occurrences reference the id — typically a 5-10x size reduction on
 //   RBN-scale traces. Per-request strings (URI, Referer, Location) are
 //   stored inline.
+//
+// The same byte stream doubles as the live wire protocol (docs/FORMAT.md):
+// TraceEncoder emits it onto any std::ostream — a file, a socket-backed
+// buffer, a string — and FileTraceWriter is the file-backed wrapper.
+// The incremental counterpart is trace::StreamDecoder (stream.h).
 #pragma once
 
 #include <fstream>
+#include <ostream>
 #include <string>
 #include <unordered_map>
 
@@ -27,6 +33,39 @@ enum class RecordTag : std::uint8_t {
   kTls = 2,
 };
 
+/// Encodes the .adst byte stream onto a caller-supplied std::ostream.
+/// The header (magic + version) is written by the constructor, the meta
+/// block by on_meta(), the end marker by finish(). The dictionary state
+/// lives here, so the target stream may be swapped-out/drained between
+/// records (the replay client sends each record's bytes as they close).
+class TraceEncoder final : public TraceSink {
+ public:
+  explicit TraceEncoder(std::ostream& out);
+
+  TraceEncoder(const TraceEncoder&) = delete;
+  TraceEncoder& operator=(const TraceEncoder&) = delete;
+
+  void on_meta(const TraceMeta& meta) override;
+  void on_http(const HttpTransaction& txn) override;
+  void on_tls(const TlsFlow& flow) override;
+
+  /// Writes the end marker. Idempotent.
+  void finish();
+
+  std::uint64_t records_written() const noexcept { return records_; }
+
+ private:
+  /// Dictionary encode: id 0 = empty string, ids >= 1 from the table.
+  void write_dict_string(const std::string& value);
+
+  std::ostream& out_;
+  std::unordered_map<std::string, std::uint64_t> dictionary_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t records_ = 0;
+  bool meta_written_ = false;
+  bool finished_ = false;
+};
+
 class FileTraceWriter final : public TraceSink {
  public:
   /// Opens `path` for writing; throws std::runtime_error on failure.
@@ -36,24 +75,20 @@ class FileTraceWriter final : public TraceSink {
   FileTraceWriter(const FileTraceWriter&) = delete;
   FileTraceWriter& operator=(const FileTraceWriter&) = delete;
 
-  void on_meta(const TraceMeta& meta) override;
-  void on_http(const HttpTransaction& txn) override;
-  void on_tls(const TlsFlow& flow) override;
+  void on_meta(const TraceMeta& meta) override { encoder_.on_meta(meta); }
+  void on_http(const HttpTransaction& txn) override { encoder_.on_http(txn); }
+  void on_tls(const TlsFlow& flow) override { encoder_.on_tls(flow); }
 
   /// Writes the end marker and flushes. Called by the destructor too.
   void close();
 
-  std::uint64_t records_written() const noexcept { return records_; }
+  std::uint64_t records_written() const noexcept {
+    return encoder_.records_written();
+  }
 
  private:
-  /// Dictionary encode: id 0 = empty string, ids >= 1 from the table.
-  void write_dict_string(const std::string& value);
-
   std::ofstream out_;
-  std::unordered_map<std::string, std::uint64_t> dictionary_;
-  std::uint64_t next_id_ = 1;
-  std::uint64_t records_ = 0;
-  bool meta_written_ = false;
+  TraceEncoder encoder_;
   bool closed_ = false;
 };
 

@@ -6,6 +6,7 @@
 //   adscope export-pcap render a trace as Ethernet/IPv4/TCP pcap frames
 //   adscope lists       write the generated filter lists as ABP text
 //   adscope classify    one-shot URL classification
+//   adscope replay      stream a trace into a running adscoped daemon
 //
 // Run without arguments for the option reference.
 #include <cstdio>
@@ -15,6 +16,7 @@
 
 #include "analyzer/http_log.h"
 #include "core/parallel_study.h"
+#include "live/replay.h"
 #include "core/report.h"
 #include "pcap/pcap.h"
 #include "core/study.h"
@@ -255,16 +257,49 @@ int cmd_classify(const Args& args) {
   return verdict.is_ad() ? 0 : 1;
 }
 
+int cmd_replay(const Args& args) {
+  live::ReplayOptions options;
+  options.trace_path = args.get("trace");
+  if (options.trace_path.empty()) {
+    std::fprintf(stderr, "replay: --trace required\n");
+    return 2;
+  }
+  options.host = args.get("host", "127.0.0.1");
+  options.port = static_cast<std::uint16_t>(args.get_u64("port", 7316));
+  options.unix_path = args.get("unix");
+  // --speedup 60 compresses an hour of trace time into a wall minute;
+  // omitting it streams at full rate (daemon backpressure permitting).
+  if (args.named.contains("speedup")) {
+    options.speedup = std::strtod(args.get("speedup").c_str(), nullptr);
+    if (options.speedup <= 0.0) {
+      std::fprintf(stderr, "replay: --speedup must be > 0\n");
+      return 2;
+    }
+  }
+  const auto stats = live::replay_trace(options);
+  const auto rate =
+      stats.wall_s > 0 ? static_cast<double>(stats.records) / stats.wall_s
+                       : 0.0;
+  std::printf("replayed %llu records (%s on the wire) in %.2f s — %.0f rec/s\n",
+              static_cast<unsigned long long>(stats.records),
+              util::human_bytes(static_cast<double>(stats.bytes)).c_str(),
+              stats.wall_s, rate);
+  return 0;
+}
+
 void usage() {
   std::fputs(
-      "usage: adscope <gen|study|export-pcap|lists|classify> [options]\n"
+      "usage: adscope <gen|study|export-pcap|lists|classify|replay> "
+      "[options]\n"
       "  gen        --out FILE [--households N] [--hours H] [--rbn1] [--seed S]\n"
       "  study      --trace FILE | --pcap FILE  [--log FILE --privacy "
       "fqdn|full]\n"
       "             [--active-min N] [--seed S] [--threads N]\n"
       "  export-pcap --trace FILE --out FILE\n"
       "  lists    --out-dir DIR [--seed S]\n"
-      "  classify --url URL [--page URL] [--type image|script|...]\n",
+      "  classify --url URL [--page URL] [--type image|script|...]\n"
+      "  replay   --trace FILE [--host H] [--port N | --unix PATH]\n"
+      "           [--speedup X]\n",
       stderr);
 }
 
@@ -283,6 +318,7 @@ int main(int argc, char** argv) {
     if (command == "export-pcap") return cmd_export_pcap(args);
     if (command == "lists") return cmd_lists(args);
     if (command == "classify") return cmd_classify(args);
+    if (command == "replay") return cmd_replay(args);
   } catch (const std::exception& error) {
     std::fprintf(stderr, "adscope %s: %s\n", command.c_str(), error.what());
     return 1;

@@ -1,0 +1,190 @@
+// adscoped — live ingest & serving daemon.
+//
+// Accepts .adst byte streams (adscope replay, or anything that writes
+// the wire format from docs/FORMAT.md) on a TCP or Unix socket, keeps a
+// sliding window of time-bucketed study aggregates, and answers HTTP
+// queries:
+//
+//   adscoped --port 7316 --http-port 7317 --bucket-s 300 --window-s 86400
+//   curl localhost:7317/study/summary
+//   curl localhost:7317/metrics
+//
+// SIGINT/SIGTERM triggers a graceful shutdown: stop accepting, drain
+// the shard queues, seal every bucket, write a final snapshot JSON to
+// --snapshot-out, then exit. No accepted record is lost.
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "live/http_endpoint.h"
+#include "live/live_study.h"
+#include "live/stream_server.h"
+#include "live/study_json.h"
+#include "sim/ecosystem.h"
+#include "sim/listgen.h"
+
+namespace {
+
+using namespace adscope;
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void handle_stop_signal(int) { g_stop = 1; }
+
+struct Args {
+  std::map<std::string, std::string> named;
+  bool flag(const std::string& name) const { return named.contains(name); }
+  std::string get(const std::string& name, std::string fallback = "") const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback : it->second;
+  }
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
+    const auto it = named.find(name);
+    return it == named.end() ? fallback
+                             : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+};
+
+Args parse_args(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      args.named[key] = argv[++i];
+    } else {
+      args.named[key] = "";
+    }
+  }
+  return args;
+}
+
+void usage() {
+  std::fputs(
+      "usage: adscoped [options]\n"
+      "  --port N          ingest TCP port (default 7316; 0 = ephemeral)\n"
+      "  --unix PATH       ingest Unix socket instead of TCP\n"
+      "  --http-port N     query/metrics port (default 7317; 0 = ephemeral)\n"
+      "  --bucket-s N      aggregation bucket width, seconds (default 300)\n"
+      "  --window-s N      sliding window span, seconds (default 86400)\n"
+      "  --threads N       analysis shards (default 1; 0 = hw threads)\n"
+      "  --active-min N    active-browser request threshold (default 1000)\n"
+      "  --seed S          filter-list world seed — must match the trace\n"
+      "                    producer's (default 42)\n"
+      "  --snapshot-out F  final snapshot JSON on shutdown\n"
+      "                    (default adscoped_snapshot.json, \"\" = skip)\n"
+      "  --public          listen on all interfaces, not just loopback\n",
+      stderr);
+}
+
+int run(const Args& args) {
+  const auto seed = args.get_u64("seed", 42);
+  std::printf("adscoped: generating filter-list world (seed %llu) ...\n",
+              static_cast<unsigned long long>(seed));
+  const auto ecosystem = sim::Ecosystem::generate(seed);
+  const auto lists = sim::generate_lists(ecosystem);
+  const auto engine =
+      sim::make_engine(lists, sim::ListSelection{.easylist = true,
+                                                 .derivative = true,
+                                                 .easyprivacy = true,
+                                                 .acceptable_ads = true});
+
+  live::LiveStudyOptions options;
+  options.study.inference.min_requests = args.get_u64("active-min", 1000);
+  options.threads = args.get_u64("threads", 1);
+  options.bucket_seconds = args.get_u64("bucket-s", 300);
+  const auto window_s = args.get_u64("window-s", 86400);
+  options.window_buckets =
+      (window_s + options.bucket_seconds - 1) / options.bucket_seconds;
+  live::LiveStudy study(engine, ecosystem.abp_registry(), options);
+
+  const bool loopback_only = !args.flag("public");
+  const auto unix_path = args.get("unix");
+  auto ingest_socket =
+      unix_path.empty()
+          ? util::ListenSocket::tcp(
+                static_cast<std::uint16_t>(args.get_u64("port", 7316)),
+                loopback_only)
+          : util::ListenSocket::unix_path(unix_path);
+  live::TraceStreamServer ingest(study, std::move(ingest_socket));
+
+  auto http_socket = util::ListenSocket::tcp(
+      static_cast<std::uint16_t>(args.get_u64("http-port", 7317)),
+      loopback_only);
+  live::HttpEndpoint endpoint(study, std::move(http_socket),
+                              &ecosystem.asn_db(), &ingest);
+
+  ingest.start();
+  endpoint.start();
+  if (unix_path.empty()) {
+    std::printf("adscoped: ingest on tcp:%u, queries on http://127.0.0.1:%u\n",
+                ingest.port(), endpoint.port());
+  } else {
+    std::printf("adscoped: ingest on unix:%s, queries on http://127.0.0.1:%u\n",
+                unix_path.c_str(), endpoint.port());
+  }
+  std::printf(
+      "adscoped: %zu shard(s), %llu s buckets, %llu-bucket window\n",
+      study.shard_count(),
+      static_cast<unsigned long long>(study.bucket_seconds()),
+      static_cast<unsigned long long>(study.window_buckets()));
+
+  struct sigaction action {};
+  action.sa_handler = handle_stop_signal;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
+  while (g_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+
+  // Graceful shutdown: no new bytes, drain what was accepted, make it
+  // all visible, persist, then tear down.
+  std::printf("\nadscoped: shutting down ...\n");
+  ingest.stop();
+  study.seal_all();
+  study.flush();
+
+  const auto snapshot_out = args.get("snapshot-out", "adscoped_snapshot.json");
+  if (!snapshot_out.empty()) {
+    const auto snapshot = study.snapshot();
+    std::ofstream out(snapshot_out);
+    if (out) {
+      out << live::summary_json(snapshot) << "\n";
+      std::printf("adscoped: final snapshot -> %s\n", snapshot_out.c_str());
+    } else {
+      std::fprintf(stderr, "adscoped: cannot write %s\n", snapshot_out.c_str());
+    }
+  }
+
+  endpoint.stop();
+  study.close();
+  std::printf(
+      "adscoped: ingested %llu records (%llu dropped), served %llu "
+      "HTTP requests\n",
+      static_cast<unsigned long long>(study.records_ingested()),
+      static_cast<unsigned long long>(study.total_drops()),
+      static_cast<unsigned long long>(endpoint.requests_served()));
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto args = parse_args(argc, argv);
+  if (args.flag("help")) {
+    usage();
+    return 0;
+  }
+  try {
+    return run(args);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "adscoped: %s\n", error.what());
+    return 1;
+  }
+}
