@@ -1,0 +1,86 @@
+#include "adblock/classify_cache.h"
+
+namespace adscope::adblock {
+
+ClassifyCache::ClassifyCache(std::size_t capacity) {
+  if (capacity == 0) return;
+  std::size_t sets = 1;
+  while (sets * kWays < capacity) sets <<= 1;
+  entries_.resize(sets * kWays);
+  hand_.assign(sets, 0);
+  set_mask_ = sets - 1;
+}
+
+const Classification* ClassifyCache::find(std::uint64_t key1,
+                                          std::uint64_t key2,
+                                          std::uint64_t epoch) noexcept {
+  if (entries_.empty()) return nullptr;
+  if (epoch != epoch_) {
+    clear();
+    epoch_ = epoch;
+  }
+  const auto base = (key1 & set_mask_) * kWays;
+  for (std::size_t way = 0; way < kWays; ++way) {
+    Entry& entry = entries_[base + way];
+    if (entry.used && entry.key1 == key1 && entry.key2 == key2) {
+      entry.referenced = true;
+      ++hits_;
+      return &entry.value;
+    }
+  }
+  ++misses_;
+  return nullptr;
+}
+
+void ClassifyCache::insert(std::uint64_t key1, std::uint64_t key2,
+                           std::uint64_t epoch, const Classification& value) {
+  if (entries_.empty()) return;
+  if (epoch != epoch_) {
+    clear();
+    epoch_ = epoch;
+  }
+  const auto set = key1 & set_mask_;
+  const auto base = set * kWays;
+  std::size_t victim = kWays;
+  for (std::size_t way = 0; way < kWays; ++way) {
+    Entry& entry = entries_[base + way];
+    if (entry.used && entry.key1 == key1 && entry.key2 == key2) {
+      victim = way;  // refresh in place (concurrent duplicate insert)
+      break;
+    }
+    if (victim == kWays && !entry.used) victim = way;
+  }
+  if (victim == kWays) {
+    // CLOCK within the set: sweep from the hand, clearing second-chance
+    // bits until one entry is out of chances (at most two passes).
+    auto hand = hand_[set];
+    for (;;) {
+      Entry& entry = entries_[base + hand];
+      if (!entry.referenced) {
+        victim = hand;
+        hand_[set] = static_cast<std::uint8_t>((hand + 1) % kWays);
+        break;
+      }
+      entry.referenced = false;
+      hand = static_cast<std::uint8_t>((hand + 1) % kWays);
+    }
+  }
+  Entry& entry = entries_[base + victim];
+  if (!entry.used) ++live_;
+  entry.key1 = key1;
+  entry.key2 = key2;
+  entry.value = value;
+  entry.used = true;
+  entry.referenced = true;
+}
+
+void ClassifyCache::clear() noexcept {
+  for (auto& entry : entries_) {
+    entry.used = false;
+    entry.referenced = false;
+  }
+  if (!hand_.empty()) hand_.assign(hand_.size(), 0);
+  live_ = 0;
+}
+
+}  // namespace adscope::adblock

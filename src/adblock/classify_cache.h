@@ -1,0 +1,86 @@
+// Bounded memoization of FilterEngine::classify results.
+//
+// Trace URLs are Zipf-repetitive (the RBN workload model, DESIGN.md §2;
+// Gugelmann et al. observe the same skew in real ad/tracker traffic), so
+// the same (URL, page, type) triple is classified over and over. A
+// classification is a pure function of that triple plus the engine
+// configuration, which makes it safe to cache: the key folds the
+// original-case URL (match-case/regex rules see case), the page URL
+// (page host and "$document" probes derive from it) and the request
+// type; the engine's config epoch invalidates everything when lists are
+// added or toggled.
+//
+// The cache is owned per pipeline shard (one per TraceClassifier), never
+// shared across threads — no locks, and the Filter pointers inside a
+// cached Classification stay valid because the engine outlives every
+// shard. Eviction is set-associative CLOCK: fixed arrays, no heap
+// traffic after construction, and a lookup is one indexed probe of
+// kWays entries — the hit path performs zero allocations.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "adblock/engine.h"
+#include "util/hash.h"
+
+namespace adscope::adblock {
+
+class ClassifyCache {
+ public:
+  static constexpr std::size_t kWays = 4;
+
+  /// `capacity` is the entry budget (rounded up to a power-of-two set
+  /// count times kWays); 0 disables the cache entirely.
+  explicit ClassifyCache(std::size_t capacity);
+
+  bool enabled() const noexcept { return !entries_.empty(); }
+
+  /// First key half: hash of the original-case request URL.
+  static std::uint64_t key_of_url(std::string_view url) noexcept {
+    return util::fnv1a(url);
+  }
+  /// Second key half: page URL folded with the request type.
+  static std::uint64_t key_of_context(std::string_view page_url,
+                                      http::RequestType type) noexcept {
+    return util::hash_combine(util::fnv1a(page_url),
+                              static_cast<std::uint64_t>(type) + 1);
+  }
+
+  /// Look up (key1, key2) under the given engine epoch. An epoch change
+  /// drops every entry (the Filter pointers may dangle conceptually —
+  /// the attribution rules changed). Returns nullptr on miss.
+  const Classification* find(std::uint64_t key1, std::uint64_t key2,
+                             std::uint64_t epoch) noexcept;
+
+  /// Remember a classification; evicts within the target set via CLOCK.
+  void insert(std::uint64_t key1, std::uint64_t key2, std::uint64_t epoch,
+              const Classification& value);
+
+  void clear() noexcept;
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+  std::size_t size() const noexcept { return live_; }
+  std::size_t capacity() const noexcept { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::uint64_t key1 = 0;
+    std::uint64_t key2 = 0;
+    Classification value;
+    bool used = false;
+    bool referenced = false;  // CLOCK second-chance bit
+  };
+
+  std::vector<Entry> entries_;      // sets_ * kWays, contiguous
+  std::vector<std::uint8_t> hand_;  // per-set CLOCK hand
+  std::uint64_t set_mask_ = 0;
+  std::uint64_t epoch_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+  std::size_t live_ = 0;
+};
+
+}  // namespace adscope::adblock

@@ -29,12 +29,17 @@ ListId FilterEngine::add_list(FilterList list) {
       slot.blocking.add(&filter);
     }
   }
+  slot.blocking.finalize();
+  slot.exceptions.finalize();
   slots_.push_back(std::move(slot));
+  ++epoch_;
   return static_cast<ListId>(slots_.size() - 1);
 }
 
 void FilterEngine::set_enabled(ListId id, bool enabled) {
-  slots_.at(static_cast<std::size_t>(id)).enabled = enabled;
+  auto& slot = slots_.at(static_cast<std::size_t>(id));
+  if (slot.enabled != enabled) ++epoch_;
+  slot.enabled = enabled;
 }
 
 bool FilterEngine::enabled(ListId id) const {
@@ -54,7 +59,7 @@ ListId FilterEngine::find_list(ListKind kind) const noexcept {
 
 const Filter* FilterEngine::match_blocking(
     const Slot& slot, std::span<const std::uint64_t> tokens,
-    const Request& request) const {
+    const RequestView& request) const {
   const Filter* hit = nullptr;
   slot.blocking.scan(tokens, [&](const Filter& filter) {
     if (filter.matches(request)) {
@@ -68,7 +73,7 @@ const Filter* FilterEngine::match_blocking(
 
 const Filter* FilterEngine::match_exception(
     const Slot& slot, std::span<const std::uint64_t> tokens,
-    const Request& request) const {
+    const RequestView& request) const {
   const Filter* hit = nullptr;
   slot.exceptions.scan(tokens, [&](const Filter& filter) {
     if (filter.matches(request)) {
@@ -80,9 +85,10 @@ const Filter* FilterEngine::match_exception(
   if (hit != nullptr) return hit;
 
   // "$document" exceptions whitelist the whole page: test them against
-  // the page URL (as a document request).
+  // the page URL (as a document request). The borrowed view keeps this
+  // probe free of string copies.
   if (!request.page_url_lower.empty() && !slot.document_exceptions.empty()) {
-    Request page_request;
+    RequestView page_request;
     page_request.url = request.page_url_lower;
     page_request.url_lower = request.page_url_lower;
     page_request.host = request.page_host;
@@ -96,8 +102,13 @@ const Filter* FilterEngine::match_exception(
 }
 
 Classification FilterEngine::classify(const Request& request) const {
+  TokenScratch scratch;
+  return classify(RequestView(request), scratch.tokenize(request.url_lower));
+}
+
+Classification FilterEngine::classify(
+    const RequestView& request, std::span<const std::uint64_t> tokens) const {
   Classification result;
-  const auto tokens = url_token_hashes(request.url_lower);
 
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slots_[i].enabled) continue;
@@ -155,19 +166,27 @@ std::size_t FilterEngine::active_filter_count() const noexcept {
 Request make_request(std::string_view url, std::string_view page_url,
                      http::RequestType type) {
   Request request;
-  request.url = std::string(util::trim(url));
-  request.url_lower = util::to_lower(request.url);
-  request.type = type;
-  if (const auto parsed = http::Url::parse(request.url)) {
-    request.host = parsed->host();
+  make_request_into(url, page_url, type, request);
+  return request;
+}
+
+void make_request_into(std::string_view url, std::string_view page_url,
+                       http::RequestType type, Request& out) {
+  out.url.assign(util::trim(url));
+  util::to_lower_into(out.url, out.url_lower);
+  out.type = type;
+  out.host.clear();
+  if (const auto parsed = http::Url::parse(out.url)) {
+    out.host = parsed->host();
   }
+  out.page_url_lower.clear();
+  out.page_host.clear();
   if (!page_url.empty()) {
-    request.page_url_lower = util::to_lower(util::trim(page_url));
+    util::to_lower_into(util::trim(page_url), out.page_url_lower);
     if (const auto parsed = http::Url::parse(page_url)) {
-      request.page_host = parsed->host();
+      out.page_host = parsed->host();
     }
   }
-  return request;
 }
 
 }  // namespace adscope::adblock

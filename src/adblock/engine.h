@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -80,7 +81,19 @@ class FilterEngine {
   /// Find the first list of a given kind, or kNoList.
   ListId find_list(ListKind kind) const noexcept;
 
+  /// Classify a request. The convenience overload tokenizes into a stack
+  /// scratch; the hot-path overload takes pre-tokenized URL tokens (from
+  /// a caller-owned TokenScratch) and performs no heap allocation for
+  /// non-regex filter lists.
   Classification classify(const Request& request) const;
+  Classification classify(const RequestView& request,
+                          std::span<const std::uint64_t> tokens) const;
+
+  /// Monotonic configuration version: bumped by add_list/set_enabled.
+  /// Classification caches key on it so a config change invalidates every
+  /// memoized verdict (the Filter pointers and attribution would be
+  /// stale).
+  std::uint64_t config_epoch() const noexcept { return epoch_; }
 
   /// True when `literal` (lower-case) occurs in the body of any loaded
   /// rule. The query normalizer (§3.1 "Base URL") uses this to avoid
@@ -103,16 +116,31 @@ class FilterEngine {
 
   const Filter* match_blocking(const Slot& slot,
                                std::span<const std::uint64_t> tokens,
-                               const Request& request) const;
+                               const RequestView& request) const;
   const Filter* match_exception(const Slot& slot,
                                 std::span<const std::uint64_t> tokens,
-                                const Request& request) const;
+                                const RequestView& request) const;
 
   std::vector<Slot> slots_;
+  std::uint64_t epoch_ = 0;
 };
 
 /// Build a Request from URL pieces (convenience for callers/tests).
 Request make_request(std::string_view url, std::string_view page_url,
                      http::RequestType type);
+
+/// Allocation-reusing variant: fills `out` in place, reusing its string
+/// capacity. `out` may alias a previously filled Request.
+void make_request_into(std::string_view url, std::string_view page_url,
+                       http::RequestType type, Request& out);
+
+/// Caller-owned per-thread scratch for the zero-allocation classify path:
+/// a reusable Request (string capacity persists across calls), the token
+/// buffer, and a spec-rendering buffer for cache keys.
+struct RequestScratch {
+  Request request;
+  TokenScratch tokens;
+  std::string raw_spec;
+};
 
 }  // namespace adscope::adblock

@@ -61,6 +61,53 @@ bool match_rec(std::string_view pat, std::size_t pi, std::string_view text,
   }
 }
 
+/// Iterative equivalent of match_rec: greedy matching with single-point
+/// backtracking to the most recent '*' (the classic wildcard algorithm;
+/// '^' is a one-character class, which the algorithm supports, plus the
+/// ABP twist that end-of-address counts as a separator). No recursion,
+/// no allocation, O(n·m) worst case but O(n+m) on the common patterns.
+/// Equivalence with match_rec is asserted by the differential tests.
+bool match_program(std::string_view pat, std::string_view text,
+                   std::size_t start, bool require_end) noexcept {
+  std::size_t pi = 0;
+  std::size_t ti = start;
+  std::size_t star_pi = std::string_view::npos;
+  std::size_t star_ti = 0;
+  for (;;) {
+    if (pi < pat.size() && pat[pi] == '*') {
+      star_pi = ++pi;
+      star_ti = ti;
+      continue;
+    }
+    if (pi == pat.size()) {
+      if (!require_end || ti == text.size()) return true;
+      // Pattern exhausted but the end anchor fails: resume at the star.
+    } else if (ti < text.size()) {
+      const char pc = pat[pi];
+      if (pc == '^' ? is_separator(text[ti]) : pc == text[ti]) {
+        ++pi;
+        ++ti;
+        continue;
+      }
+    } else {
+      // End of the address: accepted as a final separator when the rest
+      // of the pattern can match the empty string ('*'s and '^'s only).
+      bool rest_empty_ok = true;
+      for (std::size_t k = pi; k < pat.size(); ++k) {
+        if (pat[k] != '*' && pat[k] != '^') {
+          rest_empty_ok = false;
+          break;
+        }
+      }
+      if (rest_empty_ok) return true;
+    }
+    if (star_pi == std::string_view::npos) return false;
+    if (star_ti >= text.size()) return false;
+    ti = ++star_ti;
+    pi = star_pi;
+  }
+}
+
 }  // namespace
 
 std::optional<Filter> Filter::parse(std::string_view line) {
@@ -106,6 +153,7 @@ std::optional<Filter> Filter::parse(std::string_view line) {
             std::string(expression), flags);
         f.pattern_original_ = std::string(body);
         f.pattern_ = util::to_lower(body);
+        f.compile();
         return f;
       } catch (const std::regex_error&) {
         return std::nullopt;  // malformed regex: discard like ABP
@@ -129,7 +177,30 @@ std::optional<Filter> Filter::parse(std::string_view line) {
   }
   f.pattern_original_ = std::string(body);
   f.pattern_ = util::to_lower(body);
+  f.compile();
   return f;
+}
+
+void Filter::compile() {
+  if (regex_ != nullptr) {
+    class_ = PatternClass::kRegex;
+    return;
+  }
+  const std::string_view pat = pattern_;
+  if (pat.find_first_of("*^") == std::string_view::npos) {
+    class_ = PatternClass::kLiteral;
+    return;
+  }
+  class_ = PatternClass::kGeneral;
+  // Unanchored scans drop leading '*'s (a star before anything is a
+  // no-op when every start position is tried) and then jump between
+  // occurrences of the first literal run instead of trying every byte.
+  std::size_t i = 0;
+  while (i < pat.size() && pat[i] == '*') ++i;
+  scan_skip_ = static_cast<std::uint32_t>(i);
+  std::size_t j = i;
+  while (j < pat.size() && pat[j] != '*' && pat[j] != '^') ++j;
+  lead_lit_len_ = static_cast<std::uint32_t>(j - i);
 }
 
 bool Filter::parse_options(std::string_view options) {
@@ -212,11 +283,15 @@ bool Filter::domain_constraint_ok(std::string_view page_host) const {
   return false;
 }
 
-bool Filter::matches(const Request& request) const {
+bool Filter::matches(const RequestView& request) const {
   if ((type_mask_ & type_bit(request.type)) == 0) return false;
   if (third_party_ != ThirdPartyConstraint::kAny) {
-    const bool third = !request.page_host.empty() &&
-                       http::is_third_party(request.host, request.page_host);
+    if (request.third_party_memo < 0) {
+      request.third_party_memo =
+          !request.page_host.empty() &&
+          http::is_third_party(request.host, request.page_host);
+    }
+    const bool third = request.third_party_memo > 0;
     if (third_party_ == ThirdPartyConstraint::kThirdPartyOnly && !third) {
       return false;
     }
@@ -228,9 +303,19 @@ bool Filter::matches(const Request& request) const {
   return matches_url(request.url_lower, request.url);
 }
 
+bool Filter::match_at(std::string_view pat, std::string_view url,
+                      std::size_t pos) const {
+  if (class_ == PatternClass::kLiteral) {
+    if (pos > url.size() || url.size() - pos < pat.size()) return false;
+    if (url.compare(pos, pat.size(), pat) != 0) return false;
+    return !end_anchor_ || pos + pat.size() == url.size();
+  }
+  return match_program(pat, url, pos, end_anchor_);
+}
+
 bool Filter::matches_url(std::string_view url_lower,
                          std::string_view url_original) const {
-  if (regex_ != nullptr) {
+  if (class_ == PatternClass::kRegex) {
     const std::string_view subject = match_case_ ? url_original : url_lower;
     return std::regex_search(subject.begin(), subject.end(), *regex_);
   }
@@ -247,6 +332,64 @@ bool Filter::matches_url(std::string_view url_lower,
     if (host_end == std::string_view::npos) host_end = url.size();
     std::size_t pos = host_start;
     for (;;) {
+      if (match_at(pat, url, pos)) return true;
+      const auto dot = url.find('.', pos);
+      if (dot == std::string_view::npos || dot + 1 >= host_end) return false;
+      pos = dot + 1;
+    }
+  }
+  if (start_anchor_) return match_at(pat, url, 0);
+
+  if (class_ == PatternClass::kLiteral) {
+    // Plain substring — the dominant filter class. find() is libc memmem
+    // underneath (SIMD-accelerated); the end anchor degenerates to one
+    // suffix compare.
+    if (end_anchor_) {
+      return url.size() >= pat.size() &&
+             url.compare(url.size() - pat.size(), pat.size(), pat) == 0;
+    }
+    return url.find(pat) != std::string_view::npos;
+  }
+
+  // General unanchored: candidate start positions are seeded from the
+  // first literal run (or separator positions when the pattern leads
+  // with '^') instead of trying every byte of the URL.
+  const auto body = pat.substr(scan_skip_);
+  if (body.empty()) return true;  // all-'*' pattern matches anything
+  if (lead_lit_len_ > 0) {
+    const auto lead = body.substr(0, lead_lit_len_);
+    for (auto pos = url.find(lead); pos != std::string_view::npos;
+         pos = url.find(lead, pos + 1)) {
+      if (match_program(body, url, pos, end_anchor_)) return true;
+    }
+    return false;
+  }
+  for (std::size_t pos = 0; pos < url.size(); ++pos) {
+    if (is_separator(url[pos]) && match_program(body, url, pos, end_anchor_)) {
+      return true;
+    }
+  }
+  // End-of-address start: matches when the whole body can match empty.
+  return match_program(body, url, url.size(), end_anchor_);
+}
+
+bool Filter::matches_url_oracle(std::string_view url_lower,
+                                std::string_view url_original) const {
+  if (regex_ != nullptr) {
+    const std::string_view subject = match_case_ ? url_original : url_lower;
+    return std::regex_search(subject.begin(), subject.end(), *regex_);
+  }
+  const std::string_view url = match_case_ ? url_original : url_lower;
+  const std::string_view pat = match_case_ ? pattern_original_ : pattern_;
+
+  if (domain_anchor_) {
+    const auto scheme_end = url.find("://");
+    if (scheme_end == std::string_view::npos) return false;
+    const auto host_start = scheme_end + 3;
+    auto host_end = url.find_first_of("/:?", host_start);
+    if (host_end == std::string_view::npos) host_end = url.size();
+    std::size_t pos = host_start;
+    for (;;) {
       if (match_rec(pat, 0, url, pos, end_anchor_)) return true;
       const auto dot = url.find('.', pos);
       if (dot == std::string_view::npos || dot + 1 >= host_end) return false;
@@ -255,8 +398,7 @@ bool Filter::matches_url(std::string_view url_lower,
   }
   if (start_anchor_) return match_rec(pat, 0, url, 0, end_anchor_);
 
-  // Unanchored: try every start position. The engine's token index keeps
-  // the candidate set small, so the simple loop wins over cleverness.
+  // Unanchored: try every start position.
   for (std::size_t pos = 0; pos <= url.size(); ++pos) {
     if (match_rec(pat, 0, url, pos, end_anchor_)) return true;
   }

@@ -67,6 +67,39 @@ struct Request {
   http::RequestType type = http::RequestType::kOther;
 };
 
+/// Borrowed view of a Request — everything matching actually reads. The
+/// engine also builds one over per-page strings for "$document" probes,
+/// which keeps that path free of string copies.
+struct RequestView {
+  std::string_view url;
+  std::string_view url_lower;
+  std::string_view host;
+  std::string_view page_host;
+  std::string_view page_url_lower;
+  http::RequestType type = http::RequestType::kOther;
+  // Lazily memoized is_third_party(host, page_host): it is a pure function
+  // of the request, yet it was recomputed (public-suffix walk included)
+  // for every $third-party candidate filter. -1 = not yet computed.
+  mutable std::int8_t third_party_memo = -1;
+
+  RequestView() = default;
+  RequestView(const Request& request)  // NOLINT: implicit by design
+      : url(request.url),
+        url_lower(request.url_lower),
+        host(request.host),
+        page_host(request.page_host),
+        page_url_lower(request.page_url_lower),
+        type(request.type) {}
+};
+
+/// Execution strategy chosen for a pattern when it is compiled at parse
+/// time (DESIGN.md §4.1).
+enum class PatternClass : std::uint8_t {
+  kRegex,    // "/.../" rule, delegated to std::regex
+  kLiteral,  // no '*'/'^': a single find/compare per candidate position
+  kGeneral,  // wildcard program, matched iteratively without recursion
+};
+
 class Filter {
  public:
   /// Parse one filter line. Returns nullopt for comments, element-hiding
@@ -83,13 +116,21 @@ class Filter {
            (type_mask_ & type_bit(http::RequestType::kDocument)) != 0;
   }
 
-  bool matches(const Request& request) const;
+  bool matches(const RequestView& request) const;
 
   /// Pattern-only match against a lower-case URL string; ignores options.
   /// Exposed for tests and for the query-string normalizer, which needs to
   /// know whether a literal appears in any rule.
   bool matches_url(std::string_view url_lower,
                    std::string_view url_original) const;
+
+  /// Reference implementation of matches_url built on the recursive
+  /// wildcard matcher. Kept as the differential-test oracle for the
+  /// compiled fast paths; never used on the classification hot path.
+  bool matches_url_oracle(std::string_view url_lower,
+                          std::string_view url_original) const;
+
+  PatternClass pattern_class() const noexcept { return class_; }
 
   const std::string& text() const noexcept { return text_; }
   const std::string& pattern() const noexcept { return pattern_; }
@@ -116,10 +157,24 @@ class Filter {
 
   bool parse_options(std::string_view options);
   bool domain_constraint_ok(std::string_view page_host) const;
+  /// Classify the pattern and record the leading-literal offsets the
+  /// compiled matcher seeds candidate positions from. Run once at the end
+  /// of parse().
+  void compile();
+  /// Anchored match attempt at one position (domain/start anchors).
+  bool match_at(std::string_view pat, std::string_view url,
+                std::size_t pos) const;
 
   std::string text_;     // original rule text
   std::string pattern_;  // body without anchors/options, lower-cased
   std::string pattern_original_;  // original case (for $match-case)
+  // Compiled pattern program: the class picks the matcher; for kGeneral,
+  // scan_skip_ strips leading '*'s and lead_lit_len_ is the length of the
+  // first literal run (offsets into pattern_, which is case-aligned with
+  // pattern_original_ — to_lower never moves characters).
+  PatternClass class_ = PatternClass::kLiteral;
+  std::uint32_t scan_skip_ = 0;
+  std::uint32_t lead_lit_len_ = 0;
   // Compiled "/.../" rule; shared_ptr keeps Filter copyable.
   std::shared_ptr<const std::regex> regex_;
   bool exception_ = false;

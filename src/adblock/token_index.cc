@@ -1,26 +1,80 @@
 #include "adblock/token_index.h"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "util/strings.h"
 
 namespace adscope::adblock {
 
-std::vector<std::uint64_t> url_token_hashes(std::string_view url_lower) {
-  std::vector<std::uint64_t> tokens;
-  std::size_t i = 0;
-  while (i < url_lower.size()) {
-    if (!is_keyword_char(url_lower[i])) {
-      ++i;
+namespace {
+
+/// Walk the keyword runs of `url_lower`, calling `emit` with each run's
+/// FNV hash. Shared by the vector and scratch tokenizers. The hash is
+/// folded into the same character walk that finds the run boundaries —
+/// one pass over the URL instead of scan-then-rehash.
+template <typename Emit>
+void for_each_token(std::string_view url_lower, Emit&& emit) {
+  const char* p = url_lower.data();
+  const char* const end = p + url_lower.size();
+  while (p != end) {
+    if (!is_keyword_char(*p)) {
+      ++p;
       continue;
     }
-    std::size_t j = i;
-    while (j < url_lower.size() && is_keyword_char(url_lower[j])) ++j;
-    if (j - i >= 3) tokens.push_back(util::fnv1a(url_lower.substr(i, j - i)));
-    i = j;
+    const char* const run = p;
+    std::uint64_t hash = util::kFnvOffset;
+    do {
+      hash ^= static_cast<std::uint8_t>(*p);
+      hash *= util::kFnvPrime;
+      ++p;
+    } while (p != end && is_keyword_char(*p));
+    if (p - run >= 3) emit(hash);
   }
+}
+
+}  // namespace
+
+std::vector<std::uint64_t> url_token_hashes(std::string_view url_lower) {
+  std::vector<std::uint64_t> tokens;
+  for_each_token(url_lower, [&tokens](std::uint64_t hash) {
+    if (std::find(tokens.begin(), tokens.end(), hash) == tokens.end()) {
+      tokens.push_back(hash);
+    }
+  });
   return tokens;
 }
 
+std::span<const std::uint64_t> TokenScratch::tokenize(
+    std::string_view url_lower) {
+  std::size_t count = 0;
+  bool spilled = false;
+  for_each_token(url_lower, [&](std::uint64_t hash) {
+    if (!spilled) {
+      for (std::size_t k = 0; k < count; ++k) {
+        if (inline_[k] == hash) return;
+      }
+      if (count < kInlineCapacity) {
+        inline_[count++] = hash;
+        return;
+      }
+      // Pathological URL: continue in the retained overflow vector.
+      overflow_.assign(inline_.begin(), inline_.end());
+      spilled = true;
+    }
+    if (std::find(overflow_.begin(), overflow_.end(), hash) ==
+        overflow_.end()) {
+      overflow_.push_back(hash);
+    }
+  });
+  if (spilled) return {overflow_.data(), overflow_.size()};
+  return {inline_.data(), count};
+}
+
 void TokenIndex::add(const Filter* filter) {
+  if (finalized_) {
+    throw std::logic_error("TokenIndex::add after finalize()");
+  }
   const auto keywords = filter->index_keywords();
   if (keywords.empty()) {
     unindexed_.push_back(filter);
@@ -31,16 +85,56 @@ void TokenIndex::add(const Filter* filter) {
   const std::string* best = nullptr;
   std::size_t best_load = 0;
   for (const auto& kw : keywords) {
-    const auto it = buckets_.find(util::fnv1a(kw));
-    const std::size_t load = it == buckets_.end() ? 0 : it->second.size();
+    const auto it = building_.find(util::fnv1a(kw));
+    const std::size_t load = it == building_.end() ? 0 : it->second.size();
     if (best == nullptr || load < best_load ||
         (load == best_load && kw.size() > best->size())) {
       best = &kw;
       best_load = load;
     }
   }
-  buckets_[util::fnv1a(*best)].push_back(filter);
+  building_[util::fnv1a(*best)].push_back(filter);
   ++indexed_;
+}
+
+void TokenIndex::finalize() {
+  if (finalized_) return;
+  finalized_ = true;
+  keys_ = building_.size();
+  if (keys_ == 0) return;
+
+  // Deterministic layout: keys in ascending order (unordered_map order is
+  // platform-defined); per-key candidate order stays insertion order, so
+  // scan results are bit-identical to the build-map path.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(keys_);
+  for (const auto& [key, filters] : building_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+
+  std::size_t slots = 1;
+  while (slots < keys_ * 2) slots <<= 1;  // <= 50% load factor
+  table_.assign(slots, Probe{});
+  mask_ = slots - 1;
+  // ~4 bloom bits per slot (min one 64-bit word).
+  const std::size_t bloom_words = std::max<std::size_t>(slots / 16, 1);
+  bloom_.assign(bloom_words, 0);
+  bloom_mask_ = bloom_words - 1;
+  for (const auto& [key, filters] : building_) {
+    bloom_[(key >> 6) & bloom_mask_] |= std::uint64_t{1} << (key & 63);
+  }
+  arena_.reserve(indexed_);
+  for (const auto key : keys) {
+    auto& filters = building_[key];
+    Probe probe;
+    probe.key = key;
+    probe.begin = static_cast<std::uint32_t>(arena_.size());
+    probe.count = static_cast<std::uint32_t>(filters.size());
+    arena_.insert(arena_.end(), filters.begin(), filters.end());
+    auto slot = key & mask_;
+    while (table_[slot].count != 0) slot = (slot + 1) & mask_;
+    table_[slot] = probe;
+  }
+  building_.clear();
 }
 
 }  // namespace adscope::adblock

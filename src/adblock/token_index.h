@@ -5,8 +5,15 @@
 // matching URL). A classification query tokenizes the URL once and only
 // evaluates filters whose keyword occurs among the URL's tokens, plus the
 // small set of filters that have no usable keyword.
+//
+// Layout: add() accumulates into an ordinary hash map; finalize() (called
+// once by FilterEngine::add_list) compacts it into an open-addressing
+// probe table over one contiguous `const Filter*` arena, so a token
+// lookup costs a single cache line of probing plus a linear run of
+// candidate pointers — no per-bucket node chasing on the hot path.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -19,25 +26,79 @@
 namespace adscope::adblock {
 
 /// FNV hashes of the maximal keyword runs of a lower-case URL (length >= 3,
-/// string edges count as boundaries).
+/// string edges count as boundaries). Duplicate tokens are removed
+/// (first-occurrence order preserved): scanning the same bucket twice can
+/// never change a match result, it only re-evaluates the same filters.
 std::vector<std::uint64_t> url_token_hashes(std::string_view url_lower);
+
+/// Reusable tokenization buffer: the fixed array serves every realistic
+/// URL without touching the heap; pathological URLs (> kInlineCapacity
+/// distinct tokens) spill into an owned vector that is retained across
+/// calls, so even that path amortizes to zero allocations.
+class TokenScratch {
+ public:
+  static constexpr std::size_t kInlineCapacity = 96;
+
+  /// Tokenize `url_lower` as url_token_hashes() does (dedup included)
+  /// into the internal buffer. The span stays valid until the next call.
+  std::span<const std::uint64_t> tokenize(std::string_view url_lower);
+
+ private:
+  // Deliberately not value-initialized: only the first `count` entries of
+  // a tokenize() result are ever read, and zeroing 96 slots per scratch
+  // shows up in the classify profile.
+  std::array<std::uint64_t, kInlineCapacity> inline_;
+  std::vector<std::uint64_t> overflow_;
+};
 
 class TokenIndex {
  public:
   /// Register a filter. The pointer must stay valid for the index's
-  /// lifetime (filters live in their FilterList's vector).
+  /// lifetime (filters live in their FilterList's vector). Only legal
+  /// before finalize().
   void add(const Filter* filter);
+
+  /// Build the flat probe table. Idempotent; add() afterwards throws.
+  /// scan() works either way (pre-finalize scans the build map) so
+  /// incremental uses keep functioning, just without the flat layout.
+  void finalize();
 
   /// Invoke `fn(const Filter&)` for every candidate whose keyword appears
   /// in `tokens`, then for every keyword-less filter. `fn` returns true to
   /// stop the scan early; the function returns whether it stopped.
   template <typename Fn>
   bool scan(std::span<const std::uint64_t> tokens, Fn&& fn) const {
-    for (const auto token : tokens) {
-      const auto it = buckets_.find(token);
-      if (it == buckets_.end()) continue;
-      for (const Filter* filter : it->second) {
-        if (fn(*filter)) return true;
+    if (finalized_) {
+      if (!table_.empty()) {
+        for (const auto token : tokens) {
+          // One-load bloom rejection: most URL tokens hit no bucket in
+          // most indexes, and the filter word is hot in cache while the
+          // probe table is not.
+          if ((bloom_[(token >> 6) & bloom_mask_] &
+               (std::uint64_t{1} << (token & 63))) == 0) {
+            continue;
+          }
+          auto slot = token & mask_;
+          while (table_[slot].count != 0) {
+            if (table_[slot].key == token) {
+              const auto begin = table_[slot].begin;
+              const auto end = begin + table_[slot].count;
+              for (auto i = begin; i < end; ++i) {
+                if (fn(*arena_[i])) return true;
+              }
+              break;
+            }
+            slot = (slot + 1) & mask_;
+          }
+        }
+      }
+    } else {
+      for (const auto token : tokens) {
+        const auto it = building_.find(token);
+        if (it == building_.end()) continue;
+        for (const Filter* filter : it->second) {
+          if (fn(*filter)) return true;
+        }
       }
     }
     for (const Filter* filter : unindexed_) {
@@ -46,14 +107,38 @@ class TokenIndex {
     return false;
   }
 
+  bool finalized() const noexcept { return finalized_; }
   std::size_t indexed_count() const noexcept { return indexed_; }
   std::size_t unindexed_count() const noexcept { return unindexed_.size(); }
-  std::size_t bucket_count() const noexcept { return buckets_.size(); }
+  std::size_t bucket_count() const noexcept {
+    return finalized_ ? keys_ : building_.size();
+  }
+  /// Probe-table slots (0 before finalize) — capacity diagnostics.
+  std::size_t table_slots() const noexcept { return table_.size(); }
 
  private:
-  std::unordered_map<std::uint64_t, std::vector<const Filter*>> buckets_;
+  struct Probe {
+    std::uint64_t key = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;  // 0 = empty slot (real buckets hold >= 1)
+  };
+
+  // Build phase.
+  std::unordered_map<std::uint64_t, std::vector<const Filter*>> building_;
+  // Finalized phase: open addressing (linear probing, <= 50% load) over
+  // one contiguous candidate arena, fronted by a bloom filter sized to
+  // ~4 bits per table slot (word index from the hash's upper bits, bit
+  // index from its low 6 — independent enough for a rejection test).
+  std::vector<Probe> table_;
+  std::vector<const Filter*> arena_;
+  std::vector<std::uint64_t> bloom_;
+  std::uint64_t mask_ = 0;
+  std::uint64_t bloom_mask_ = 0;
+  std::size_t keys_ = 0;
+
   std::vector<const Filter*> unindexed_;
   std::size_t indexed_ = 0;
+  bool finalized_ = false;
 };
 
 }  // namespace adscope::adblock

@@ -6,11 +6,27 @@
 
 namespace adscope::core {
 
+const PageContext::Info& PageContext::lookup(const std::string& page) {
+  if (!valid_ || info_.page != page) {
+    info_.page = page;
+    util::to_lower_into(page, info_.page_lower);
+    info_.page_host.clear();
+    if (!page.empty()) {
+      if (const auto parsed = http::Url::parse(page)) {
+        info_.page_host = parsed->host();
+      }
+    }
+    valid_ = true;
+  }
+  return info_;
+}
+
 TraceClassifier::TraceClassifier(const adblock::FilterEngine& engine,
                                  ClassifierOptions options)
     : engine_(engine),
       options_(options),
-      normalizer_(engine, !options.naive_query_normalization) {
+      normalizer_(engine, !options.naive_query_normalization),
+      cache_(options.classify_cache) {
   if (options_.use_payloads) {
     for (std::size_t i = 0; i < engine.list_count(); ++i) {
       elemhide_.add_list(engine.list(static_cast<adblock::ListId>(i)));
@@ -74,24 +90,41 @@ void TraceClassifier::classify_and_emit(const analyzer::WebObject& object,
   out.type = type;
   out.type_from_extension = from_extension;
   out.page_url = page;
-  if (!page.empty()) {
-    if (const auto parsed = http::Url::parse(page)) {
-      out.page_host = parsed->host();
+  const PageContext::Info& page_info = page_ctx_.lookup(page);
+  out.page_host = page_info.page_host;
+
+  // The verdict is a pure function of (original URL, page, type, engine
+  // config): normalization and lowering are deterministic, so the memo is
+  // keyed on the pre-normalization spec and a hit skips all of it.
+  object.url.spec_to(scratch_.raw_spec);
+  const auto key1 = adblock::ClassifyCache::key_of_url(scratch_.raw_spec);
+  const auto key2 = adblock::ClassifyCache::key_of_context(page, type);
+  const auto epoch = engine_.config_epoch();
+  if (cache_.enabled()) {
+    if (const adblock::Classification* hit = cache_.find(key1, key2, epoch)) {
+      ++counters_.classify_cache_hits;
+      out.verdict = *hit;
+      if (callback_) callback_(out);
+      return;
     }
+    ++counters_.classify_cache_misses;
   }
 
-  adblock::Request request;
-  const http::Url effective_url = options_.query_normalization
-                                      ? normalizer_.normalize(object.url)
-                                      : object.url;
-  request.url = effective_url.spec();
-  request.url_lower = util::to_lower(request.url);
+  adblock::Request& request = scratch_.request;
+  if (options_.query_normalization) {
+    normalizer_.normalize(object.url).spec_to(request.url);
+  } else {
+    object.url.spec_to(request.url);
+  }
+  util::to_lower_into(request.url, request.url_lower);
   request.host = object.url.host();
-  request.page_host = out.page_host;
-  request.page_url_lower = util::to_lower(out.page_url);
+  request.page_host = page_info.page_host;
+  request.page_url_lower = page_info.page_lower;
   request.type = type;
 
-  out.verdict = engine_.classify(request);
+  out.verdict = engine_.classify(adblock::RequestView(request),
+                                 scratch_.tokens.tokenize(request.url_lower));
+  if (cache_.enabled()) cache_.insert(key1, key2, epoch, out.verdict);
   if (callback_) callback_(out);
 }
 

@@ -24,6 +24,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "adblock/classify_cache.h"
 #include "adblock/element_hiding.h"
 #include "adblock/engine.h"
 #include "analyzer/http_extractor.h"
@@ -32,6 +33,26 @@
 #include "core/referrer_map.h"
 
 namespace adscope::core {
+
+/// Single-entry memo of the page-derived request fields. Trace objects
+/// arrive page-by-page, so the same page URL is re-lowered and re-parsed
+/// for nearly every request it triggered; one remembered entry removes
+/// that rework without unbounded state.
+class PageContext {
+ public:
+  struct Info {
+    std::string page;        // key (page spec, original case)
+    std::string page_lower;  // to_lower(page)
+    std::string page_host;   // Url::parse(page).host() or ""
+  };
+
+  /// Fields for `page`; recomputed only when the page changed.
+  const Info& lookup(const std::string& page);
+
+ private:
+  Info info_;
+  bool valid_ = false;
+};
 
 struct ClassifiedObject {
   analyzer::WebObject object;
@@ -57,6 +78,10 @@ struct ClassifierOptions {
   /// detected via the element-hiding rules.
   bool use_payloads = false;
 
+  /// Entry budget of the per-classifier classification memo (0 disables).
+  /// Each pipeline shard owns its own cache, so no locking is involved.
+  std::size_t classify_cache = 4096;
+
   std::size_t per_user_url_capacity = 2048;
   std::size_t max_users = 1 << 18;
   // A held redirect source expires after this many subsequent objects
@@ -72,6 +97,8 @@ struct ClassifierCounters {
   std::uint64_t redirects_expired = 0;
   std::uint64_t hidden_text_ads = 0;
   std::uint64_t payload_type_hints_used = 0;
+  std::uint64_t classify_cache_hits = 0;
+  std::uint64_t classify_cache_misses = 0;
 
   void merge(const ClassifierCounters& other) noexcept {
     processed += other.processed;
@@ -79,6 +106,8 @@ struct ClassifierCounters {
     redirects_expired += other.redirects_expired;
     hidden_text_ads += other.hidden_text_ads;
     payload_type_hints_used += other.payload_type_hints_used;
+    classify_cache_hits += other.classify_cache_hits;
+    classify_cache_misses += other.classify_cache_misses;
   }
 };
 
@@ -113,6 +142,9 @@ class TraceClassifier {
     return counters_.payload_type_hints_used;
   }
   const ClassifierCounters& counters() const noexcept { return counters_; }
+  const adblock::ClassifyCache& classify_cache() const noexcept {
+    return cache_;
+  }
 
  private:
   struct PendingRedirect {
@@ -147,6 +179,9 @@ class TraceClassifier {
   QueryNormalizer normalizer_;
   adblock::ElementHidingIndex elemhide_;  // populated in payload mode
   Callback callback_;
+  adblock::ClassifyCache cache_;
+  adblock::RequestScratch scratch_;
+  PageContext page_ctx_;
 
   std::unordered_map<std::uint64_t, UserState> users_;
   std::deque<std::uint64_t> user_order_;

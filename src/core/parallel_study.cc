@@ -130,6 +130,7 @@ StudyView ParallelTraceStudy::view() const noexcept {
   view.infra = &infra_;
   view.rtb = &rtb_;
   view.page_views = &page_views_;
+  view.classifier = &classifier_counters_;
   view.https_flows = https_flows_;
   view.inference_options = options_.study.inference;
   return view;

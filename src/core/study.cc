@@ -83,6 +83,7 @@ StudyView TraceStudy::view() const noexcept {
   view.infra = &infra_;
   view.rtb = &rtb_;
   view.page_views = &page_views_;
+  view.classifier = &classifier_.counters();
   view.https_flows = https_flows_;
   view.inference_options = options_.inference;
   return view;

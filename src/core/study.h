@@ -77,6 +77,9 @@ struct StudyView {
   const InfraAnalysis* infra = nullptr;
   const RtbAnalysis* rtb = nullptr;
   const PageViewStats* page_views = nullptr;
+  /// Pipeline throughput/diagnostic counters (classification-cache hit
+  /// rates included); may be null for producers that do not track them.
+  const ClassifierCounters* classifier = nullptr;
   std::uint64_t https_flows = 0;
   InferenceOptions inference_options;
 

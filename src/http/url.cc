@@ -154,8 +154,26 @@ std::string Url::host_and_path() const {
 }
 
 std::string Url::spec() const {
-  if (empty()) return {};
-  return scheme_ + "://" + host_and_path();
+  std::string out;
+  spec_to(out);
+  return out;
+}
+
+void Url::spec_to(std::string& out) const {
+  out.clear();
+  if (empty()) return;
+  out.append(scheme_);
+  out.append("://");
+  out.append(host_);
+  if (port_ != 0) {
+    out.push_back(':');
+    out.append(std::to_string(port_));
+  }
+  out.append(path_);
+  if (!query_.empty()) {
+    out.push_back('?');
+    out.append(query_);
+  }
 }
 
 std::string Url::extension() const {

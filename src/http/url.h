@@ -50,6 +50,9 @@ class Url {
   /// Full spelling, e.g. "http://x.example/p?q=1".
   std::string spec() const;
 
+  /// spec() into a caller-owned buffer, reusing its capacity.
+  void spec_to(std::string& out) const;
+
   /// Path extension without the dot, lower-cased ("" when absent).
   std::string extension() const;
 

@@ -276,6 +276,19 @@ std::string HttpEndpoint::render_metrics() const {
          "(trace clock).\n"
       << "# TYPE adscoped_watermark_ms gauge\n"
       << "adscoped_watermark_ms " << study_.watermark_ms() << "\n";
+  {
+    const auto classifier = study_.classifier_counters();
+    out << "# HELP adscoped_classify_cache_hits_total Classification "
+           "verdicts served from the per-shard memo.\n"
+        << "# TYPE adscoped_classify_cache_hits_total counter\n"
+        << "adscoped_classify_cache_hits_total "
+        << classifier.classify_cache_hits << "\n";
+    out << "# HELP adscoped_classify_cache_misses_total Classifications "
+           "computed by the filter engine.\n"
+        << "# TYPE adscoped_classify_cache_misses_total counter\n"
+        << "adscoped_classify_cache_misses_total "
+        << classifier.classify_cache_misses << "\n";
+  }
 
   if (ingest_ != nullptr) {
     out << "# HELP adscoped_stream_connections_total Ingest connections "

@@ -40,6 +40,7 @@ core::StudyView StudySnapshot::view() const noexcept {
   view.infra = &infra_;
   view.rtb = &rtb_;
   view.page_views = &page_views_;
+  view.classifier = &classifier_counters_;
   view.https_flows = https_flows_;
   view.inference_options = options_.inference;
   return view;
@@ -321,6 +322,17 @@ std::size_t LiveStudy::bucket_count() const {
     count += shard->buckets.size();
   }
   return count;
+}
+
+core::ClassifierCounters LiveStudy::classifier_counters() const {
+  core::ClassifierCounters totals;
+  for (const auto& shard : shards_) {
+    std::lock_guard lock(shard->mutex);
+    for (const auto& [id, bucket] : shard->buckets) {
+      totals.merge(bucket->study.classifier().counters());
+    }
+  }
+  return totals;
 }
 
 }  // namespace adscope::live

@@ -12,6 +12,11 @@ std::string to_lower(std::string_view s) {
   return out;
 }
 
+void to_lower_into(std::string_view s, std::string& out) {
+  out.resize(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) out[i] = ascii_lower(s[i]);
+}
+
 bool starts_with(std::string_view s, std::string_view prefix) noexcept {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }

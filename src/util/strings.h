@@ -29,6 +29,10 @@ constexpr bool is_ascii_alnum(char c) noexcept {
 /// Lower-case an entire string (ASCII only).
 std::string to_lower(std::string_view s);
 
+/// to_lower into a caller-owned buffer, reusing its capacity. `s` must not
+/// alias `out`.
+void to_lower_into(std::string_view s, std::string& out);
+
 /// True if `s` starts with `prefix` (case-sensitive).
 bool starts_with(std::string_view s, std::string_view prefix) noexcept;
 

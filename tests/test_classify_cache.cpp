@@ -1,0 +1,311 @@
+// ClassifyCache: memoization identity (cache-on == cache-off), CLOCK
+// eviction bounds, epoch invalidation, and the zero-allocation guarantee
+// of the warm classify path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "adblock/classify_cache.h"
+#include "adblock/engine.h"
+#include "core/classifier.h"
+#include "http/url.h"
+#include "util/strings.h"
+
+// --- global allocation-counting hook ---------------------------------
+// Counts every operator-new in the binary; tests snapshot the counter
+// around a region to assert the hot paths stay off the heap.
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}
+
+void* operator new(std::size_t size) {
+  ++g_allocations;
+  if (void* ptr = std::malloc(size ? size : 1)) return ptr;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  ++g_allocations;
+  if (void* ptr = std::malloc(size ? size : 1)) return ptr;
+  throw std::bad_alloc();
+}
+void operator delete(void* ptr) noexcept { std::free(ptr); }
+void operator delete[](void* ptr) noexcept { std::free(ptr); }
+void operator delete(void* ptr, std::size_t) noexcept { std::free(ptr); }
+void operator delete[](void* ptr, std::size_t) noexcept { std::free(ptr); }
+
+namespace adscope::adblock {
+namespace {
+
+std::uint64_t allocations() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+FilterEngine make_engine() {
+  FilterEngine engine;
+  engine.add_list(FilterList::parse("||adnet.test^\n"
+                                    "/banners/\n"
+                                    "track*.gif\n"
+                                    "@@||adnet.test/ok^\n",
+                                    ListKind::kEasyList, "el"));
+  return engine;
+}
+
+TEST(ClassifyCacheTest, FindAndInsertOnWarmKeysDoNotAllocate) {
+  ClassifyCache cache(256);
+  Classification verdict;
+  verdict.decision = Decision::kBlocked;
+  cache.insert(1, 2, 7, verdict);
+
+  const auto before = allocations();
+  for (int i = 0; i < 1000; ++i) {
+    const Classification* hit = cache.find(1, 2, 7);
+    ASSERT_NE(hit, nullptr);
+    ASSERT_EQ(hit->decision, Decision::kBlocked);
+    cache.insert(1, 2, 7, *hit);
+  }
+  // Eviction churn within existing sets is heap-free too.
+  for (std::uint64_t key = 0; key < 4096; ++key) {
+    cache.insert(key, key, 7, verdict);
+  }
+  EXPECT_EQ(allocations(), before);
+  EXPECT_EQ(cache.hits(), 1000u);
+}
+
+TEST(ClassifyCacheTest, WarmEngineClassifyDoesNotAllocate) {
+  const auto engine = make_engine();
+  const auto request = make_request("http://adnet.test/banners/a.gif",
+                                    "http://site.test/index.html",
+                                    http::RequestType::kImage);
+  const auto miss = make_request("http://plain.test/logo.png",
+                                 "http://site.test/index.html",
+                                 http::RequestType::kImage);
+  TokenScratch scratch;
+  // Warm the scratch once; from here the classify path owns no heap.
+  (void)scratch.tokenize(request.url_lower);
+
+  const auto before = allocations();
+  for (int i = 0; i < 500; ++i) {
+    const auto tokens = scratch.tokenize(request.url_lower);
+    const auto verdict = engine.classify(RequestView(request), tokens);
+    ASSERT_EQ(verdict.decision, Decision::kBlocked);
+    const auto miss_tokens = scratch.tokenize(miss.url_lower);
+    const auto miss_verdict = engine.classify(RequestView(miss), miss_tokens);
+    ASSERT_EQ(miss_verdict.decision, Decision::kNoMatch);
+  }
+  EXPECT_EQ(allocations(), before);
+}
+
+TEST(ClassifyCacheTest, DisabledCacheNeverHits) {
+  ClassifyCache cache(0);
+  EXPECT_FALSE(cache.enabled());
+  Classification verdict;
+  cache.insert(1, 2, 3, verdict);
+  EXPECT_EQ(cache.find(1, 2, 3), nullptr);
+  EXPECT_EQ(cache.capacity(), 0u);
+}
+
+TEST(ClassifyCacheTest, SizeStaysWithinCapacityUnderChurn) {
+  ClassifyCache cache(64);
+  Classification verdict;
+  for (std::uint64_t key = 0; key < 10000; ++key) {
+    cache.insert(key * 2654435761u, key, 1, verdict);
+  }
+  EXPECT_LE(cache.size(), cache.capacity());
+  EXPECT_GE(cache.capacity(), 64u);
+}
+
+TEST(ClassifyCacheTest, ReferencedEntriesGetASecondChance) {
+  ClassifyCache cache(ClassifyCache::kWays);  // a single set of 4 ways
+  Classification verdict;
+  // Fill the set: keys 0,16,32,48 land in ways 0..3 (set mask is 0).
+  for (std::uint64_t key = 0; key < 64; key += 16) {
+    cache.insert(key, key, 1, verdict);
+  }
+  // Overflow: the first full CLOCK sweep clears every reference bit and
+  // evicts way 0 (key 0); the hand stops at way 1.
+  cache.insert(64, 64, 1, verdict);
+  EXPECT_EQ(cache.find(0, 0, 1), nullptr);
+  ASSERT_NE(cache.find(16, 16, 1), nullptr);  // re-references way 1
+
+  // Next eviction starts at way 1: key 16 is referenced, so the hand
+  // skips it and takes way 2 (key 32) instead.
+  cache.insert(80, 80, 1, verdict);
+  EXPECT_NE(cache.find(16, 16, 1), nullptr);
+  EXPECT_EQ(cache.find(32, 32, 1), nullptr);
+  EXPECT_NE(cache.find(80, 80, 1), nullptr);
+}
+
+TEST(ClassifyCacheTest, EpochChangeInvalidatesEverything) {
+  ClassifyCache cache(64);
+  Classification verdict;
+  verdict.decision = Decision::kWhitelisted;
+  cache.insert(5, 6, 1, verdict);
+  ASSERT_NE(cache.find(5, 6, 1), nullptr);
+
+  EXPECT_EQ(cache.find(5, 6, 2), nullptr);  // epoch bumped -> cold
+  EXPECT_EQ(cache.size(), 0u);
+  cache.insert(5, 6, 2, verdict);
+  EXPECT_NE(cache.find(5, 6, 2), nullptr);
+  // The old epoch is gone for good (monotonic config versions).
+  EXPECT_EQ(cache.find(5, 6, 3), nullptr);
+}
+
+TEST(ClassifyCacheTest, EngineEpochBumpsOnConfigChange) {
+  FilterEngine engine;
+  const auto e0 = engine.config_epoch();
+  const auto id = engine.add_list(
+      FilterList::parse("/ads/\n", ListKind::kEasyList, "el"));
+  const auto e1 = engine.config_epoch();
+  EXPECT_NE(e0, e1);
+  engine.set_enabled(id, false);
+  const auto e2 = engine.config_epoch();
+  EXPECT_NE(e1, e2);
+  engine.set_enabled(id, false);  // no-op: same state
+  EXPECT_EQ(engine.config_epoch(), e2);
+}
+
+}  // namespace
+}  // namespace adscope::adblock
+
+namespace adscope::core {
+namespace {
+
+analyzer::WebObject web_object(const std::string& url,
+                               const std::string& referer,
+                               const std::string& mime,
+                               netdb::IpV4 client = 1) {
+  analyzer::WebObject web;
+  web.url = *http::Url::parse(url);
+  web.referer = referer;
+  web.content_type = mime;
+  web.status_code = 200;
+  web.client_ip = client;
+  web.user_agent = "test-ua";
+  web.content_length = 100;
+  return web;
+}
+
+std::vector<analyzer::WebObject> zipf_stream() {
+  std::vector<analyzer::WebObject> stream;
+  for (int round = 0; round < 20; ++round) {
+    stream.push_back(
+        web_object("http://site.test/index.html", "", "text/html"));
+    // The same hot resources over and over (the Zipf head)...
+    for (int rep = 0; rep < 5; ++rep) {
+      stream.push_back(web_object("http://adnet.test/banners/hot.gif",
+                                  "http://site.test/index.html",
+                                  "image/gif"));
+      stream.push_back(web_object("http://static.test/app.js",
+                                  "http://site.test/index.html",
+                                  "application/javascript"));
+    }
+    // ...plus a unique tail entry per round.
+    stream.push_back(web_object(
+        "http://tail.test/item" + std::to_string(round) + ".png",
+        "http://site.test/index.html", "image/png"));
+  }
+  return stream;
+}
+
+using Emitted = std::tuple<std::string, int, std::string, std::string, int>;
+
+std::pair<std::vector<Emitted>, ClassifierCounters> run_stream(
+    const adblock::FilterEngine& engine, std::size_t cache_entries) {
+  ClassifierOptions options;
+  options.classify_cache = cache_entries;
+  TraceClassifier classifier(engine, options);
+  std::vector<Emitted> emitted;
+  classifier.set_callback([&](const ClassifiedObject& out) {
+    emitted.emplace_back(out.object.url.spec(),
+                         static_cast<int>(out.verdict.decision),
+                         out.page_url, out.page_host,
+                         static_cast<int>(out.verdict.list));
+  });
+  for (const auto& object : zipf_stream()) classifier.process(object);
+  classifier.flush();
+  return {std::move(emitted), classifier.counters()};
+}
+
+TEST(ClassifierCacheTest, CacheOnMatchesCacheOffExactly) {
+  adblock::FilterEngine engine;
+  engine.add_list(adblock::FilterList::parse("||adnet.test^$third-party\n"
+                                             "/banners/\n"
+                                             "@@||adnet.test/ok^\n",
+                                             adblock::ListKind::kEasyList,
+                                             "el"));
+  const auto cached = run_stream(engine, 4096);
+  const auto uncached = run_stream(engine, 0);
+
+  EXPECT_EQ(cached.first, uncached.first);
+  EXPECT_GT(cached.second.classify_cache_hits, 0u);
+  EXPECT_EQ(uncached.second.classify_cache_hits, 0u);
+  EXPECT_EQ(uncached.second.classify_cache_misses, 0u);
+  EXPECT_EQ(cached.second.classify_cache_hits +
+                cached.second.classify_cache_misses,
+            cached.second.processed);
+}
+
+TEST(ClassifierCacheTest, CountersMergeIncludesCacheFields) {
+  ClassifierCounters a;
+  a.classify_cache_hits = 3;
+  a.classify_cache_misses = 5;
+  ClassifierCounters b;
+  b.classify_cache_hits = 10;
+  b.classify_cache_misses = 1;
+  a.merge(b);
+  EXPECT_EQ(a.classify_cache_hits, 13u);
+  EXPECT_EQ(a.classify_cache_misses, 6u);
+}
+
+TEST(ClassifierCacheTest, PageContextMatchesFreshComputation) {
+  PageContext context;
+  const std::vector<std::string> pages = {
+      "http://site.test/index.html",
+      "http://site.test/index.html",  // repeat -> memo hit
+      "HTTP://Other.Test/Page",
+      "",
+      "not a url",
+      "http://site.test/index.html",
+  };
+  for (const auto& page : pages) {
+    const auto& info = context.lookup(page);
+    EXPECT_EQ(info.page, page);
+    EXPECT_EQ(info.page_lower, util::to_lower(page));
+    std::string expected_host;
+    if (!page.empty()) {
+      if (const auto parsed = http::Url::parse(page)) {
+        expected_host = parsed->host();
+      }
+    }
+    EXPECT_EQ(info.page_host, expected_host) << page;
+  }
+}
+
+TEST(ClassifierCacheTest, MakeRequestIntoMatchesMakeRequest) {
+  adblock::Request reused;
+  const std::vector<std::tuple<std::string, std::string, http::RequestType>>
+      cases = {
+          {"http://a.test/x.gif", "http://page.test/", http::RequestType::kImage},
+          {"  http://trim.test/y ", "", http::RequestType::kScript},
+          {"HTTPS://Upper.Test/Z?Q=1", "HTTP://Page.Test/Index.HTML",
+           http::RequestType::kDocument},
+      };
+  for (const auto& [url, page, type] : cases) {
+    const auto fresh = adblock::make_request(url, page, type);
+    adblock::make_request_into(url, page, type, reused);
+    EXPECT_EQ(reused.url, fresh.url);
+    EXPECT_EQ(reused.url_lower, fresh.url_lower);
+    EXPECT_EQ(reused.host, fresh.host);
+    EXPECT_EQ(reused.page_host, fresh.page_host);
+    EXPECT_EQ(reused.page_url_lower, fresh.page_url_lower);
+    EXPECT_EQ(reused.type, fresh.type);
+  }
+}
+
+}  // namespace
+}  // namespace adscope::core

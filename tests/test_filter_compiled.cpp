@@ -1,0 +1,263 @@
+// Differential tests for the compiled pattern programs (DESIGN.md §4.1):
+// the fast-path matchers must agree byte-for-byte with the recursive
+// oracle on generated URLs, and ABP golden cases pin the anchor/option
+// semantics the compiler must preserve.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "adblock/engine.h"
+#include "adblock/filter.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace adscope::adblock {
+namespace {
+
+Filter parse_ok(std::string_view line) {
+  auto filter = Filter::parse(line);
+  EXPECT_TRUE(filter.has_value()) << "rule failed to parse: " << line;
+  return *filter;
+}
+
+// Fixture list covering every pattern class and anchor combination the
+// compiler discriminates on.
+const std::vector<std::string>& fixture_rules() {
+  static const std::vector<std::string> rules = {
+      // Plain literals (kLiteral), with and without anchors.
+      "/banner/",
+      "ads.js",
+      "|http://track.",
+      ".swf|",
+      "|http://cdn.test/app.js|",
+      "||ads.test^",
+      "||static.ads.test/img",
+      // Separator placeholders and wildcards (kGeneral).
+      "/ad^",
+      "^promo^",
+      "/banners/*/img",
+      "||ads.test^*/pixel",
+      "track*.gif|",
+      "*/sponsor/*",
+      "^ad*cdn^",
+      "||a.test^*^b*",
+      "ad*",
+      "*ads",
+      "**",
+      // Options that interact with matching.
+      "banner$match-case",
+      "/PROMO/$match-case",
+      "||ads.test^$domain=site.test|~private.site.test",
+      "@@||ads.test/ok^",
+      "@@/banners/*/safe$image",
+  };
+  return rules;
+}
+
+std::string random_token(util::Rng& rng, std::size_t min_len,
+                         std::size_t max_len) {
+  static const char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyzABCDE0123456789";
+  const auto length = min_len + rng.below(max_len - min_len + 1);
+  std::string out;
+  for (std::size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[rng.below(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+// URLs biased toward rule fragments so the interesting branches (partial
+// matches, backtracking, anchors at both ends) actually execute.
+std::string random_url(util::Rng& rng) {
+  const auto& rules = fixture_rules();
+  std::string url = rng.chance(0.5) ? "http://" : "https://";
+  if (rng.chance(0.3)) url += random_token(rng, 2, 5) + ".";
+  url += rng.chance(0.4) ? "ads.test" : random_token(rng, 3, 8) + ".test";
+  url += "/";
+  for (int piece = 0; piece < 3; ++piece) {
+    if (rng.chance(0.55)) {
+      auto fragment = rules[rng.below(rules.size())];
+      std::erase(fragment, '@');
+      std::erase(fragment, '|');
+      if (rng.chance(0.5)) std::erase(fragment, '^');
+      if (rng.chance(0.5)) std::erase(fragment, '*');
+      const auto dollar = fragment.find('$');
+      if (dollar != std::string::npos) fragment.resize(dollar);
+      url += fragment;
+    } else {
+      url += random_token(rng, 2, 10);
+    }
+    if (piece < 2 && rng.chance(0.6)) url += rng.chance(0.5) ? "/" : "";
+  }
+  if (rng.chance(0.3)) {
+    url += "?" + random_token(rng, 2, 4) + "=" + random_token(rng, 2, 8);
+  }
+  return url;
+}
+
+TEST(FilterCompiled, DifferentialAgainstOracleOnGeneratedUrls) {
+  std::vector<Filter> filters;
+  for (const auto& rule : fixture_rules()) filters.push_back(parse_ok(rule));
+
+  util::Rng rng(424242);
+  std::size_t checked = 0;
+  for (int i = 0; i < 6000; ++i) {
+    const auto url = random_url(rng);
+    const auto url_lower = util::to_lower(url);
+    for (const auto& filter : filters) {
+      const bool compiled = filter.matches_url(url_lower, url);
+      const bool oracle = filter.matches_url_oracle(url_lower, url);
+      ASSERT_EQ(compiled, oracle)
+          << "rule '" << filter.text() << "' vs url '" << url << "'";
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 5000u * fixture_rules().size() / 2);
+}
+
+TEST(FilterCompiled, ClassificationIdenticalToBruteForce) {
+  std::string list_text;
+  for (const auto& rule : fixture_rules()) list_text += rule + "\n";
+  FilterEngine engine;
+  engine.add_list(
+      FilterList::parse(list_text, ListKind::kEasyList, "fixture"));
+  const auto& list = engine.list(0);
+
+  util::Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    const auto request = make_request(
+        random_url(rng),
+        rng.chance(0.6) ? "http://site.test/page.html" : "",
+        rng.chance(0.3) ? http::RequestType::kScript
+                        : http::RequestType::kImage);
+    const Filter* blocking = nullptr;
+    const Filter* exception = nullptr;
+    for (const auto& filter : list.filters()) {
+      if (!filter.matches(request)) continue;
+      if (filter.is_exception()) {
+        if (exception == nullptr) exception = &filter;
+      } else if (blocking == nullptr) {
+        blocking = &filter;
+      }
+    }
+    // The engine's winning filter follows token-scan order (not list
+    // order), so assert the decision and that the attribution is a real
+    // match of the right kind.
+    const auto verdict = engine.classify(request);
+    if (exception != nullptr) {
+      ASSERT_EQ(verdict.decision, Decision::kWhitelisted) << request.url;
+      ASSERT_NE(verdict.filter, nullptr);
+      ASSERT_TRUE(verdict.filter->is_exception());
+      ASSERT_TRUE(verdict.filter->matches(request)) << request.url;
+    } else if (blocking != nullptr) {
+      ASSERT_EQ(verdict.decision, Decision::kBlocked) << request.url;
+      ASSERT_NE(verdict.filter, nullptr);
+      ASSERT_FALSE(verdict.filter->is_exception());
+      ASSERT_TRUE(verdict.filter->matches(request)) << request.url;
+    } else {
+      ASSERT_EQ(verdict.decision, Decision::kNoMatch) << request.url;
+    }
+  }
+}
+
+TEST(FilterCompiled, PatternClassAssignment) {
+  EXPECT_EQ(parse_ok("/banner/").pattern_class(), PatternClass::kLiteral);
+  EXPECT_EQ(parse_ok("|http://x.test/a|").pattern_class(),
+            PatternClass::kLiteral);
+  EXPECT_EQ(parse_ok("||ads.test/img").pattern_class(),
+            PatternClass::kLiteral);
+  EXPECT_EQ(parse_ok("||ads.test^").pattern_class(), PatternClass::kGeneral);
+  EXPECT_EQ(parse_ok("/a/*/b").pattern_class(), PatternClass::kGeneral);
+}
+
+// --- ABP golden cases -------------------------------------------------
+
+bool hits(const Filter& filter, const std::string& url,
+          const std::string& page = "",
+          http::RequestType type = http::RequestType::kImage) {
+  const auto request = make_request(url, page, type);
+  const bool compiled = filter.matches(request);
+  // Every golden simultaneously checks the oracle path.
+  EXPECT_EQ(filter.matches_url(request.url_lower, request.url),
+            filter.matches_url_oracle(request.url_lower, request.url))
+      << filter.text() << " vs " << url;
+  return compiled;
+}
+
+TEST(FilterGolden, DomainAnchor) {
+  const auto filter = parse_ok("||ads.test^");
+  EXPECT_TRUE(hits(filter, "http://ads.test/banner.gif"));
+  EXPECT_TRUE(hits(filter, "https://cdn.ads.test/banner.gif"));
+  EXPECT_TRUE(hits(filter, "http://ads.test:8080/banner.gif"));
+  EXPECT_FALSE(hits(filter, "http://badads.test/banner.gif"));
+  EXPECT_FALSE(hits(filter, "http://ads.test.evil.example/x"));
+  EXPECT_FALSE(hits(filter, "http://site.test/http://ads.test/x"));
+}
+
+TEST(FilterGolden, StartAndEndAnchors) {
+  const auto start = parse_ok("|http://track.");
+  EXPECT_TRUE(hits(start, "http://track.test/p.gif"));
+  EXPECT_FALSE(hits(start, "https://track.test/p.gif"));
+  EXPECT_FALSE(hits(start, "http://x.test/http://track.y/"));
+
+  const auto end = parse_ok(".swf|");
+  EXPECT_TRUE(hits(end, "http://x.test/movie.swf"));
+  EXPECT_FALSE(hits(end, "http://x.test/movie.swf?x=1"));
+
+  const auto both = parse_ok("|http://cdn.test/app.js|");
+  EXPECT_TRUE(hits(both, "http://cdn.test/app.js"));
+  EXPECT_FALSE(hits(both, "http://cdn.test/app.js2"));
+}
+
+TEST(FilterGolden, SeparatorPlaceholder) {
+  const auto filter = parse_ok("/ad^");
+  EXPECT_TRUE(hits(filter, "http://x.test/ad/img.gif"));
+  EXPECT_TRUE(hits(filter, "http://x.test/ad?x=1"));
+  // End of address counts as a separator (ABP documented rule).
+  EXPECT_TRUE(hits(filter, "http://x.test/ad"));
+  EXPECT_FALSE(hits(filter, "http://x.test/admin/"));
+}
+
+TEST(FilterGolden, DomainOption) {
+  const auto filter =
+      parse_ok("||ads.test^$domain=site.test|~private.site.test");
+  EXPECT_TRUE(
+      hits(filter, "http://ads.test/b.gif", "http://site.test/index.html"));
+  EXPECT_TRUE(
+      hits(filter, "http://ads.test/b.gif", "http://www.site.test/a.html"));
+  EXPECT_FALSE(hits(filter, "http://ads.test/b.gif",
+                    "http://private.site.test/a.html"));
+  EXPECT_FALSE(
+      hits(filter, "http://ads.test/b.gif", "http://other.test/a.html"));
+  EXPECT_FALSE(hits(filter, "http://ads.test/b.gif", ""));
+}
+
+TEST(FilterGolden, MatchCase) {
+  const auto filter = parse_ok("/PROMO/$match-case");
+  EXPECT_TRUE(hits(filter, "http://x.test/PROMO/1.gif"));
+  EXPECT_FALSE(hits(filter, "http://x.test/promo/1.gif"));
+
+  const auto insensitive = parse_ok("/promo/");
+  EXPECT_TRUE(hits(insensitive, "http://x.test/PROMO/1.gif"));
+}
+
+TEST(FilterGolden, WildcardBacktracking) {
+  const auto filter = parse_ok("/banners/*/img");
+  EXPECT_TRUE(hits(filter, "http://x.test/banners/a/img.png"));
+  EXPECT_TRUE(hits(filter, "http://x.test/banners/a/b/img.png"));
+  EXPECT_FALSE(hits(filter, "http://x.test/banners/img.png"));
+
+  // Trailing wildcard with an end anchor must still match.
+  const auto trail = parse_ok("track*.gif|");
+  EXPECT_TRUE(hits(trail, "http://x.test/tracker/a.gif"));
+  EXPECT_FALSE(hits(trail, "http://x.test/tracker/a.gif?x=1"));
+
+  // A pattern ending in '^' accepts end-of-address after a wildcard.
+  const auto caret_end = parse_ok("ad*^");
+  EXPECT_TRUE(hits(caret_end, "http://x.test/ad"));
+  EXPECT_TRUE(hits(caret_end, "http://x.test/adx/"));
+}
+
+}  // namespace
+}  // namespace adscope::adblock

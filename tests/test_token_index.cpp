@@ -1,0 +1,176 @@
+// TokenIndex: flat probe-table correctness vs the build-map path, URL
+// token dedup (the duplicate-bucket-visit bug), and TokenScratch reuse.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "adblock/filter.h"
+#include "adblock/token_index.h"
+#include "util/rng.h"
+
+namespace adscope::adblock {
+namespace {
+
+Filter parse_ok(std::string_view line) {
+  auto filter = Filter::parse(line);
+  EXPECT_TRUE(filter.has_value()) << "rule failed to parse: " << line;
+  return *filter;
+}
+
+TEST(UrlTokens, DuplicateTokensAreDeduplicated) {
+  const auto tokens = url_token_hashes("http://x.test/ads/ads/ads.js");
+  std::set<std::uint64_t> unique(tokens.begin(), tokens.end());
+  EXPECT_EQ(tokens.size(), unique.size());
+
+  // Order is first occurrence, not sorted: scan attribution depends on it.
+  const auto once = url_token_hashes("http://x.test/ads/only.js");
+  const auto thrice = url_token_hashes("http://x.test/ads/ads/ads.js");
+  const auto ads_pos_once =
+      std::find(once.begin(), once.end(),
+                url_token_hashes("ads").front()) - once.begin();
+  const auto ads_pos_thrice =
+      std::find(thrice.begin(), thrice.end(),
+                url_token_hashes("ads").front()) - thrice.begin();
+  EXPECT_EQ(ads_pos_once, ads_pos_thrice);
+}
+
+// Regression: before dedup, a token occurring N times in the URL made
+// scan() visit its bucket N times and re-evaluate every filter in it.
+TEST(TokenIndexTest, RepeatedUrlTokenEvaluatesFiltersOnce) {
+  const auto filter = parse_ok("/ads/banner");
+  TokenIndex index;
+  index.add(&filter);
+  index.finalize();
+
+  TokenScratch scratch;
+  const auto tokens = scratch.tokenize("http://x.test/ads/ads/ads.js");
+  std::size_t evaluations = 0;
+  index.scan(tokens, [&](const Filter&) {
+    ++evaluations;
+    return false;
+  });
+  EXPECT_EQ(evaluations, 1u);
+}
+
+TEST(TokenScratchTest, MatchesVectorTokenizer) {
+  const std::vector<std::string> urls = {
+      "",
+      "http://a.test/",
+      "http://x.test/ads/ads/ads.js",
+      "https://sub.domain.test/path/to/resource.png?q=1&track=abc",
+      "no-keyword-chars-!!!-##",
+      "ab.cd.ef",  // every run below keyword length
+  };
+  TokenScratch scratch;
+  for (const auto& url : urls) {
+    const auto expected = url_token_hashes(url);
+    const auto got = scratch.tokenize(url);
+    ASSERT_EQ(expected.size(), got.size()) << url;
+    EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()))
+        << url;
+  }
+}
+
+TEST(TokenScratchTest, OverflowSpillsWithoutLosingTokens) {
+  // More distinct tokens than the inline capacity.
+  std::string url = "http://x.test/";
+  for (std::size_t i = 0; i < TokenScratch::kInlineCapacity + 40; ++i) {
+    url += "tok" + std::to_string(i) + "/";
+  }
+  TokenScratch scratch;
+  const auto expected = url_token_hashes(url);
+  ASSERT_GT(expected.size(), TokenScratch::kInlineCapacity);
+  const auto got = scratch.tokenize(url);
+  ASSERT_EQ(expected.size(), got.size());
+  EXPECT_TRUE(std::equal(expected.begin(), expected.end(), got.begin()));
+
+  // The scratch stays usable (and correct) after a spill.
+  const auto small = scratch.tokenize("http://y.test/just/one");
+  EXPECT_EQ(small.size(), url_token_hashes("http://y.test/just/one").size());
+}
+
+std::vector<const Filter*> scan_all(const TokenIndex& index,
+                                    std::span<const std::uint64_t> tokens) {
+  std::vector<const Filter*> out;
+  index.scan(tokens, [&](const Filter& filter) {
+    out.push_back(&filter);
+    return false;
+  });
+  return out;
+}
+
+TEST(TokenIndexTest, FinalizedScanIdenticalToBuildMapScan) {
+  util::Rng rng(99);
+  std::vector<Filter> filters;
+  for (int i = 0; i < 200; ++i) {
+    std::string rule = "/kw" + std::to_string(rng.below(60)) + "x" +
+                       std::to_string(i) + "/";
+    if (i % 7 == 0) rule = "^^^";  // no keyword -> unindexed
+    filters.push_back(parse_ok(rule));
+  }
+  TokenIndex flat;
+  TokenIndex map;
+  for (const auto& filter : filters) {
+    flat.add(&filter);
+    map.add(&filter);
+  }
+  flat.finalize();
+  ASSERT_TRUE(flat.finalized());
+  ASSERT_FALSE(map.finalized());
+  EXPECT_EQ(flat.indexed_count(), map.indexed_count());
+  EXPECT_EQ(flat.bucket_count(), map.bucket_count());
+  EXPECT_GE(flat.table_slots(), flat.bucket_count() * 2);
+
+  TokenScratch scratch;
+  for (int probe = 0; probe < 500; ++probe) {
+    std::string url = "http://t.test/";
+    for (int piece = 0; piece < 4; ++piece) {
+      url += "kw" + std::to_string(rng.below(80)) + "x" +
+             std::to_string(rng.below(220)) + "/";
+    }
+    const auto tokens = scratch.tokenize(url);
+    EXPECT_EQ(scan_all(flat, tokens), scan_all(map, tokens)) << url;
+  }
+}
+
+TEST(TokenIndexTest, EarlyStopStopsScan) {
+  const auto first = parse_ok("/stopword/a");
+  const auto second = parse_ok("/stopword/b");
+  TokenIndex index;
+  index.add(&first);
+  index.add(&second);
+  index.finalize();
+  TokenScratch scratch;
+  std::size_t seen = 0;
+  const bool stopped =
+      index.scan(scratch.tokenize("http://x.test/stopword/a"),
+                 [&](const Filter&) { return ++seen == 1; });
+  EXPECT_TRUE(stopped);
+  EXPECT_EQ(seen, 1u);
+}
+
+TEST(TokenIndexTest, FinalizeIsIdempotentAndAddThrowsAfter) {
+  const auto filter = parse_ok("/something/");
+  TokenIndex index;
+  index.add(&filter);
+  index.finalize();
+  const auto slots = index.table_slots();
+  index.finalize();  // no-op
+  EXPECT_EQ(index.table_slots(), slots);
+  EXPECT_THROW(index.add(&filter), std::logic_error);
+}
+
+TEST(TokenIndexTest, EmptyIndexScansNothing) {
+  TokenIndex index;
+  index.finalize();
+  TokenScratch scratch;
+  EXPECT_FALSE(index.scan(scratch.tokenize("http://x.test/anything"),
+                          [](const Filter&) { return true; }));
+}
+
+}  // namespace
+}  // namespace adscope::adblock

@@ -74,6 +74,8 @@ void usage() {
       "  --window-s N      sliding window span, seconds (default 86400)\n"
       "  --threads N       analysis shards (default 1; 0 = hw threads)\n"
       "  --active-min N    active-browser request threshold (default 1000)\n"
+      "  --classify-cache N  per-shard classification memo entries\n"
+      "                    (default 4096, 0 disables)\n"
       "  --seed S          filter-list world seed — must match the trace\n"
       "                    producer's (default 42)\n"
       "  --snapshot-out F  final snapshot JSON on shutdown\n"
@@ -96,6 +98,8 @@ int run(const Args& args) {
 
   live::LiveStudyOptions options;
   options.study.inference.min_requests = args.get_u64("active-min", 1000);
+  options.study.classifier.classify_cache =
+      args.get_u64("classify-cache", 4096);
   options.threads = args.get_u64("threads", 1);
   options.bucket_seconds = args.get_u64("bucket-s", 300);
   const auto window_s = args.get_u64("window-s", 86400);
