@@ -1,0 +1,256 @@
+// Micro-benchmarks for the filter-list linter (DESIGN.md §8): full
+// run_lint cost over the generated list set, pruned-text emission, and
+// the payoff side — engine load time, token-index footprint and
+// classification throughput of the original vs the pruned lists. A
+// custom main() re-times the headline numbers and emits BENCH_lint.json
+// via JsonMetrics so CI can track both the analyzer's own cost and the
+// prune dividend.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "adblock/token_index.h"
+#include "experiment_common.h"
+#include "lint/linter.h"
+
+namespace {
+
+using namespace adscope;
+
+const bench::World& world() {
+  static const bench::World instance = bench::make_world();
+  return instance;
+}
+
+// The four generated subscriptions, exactly as `adscope lint` would see
+// them on disk.
+const std::vector<lint::LintSource>& sources() {
+  static const std::vector<lint::LintSource> instance = [] {
+    const auto& lists = world().lists;
+    return std::vector<lint::LintSource>{
+        {"easylist", lists.easylist, adblock::ListKind::kEasyList},
+        {"easylistgermany", lists.easylist_derivative,
+         adblock::ListKind::kEasyListDerivative},
+        {"easyprivacy", lists.easyprivacy, adblock::ListKind::kEasyPrivacy},
+        {"exceptionrules", lists.acceptable_ads,
+         adblock::ListKind::kAcceptableAds},
+    };
+  }();
+  return instance;
+}
+
+const lint::LintResult& lint_result() {
+  static const lint::LintResult instance = lint::run_lint(sources());
+  return instance;
+}
+
+const std::vector<std::string>& pruned_texts() {
+  static const std::vector<std::string> instance = [] {
+    std::vector<std::string> out;
+    for (std::size_t s = 0; s < sources().size(); ++s) {
+      out.push_back(lint::emit_pruned(sources()[s].text,
+                                      lint_result().prunable_lines[s]));
+    }
+    return out;
+  }();
+  return instance;
+}
+
+adblock::FilterEngine build_engine(bool pruned) {
+  adblock::FilterEngine engine;
+  for (std::size_t s = 0; s < sources().size(); ++s) {
+    const auto& source = sources()[s];
+    engine.add_list(adblock::FilterList::parse(
+        pruned ? pruned_texts()[s] : source.text, source.kind, source.name));
+  }
+  return engine;
+}
+
+/// Total probe-table/arena/bloom footprint of the keyword indexes an
+/// engine would build over these lists (blocking + exception sides).
+std::size_t index_memory_bytes(bool pruned) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < sources().size(); ++s) {
+    const auto list = adblock::FilterList::parse(
+        pruned ? pruned_texts()[s] : sources()[s].text, sources()[s].kind,
+        sources()[s].name);
+    adblock::TokenIndex blocking;
+    adblock::TokenIndex exceptions;
+    for (const auto& filter : list.filters()) {
+      (filter.is_exception() ? exceptions : blocking).add(&filter);
+    }
+    blocking.finalize();
+    exceptions.finalize();
+    total += blocking.approx_memory_bytes() + exceptions.approx_memory_bytes();
+  }
+  return total;
+}
+
+// A stream of requests drawn from real simulated pages.
+const std::vector<adblock::Request>& request_stream() {
+  static const std::vector<adblock::Request> stream = [] {
+    std::vector<adblock::Request> requests;
+    sim::PageModel model(world().ecosystem);
+    util::Rng rng(7);
+    for (std::size_t site = 0; site < 200; ++site) {
+      const auto page =
+          model.build(site % world().ecosystem.publishers().size(), rng);
+      for (const auto& request : page.requests) {
+        requests.push_back(adblock::make_request(request.url, page.page_url,
+                                                 request.true_type));
+      }
+    }
+    return requests;
+  }();
+  return stream;
+}
+
+void BM_LintRun(benchmark::State& state) {
+  for (auto _ : state) {
+    auto result = lint::run_lint(sources());
+    benchmark::DoNotOptimize(result.diagnostics.data());
+  }
+  state.counters["rules"] =
+      static_cast<double>(lint_result().stats.rules);
+  state.counters["prunable"] =
+      static_cast<double>(lint_result().stats.prunable);
+}
+BENCHMARK(BM_LintRun)->Unit(benchmark::kMillisecond);
+
+void BM_EmitPruned(benchmark::State& state) {
+  for (auto _ : state) {
+    for (std::size_t s = 0; s < sources().size(); ++s) {
+      auto text = lint::emit_pruned(sources()[s].text,
+                                    lint_result().prunable_lines[s]);
+      benchmark::DoNotOptimize(text.data());
+    }
+  }
+}
+BENCHMARK(BM_EmitPruned)->Unit(benchmark::kMillisecond);
+
+void BM_EngineLoad(benchmark::State& state) {
+  const bool pruned = state.range(0) != 0;
+  for (auto _ : state) {
+    auto engine = build_engine(pruned);
+    benchmark::DoNotOptimize(engine.active_filter_count());
+  }
+}
+BENCHMARK(BM_EngineLoad)
+    ->Arg(0)
+    ->Arg(1)
+    ->ArgName("pruned")
+    ->Unit(benchmark::kMillisecond);
+
+void BM_Classify(benchmark::State& state) {
+  const bool pruned = state.range(0) != 0;
+  const auto engine = build_engine(pruned);
+  const auto& stream = request_stream();
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto verdict = engine.classify(stream[i]);
+    benchmark::DoNotOptimize(&verdict);
+    if (++i == stream.size()) i = 0;
+  }
+}
+BENCHMARK(BM_Classify)->Arg(0)->Arg(1)->ArgName("pruned");
+
+// ---------------------------------------------------------------------------
+// Headline numbers -> BENCH_lint.json (when ADSCOPE_JSON_DIR is set).
+
+double elapsed_ms(void (*body)()) {
+  const auto start = std::chrono::steady_clock::now();
+  body();
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(stop - start).count();
+}
+
+double min_of_repeats(int repeats, double (*measure)()) {
+  double best = measure();
+  for (int i = 1; i < repeats; ++i) best = std::min(best, measure());
+  return best;
+}
+
+double measure_lint_ms() {
+  return elapsed_ms([] {
+    auto result = lint::run_lint(sources());
+    benchmark::DoNotOptimize(result.diagnostics.data());
+  });
+}
+
+double measure_load_original_ms() {
+  return elapsed_ms([] {
+    auto engine = build_engine(false);
+    benchmark::DoNotOptimize(engine.active_filter_count());
+  });
+}
+
+double measure_load_pruned_ms() {
+  return elapsed_ms([] {
+    auto engine = build_engine(true);
+    benchmark::DoNotOptimize(engine.active_filter_count());
+  });
+}
+
+double classify_ns(const adblock::FilterEngine& engine) {
+  const auto& stream = request_stream();
+  const auto start = std::chrono::steady_clock::now();
+  for (const auto& request : stream) {
+    const auto verdict = engine.classify(request);
+    benchmark::DoNotOptimize(&verdict);
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(stop - start).count() /
+         static_cast<double>(stream.size());
+}
+
+void emit_json_metrics() {
+  bench::JsonMetrics json("lint");
+  if (!json.enabled()) return;
+
+  const auto& stats = lint_result().stats;
+  json.record("rules", static_cast<double>(stats.rules));
+  json.record("diagnostics",
+              static_cast<double>(lint_result().diagnostics.size()));
+  json.record("errors", static_cast<double>(stats.errors));
+  json.record("warnings", static_cast<double>(stats.warnings));
+  json.record("prunable", static_cast<double>(stats.prunable));
+  json.record("lint_ms", min_of_repeats(5, &measure_lint_ms));
+
+  const double load_original = min_of_repeats(5, &measure_load_original_ms);
+  const double load_pruned = min_of_repeats(5, &measure_load_pruned_ms);
+  json.record("engine_load_original_ms", load_original);
+  json.record("engine_load_pruned_ms", load_pruned);
+
+  const auto memory_original =
+      static_cast<double>(index_memory_bytes(false));
+  const auto memory_pruned = static_cast<double>(index_memory_bytes(true));
+  json.record("index_memory_original_bytes", memory_original);
+  json.record("index_memory_pruned_bytes", memory_pruned);
+  json.record("index_memory_saved_bytes", memory_original - memory_pruned);
+
+  const auto original = build_engine(false);
+  const auto pruned = build_engine(true);
+  double classify_original = classify_ns(original);
+  double classify_pruned = classify_ns(pruned);
+  for (int i = 1; i < 3; ++i) {
+    classify_original = std::min(classify_original, classify_ns(original));
+    classify_pruned = std::min(classify_pruned, classify_ns(pruned));
+  }
+  json.record("classify_original_ns", classify_original);
+  json.record("classify_pruned_ns", classify_pruned);
+  json.record("classify_prune_speedup", classify_original / classify_pruned);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_json_metrics();
+  return 0;
+}

@@ -1,5 +1,7 @@
 #include "adblock/filter.h"
 
+#include <utility>
+
 #include "http/public_suffix.h"
 #include "util/strings.h"
 
@@ -110,14 +112,50 @@ bool match_program(std::string_view pat, std::string_view text,
 
 }  // namespace
 
-std::optional<Filter> Filter::parse(std::string_view line) {
+std::string_view to_string(ParseDiagnosis::Reason reason) noexcept {
+  using Reason = ParseDiagnosis::Reason;
+  switch (reason) {
+    case Reason::kNone: return "ok";
+    case Reason::kEmpty: return "empty-line";
+    case Reason::kComment: return "comment";
+    case Reason::kElementHiding: return "element-hiding";
+    case Reason::kBadElementHiding: return "bad-element-hiding";
+    case Reason::kUnknownOption: return "unknown-option";
+    case Reason::kBadOptionSyntax: return "bad-option-syntax";
+    case Reason::kBadRegex: return "bad-regex";
+    case Reason::kEmptyPattern: return "empty-pattern";
+  }
+  return "ok";
+}
+
+namespace {
+
+void diagnose(ParseDiagnosis* why, ParseDiagnosis::Reason reason,
+              std::string detail = {}) {
+  if (why == nullptr) return;
+  why->reason = reason;
+  why->detail = std::move(detail);
+}
+
+}  // namespace
+
+std::optional<Filter> Filter::parse(std::string_view line,
+                                    ParseDiagnosis* why) {
+  diagnose(why, ParseDiagnosis::Reason::kNone);
   auto text = util::trim(line);
-  if (text.empty()) return std::nullopt;
-  if (text[0] == '!' || text[0] == '[') return std::nullopt;  // comment
+  if (text.empty()) {
+    diagnose(why, ParseDiagnosis::Reason::kEmpty);
+    return std::nullopt;
+  }
+  if (text[0] == '!' || text[0] == '[') {  // comment / list header
+    diagnose(why, ParseDiagnosis::Reason::kComment);
+    return std::nullopt;
+  }
   // Element-hiding rules are handled by FilterList, not here.
   if (text.find("##") != std::string_view::npos ||
       text.find("#@#") != std::string_view::npos ||
       text.find("#?#") != std::string_view::npos) {
+    diagnose(why, ParseDiagnosis::Reason::kElementHiding);
     return std::nullopt;
   }
 
@@ -133,7 +171,7 @@ std::optional<Filter> Filter::parse(std::string_view line) {
   // Options are introduced by the last '$' whose suffix parses as options.
   if (const auto dollar = body.rfind('$');
       dollar != std::string_view::npos && dollar > 0) {
-    if (f.parse_options(body.substr(dollar + 1))) {
+    if (f.parse_options(body.substr(dollar + 1), why)) {
       body = body.substr(0, dollar);
     } else {
       return std::nullopt;  // unknown option: ABP discards the rule
@@ -146,6 +184,11 @@ std::optional<Filter> Filter::parse(std::string_view line) {
     // Require some regex metacharacter; otherwise "/banners/" style path
     // literals would be misread (ABP's heuristic is the same idea).
     if (expression.find_first_of("\\[](){}+?|") != std::string_view::npos) {
+      // std::regex construction can throw more than regex_error on
+      // pathological vendor rules (resource exhaustion on huge {n,m}
+      // repeats surfaces as bad_alloc/runtime_error depending on the
+      // library). Catch everything: a malformed rule must degrade into
+      // a lint diagnostic, never an exception out of FilterList::parse.
       try {
         auto flags = std::regex::ECMAScript | std::regex::optimize;
         if (!f.match_case_) flags |= std::regex::icase;
@@ -155,7 +198,8 @@ std::optional<Filter> Filter::parse(std::string_view line) {
         f.pattern_ = util::to_lower(body);
         f.compile();
         return f;
-      } catch (const std::regex_error&) {
+      } catch (const std::exception& error) {
+        diagnose(why, ParseDiagnosis::Reason::kBadRegex, error.what());
         return std::nullopt;  // malformed regex: discard like ABP
       }
     }
@@ -173,7 +217,9 @@ std::optional<Filter> Filter::parse(std::string_view line) {
     body = body.substr(0, body.size() - 1);
   }
   if (body.empty() && !f.domain_anchor_ && !f.start_anchor_) {
-    return std::nullopt;  // matches everything; reject like ABP does
+    // Matches everything; reject like ABP does.
+    diagnose(why, ParseDiagnosis::Reason::kEmptyPattern);
+    return std::nullopt;
   }
   f.pattern_original_ = std::string(body);
   f.pattern_ = util::to_lower(body);
@@ -203,14 +249,18 @@ void Filter::compile() {
   lead_lit_len_ = static_cast<std::uint32_t>(j - i);
 }
 
-bool Filter::parse_options(std::string_view options) {
+bool Filter::parse_options(std::string_view options, ParseDiagnosis* why) {
   TypeMask positive = 0;
   TypeMask negative = 0;
   bool saw_positive = false;
 
   for (auto raw : util::split(options, ',')) {
     auto opt = util::trim(raw);
-    if (opt.empty()) return false;
+    if (opt.empty()) {
+      diagnose(why, ParseDiagnosis::Reason::kBadOptionSyntax,
+               "empty option in '$" + std::string(options) + "'");
+      return false;
+    }
     bool inverse = false;
     if (opt[0] == '~') {
       inverse = true;
@@ -219,7 +269,11 @@ bool Filter::parse_options(std::string_view options) {
     const auto lowered = util::to_lower(opt);
 
     if (lowered == "match-case") {
-      if (inverse) return false;
+      if (inverse) {
+        diagnose(why, ParseDiagnosis::Reason::kBadOptionSyntax,
+                 "'match-case' cannot be inverted");
+        return false;
+      }
       match_case_ = true;
       continue;
     }
@@ -229,7 +283,11 @@ bool Filter::parse_options(std::string_view options) {
       continue;
     }
     if (util::starts_with(lowered, "domain=")) {
-      if (inverse) return false;
+      if (inverse) {
+        diagnose(why, ParseDiagnosis::Reason::kBadOptionSyntax,
+                 "'domain=' cannot be inverted (invert individual hosts)");
+        return false;
+      }
       // Named: substr() on std::string yields a temporary that must
       // outlive the views split() hands back.
       const std::string domain_list = lowered.substr(7);
@@ -263,6 +321,7 @@ bool Filter::parse_options(std::string_view options) {
       }
       continue;
     }
+    diagnose(why, ParseDiagnosis::Reason::kUnknownOption, std::string(opt));
     return false;  // unknown option
   }
 

@@ -100,12 +100,35 @@ enum class PatternClass : std::uint8_t {
   kGeneral,  // wildcard program, matched iteratively without recursion
 };
 
+/// Why a line was rejected by Filter::parse — machine-readable so the
+/// lint layer (src/lint/) can report "file:line: unknown option 'foo'"
+/// instead of a bare discard count.
+struct ParseDiagnosis {
+  enum class Reason : std::uint8_t {
+    kNone,            // parsed successfully
+    kEmpty,           // blank line
+    kComment,         // "!" comment or "[...]" header
+    kElementHiding,   // "##"/"#@#"/"#?#" rule (handled by FilterList)
+    kBadElementHiding,  // element-hiding separator but malformed rule
+    kUnknownOption,   // "$" option this engine does not know
+    kBadOptionSyntax,   // empty option, "~" on a non-invertible option
+    kBadRegex,        // "/.../" rule whose expression failed to compile
+    kEmptyPattern,    // anchor-less empty body (would match everything)
+  };
+  Reason reason = Reason::kNone;
+  std::string detail;  // offending option text, regex error message, ...
+};
+
+std::string_view to_string(ParseDiagnosis::Reason reason) noexcept;
+
 class Filter {
  public:
   /// Parse one filter line. Returns nullopt for comments, element-hiding
   /// rules, empty lines and rules with unsupported/unknown options (ABP
-  /// discards those too).
-  static std::optional<Filter> parse(std::string_view line);
+  /// discards those too). When `why` is non-null it records the rejection
+  /// reason (kNone on success).
+  static std::optional<Filter> parse(std::string_view line,
+                                     ParseDiagnosis* why = nullptr);
 
   /// True for "@@" exception rules.
   bool is_exception() const noexcept { return exception_; }
@@ -134,6 +157,18 @@ class Filter {
 
   const std::string& text() const noexcept { return text_; }
   const std::string& pattern() const noexcept { return pattern_; }
+  /// Pattern body in its original case ($match-case matching; lint uses
+  /// it for case-sensitive subsumption checks).
+  const std::string& pattern_original() const noexcept {
+    return pattern_original_;
+  }
+  /// For kRegex rules: the expression between the slashes (original
+  /// case). Empty for non-regex rules.
+  std::string_view regex_source() const noexcept {
+    if (regex_ == nullptr || pattern_original_.size() < 2) return {};
+    return std::string_view(pattern_original_).substr(
+        1, pattern_original_.size() - 2);
+  }
   TypeMask type_mask() const noexcept { return type_mask_; }
   ThirdPartyConstraint third_party() const noexcept { return third_party_; }
   bool match_case() const noexcept { return match_case_; }
@@ -155,7 +190,7 @@ class Filter {
  private:
   Filter() = default;
 
-  bool parse_options(std::string_view options);
+  bool parse_options(std::string_view options, ParseDiagnosis* why);
   bool domain_constraint_ok(std::string_view page_host) const;
   /// Classify the pattern and record the leading-literal offsets the
   /// compiled matcher seeds candidate positions from. Run once at the end

@@ -80,11 +80,13 @@ FilterList FilterList::parse(std::string_view text, ListKind kind,
   list.name_ = std::move(name);
 
   std::size_t start = 0;
+  std::uint32_t line_no = 0;
   while (start <= text.size()) {
     auto end = text.find('\n', start);
     if (end == std::string_view::npos) end = text.size();
     const auto line = util::trim(text.substr(start, end - start));
     start = end + 1;
+    ++line_no;
 
     if (line.empty()) continue;
     if (line[0] == '[') continue;  // "[Adblock Plus 2.0]" header
@@ -98,14 +100,21 @@ FilterList FilterList::parse(std::string_view text, ListKind kind,
         list.elemhide_.push_back(std::move(*rule));
       } else {
         ++list.discarded_;
+        list.discarded_lines_.push_back(
+            {line_no, std::string(line),
+             {ParseDiagnosis::Reason::kBadElementHiding, {}}});
       }
       continue;
     }
-    if (auto filter = Filter::parse(line)) {
+    ParseDiagnosis why;
+    if (auto filter = Filter::parse(line, &why)) {
       if (filter->is_exception()) ++list.exceptions_;
       list.filters_.push_back(std::move(*filter));
+      list.filter_lines_.push_back(line_no);
     } else {
       ++list.discarded_;
+      list.discarded_lines_.push_back(
+          {line_no, std::string(line), std::move(why)});
     }
   }
   return list;

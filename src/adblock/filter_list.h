@@ -39,6 +39,15 @@ struct ElementHidingRule {
   bool exception = false;  // "#@#"
 };
 
+/// A line the parser rejected, with enough context for the lint layer to
+/// report "name:line: reason". Comments, headers and blank lines are not
+/// recorded — only lines that looked like rules and failed.
+struct DiscardedLine {
+  std::uint32_t line = 0;  // 1-based
+  std::string text;
+  ParseDiagnosis diagnosis;
+};
+
 class FilterList {
  public:
   /// An empty list; fill via parse().
@@ -64,6 +73,16 @@ class FilterList {
   std::size_t discarded_rules() const noexcept { return discarded_; }
   std::size_t exception_count() const noexcept { return exceptions_; }
 
+  /// 1-based source line of filters()[i] — parallel to filters(). Lets
+  /// the lint layer point diagnostics at the original file.
+  const std::vector<std::uint32_t>& filter_lines() const noexcept {
+    return filter_lines_;
+  }
+  /// Rule-looking lines the parser rejected, with reasons.
+  const std::vector<DiscardedLine>& discarded_lines() const noexcept {
+    return discarded_lines_;
+  }
+
  private:
   void parse_metadata(std::string_view line);
   static std::optional<ElementHidingRule> parse_elemhide(
@@ -75,7 +94,9 @@ class FilterList {
   std::string version_;
   unsigned expires_hours_ = 120;
   std::vector<Filter> filters_;
+  std::vector<std::uint32_t> filter_lines_;
   std::vector<ElementHidingRule> elemhide_;
+  std::vector<DiscardedLine> discarded_lines_;
   std::size_t discarded_ = 0;
   std::size_t exceptions_ = 0;
 };

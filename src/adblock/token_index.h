@@ -116,6 +116,16 @@ class TokenIndex {
   /// Probe-table slots (0 before finalize) — capacity diagnostics.
   std::size_t table_slots() const noexcept { return table_.size(); }
 
+  /// Bytes held by the finalized flat layout (probe table + candidate
+  /// arena + bloom words). The lint bench reports this for the original
+  /// vs. pruned engine; 0 before finalize().
+  std::size_t approx_memory_bytes() const noexcept {
+    return table_.size() * sizeof(Probe) +
+           arena_.size() * sizeof(const Filter*) +
+           bloom_.size() * sizeof(std::uint64_t) +
+           unindexed_.size() * sizeof(const Filter*);
+  }
+
  private:
   struct Probe {
     std::uint64_t key = 0;

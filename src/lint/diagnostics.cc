@@ -1,0 +1,27 @@
+#include "lint/diagnostics.h"
+
+namespace adscope::lint {
+
+std::string_view to_string(Severity severity) noexcept {
+  switch (severity) {
+    case Severity::kInfo: return "info";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "warning";
+}
+
+std::string_view to_string(Check check) noexcept {
+  switch (check) {
+    case Check::kParse: return "parse";
+    case Check::kDuplicate: return "duplicate";
+    case Check::kShadowed: return "shadowed";
+    case Check::kDeadException: return "dead-exception";
+    case Check::kEmptyMatchSet: return "empty-match-set";
+    case Check::kSlowPath: return "slow-path";
+    case Check::kRegexRisk: return "regex-risk";
+  }
+  return "parse";
+}
+
+}  // namespace adscope::lint

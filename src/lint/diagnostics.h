@@ -1,0 +1,77 @@
+// Lint diagnostics — the vocabulary of `adscope lint`.
+//
+// A Diagnostic pins one finding to a (list, line) with the original rule
+// text, a severity and a machine-readable check id; duplicate/shadowing
+// findings also carry the location of the rule that makes this one
+// redundant. LintStats is the roll-up the text/JSON renderers and the
+// bench report.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace adscope::lint {
+
+enum class Severity : std::uint8_t { kInfo, kWarning, kError };
+
+std::string_view to_string(Severity severity) noexcept;
+
+/// The analyses (DESIGN.md §8). Order is the stable JSON/stats order.
+enum class Check : std::uint8_t {
+  kParse,          // line rejected by the parser (reason from ParseDiagnosis)
+  kDuplicate,      // semantically identical to an earlier rule
+  kShadowed,       // subsumed by a broader same-or-earlier-list rule
+  kDeadException,  // "@@" rule provably disjoint from every blocking rule
+  kEmptyMatchSet,  // options make the rule unmatchable (e.g. $script,~script)
+  kSlowPath,       // no index keyword: scanned for every request
+  kRegexRisk,      // nested quantifiers / backtracking hazards
+};
+
+inline constexpr std::size_t kCheckCount = 7;
+
+std::string_view to_string(Check check) noexcept;
+
+struct Diagnostic {
+  Severity severity = Severity::kWarning;
+  Check check = Check::kParse;
+  std::string list;        // list name (file path as given)
+  std::uint32_t line = 0;  // 1-based line in the list source; 0 = unknown
+  std::string rule;        // original rule text
+  std::string message;     // human explanation
+  // kDuplicate/kShadowed: the earlier rule this one is redundant against.
+  std::string other_list;
+  std::uint32_t other_line = 0;
+  /// True when `--prune` may drop this rule without changing any
+  /// classification (see prune.h for the safety argument).
+  bool prunable = false;
+};
+
+struct LintStats {
+  std::size_t lists = 0;
+  std::size_t rules = 0;  // URL filters that parsed
+  std::size_t exception_rules = 0;
+  std::size_t elemhide_rules = 0;
+  std::size_t discarded_lines = 0;
+  std::size_t errors = 0;
+  std::size_t warnings = 0;
+  std::size_t infos = 0;
+  std::size_t prunable = 0;
+  std::array<std::size_t, kCheckCount> by_check{};
+  /// True when the rule count exceeded LintOptions::shadow_cap and the
+  /// O(n^2) shadowing/dead-exception analyses were skipped.
+  bool shadowing_degraded = false;
+
+  void count(const Diagnostic& diagnostic) noexcept {
+    switch (diagnostic.severity) {
+      case Severity::kInfo: ++infos; break;
+      case Severity::kWarning: ++warnings; break;
+      case Severity::kError: ++errors; break;
+    }
+    by_check[static_cast<std::size_t>(diagnostic.check)]++;
+    if (diagnostic.prunable) ++prunable;
+  }
+};
+
+}  // namespace adscope::lint

@@ -1,0 +1,318 @@
+#include "lint/linter.h"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "http/public_suffix.h"
+#include "lint/regex_risk.h"
+#include "lint/subsumption.h"
+#include "util/strings.h"
+
+namespace adscope::lint {
+
+namespace {
+
+using adblock::Filter;
+using adblock::FilterList;
+using adblock::ParseDiagnosis;
+
+Severity parse_severity(ParseDiagnosis::Reason reason) {
+  // A regex rule the author wrote and the engine silently dropped is a
+  // real coverage hole; the other rejects are malformed-input warnings.
+  return reason == ParseDiagnosis::Reason::kBadRegex ? Severity::kError
+                                                     : Severity::kWarning;
+}
+
+std::string parse_message(const ParseDiagnosis& why) {
+  std::string message = "rule discarded: ";
+  message += to_string(why.reason);
+  if (!why.detail.empty()) {
+    message += " (";
+    message += why.detail;
+    message += ")";
+  }
+  return message;
+}
+
+/// One URL filter in engine order, with everything the ordered pass needs.
+struct RuleRef {
+  std::size_t source = 0;       // index into sources/lists
+  const Filter* filter = nullptr;
+  std::uint32_t line = 0;       // 1-based line in the source
+  bool prune_candidate = false;
+  std::size_t diagnostic = SIZE_MAX;  // index into diagnostics, if any
+};
+
+/// Options that admit no request at all: empty type mask (e.g.
+/// "$script,~script", or only unobservable categories like $popup), or a
+/// domain constraint where every included domain is also excluded.
+const char* empty_match_reason(const Filter& filter) {
+  if (filter.type_mask() == 0) {
+    return "options leave no matchable request type";
+  }
+  if (!filter.include_domains().empty()) {
+    const bool all_excluded = std::all_of(
+        filter.include_domains().begin(), filter.include_domains().end(),
+        [&](const std::string& inc) {
+          return std::any_of(filter.exclude_domains().begin(),
+                             filter.exclude_domains().end(),
+                             [&](const std::string& exc) {
+                               return http::host_matches_domain(inc, exc);
+                             });
+        });
+    if (all_excluded) {
+      return "every include domain is excluded again ($domain=x|~x)";
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+LintResult run_lint(const std::vector<LintSource>& sources,
+                    const LintOptions& options) {
+  LintResult result;
+  result.lists.reserve(sources.size());
+  result.prunable_lines.resize(sources.size());
+
+  // -- parse + per-line diagnostics ------------------------------------
+  for (const auto& source : sources) {
+    auto list = FilterList::parse(source.text, source.kind, source.name);
+    result.stats.rules += list.filters().size();
+    result.stats.exception_rules += list.exception_count();
+    result.stats.elemhide_rules += list.element_hiding_rules().size();
+    for (const auto& discarded : list.discarded_lines()) {
+      // Element-hiding handoffs are not lint findings; real rejects are.
+      if (discarded.diagnosis.reason == ParseDiagnosis::Reason::kNone ||
+          discarded.diagnosis.reason ==
+              ParseDiagnosis::Reason::kElementHiding) {
+        continue;
+      }
+      ++result.stats.discarded_lines;
+      Diagnostic diagnostic;
+      diagnostic.severity = parse_severity(discarded.diagnosis.reason);
+      diagnostic.check = Check::kParse;
+      diagnostic.list = source.name;
+      diagnostic.line = discarded.line;
+      diagnostic.rule = discarded.text;
+      diagnostic.message = parse_message(discarded.diagnosis);
+      result.diagnostics.push_back(std::move(diagnostic));
+    }
+    result.lists.push_back(std::move(list));
+  }
+  result.stats.lists = sources.size();
+
+  // -- flatten to engine order -----------------------------------------
+  std::vector<RuleRef> rules;
+  for (std::size_t s = 0; s < result.lists.size(); ++s) {
+    const auto& filters = result.lists[s].filters();
+    const auto& lines = result.lists[s].filter_lines();
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      rules.push_back({s, &filters[i], lines[i], false, SIZE_MAX});
+    }
+  }
+  const bool shadow_enabled = rules.size() <= options.shadow_cap;
+  result.stats.shadowing_degraded = !shadow_enabled;
+
+  const auto emit = [&](RuleRef& rule, Severity severity, Check check,
+                        std::string message, const RuleRef* other = nullptr,
+                        bool prunable = false) {
+    Diagnostic diagnostic;
+    diagnostic.severity = severity;
+    diagnostic.check = check;
+    diagnostic.list = sources[rule.source].name;
+    diagnostic.line = rule.line;
+    diagnostic.rule = rule.filter->text();
+    diagnostic.message = std::move(message);
+    if (other != nullptr) {
+      diagnostic.other_list = sources[other->source].name;
+      diagnostic.other_line = other->line;
+    }
+    diagnostic.prunable = prunable;
+    if (prunable) {
+      rule.prune_candidate = true;
+      rule.diagnostic = result.diagnostics.size();
+    }
+    result.diagnostics.push_back(std::move(diagnostic));
+  };
+
+  // -- per-rule analyses: dead options, slow path, regex risk ----------
+  for (auto& rule : rules) {
+    const Filter& f = *rule.filter;
+    if (const char* reason = empty_match_reason(f)) {
+      // A rule that matches nothing influences nothing: prune-safe.
+      emit(rule, Severity::kError, Check::kEmptyMatchSet, reason, nullptr,
+           /*prunable=*/true);
+      continue;
+    }
+    if (f.is_regex()) {
+      if (const auto risk = assess_regex(f.regex_source())) {
+        emit(rule, Severity::kWarning, Check::kRegexRisk, risk->message);
+      }
+    }
+    if (f.index_keywords().empty()) {
+      emit(rule, Severity::kInfo, Check::kSlowPath,
+           "no index keyword: this rule is evaluated for every request");
+    }
+  }
+
+  // -- ordered pass: duplicates, then shadowing against kept rules -----
+  // Scanning in engine order and only accepting kept rules as
+  // duplicates-of/subsumers keeps the prune set self-consistent: every
+  // pruned rule names a survivor that covers it.
+  std::unordered_map<std::string, std::size_t> first_by_signature;
+  std::vector<std::size_t> kept;
+  for (std::size_t r = 0; r < rules.size(); ++r) {
+    RuleRef& rule = rules[r];
+    if (rule.prune_candidate) continue;  // empty match set: already gone
+    const auto signature = semantic_signature(*rule.filter);
+    if (const auto it = first_by_signature.find(signature);
+        it != first_by_signature.end()) {
+      RuleRef& first = rules[it->second];
+      emit(rule, Severity::kWarning, Check::kDuplicate,
+           "duplicate of an identical earlier rule", &first,
+           /*prunable=*/true);
+      continue;
+    }
+    if (shadow_enabled) {
+      const RuleRef* shadower = nullptr;
+      for (const auto k : kept) {
+        if (subsumes(*rules[k].filter, *rule.filter)) {
+          shadower = &rules[k];
+          break;
+        }
+      }
+      if (shadower != nullptr) {
+        // The subsumer sits in the same or an earlier list, so removing
+        // the shadowed rule can change neither decision nor attribution.
+        emit(rule, Severity::kWarning, Check::kShadowed,
+             "subsumed by the broader rule '" + shadower->filter->text() +
+                 "'",
+             shadower, /*prunable=*/true);
+        continue;
+      }
+    }
+    first_by_signature.emplace(signature, r);
+    kept.push_back(r);
+  }
+
+  // -- dead exceptions --------------------------------------------------
+  // An "@@" rule provably disjoint from every blocking rule never
+  // un-blocks anything. It still turns kNoMatch into kWhitelisted for
+  // the requests it matches, so it is a finding, NOT a prune candidate.
+  if (shadow_enabled) {
+    for (auto& rule : rules) {
+      if (!rule.filter->is_exception() || rule.prune_candidate) continue;
+      // "$document" exceptions whitelist whole pages through a separate
+      // engine path; overlapping a blocking rule is not their job.
+      if (rule.filter->whitelists_document()) continue;
+      const bool dead = std::all_of(
+          rules.begin(), rules.end(), [&](const RuleRef& other) {
+            return other.filter->is_exception() ||
+                   provably_disjoint(*rule.filter, *other.filter);
+          });
+      if (dead) {
+        emit(rule, Severity::kWarning, Check::kDeadException,
+             "exception overlaps no blocking rule: it can never un-block "
+             "a request");
+      }
+    }
+  }
+
+  // -- prune coupling rescue -------------------------------------------
+  // FilterEngine::pattern_contains_literal() feeds the query normalizer
+  // from *all* loaded rule bodies ("key=" probes). Pruning may not
+  // change its answers, so a candidate whose pattern contains '=' stays
+  // unless an identical pattern survives.
+  std::unordered_set<std::string_view> kept_patterns;
+  for (const auto& rule : rules) {
+    if (!rule.prune_candidate) kept_patterns.insert(rule.filter->pattern());
+  }
+  for (auto& rule : rules) {
+    if (!rule.prune_candidate) continue;
+    const std::string& pattern = rule.filter->pattern();
+    if (pattern.find('=') != std::string::npos &&
+        kept_patterns.count(pattern) == 0) {
+      rule.prune_candidate = false;
+      if (rule.diagnostic != SIZE_MAX) {
+        auto& diagnostic = result.diagnostics[rule.diagnostic];
+        diagnostic.prunable = false;
+        diagnostic.message +=
+            "; kept anyway: pattern contains '=' and feeds the query "
+            "normalizer";
+      }
+    }
+  }
+
+  for (const auto& rule : rules) {
+    if (rule.prune_candidate) {
+      result.prunable_lines[rule.source].push_back(rule.line);
+    }
+  }
+  for (auto& lines : result.prunable_lines) {
+    std::sort(lines.begin(), lines.end());
+  }
+
+  // -- rank + roll up ---------------------------------------------------
+  std::unordered_map<std::string_view, std::size_t> rank_by_name;
+  for (std::size_t s = 0; s < sources.size(); ++s) {
+    rank_by_name.emplace(sources[s].name, s);
+  }
+  std::stable_sort(result.diagnostics.begin(), result.diagnostics.end(),
+                   [&](const Diagnostic& a, const Diagnostic& b) {
+                     if (a.severity != b.severity) {
+                       return static_cast<int>(a.severity) >
+                              static_cast<int>(b.severity);
+                     }
+                     const auto ra = rank_by_name[a.list];
+                     const auto rb = rank_by_name[b.list];
+                     if (ra != rb) return ra < rb;
+                     return a.line < b.line;
+                   });
+  for (const auto& diagnostic : result.diagnostics) {
+    result.stats.count(diagnostic);
+  }
+  return result;
+}
+
+std::string emit_pruned(std::string_view text,
+                        const std::vector<std::uint32_t>& pruned_lines) {
+  std::unordered_set<std::uint32_t> drop(pruned_lines.begin(),
+                                         pruned_lines.end());
+  std::string out;
+  out.reserve(text.size());
+  std::size_t start = 0;
+  std::uint32_t line_no = 0;
+  // Mirror FilterList::parse's line walk exactly, so the numbering the
+  // diagnostics carry maps back onto the same lines.
+  while (start <= text.size()) {
+    auto end = text.find('\n', start);
+    const bool had_newline = end != std::string_view::npos;
+    if (!had_newline) end = text.size();
+    ++line_no;
+    if (drop.count(line_no) == 0) {
+      out.append(text.substr(start, end - start));
+      if (had_newline) out.push_back('\n');
+    }
+    start = end + 1;
+  }
+  return out;
+}
+
+adblock::ListKind infer_kind(std::string_view filename) {
+  const auto lowered = util::to_lower(filename);
+  if (lowered.find("easyprivacy") != std::string::npos) {
+    return adblock::ListKind::kEasyPrivacy;
+  }
+  if (lowered.find("easylist") != std::string::npos) {
+    return adblock::ListKind::kEasyList;
+  }
+  if (lowered.find("acceptable") != std::string::npos ||
+      lowered.find("exceptionrules") != std::string::npos) {
+    return adblock::ListKind::kAcceptableAds;
+  }
+  return adblock::ListKind::kCustom;
+}
+
+}  // namespace adscope::lint

@@ -1,0 +1,66 @@
+// The `adscope lint` driver (DESIGN.md §8).
+//
+// run_lint() parses a set of filter-list sources and runs five analyses:
+//
+//   parse        lines the parser rejected, with reasons (ParseDiagnosis)
+//   duplicate    semantically identical to an earlier rule
+//   shadowed     subsumed by a broader rule in the same or an earlier
+//                list (decided by lint/subsumption.h)
+//   dead rules   empty-match-set options; "@@" exceptions provably
+//                disjoint from every blocking rule; untokenizable
+//                patterns stuck on the slow path
+//   regex risk   nested quantifiers / oversized counted repetition
+//
+// Prune safety: a rule is marked prunable only when removing it provably
+// changes no Classification (decision, deciding list, list kind) for any
+// request — see prune rules in linter.cc and the argument in DESIGN.md
+// §8.4. emit_pruned() applies the marks to the original text, leaving
+// every other byte (comments, metadata, element-hiding rules) alone.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adblock/filter_list.h"
+#include "lint/diagnostics.h"
+
+namespace adscope::lint {
+
+struct LintSource {
+  std::string name;  // file path or label, used in diagnostics
+  std::string text;  // full list text
+  adblock::ListKind kind = adblock::ListKind::kCustom;
+};
+
+struct LintOptions {
+  /// Total-rule budget for the quadratic analyses (shadowing and dead
+  /// exceptions). Beyond it they are skipped — duplicates, parse, dead
+  /// options and regex risk still run — and stats.shadowing_degraded is
+  /// set.
+  std::size_t shadow_cap = 20000;
+};
+
+struct LintResult {
+  std::vector<adblock::FilterList> lists;  // parallel to the sources
+  /// Sorted most-severe first, then by (list order, line).
+  std::vector<Diagnostic> diagnostics;
+  LintStats stats;
+  /// Per source: sorted 1-based lines that --prune drops.
+  std::vector<std::vector<std::uint32_t>> prunable_lines;
+
+  bool has_errors() const noexcept { return stats.errors > 0; }
+};
+
+LintResult run_lint(const std::vector<LintSource>& sources,
+                    const LintOptions& options = {});
+
+/// `text` minus the 1-based `pruned_lines` (as produced by run_lint).
+std::string emit_pruned(std::string_view text,
+                        const std::vector<std::uint32_t>& pruned_lines);
+
+/// Guess the list family from a file name ("easylist.txt", ...).
+adblock::ListKind infer_kind(std::string_view filename);
+
+}  // namespace adscope::lint

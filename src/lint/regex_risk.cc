@@ -1,0 +1,148 @@
+#include "lint/regex_risk.h"
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace adscope::lint {
+
+namespace {
+
+constexpr std::uint64_t kRepetitionBudget = 1000;
+
+bool is_quantifier_start(char c) {
+  return c == '*' || c == '+' || c == '?' || c == '{';
+}
+
+/// Parse "{n}", "{n,}", "{n,m}" starting at `i` (the '{'). Returns the
+/// index one past '}' and the repetition span, or nullopt when the
+/// braces do not form a counted repetition (ECMAScript then treats '{'
+/// literally).
+std::optional<std::pair<std::size_t, std::uint64_t>> parse_repeat(
+    std::string_view expr, std::size_t i) {
+  std::size_t j = i + 1;
+  std::uint64_t low = 0;
+  bool digits = false;
+  while (j < expr.size() && expr[j] >= '0' && expr[j] <= '9') {
+    low = low * 10 + static_cast<std::uint64_t>(expr[j] - '0');
+    if (low > 1000000) low = 1000000;
+    digits = true;
+    ++j;
+  }
+  if (!digits) return std::nullopt;
+  std::uint64_t high = low;
+  if (j < expr.size() && expr[j] == ',') {
+    ++j;
+    if (j < expr.size() && expr[j] == '}') {
+      high = UINT64_MAX;  // "{n,}" — unbounded
+    } else {
+      high = 0;
+      while (j < expr.size() && expr[j] >= '0' && expr[j] <= '9') {
+        high = high * 10 + static_cast<std::uint64_t>(expr[j] - '0');
+        if (high > 1000000) high = 1000000;
+        ++j;
+      }
+    }
+  }
+  if (j >= expr.size() || expr[j] != '}') return std::nullopt;
+  return std::make_pair(j + 1, high);
+}
+
+}  // namespace
+
+std::optional<RegexRisk> assess_regex(std::string_view expression) {
+  // Per open group: did its body contain a quantifier?
+  std::vector<bool> group_has_quantifier;
+  bool top_has_quantifier = false;
+  // Set when the previous token was a ')' closing a group whose body
+  // held a quantifier — a quantifier here is the (a+)+ shape.
+  bool closed_quantified_group = false;
+  std::optional<RegexRisk> large_repeat;
+
+  const auto note_quantifier = [&]() {
+    if (group_has_quantifier.empty()) {
+      top_has_quantifier = true;
+    } else {
+      group_has_quantifier.back() = true;
+    }
+  };
+
+  for (std::size_t i = 0; i < expression.size();) {
+    const char c = expression[i];
+    if (c == '\\') {
+      i += 2;
+      closed_quantified_group = false;
+      continue;
+    }
+    if (c == '[') {  // character class: skip to the closing bracket
+      ++i;
+      if (i < expression.size() && expression[i] == '^') ++i;
+      if (i < expression.size() && expression[i] == ']') ++i;
+      while (i < expression.size() && expression[i] != ']') {
+        i += expression[i] == '\\' ? std::size_t{2} : std::size_t{1};
+      }
+      ++i;
+      closed_quantified_group = false;
+      continue;
+    }
+    if (c == '(') {
+      group_has_quantifier.push_back(false);
+      ++i;
+      closed_quantified_group = false;
+      continue;
+    }
+    if (c == ')') {
+      bool inner = false;
+      if (!group_has_quantifier.empty()) {
+        inner = group_has_quantifier.back();
+        group_has_quantifier.pop_back();
+        // A quantified subgroup makes the enclosing body quantified too.
+        if (inner) note_quantifier();
+      }
+      closed_quantified_group = inner;
+      ++i;
+      continue;
+    }
+    if (is_quantifier_start(c)) {
+      std::uint64_t span = 1;
+      std::size_t next = i + 1;
+      bool is_quantifier = true;
+      if (c == '{') {
+        if (const auto repeat = parse_repeat(expression, i)) {
+          next = repeat->first;
+          span = repeat->second;
+        } else {
+          is_quantifier = false;  // literal '{'
+        }
+      } else if (c == '*' || c == '+') {
+        span = UINT64_MAX;
+      }
+      if (is_quantifier) {
+        // '?' (and "{0,1}"/"{1}") never repeats the group, so a
+        // quantified body under it cannot blow up.
+        if (closed_quantified_group && c != '?' && span > 1) {
+          return RegexRisk{
+              RegexRisk::Kind::kNestedQuantifier,
+              "quantified group contains its own quantifier (star height"
+              " >= 2): catastrophic backtracking on non-matching URLs"};
+        }
+        if (span != UINT64_MAX && span > kRepetitionBudget && !large_repeat) {
+          large_repeat = RegexRisk{
+              RegexRisk::Kind::kLargeRepetition,
+              "counted repetition spans " + std::to_string(span) +
+                  " iterations (budget " + std::to_string(kRepetitionBudget) +
+                  "): slow compile and match"};
+        }
+        note_quantifier();
+        i = next;
+        closed_quantified_group = false;
+        continue;
+      }
+    }
+    closed_quantified_group = false;
+    ++i;
+  }
+  return large_repeat;
+}
+
+}  // namespace adscope::lint

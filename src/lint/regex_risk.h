@@ -1,0 +1,33 @@
+// Backtracking-risk heuristics for "/.../" regex rules (DESIGN.md §8.3).
+//
+// std::regex is a backtracking ECMAScript engine: a quantified group
+// whose body is itself quantified (star height >= 2, "(a+)+") or counted
+// repetition with a huge span can take super-linear time on adversarial
+// URLs. The engine runs these rules on every classify() slow path, so a
+// single risky vendor rule is a denial-of-service budget. This analyzer
+// approximates star height with a single scan over the expression —
+// sound enough for a lint (it may flag a safe possessive-looking rule,
+// never crashes on malformed input; those already failed to parse).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace adscope::lint {
+
+struct RegexRisk {
+  enum class Kind : std::uint8_t {
+    kNestedQuantifier,  // quantified group containing a quantifier
+    kLargeRepetition,   // {n,m} span beyond the budget
+  };
+  Kind kind = Kind::kNestedQuantifier;
+  std::string message;
+};
+
+/// Inspect a regex source (the text between the slashes). Returns the
+/// most severe finding, or nullopt for an unremarkable expression.
+std::optional<RegexRisk> assess_regex(std::string_view expression);
+
+}  // namespace adscope::lint

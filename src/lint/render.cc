@@ -1,0 +1,104 @@
+#include "lint/render.h"
+
+#include <cstddef>
+
+#include "stats/json.h"
+
+namespace adscope::lint {
+
+std::string render_text(const LintResult& result) {
+  std::string out;
+  for (const auto& d : result.diagnostics) {
+    out += d.list;
+    out += ':';
+    out += std::to_string(d.line);
+    out += ": ";
+    out += to_string(d.severity);
+    out += ": ";
+    out += to_string(d.check);
+    out += ": ";
+    out += d.message;
+    if (d.other_line != 0) {
+      out += " [first at ";
+      out += d.other_list;
+      out += ':';
+      out += std::to_string(d.other_line);
+      out += "]";
+    }
+    out += "\n    ";
+    out += d.rule;
+    out += '\n';
+  }
+  const auto& s = result.stats;
+  out += "\n=== adscope lint: " + std::to_string(s.lists) + " list(s) ===\n";
+  out += "rules: " + std::to_string(s.rules) + " (" +
+         std::to_string(s.exception_rules) + " exceptions, " +
+         std::to_string(s.elemhide_rules) + " element-hiding)\n";
+  out += "discarded lines: " + std::to_string(s.discarded_lines) + "\n";
+  out += "findings: " + std::to_string(s.errors) + " error(s), " +
+         std::to_string(s.warnings) + " warning(s), " +
+         std::to_string(s.infos) + " note(s)\n";
+  for (std::size_t c = 0; c < kCheckCount; ++c) {
+    if (s.by_check[c] == 0) continue;
+    out += "  ";
+    out += to_string(static_cast<Check>(c));
+    out += ": " + std::to_string(s.by_check[c]) + "\n";
+  }
+  out += "prunable rules: " + std::to_string(s.prunable) + "\n";
+  if (s.shadowing_degraded) {
+    out +=
+        "note: rule count exceeded the shadowing budget; shadowing and "
+        "dead-exception analyses were skipped\n";
+  }
+  return out;
+}
+
+std::string render_json(const LintResult& result) {
+  stats::JsonWriter json;
+  json.begin_object();
+  json.field("schema", "adscope-lint-1");
+
+  const auto& s = result.stats;
+  json.key("stats").begin_object();
+  json.field("lists", static_cast<std::uint64_t>(s.lists));
+  json.field("rules", static_cast<std::uint64_t>(s.rules));
+  json.field("exception_rules",
+             static_cast<std::uint64_t>(s.exception_rules));
+  json.field("elemhide_rules", static_cast<std::uint64_t>(s.elemhide_rules));
+  json.field("discarded_lines",
+             static_cast<std::uint64_t>(s.discarded_lines));
+  json.field("errors", static_cast<std::uint64_t>(s.errors));
+  json.field("warnings", static_cast<std::uint64_t>(s.warnings));
+  json.field("infos", static_cast<std::uint64_t>(s.infos));
+  json.field("prunable", static_cast<std::uint64_t>(s.prunable));
+  json.field("shadowing_degraded", s.shadowing_degraded);
+  json.key("by_check").begin_object();
+  for (std::size_t c = 0; c < kCheckCount; ++c) {
+    json.field(to_string(static_cast<Check>(c)),
+               static_cast<std::uint64_t>(s.by_check[c]));
+  }
+  json.end_object();
+  json.end_object();
+
+  json.key("diagnostics").begin_array();
+  for (const auto& d : result.diagnostics) {
+    json.begin_object();
+    json.field("severity", to_string(d.severity));
+    json.field("check", to_string(d.check));
+    json.field("list", d.list);
+    json.field("line", static_cast<std::uint64_t>(d.line));
+    json.field("rule", d.rule);
+    json.field("message", d.message);
+    if (d.other_line != 0) {
+      json.field("other_list", d.other_list);
+      json.field("other_line", static_cast<std::uint64_t>(d.other_line));
+    }
+    json.field("prunable", d.prunable);
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace adscope::lint

@@ -1,0 +1,21 @@
+// Lint report rendering: human text and machine JSON.
+//
+// The text form follows the compiler convention ("list:line: severity:
+// check: message") so editors and CI log scrapers pick locations up for
+// free, closed by a StudyView-style summary block. The JSON form goes
+// through stats::JsonWriter — the same emitter the serving layer uses —
+// under a versioned schema tag so downstream tooling can pin it.
+#pragma once
+
+#include <string>
+
+#include "lint/linter.h"
+
+namespace adscope::lint {
+
+std::string render_text(const LintResult& result);
+
+/// Schema "adscope-lint-1": {schema, stats{...}, diagnostics:[...]}.
+std::string render_json(const LintResult& result);
+
+}  // namespace adscope::lint

@@ -1,0 +1,238 @@
+#include "lint/subsumption.h"
+
+#include <algorithm>
+
+#include "http/public_suffix.h"
+#include "util/strings.h"
+
+namespace adscope::lint {
+
+namespace {
+
+using adblock::Filter;
+using adblock::PatternClass;
+using adblock::ThirdPartyConstraint;
+
+bool contains(std::string_view haystack, std::string_view needle) {
+  return haystack.find(needle) != std::string_view::npos;
+}
+
+/// Every page host excluded by `a` is also outside `b`'s match set —
+/// i.e. each of a's excludes sits under one of b's excludes.
+bool excludes_covered(const Filter& a, const Filter& b) {
+  for (const auto& ex_a : a.exclude_domains()) {
+    const bool covered = std::any_of(
+        b.exclude_domains().begin(), b.exclude_domains().end(),
+        [&](const std::string& ex_b) {
+          return http::host_matches_domain(ex_a, ex_b);
+        });
+    if (!covered) return false;
+  }
+  return true;
+}
+
+/// A's option constraints are no stricter than B's: any request passing
+/// B's type/party/domain gates also passes A's.
+bool options_subsume(const Filter& a, const Filter& b) {
+  if ((b.type_mask() & ~a.type_mask()) != 0) return false;
+  if (a.third_party() != ThirdPartyConstraint::kAny &&
+      a.third_party() != b.third_party()) {
+    return false;
+  }
+  if (!excludes_covered(a, b)) return false;
+  if (!a.include_domains().empty()) {
+    // A only fires on its include domains; B must be confined to them.
+    if (b.include_domains().empty()) return false;
+    for (const auto& inc_b : b.include_domains()) {
+      const bool covered = std::any_of(
+          a.include_domains().begin(), a.include_domains().end(),
+          [&](const std::string& inc_a) {
+            return http::host_matches_domain(inc_b, inc_a);
+          });
+      if (!covered) return false;
+    }
+  }
+  return true;
+}
+
+/// "||host^" (or "||host^" + end anchor) — matches exactly when `host`
+/// is a dot-suffix of the request host. Returns the host part, or empty.
+std::string_view host_anchor_shape(const Filter& f) {
+  if (!f.domain_anchor() || f.start_anchor() || f.is_regex()) return {};
+  std::string_view pat = f.pattern();
+  if (pat.size() < 2 || pat.back() != '^') return {};
+  pat.remove_suffix(1);
+  for (const char c : pat) {
+    const bool host_char = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') ||
+                           c == '.' || c == '-';
+    if (!host_char) return {};
+  }
+  return pat;
+}
+
+/// `suffix` equals `host` or ends it at a label boundary.
+bool is_dot_suffix(std::string_view host, std::string_view suffix) {
+  if (host == suffix) return true;
+  if (host.size() <= suffix.size()) return false;
+  return util::ends_with(host, suffix) &&
+         host[host.size() - suffix.size() - 1] == '.';
+}
+
+}  // namespace
+
+std::vector<std::string_view> literal_runs(std::string_view pattern) {
+  std::vector<std::string_view> runs;
+  std::size_t i = 0;
+  while (i < pattern.size()) {
+    if (pattern[i] == '*' || pattern[i] == '^') {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < pattern.size() && pattern[j] != '*' && pattern[j] != '^') ++j;
+    runs.push_back(pattern.substr(i, j - i));
+    i = j;
+  }
+  return runs;
+}
+
+std::string semantic_signature(const adblock::Filter& filter) {
+  std::string sig;
+  sig.reserve(filter.pattern().size() + 48);
+  const auto flag = [&](bool b) { sig += b ? '1' : '0'; };
+  flag(filter.is_exception());
+  flag(filter.domain_anchor());
+  flag(filter.start_anchor());
+  flag(filter.end_anchor());
+  flag(filter.match_case());
+  flag(filter.is_regex());
+  sig += '\x1f';
+  sig += std::to_string(filter.type_mask());
+  sig += '\x1f';
+  sig += std::to_string(static_cast<int>(filter.third_party()));
+  sig += '\x1f';
+  // Case matters exactly when the rule is case-sensitive (or a regex,
+  // whose source survives verbatim).
+  sig += (filter.match_case() || filter.is_regex()) ? filter.pattern_original()
+                                                    : filter.pattern();
+  auto domains = [&](const std::vector<std::string>& list) {
+    auto sorted = list;
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& d : sorted) {
+      sig += '\x1f';
+      sig += d;
+    }
+  };
+  sig += "\x1f|inc";
+  domains(filter.include_domains());
+  sig += "\x1f|exc";
+  domains(filter.exclude_domains());
+  return sig;
+}
+
+bool subsumes(const adblock::Filter& broad, const adblock::Filter& narrow) {
+  const Filter& a = broad;
+  const Filter& b = narrow;
+  if (a.is_exception() != b.is_exception()) return false;
+  if (a.is_regex() || b.is_regex()) return false;
+  if (!options_subsume(a, b)) return false;
+
+  // A case-sensitive subsumer only covers a case-sensitive narrow rule,
+  // compared in original case; a case-insensitive one compares lowered
+  // patterns (B's runs appear in the URL in *some* case, so their
+  // lowered forms appear in the lowered URL A scans).
+  if (a.match_case() && !b.match_case()) return false;
+  const std::string& pat_a =
+      a.match_case() ? a.pattern_original() : a.pattern();
+  const std::string& pat_b =
+      a.match_case() ? b.pattern_original() : b.pattern();
+
+  // Prefix lemma: when B's pattern matches starting at position p, any
+  // string prefix of it also matches starting at p — each prefix element
+  // just consumes the text it consumed inside B's match ('^' may take a
+  // separator or end-of-address in both). So an end-anchor-free A whose
+  // pattern is a string prefix of B's subsumes B whenever their anchors
+  // pin the same start position. The dual holds for end anchors.
+  if (!a.domain_anchor() && !a.start_anchor() && !a.end_anchor()) {
+    if (a.pattern_class() == PatternClass::kLiteral) {
+      // Unanchored literal: A matches u iff pat_a occurs in u; every
+      // literal run of B occurs verbatim in every B-match.
+      for (const auto run : literal_runs(pat_b)) {
+        if (contains(run, pat_a)) return true;
+      }
+    }
+    // Unanchored A matches wherever B's own match started.
+    return util::starts_with(pat_b, pat_a);
+  }
+  if (a.start_anchor() && !a.end_anchor()) {
+    // "|lit...": both matches start at position 0.
+    return b.start_anchor() && util::starts_with(pat_b, pat_a);
+  }
+  if (a.domain_anchor() && !a.end_anchor()) {
+    // "||lit...": B matches at an anchor position; so does A there.
+    return b.domain_anchor() && util::starts_with(pat_b, pat_a);
+  }
+  if (a.end_anchor() && !a.start_anchor() && !a.domain_anchor()) {
+    // "...lit|": the suffix dual of the prefix lemma.
+    return b.end_anchor() && util::ends_with(pat_b, pat_a);
+  }
+  return false;  // doubly-anchored broad rules: not worth deciding
+}
+
+bool provably_disjoint(const adblock::Filter& a, const adblock::Filter& b) {
+  // Disjoint request-type sets.
+  if ((a.type_mask() & b.type_mask()) == 0) return true;
+  // Opposite party constraints.
+  if (a.third_party() != ThirdPartyConstraint::kAny &&
+      b.third_party() != ThirdPartyConstraint::kAny &&
+      a.third_party() != b.third_party()) {
+    return true;
+  }
+  // Disjoint page-domain confinement.
+  if (!a.include_domains().empty() && !b.include_domains().empty()) {
+    bool overlap = false;
+    for (const auto& da : a.include_domains()) {
+      for (const auto& db : b.include_domains()) {
+        if (http::host_matches_domain(da, db) ||
+            http::host_matches_domain(db, da)) {
+          overlap = true;
+          break;
+        }
+      }
+      if (overlap) break;
+    }
+    if (!overlap) return true;
+  }
+
+  // Pattern-position proofs (lowered patterns: a match in any case
+  // implies the lowered pattern relations below, so they stay sound).
+  if (a.is_regex() || b.is_regex()) return false;
+  const bool literals = a.pattern_class() == PatternClass::kLiteral &&
+                        b.pattern_class() == PatternClass::kLiteral;
+  if (literals && a.start_anchor() && b.start_anchor()) {
+    // Both pin position 0: one pattern must be a prefix of the other.
+    if (!util::starts_with(a.pattern(), b.pattern()) &&
+        !util::starts_with(b.pattern(), a.pattern())) {
+      return true;
+    }
+  }
+  if (literals && a.end_anchor() && b.end_anchor()) {
+    if (!util::ends_with(a.pattern(), b.pattern()) &&
+        !util::ends_with(b.pattern(), a.pattern())) {
+      return true;
+    }
+  }
+  // "||hostA^" vs "||hostB^": each requires its host to be a dot-suffix
+  // of the request host ('.' is not a separator, so '^' forces the run
+  // to end exactly where the host does). Two dot-suffixes of one host
+  // are always nested — unrelated hosts prove disjointness.
+  const auto host_a = host_anchor_shape(a);
+  const auto host_b = host_anchor_shape(b);
+  if (!host_a.empty() && !host_b.empty() && !is_dot_suffix(host_a, host_b) &&
+      !is_dot_suffix(host_b, host_a)) {
+    return true;
+  }
+  return false;
+}
+
+}  // namespace adscope::lint

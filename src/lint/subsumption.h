@@ -1,0 +1,42 @@
+// Decision procedures over filter match sets (DESIGN.md §8.2).
+//
+// Filter subsumption ("does A match everything B matches?") is
+// undecidable only for the regex class; for the literal and wildcard
+// classes the engine actually runs, useful fragments are decidable:
+//
+//   * every maximal '*'/'^'-free literal run of a pattern appears
+//     verbatim in any URL the pattern matches, and
+//   * an anchored literal pins its position, so prefix/suffix algebra
+//     decides containment.
+//
+// Every predicate here is *sound but incomplete*: `true` is a proof,
+// `false` means "could not prove" — the analyses stay conservative, a
+// lint must never claim a rule redundant when it is not.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adblock/filter.h"
+
+namespace adscope::lint {
+
+/// Maximal '*'/'^'-free substrings of `pattern`, in order. Each run is
+/// guaranteed to occur verbatim in every URL the pattern matches.
+std::vector<std::string_view> literal_runs(std::string_view pattern);
+
+/// Canonical semantic identity: two filters with equal signatures match
+/// exactly the same requests with the same effect (duplicate check).
+std::string semantic_signature(const adblock::Filter& filter);
+
+/// Proof that `broad`'s match set contains `narrow`'s: every request
+/// matched by `narrow` is matched by `broad`. Requires equal polarity
+/// (exception flag); `broad` must be a non-regex literal pattern.
+bool subsumes(const adblock::Filter& broad, const adblock::Filter& narrow);
+
+/// Proof that the two filters can never match the same request — the
+/// dead-exception analysis asks this for (exception, blocking) pairs.
+bool provably_disjoint(const adblock::Filter& a, const adblock::Filter& b);
+
+}  // namespace adscope::lint

@@ -82,7 +82,7 @@ void HttpEndpoint::stop() {
   if (acceptor_.joinable()) acceptor_.join();
   std::vector<std::thread> handlers;
   {
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     handlers.swap(connections_);
   }
   for (auto& thread : handlers) {
@@ -97,7 +97,7 @@ void HttpEndpoint::accept_loop() {
     util::Fd client = socket_.accept(options_.poll_ms);
     if (!client.valid()) {
       if (connections_active_.load(std::memory_order_relaxed) == 0) {
-        std::lock_guard lock(connections_mutex_);
+        util::MutexLock lock(connections_mutex_);
         for (auto& thread : connections_) {
           if (thread.joinable()) thread.join();
         }
@@ -110,7 +110,7 @@ void HttpEndpoint::accept_loop() {
       continue;  // Fd destructor closes the socket
     }
     connections_active_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     connections_.emplace_back([this, fd = std::move(client)]() mutable {
       handle_connection(std::move(fd));
       connections_active_.fetch_sub(1, std::memory_order_relaxed);
@@ -226,7 +226,7 @@ std::string HttpEndpoint::render_metrics() const {
   // is the robust version, this one is for `curl | grep`).
   double rate = 0.0;
   {
-    std::lock_guard lock(rate_mutex_);
+    util::MutexLock lock(rate_mutex_);
     const auto now = std::chrono::steady_clock::now();
     if (scraped_before_) {
       const std::chrono::duration<double> dt = now - last_scrape_time_;

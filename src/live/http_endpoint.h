@@ -24,7 +24,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -32,6 +31,7 @@
 #include "live/live_study.h"
 #include "live/stream_server.h"
 #include "netdb/asn_db.h"
+#include "util/annotations.h"
 #include "util/socket.h"
 
 namespace adscope::live {
@@ -95,18 +95,21 @@ class HttpEndpoint {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::mutex connections_mutex_;
-  std::vector<std::thread> connections_;
+  util::Mutex connections_mutex_;
+  std::vector<std::thread> connections_
+      ADSCOPE_GUARDED_BY(connections_mutex_);
   std::atomic<std::uint64_t> connections_active_{0};
 
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> requests_bad_{0};
 
   // Ingest-rate gauge: delta of records_ingested between scrapes.
-  mutable std::mutex rate_mutex_;
-  mutable std::uint64_t last_scrape_records_ = 0;
-  mutable std::chrono::steady_clock::time_point last_scrape_time_{};
-  mutable bool scraped_before_ = false;
+  mutable util::Mutex rate_mutex_;
+  mutable std::uint64_t last_scrape_records_ ADSCOPE_GUARDED_BY(rate_mutex_) =
+      0;
+  mutable std::chrono::steady_clock::time_point last_scrape_time_
+      ADSCOPE_GUARDED_BY(rate_mutex_){};
+  mutable bool scraped_before_ ADSCOPE_GUARDED_BY(rate_mutex_) = false;
 };
 
 }  // namespace adscope::live

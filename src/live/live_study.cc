@@ -1,6 +1,5 @@
 #include "live/live_study.h"
 
-#include <condition_variable>
 #include <stdexcept>
 
 #include "util/hash.h"
@@ -102,7 +101,7 @@ void LiveStudy::note_watermark(std::uint64_t timestamp_ms) {
 }
 
 void LiveStudy::on_meta(const trace::TraceMeta& meta) {
-  std::lock_guard lock(meta_mutex_);
+  util::MutexLock lock(meta_mutex_);
   if (meta_set_.load(std::memory_order_relaxed)) {
     metas_ignored_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -167,19 +166,19 @@ void LiveStudy::flush() {
     // Count only queues that accept the barrier: after close() the
     // workers have already drained everything, nothing to wait for.
     {
-      std::lock_guard lock(barrier->mutex);
+      util::MutexLock lock(barrier->mutex);
       ++barrier->remaining;
     }
     if (shard->queue.push(Record{barrier})) {
       ++expected;
     } else {
-      std::lock_guard lock(barrier->mutex);
+      util::MutexLock lock(barrier->mutex);
       --barrier->remaining;
     }
   }
   if (expected == 0) return;
-  std::unique_lock lock(barrier->mutex);
-  barrier->cv.wait(lock, [&] { return barrier->remaining == 0; });
+  util::MutexLock lock(barrier->mutex);
+  while (barrier->remaining != 0) barrier->cv.wait(barrier->mutex);
 }
 
 void LiveStudy::worker_loop(Shard& shard) {
@@ -194,7 +193,7 @@ void LiveStudy::worker_loop(Shard& shard) {
     } else {
       auto& barrier = *std::get<std::shared_ptr<FlushBarrier>>(record);
       {
-        std::lock_guard lock(barrier.mutex);
+        util::MutexLock lock(barrier.mutex);
         --barrier.remaining;
       }
       barrier.cv.notify_all();
@@ -208,7 +207,7 @@ void LiveStudy::process(Shard& shard, std::uint64_t timestamp_ms,
                         const trace::HttpTransaction* txn,
                         const trace::TlsFlow* flow) {
   const auto bucket_id = bucket_of_ms(timestamp_ms);
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   if (bucket_id < shard.floor) {
     late_drops_.fetch_add(1, std::memory_order_relaxed);
     return;
@@ -219,7 +218,7 @@ void LiveStudy::process(Shard& shard, std::uint64_t timestamp_ms,
     {
       // The push path guarantees meta_ was registered before any data
       // record was enqueued.
-      std::lock_guard meta_lock(meta_mutex_);
+      util::MutexLock meta_lock(meta_mutex_);
       bucket->study.on_meta(meta_);
     }
     it = shard.buckets.emplace(bucket_id, std::move(bucket)).first;
@@ -236,7 +235,7 @@ void LiveStudy::process(Shard& shard, std::uint64_t timestamp_ms,
 }
 
 void LiveStudy::apply_control(Shard& shard, const Control& control) {
-  std::lock_guard lock(shard.mutex);
+  util::MutexLock lock(shard.mutex);
   switch (control.kind) {
     case Control::Kind::kSealBefore:
       for (auto& [id, bucket] : shard.buckets) {
@@ -266,7 +265,7 @@ StudySnapshot LiveStudy::snapshot(std::uint64_t min_bucket,
                                   std::uint64_t max_bucket) const {
   trace::TraceMeta meta;
   {
-    std::lock_guard lock(meta_mutex_);
+    util::MutexLock lock(meta_mutex_);
     meta = meta_;
   }
   StudySnapshot snap(meta, options_.study);
@@ -278,7 +277,7 @@ StudySnapshot LiveStudy::snapshot(std::uint64_t min_bucket,
   // and associative (asserted by the PR-1 merge-law tests), so this is
   // equivalent to any other order, and deterministic.
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     for (const auto& [id, bucket] : shard->buckets) {
       if (id < min_bucket || id > max_bucket || !bucket->sealed) continue;
       snap.absorb(bucket->study);
@@ -318,7 +317,7 @@ std::size_t LiveStudy::queue_depth() const {
 std::size_t LiveStudy::bucket_count() const {
   std::size_t count = 0;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     count += shard->buckets.size();
   }
   return count;
@@ -327,7 +326,7 @@ std::size_t LiveStudy::bucket_count() const {
 core::ClassifierCounters LiveStudy::classifier_counters() const {
   core::ClassifierCounters totals;
   for (const auto& shard : shards_) {
-    std::lock_guard lock(shard->mutex);
+    util::MutexLock lock(shard->mutex);
     for (const auto& [id, bucket] : shard->buckets) {
       totals.merge(bucket->study.classifier().counters());
     }

@@ -36,16 +36,15 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <variant>
 #include <vector>
 
 #include "core/study.h"
+#include "util/annotations.h"
 #include "util/bounded_queue.h"
 #include "util/thread_pool.h"
 
@@ -230,9 +229,9 @@ class LiveStudy final : public trace::TraceSink {
     std::uint64_t bucket = 0;
   };
   struct FlushBarrier {
-    std::mutex mutex;
-    std::condition_variable cv;
-    std::size_t remaining = 0;
+    util::Mutex mutex;
+    util::CondVar cv;
+    std::size_t remaining ADSCOPE_GUARDED_BY(mutex) = 0;
   };
   using Record = std::variant<trace::HttpTransaction, trace::TlsFlow, Control,
                               std::shared_ptr<FlushBarrier>>;
@@ -250,9 +249,11 @@ class LiveStudy final : public trace::TraceSink {
     explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
     util::BoundedQueue<Record> queue;
     std::future<void> done;
-    mutable std::mutex mutex;  // guards buckets + floor
-    std::map<std::uint64_t, std::unique_ptr<Bucket>> buckets;
-    std::uint64_t floor = 0;  // ids below are sealed or evicted
+    mutable util::Mutex mutex;
+    std::map<std::uint64_t, std::unique_ptr<Bucket>> buckets
+        ADSCOPE_GUARDED_BY(mutex);
+    // Bucket ids below the floor are sealed or evicted.
+    std::uint64_t floor ADSCOPE_GUARDED_BY(mutex) = 0;
   };
 
   std::size_t shard_of(netdb::IpV4 client_ip) const noexcept;
@@ -271,8 +272,8 @@ class LiveStudy final : public trace::TraceSink {
   util::ThreadPool* pool_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  mutable std::mutex meta_mutex_;
-  trace::TraceMeta meta_;
+  mutable util::Mutex meta_mutex_;
+  trace::TraceMeta meta_ ADSCOPE_GUARDED_BY(meta_mutex_);
   std::atomic<bool> meta_set_{false};
 
   std::atomic<std::uint64_t> watermark_ms_{0};

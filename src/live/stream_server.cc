@@ -28,7 +28,7 @@ void TraceStreamServer::stop() {
   if (acceptor_.joinable()) acceptor_.join();
   std::vector<std::thread> handlers;
   {
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     handlers.swap(connections_);
   }
   for (auto& thread : handlers) {
@@ -43,7 +43,7 @@ void TraceStreamServer::reap_finished_connections() {
   // their std::thread objects are joined here (fast — already exited)
   // so the vector does not grow without bound on long uptimes.
   if (connections_active_.load(std::memory_order_relaxed) > 0) return;
-  std::lock_guard lock(connections_mutex_);
+  util::MutexLock lock(connections_mutex_);
   if (connections_active_.load(std::memory_order_relaxed) > 0) return;
   for (auto& thread : connections_) {
     if (thread.joinable()) thread.join();
@@ -72,7 +72,7 @@ void TraceStreamServer::accept_loop() {
     }
     connections_total_.fetch_add(1, std::memory_order_relaxed);
     connections_active_.fetch_add(1, std::memory_order_relaxed);
-    std::lock_guard lock(connections_mutex_);
+    util::MutexLock lock(connections_mutex_);
     connections_.emplace_back(
         [this, fd = std::move(client)]() mutable {
           handle_connection(std::move(fd));

@@ -19,11 +19,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "live/live_study.h"
+#include "util/annotations.h"
 #include "util/socket.h"
 
 namespace adscope::live {
@@ -96,9 +96,10 @@ class TraceStreamServer {
   std::atomic<bool> running_{false};
   std::atomic<bool> stopping_{false};
   std::thread acceptor_;
-  std::mutex connections_mutex_;
-  std::vector<std::thread> connections_;
-  std::uint64_t last_maintained_bucket_ = UINT64_MAX;
+  util::Mutex connections_mutex_;
+  std::vector<std::thread> connections_
+      ADSCOPE_GUARDED_BY(connections_mutex_);
+  std::uint64_t last_maintained_bucket_ = UINT64_MAX;  // acceptor-only
 
   std::atomic<std::uint64_t> connections_total_{0};
   std::atomic<std::uint64_t> connections_active_{0};

@@ -1,0 +1,100 @@
+// Clang thread-safety annotations and the capability wrappers that make
+// them enforceable (-Wthread-safety; DESIGN.md §6).
+//
+// The analysis needs annotated lock types: std::mutex and the standard
+// guards carry no capability attributes, so locking through them is
+// invisible to the checker. util::Mutex / util::MutexLock / util::CondVar
+// are thin zero-state wrappers that (a) compile to the std primitives and
+// (b) tell Clang exactly which capability each critical section holds,
+// so a GUARDED_BY field accessed outside its mutex is a compile error in
+// the CI static-analysis job. Under GCC (no thread-safety analysis) every
+// macro expands to nothing and the wrappers are pure pass-throughs.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define ADSCOPE_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef ADSCOPE_THREAD_ANNOTATION
+#define ADSCOPE_THREAD_ANNOTATION(x)  // not Clang: no-op
+#endif
+
+#define ADSCOPE_CAPABILITY(x) ADSCOPE_THREAD_ANNOTATION(capability(x))
+#define ADSCOPE_SCOPED_CAPABILITY ADSCOPE_THREAD_ANNOTATION(scoped_lockable)
+#define ADSCOPE_GUARDED_BY(x) ADSCOPE_THREAD_ANNOTATION(guarded_by(x))
+#define ADSCOPE_PT_GUARDED_BY(x) ADSCOPE_THREAD_ANNOTATION(pt_guarded_by(x))
+#define ADSCOPE_ACQUIRE(...) \
+  ADSCOPE_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define ADSCOPE_RELEASE(...) \
+  ADSCOPE_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define ADSCOPE_REQUIRES(...) \
+  ADSCOPE_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define ADSCOPE_EXCLUDES(...) \
+  ADSCOPE_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define ADSCOPE_RETURN_CAPABILITY(x) \
+  ADSCOPE_THREAD_ANNOTATION(lock_returned(x))
+#define ADSCOPE_NO_THREAD_SAFETY_ANALYSIS \
+  ADSCOPE_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace adscope::util {
+
+/// std::mutex with a capability attribute, so GUARDED_BY(mutex_) fields
+/// are checkable. Also a BasicLockable, which lets CondVar wait on it
+/// directly (no std::unique_lock, which the analysis cannot see through).
+class ADSCOPE_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ADSCOPE_ACQUIRE() { mutex_.lock(); }
+  void unlock() ADSCOPE_RELEASE() { mutex_.unlock(); }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over Mutex (std::lock_guard equivalent). Scoped-only by
+/// design: early unlock is expressed with a nested block, which the
+/// analysis verifies, instead of a manual unlock() it cannot.
+class ADSCOPE_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex) ADSCOPE_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~MutexLock() ADSCOPE_RELEASE() { mutex_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable paired with util::Mutex. wait() takes the Mutex
+/// itself (condition_variable_any unlocks/relocks any BasicLockable), and
+/// the REQUIRES annotation makes "wait without holding the lock" a
+/// compile error. Predicates are spelled as explicit while-loops at the
+/// call sites so the guarded reads stay inside the analyzed function
+/// body (lambdas are analyzed without the caller's capability context).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mutex) ADSCOPE_REQUIRES(mutex) {
+    cv_.wait(mutex);
+  }
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+}  // namespace adscope::util

@@ -6,13 +6,17 @@
 // trace is. close() releases consumers once the producer is done;
 // pop() then drains the remaining records and finally reports
 // exhaustion.
+//
+// Locking is expressed through util::Mutex/CondVar so the Clang
+// thread-safety analysis proves every access to the guarded state is
+// under mutex_ (wait predicates are explicit loops for the same reason).
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
-#include <mutex>
 #include <utility>
+
+#include "util/annotations.h"
 
 namespace adscope::util {
 
@@ -28,12 +32,12 @@ class BoundedQueue {
   /// Blocks while the queue is full (backpressure). Returns false when
   /// the queue was closed (the item is dropped).
   bool push(T item) {
-    std::unique_lock lock(mutex_);
-    not_full_.wait(lock,
-                   [this] { return items_.size() < capacity_ || closed_; });
-    if (closed_) return false;
-    items_.push_back(std::move(item));
-    lock.unlock();
+    {
+      MutexLock lock(mutex_);
+      while (items_.size() >= capacity_ && !closed_) not_full_.wait(mutex_);
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
     not_empty_.notify_one();
     return true;
   }
@@ -41,12 +45,13 @@ class BoundedQueue {
   /// Blocks until an item is available or the queue is closed and
   /// drained. Returns false only on exhaustion.
   bool pop(T& out) {
-    std::unique_lock lock(mutex_);
-    not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
-    if (items_.empty()) return false;  // closed and drained
-    out = std::move(items_.front());
-    items_.pop_front();
-    lock.unlock();
+    {
+      MutexLock lock(mutex_);
+      while (items_.empty() && !closed_) not_empty_.wait(mutex_);
+      if (items_.empty()) return false;  // closed and drained
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
     not_full_.notify_one();
     return true;
   }
@@ -54,7 +59,7 @@ class BoundedQueue {
   /// No further push() succeeds; consumers drain what remains.
   void close() {
     {
-      std::lock_guard lock(mutex_);
+      MutexLock lock(mutex_);
       closed_ = true;
     }
     not_empty_.notify_all();
@@ -64,17 +69,17 @@ class BoundedQueue {
   std::size_t capacity() const noexcept { return capacity_; }
 
   std::size_t size() const {
-    std::lock_guard lock(mutex_);
+    MutexLock lock(mutex_);
     return items_.size();
   }
 
  private:
   const std::size_t capacity_;
-  mutable std::mutex mutex_;
-  std::condition_variable not_empty_;
-  std::condition_variable not_full_;
-  std::deque<T> items_;
-  bool closed_ = false;
+  mutable Mutex mutex_;
+  CondVar not_empty_;
+  CondVar not_full_;
+  std::deque<T> items_ ADSCOPE_GUARDED_BY(mutex_);
+  bool closed_ ADSCOPE_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace adscope::util

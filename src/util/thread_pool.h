@@ -8,14 +8,14 @@
 // least N threads; ParallelTraceStudy enforces this.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/annotations.h"
 
 namespace adscope::util {
 
@@ -38,10 +38,10 @@ class ThreadPool {
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::mutex mutex_;
-  std::condition_variable wake_;
-  std::deque<std::packaged_task<void()>> tasks_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  CondVar wake_;
+  std::deque<std::packaged_task<void()>> tasks_ ADSCOPE_GUARDED_BY(mutex_);
+  bool stopping_ ADSCOPE_GUARDED_BY(mutex_) = false;
 };
 
 /// Pool sizing helper: explicit request, else hardware concurrency.

@@ -1,0 +1,760 @@
+// Tests for the filter-list static analyzer (DESIGN.md §8): golden
+// diagnostics per analysis, subsumption/disjointness unit laws, JSON
+// emission, and the prune-safety property — a pruned list set must
+// classify a generated URL corpus and an example trace byte-identically
+// to the original, at 1, 2 and 7 threads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "adblock/engine.h"
+#include "adblock/filter.h"
+#include "adblock/filter_list.h"
+#include "core/parallel_study.h"
+#include "core/report.h"
+#include "core/study.h"
+#include "lint/linter.h"
+#include "lint/regex_risk.h"
+#include "lint/render.h"
+#include "lint/subsumption.h"
+#include "sim/ecosystem.h"
+#include "sim/listgen.h"
+#include "sim/rbn_sim.h"
+#include "trace/record.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace adscope::lint {
+namespace {
+
+using adblock::Filter;
+
+Filter parse_ok(std::string_view line) {
+  auto filter = Filter::parse(line);
+  EXPECT_TRUE(filter.has_value()) << "rule failed to parse: " << line;
+  return *filter;
+}
+
+LintResult lint_one(std::string text,
+                    adblock::ListKind kind = adblock::ListKind::kCustom) {
+  return run_lint({{"list.txt", std::move(text), kind}});
+}
+
+/// Diagnostics of one check, in report order.
+std::vector<const Diagnostic*> of_check(const LintResult& result,
+                                        Check check) {
+  std::vector<const Diagnostic*> out;
+  for (const auto& d : result.diagnostics) {
+    if (d.check == check) out.push_back(&d);
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Golden diagnostics, one analysis at a time.
+
+TEST(LintParse, BadRegexIsAnError) {
+  const auto result = lint_one("/ads([0-9]+/\n");
+  const auto parse = of_check(result, Check::kParse);
+  ASSERT_EQ(parse.size(), 1u);
+  EXPECT_EQ(parse[0]->severity, Severity::kError);
+  EXPECT_EQ(parse[0]->line, 1u);
+  EXPECT_EQ(parse[0]->rule, "/ads([0-9]+/");
+  EXPECT_NE(parse[0]->message.find("bad-regex"), std::string::npos);
+  EXPECT_TRUE(result.has_errors());
+}
+
+TEST(LintParse, UnknownAndMalformedOptionsAreWarnings) {
+  const auto result = lint_one(
+      "||cdn.example/ads^$webbug\n"
+      "||cdn.example/track^$~match-case\n");
+  const auto parse = of_check(result, Check::kParse);
+  ASSERT_EQ(parse.size(), 2u);
+  EXPECT_EQ(parse[0]->severity, Severity::kWarning);
+  EXPECT_NE(parse[0]->message.find("webbug"), std::string::npos);
+  EXPECT_NE(parse[1]->message.find("match-case"), std::string::npos);
+  EXPECT_EQ(result.stats.discarded_lines, 2u);
+  EXPECT_FALSE(result.has_errors());
+}
+
+TEST(LintParse, CommentsAndElementHidingAreNotFindings) {
+  const auto result = lint_one(
+      "! a comment\n"
+      "example.com##.ad-box\n"
+      "/banner/\n");
+  EXPECT_TRUE(result.diagnostics.empty());
+  EXPECT_EQ(result.stats.rules, 1u);
+  EXPECT_EQ(result.stats.elemhide_rules, 1u);
+  EXPECT_EQ(result.stats.discarded_lines, 0u);
+}
+
+TEST(LintDuplicate, ExactAndSemanticDuplicatesArePrunable) {
+  const auto result = lint_one(
+      "&ad_box_\n"
+      "&ad_box_\n"
+      "/adframe/*$script,third-party\n"
+      "/adframe/*$third-party,script\n");
+  const auto dups = of_check(result, Check::kDuplicate);
+  ASSERT_EQ(dups.size(), 2u);
+  EXPECT_EQ(dups[0]->line, 2u);
+  EXPECT_EQ(dups[0]->other_line, 1u);
+  EXPECT_TRUE(dups[0]->prunable);
+  EXPECT_EQ(dups[1]->line, 4u);  // option order does not matter
+  EXPECT_EQ(dups[1]->other_line, 3u);
+  EXPECT_EQ(result.stats.prunable, 2u);
+}
+
+TEST(LintDuplicate, CrossListDuplicatePointsAtTheEarlierList) {
+  const auto result = run_lint({
+      {"a.txt", "ads.js\n", adblock::ListKind::kEasyList},
+      {"b.txt", "ads.js\n", adblock::ListKind::kEasyPrivacy},
+  });
+  const auto dups = of_check(result, Check::kDuplicate);
+  ASSERT_EQ(dups.size(), 1u);
+  EXPECT_EQ(dups[0]->list, "b.txt");
+  EXPECT_EQ(dups[0]->other_list, "a.txt");
+}
+
+TEST(LintShadowed, NarrowRuleBehindBroadPrefixIsPrunable) {
+  const auto result = lint_one(
+      "-adbanner.\n"
+      "-adbanner.gif\n"
+      "||adserver.example^\n"
+      "||adserver.example^/creative*.png\n");
+  const auto shadowed = of_check(result, Check::kShadowed);
+  ASSERT_EQ(shadowed.size(), 2u);
+  EXPECT_EQ(shadowed[0]->line, 2u);
+  EXPECT_NE(shadowed[0]->message.find("-adbanner."), std::string::npos);
+  EXPECT_EQ(shadowed[1]->line, 4u);
+  EXPECT_EQ(shadowed[1]->other_line, 3u);
+  EXPECT_TRUE(shadowed[1]->prunable);
+}
+
+TEST(LintShadowed, BroaderRuleAfterTheNarrowOneIsNotFlagged) {
+  // The narrow rule fires first in engine order; the broad one is not a
+  // same-or-earlier subsumer, so neither rule may be pruned (removing
+  // the narrow one would change *attribution*, which the report shows).
+  const auto result = lint_one(
+      "-adbanner.gif\n"
+      "-adbanner.\n");
+  EXPECT_TRUE(of_check(result, Check::kShadowed).empty());
+}
+
+TEST(LintShadowed, OptionsMustSubsumeNotJustOverlap) {
+  // $script narrows the type mask: the broad pattern no longer covers
+  // everything the narrow rule matches.
+  const auto result = lint_one(
+      "-adbanner.$script\n"
+      "-adbanner.gif\n");
+  EXPECT_TRUE(of_check(result, Check::kShadowed).empty());
+}
+
+TEST(LintDeadException, TypeDisjointExceptionIsFlaggedButNotPruned) {
+  const auto result = lint_one(
+      "||ads.partner.example^$script\n"
+      "@@||ads.partner.example^$image\n");
+  const auto dead = of_check(result, Check::kDeadException);
+  ASSERT_EQ(dead.size(), 1u);
+  EXPECT_EQ(dead[0]->line, 2u);
+  EXPECT_FALSE(dead[0]->prunable);
+  EXPECT_EQ(result.stats.prunable, 0u);
+}
+
+TEST(LintDeadException, OverlappingAndDocumentExceptionsStayQuiet) {
+  const auto result = lint_one(
+      "||ads.partner.example^$script\n"
+      "@@||ads.partner.example^$script\n"
+      "@@||news.example^$document\n");
+  // Line 2 overlaps; line 3 whitelists pages through a separate engine
+  // path, so "overlaps no blocking rule" is not evidence of deadness.
+  EXPECT_TRUE(of_check(result, Check::kDeadException).empty());
+}
+
+TEST(LintEmptyMatchSet, UnsatisfiableOptionsAreErrorsAndPrunable) {
+  const auto result = lint_one(
+      "example.net/pixel$image,~image\n"
+      "example.net/window$popup\n"
+      "example.net/banner$domain=shop.example|~shop.example\n");
+  const auto empty = of_check(result, Check::kEmptyMatchSet);
+  ASSERT_EQ(empty.size(), 3u);
+  for (const auto* d : empty) {
+    EXPECT_EQ(d->severity, Severity::kError);
+    EXPECT_TRUE(d->prunable);
+  }
+  EXPECT_EQ(result.stats.prunable, 3u);
+}
+
+TEST(LintSlowPath, UntokenizableRuleIsAnInfo) {
+  const auto result = lint_one("*a*\n");
+  const auto slow = of_check(result, Check::kSlowPath);
+  ASSERT_EQ(slow.size(), 1u);
+  EXPECT_EQ(slow[0]->severity, Severity::kInfo);
+  EXPECT_FALSE(slow[0]->prunable);
+}
+
+TEST(LintRegexRisk, NestedQuantifierIsFlagged) {
+  const auto result = lint_one("/(banner[0-9]+)+\\.gif/\n");
+  const auto risk = of_check(result, Check::kRegexRisk);
+  ASSERT_EQ(risk.size(), 1u);
+  EXPECT_EQ(risk[0]->severity, Severity::kWarning);
+}
+
+TEST(LintPrune, EqualsCouplingRescueKeepsQueryNormalizerProbes) {
+  // "/adframe/?id=" is shadowed by "/adframe/", but its body feeds
+  // pattern_contains_literal ("id=" probes); no identical pattern
+  // survives, so the rule must be kept.
+  const auto result = lint_one(
+      "/adframe/\n"
+      "/adframe/?id=\n");
+  const auto shadowed = of_check(result, Check::kShadowed);
+  ASSERT_EQ(shadowed.size(), 1u);
+  EXPECT_FALSE(shadowed[0]->prunable);
+  EXPECT_NE(shadowed[0]->message.find("kept anyway"), std::string::npos);
+  EXPECT_EQ(result.stats.prunable, 0u);
+  EXPECT_TRUE(result.prunable_lines[0].empty());
+}
+
+TEST(LintPrune, EqualsRescueNotNeededWhenIdenticalPatternSurvives) {
+  const auto result = lint_one(
+      "/adframe/?id=\n"
+      "/adframe/?id=\n");
+  const auto dups = of_check(result, Check::kDuplicate);
+  ASSERT_EQ(dups.size(), 1u);
+  EXPECT_TRUE(dups[0]->prunable);  // the surviving copy keeps the probe
+}
+
+TEST(LintStatsTest, RollupCountsMatchDiagnostics) {
+  const auto result = lint_one(
+      "/ads([0-9]+/\n"
+      "ads.js\n"
+      "ads.js\n"
+      "*a*\n");
+  std::size_t errors = 0, warnings = 0, infos = 0;
+  for (const auto& d : result.diagnostics) {
+    errors += d.severity == Severity::kError;
+    warnings += d.severity == Severity::kWarning;
+    infos += d.severity == Severity::kInfo;
+  }
+  EXPECT_EQ(result.stats.errors, errors);
+  EXPECT_EQ(result.stats.warnings, warnings);
+  EXPECT_EQ(result.stats.infos, infos);
+  EXPECT_EQ(result.stats.by_check[static_cast<std::size_t>(Check::kParse)],
+            1u);
+  EXPECT_EQ(
+      result.stats.by_check[static_cast<std::size_t>(Check::kDuplicate)], 1u);
+  // Most severe first: the bad-regex error leads the report.
+  ASSERT_FALSE(result.diagnostics.empty());
+  EXPECT_EQ(result.diagnostics.front().severity, Severity::kError);
+}
+
+TEST(LintShadowCap, OverBudgetRunSkipsQuadraticAnalyses) {
+  LintOptions options;
+  options.shadow_cap = 1;
+  const auto result = run_lint(
+      {{"list.txt",
+        "-adbanner.\n"
+        "-adbanner.gif\n",
+        adblock::ListKind::kCustom}},
+      options);
+  EXPECT_TRUE(result.stats.shadowing_degraded);
+  EXPECT_TRUE(of_check(result, Check::kShadowed).empty());
+  EXPECT_NE(render_text(result).find("shadowing budget"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Subsumption and disjointness laws.
+
+TEST(Subsumption, PrefixLemmaCases) {
+  // Unanchored prefix.
+  EXPECT_TRUE(subsumes(parse_ok("-adbanner."), parse_ok("-adbanner.gif")));
+  // Unanchored literal inside a literal run of a general pattern.
+  EXPECT_TRUE(subsumes(parse_ok("banner"), parse_ok("/ad*mybanner^x")));
+  // Domain anchor, broad prefix with trailing '^' and wildcard tail.
+  EXPECT_TRUE(subsumes(parse_ok("||adserver.example^"),
+                       parse_ok("||adserver.example^/creative*.png")));
+  // Start anchor.
+  EXPECT_TRUE(subsumes(parse_ok("|https://cdn.example/"),
+                       parse_ok("|https://cdn.example/promos/")));
+  // End anchor (suffix dual).
+  EXPECT_TRUE(subsumes(parse_ok(".swf|"), parse_ok("player.swf|")));
+  // Reflexive.
+  EXPECT_TRUE(subsumes(parse_ok("ads.js"), parse_ok("ads.js")));
+}
+
+TEST(Subsumption, RejectsNonCoveringPairs) {
+  // Prefix the wrong way around.
+  EXPECT_FALSE(subsumes(parse_ok("-adbanner.gif"), parse_ok("-adbanner.")));
+  // Broad is start-anchored but narrow is not: match positions differ.
+  EXPECT_FALSE(subsumes(parse_ok("|ads"), parse_ok("ads.js")));
+  // Narrow type mask on the broad side.
+  EXPECT_FALSE(subsumes(parse_ok("ads$script"), parse_ok("ads.js")));
+  // Third-party constraint on the broad side only.
+  EXPECT_FALSE(subsumes(parse_ok("ads$third-party"), parse_ok("ads.js")));
+  // Include-domain confinement on the broad side only.
+  EXPECT_FALSE(
+      subsumes(parse_ok("ads$domain=shop.example"), parse_ok("ads.js")));
+  // Exception vs blocking never subsume each other.
+  EXPECT_FALSE(subsumes(parse_ok("@@ads"), parse_ok("ads.js")));
+  // Regexes are opaque.
+  EXPECT_FALSE(subsumes(parse_ok("/ads/"), parse_ok("adsx")));
+  // Case-sensitive broad rule cannot cover a case-insensitive narrow one.
+  EXPECT_FALSE(subsumes(parse_ok("ads$match-case"), parse_ok("adsx")));
+}
+
+TEST(Subsumption, OptionAwareCoverage) {
+  // Broad covers a narrower type mask and matching party constraint.
+  EXPECT_TRUE(subsumes(parse_ok("ads"), parse_ok("ads.js$script")));
+  EXPECT_TRUE(
+      subsumes(parse_ok("ads$third-party"), parse_ok("ads.js$third-party")));
+  // Broad include set covers the narrow one.
+  EXPECT_TRUE(subsumes(parse_ok("ads$domain=shop.example"),
+                       parse_ok("ads.js$domain=m.shop.example")));
+  // Broad excludes must be re-excluded by the narrow rule.
+  EXPECT_FALSE(subsumes(parse_ok("ads$domain=~shop.example"),
+                        parse_ok("ads.js")));
+  EXPECT_TRUE(subsumes(parse_ok("ads$domain=~shop.example"),
+                       parse_ok("ads.js$domain=~shop.example")));
+  // Case-sensitive pair compares original case.
+  EXPECT_TRUE(
+      subsumes(parse_ok("/PROMO/$match-case"), parse_ok("/PROMO/x$match-case")));
+  EXPECT_FALSE(
+      subsumes(parse_ok("/PROMO/$match-case"), parse_ok("/promo/x$match-case")));
+}
+
+TEST(Disjointness, ProvableCases) {
+  EXPECT_TRUE(provably_disjoint(parse_ok("ads$script"), parse_ok("ads$image")));
+  EXPECT_TRUE(provably_disjoint(parse_ok("ads$third-party"),
+                                parse_ok("ads$~third-party")));
+  EXPECT_TRUE(provably_disjoint(parse_ok("ads$domain=a.example"),
+                                parse_ok("ads$domain=b.example")));
+  EXPECT_TRUE(provably_disjoint(parse_ok("|http://a.example/x"),
+                                parse_ok("|http://b.example/y")));
+  EXPECT_TRUE(provably_disjoint(parse_ok(".gif|"), parse_ok(".png|")));
+  EXPECT_TRUE(provably_disjoint(parse_ok("||a.example^"),
+                                parse_ok("||b.example^")));
+}
+
+TEST(Disjointness, StaysConservativeWhenOverlapIsPossible) {
+  EXPECT_FALSE(provably_disjoint(parse_ok("ads"), parse_ok("banner")));
+  EXPECT_FALSE(provably_disjoint(parse_ok("||a.example^"),
+                                 parse_ok("||sub.a.example^")));
+  EXPECT_FALSE(provably_disjoint(parse_ok("ads$domain=a.example"),
+                                 parse_ok("ads$domain=sub.a.example")));
+  EXPECT_FALSE(provably_disjoint(parse_ok("|http://a.example/x"),
+                                 parse_ok("|http://a.example/xy")));
+}
+
+TEST(Signature, CanonicalizesOptionOrderAndCase) {
+  EXPECT_EQ(semantic_signature(parse_ok("/adframe/*$script,third-party")),
+            semantic_signature(parse_ok("/adframe/*$third-party,script")));
+  EXPECT_EQ(semantic_signature(parse_ok("ADS.js")),
+            semantic_signature(parse_ok("ads.js")));
+  EXPECT_NE(semantic_signature(parse_ok("ADS.js$match-case")),
+            semantic_signature(parse_ok("ads.js$match-case")));
+  EXPECT_NE(semantic_signature(parse_ok("ads.js")),
+            semantic_signature(parse_ok("@@ads.js")));
+  EXPECT_NE(semantic_signature(parse_ok("ads$domain=a.example")),
+            semantic_signature(parse_ok("ads$domain=~a.example")));
+}
+
+TEST(LiteralRuns, SplitsOnWildcardsAndSeparators) {
+  const auto runs = literal_runs("/ad*mybanner^x");
+  ASSERT_EQ(runs.size(), 3u);
+  EXPECT_EQ(runs[0], "/ad");
+  EXPECT_EQ(runs[1], "mybanner");
+  EXPECT_EQ(runs[2], "x");
+  EXPECT_TRUE(literal_runs("*^*").empty());
+}
+
+TEST(RegexRiskTest, FlagsNestedQuantifiersAndLargeRepeats) {
+  EXPECT_TRUE(assess_regex("(a+)+").has_value());
+  EXPECT_TRUE(assess_regex("(x|y*)*z").has_value());
+  EXPECT_TRUE(assess_regex("(ab{2,}c)+").has_value());
+  EXPECT_TRUE(assess_regex("a{5000}").has_value());
+  EXPECT_FALSE(assess_regex("ads[0-9]+\\.gif").has_value());
+  EXPECT_FALSE(assess_regex("(https?)://").has_value());  // '?' is benign
+  EXPECT_FALSE(assess_regex("(abc)+def").has_value());
+  EXPECT_FALSE(assess_regex("a{2,10}").has_value());
+}
+
+// ---------------------------------------------------------------------------
+// Pruned-text emission.
+
+TEST(EmitPruned, DropsExactlyTheNamedLines) {
+  const std::string text = "one\ntwo\nthree\nfour";  // no trailing newline
+  EXPECT_EQ(emit_pruned(text, {2, 4}), "one\nthree\n");
+  EXPECT_EQ(emit_pruned(text, {}), "one\ntwo\nthree\nfour");
+  EXPECT_EQ(emit_pruned("a\nb\n", {1, 2}), "");
+}
+
+TEST(EmitPruned, PrunedFixtureRelints_Clean) {
+  const std::string text =
+      "&ad_box_\n"
+      "&ad_box_\n"
+      "-adbanner.\n"
+      "-adbanner.gif\n"
+      "example.net/window$popup\n";
+  auto result = lint_one(text);
+  EXPECT_EQ(result.stats.prunable, 3u);
+  const auto pruned = emit_pruned(text, result.prunable_lines[0]);
+  const auto relint = lint_one(pruned);
+  EXPECT_EQ(relint.stats.prunable, 0u);
+  EXPECT_EQ(relint.stats.rules, result.stats.rules - 3u);
+}
+
+TEST(InferKind, MapsWellKnownFilenames) {
+  EXPECT_EQ(infer_kind("easylist.txt"), adblock::ListKind::kEasyList);
+  EXPECT_EQ(infer_kind("EasyPrivacy.txt"), adblock::ListKind::kEasyPrivacy);
+  EXPECT_EQ(infer_kind("exceptionrules.txt"),
+            adblock::ListKind::kAcceptableAds);
+  EXPECT_EQ(infer_kind("lists/acceptable_ads.txt"),
+            adblock::ListKind::kAcceptableAds);
+  EXPECT_EQ(infer_kind("mine.txt"), adblock::ListKind::kCustom);
+}
+
+// ---------------------------------------------------------------------------
+// JSON round-trip: render_json output parses back into the same stats
+// and diagnostics with a minimal in-test JSON reader.
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string,
+               std::vector<JsonValue>, std::map<std::string, JsonValue>>
+      value;
+  const JsonValue& at(const std::string& key) const {
+    return std::get<std::map<std::string, JsonValue>>(value).at(key);
+  }
+  const std::vector<JsonValue>& array() const {
+    return std::get<std::vector<JsonValue>>(value);
+  }
+  const std::string& str() const { return std::get<std::string>(value); }
+  double num() const { return std::get<double>(value); }
+  bool boolean() const { return std::get<bool>(value); }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+  JsonValue parse() {
+    auto value = parse_value();
+    skip_ws();
+    EXPECT_EQ(pos_, text_.size()) << "trailing bytes after JSON document";
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_ws();
+    EXPECT_LT(pos_, text_.size()) << "unexpected end of JSON";
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  void expect(char c) {
+    EXPECT_EQ(peek(), c);
+    ++pos_;
+  }
+  JsonValue parse_value() {
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return {parse_string()};
+      case 't': pos_ += 4; return {true};
+      case 'f': pos_ += 5; return {false};
+      case 'n': pos_ += 4; return {nullptr};
+      default: return parse_number();
+    }
+  }
+  JsonValue parse_object() {
+    expect('{');
+    std::map<std::string, JsonValue> out;
+    if (peek() != '}') {
+      while (true) {
+        auto key = parse_string();
+        expect(':');
+        out.emplace(std::move(key), parse_value());
+        if (peek() != ',') break;
+        ++pos_;
+      }
+    }
+    expect('}');
+    return {std::move(out)};
+  }
+  JsonValue parse_array() {
+    expect('[');
+    std::vector<JsonValue> out;
+    if (peek() != ']') {
+      while (true) {
+        out.push_back(parse_value());
+        if (peek() != ',') break;
+        ++pos_;
+      }
+    }
+    expect(']');
+    return {std::move(out)};
+  }
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      char c = text_[pos_++];
+      if (c == '\\' && pos_ < text_.size()) {
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'u': {
+            // Only \u00XX is emitted by JsonWriter (control characters).
+            const auto hex = text_.substr(pos_, 4);
+            out.push_back(
+                static_cast<char>(std::stoi(std::string(hex), nullptr, 16)));
+            pos_ += 4;
+            break;
+          }
+          default: out.push_back(esc); break;
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    expect('"');
+    return out;
+  }
+  JsonValue parse_number() {
+    std::size_t end = pos_;
+    while (end < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[end])) ||
+            text_[end] == '-' || text_[end] == '+' || text_[end] == '.' ||
+            text_[end] == 'e' || text_[end] == 'E')) {
+      ++end;
+    }
+    const double value = std::stod(std::string(text_.substr(pos_, end - pos_)));
+    pos_ = end;
+    return {value};
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+TEST(LintJson, RoundTripsThroughJsonWriter) {
+  // Rule text exercises escaping: quotes and backslashes survive.
+  const auto result = lint_one(
+      "/ads\\d\"([0-9]+/\n"
+      "ads.js\n"
+      "ads.js\n"
+      "*a*\n"
+      "example.net/window$popup\n");
+  const auto json = render_json(result);
+  const auto doc = JsonReader(json).parse();
+
+  EXPECT_EQ(doc.at("schema").str(), "adscope-lint-1");
+  const auto& stats = doc.at("stats");
+  EXPECT_EQ(stats.at("lists").num(), static_cast<double>(result.stats.lists));
+  EXPECT_EQ(stats.at("rules").num(), static_cast<double>(result.stats.rules));
+  EXPECT_EQ(stats.at("errors").num(),
+            static_cast<double>(result.stats.errors));
+  EXPECT_EQ(stats.at("warnings").num(),
+            static_cast<double>(result.stats.warnings));
+  EXPECT_EQ(stats.at("infos").num(), static_cast<double>(result.stats.infos));
+  EXPECT_EQ(stats.at("prunable").num(),
+            static_cast<double>(result.stats.prunable));
+  EXPECT_EQ(stats.at("shadowing_degraded").boolean(), false);
+  for (std::size_t c = 0; c < kCheckCount; ++c) {
+    EXPECT_EQ(stats.at("by_check")
+                  .at(std::string(to_string(static_cast<Check>(c))))
+                  .num(),
+              static_cast<double>(result.stats.by_check[c]));
+  }
+
+  const auto& diagnostics = doc.at("diagnostics").array();
+  ASSERT_EQ(diagnostics.size(), result.diagnostics.size());
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const auto& d = result.diagnostics[i];
+    EXPECT_EQ(diagnostics[i].at("severity").str(), to_string(d.severity));
+    EXPECT_EQ(diagnostics[i].at("check").str(), to_string(d.check));
+    EXPECT_EQ(diagnostics[i].at("list").str(), d.list);
+    EXPECT_EQ(diagnostics[i].at("line").num(), static_cast<double>(d.line));
+    EXPECT_EQ(diagnostics[i].at("rule").str(), d.rule);
+    EXPECT_EQ(diagnostics[i].at("message").str(), d.message);
+    EXPECT_EQ(diagnostics[i].at("prunable").boolean(), d.prunable);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Prune safety, end to end: generated lists seeded with inert defects
+// must classify identically before and after pruning — per request over
+// a URL corpus, and byte-for-byte through the full study report at 1, 2
+// and 7 threads.
+
+class PruneDifferentialTest : public ::testing::Test {
+ protected:
+  static const sim::Ecosystem& eco() {
+    static const sim::Ecosystem instance = [] {
+      sim::EcosystemOptions options;
+      options.publishers = 400;
+      return sim::Ecosystem::generate(42, options);
+    }();
+    return instance;
+  }
+
+  /// Generated lists with an appended block of inert defects the linter
+  /// must prove removable: exact/semantic duplicates, shadowed rules,
+  /// and unsatisfiable option sets.
+  static const std::vector<LintSource>& sources() {
+    static const std::vector<LintSource> instance = [] {
+      auto lists = sim::generate_lists(eco());
+      lists.easylist +=
+          "! --- seeded inert defects (lint must prune all of these) ---\n"
+          "&seed_ad_box_\n"
+          "&seed_ad_box_\n"
+          "/seedframe/*$script,third-party\n"
+          "/seedframe/*$third-party,script\n"
+          "||seedads.example^\n"
+          "||seedads.example^/creative*.png\n"
+          "seedpixel.example/p$image,~image\n"
+          "seedpopup.example/w$popup\n";
+      return std::vector<LintSource>{
+          {"easylist", std::move(lists.easylist),
+           adblock::ListKind::kEasyList},
+          {"easyprivacy", std::move(lists.easyprivacy),
+           adblock::ListKind::kEasyPrivacy},
+          {"exceptionrules", std::move(lists.acceptable_ads),
+           adblock::ListKind::kAcceptableAds},
+      };
+    }();
+    return instance;
+  }
+
+  static const LintResult& lint() {
+    static const LintResult instance = run_lint(sources());
+    return instance;
+  }
+
+  static adblock::FilterEngine build_engine(bool pruned) {
+    adblock::FilterEngine engine;
+    for (std::size_t s = 0; s < sources().size(); ++s) {
+      const auto& source = sources()[s];
+      const std::string text =
+          pruned ? emit_pruned(source.text, lint().prunable_lines[s])
+                 : source.text;
+      engine.add_list(
+          adblock::FilterList::parse(text, source.kind, source.name));
+    }
+    return engine;
+  }
+
+  static const adblock::FilterEngine& original() {
+    static const adblock::FilterEngine instance = build_engine(false);
+    return instance;
+  }
+  static const adblock::FilterEngine& pruned() {
+    static const adblock::FilterEngine instance = build_engine(true);
+    return instance;
+  }
+};
+
+TEST_F(PruneDifferentialTest, FindsSeededDefects) {
+  EXPECT_GE(lint().stats.prunable, 4u);  // at least the seeded block
+  ASSERT_EQ(lint().prunable_lines.size(), 3u);
+  EXPECT_GE(lint().prunable_lines[0].size(), 4u);
+  EXPECT_LT(pruned().active_filter_count(), original().active_filter_count());
+}
+
+TEST_F(PruneDifferentialTest, CorpusClassifiesIdentically) {
+  // URLs from the simulated ecosystem's own traffic plus synthetic ones
+  // aimed at the seeded rules' match space.
+  util::Rng rng(20260807);
+  const auto& companies = eco().companies();
+  std::vector<adblock::Request> corpus;
+  corpus.reserve(6000);
+  const auto types = {http::RequestType::kScript, http::RequestType::kImage,
+                      http::RequestType::kXhr, http::RequestType::kDocument,
+                      http::RequestType::kSubdocument};
+  auto pick_type = [&] {
+    auto it = types.begin();
+    std::advance(it, static_cast<long>(rng.below(types.size())));
+    return *it;
+  };
+  for (int i = 0; i < 6000; ++i) {
+    std::string url = "http://";
+    switch (rng.below(4)) {
+      case 0: {  // real ad-ecosystem server
+        const auto& domains = companies[rng.below(companies.size())].domains;
+        url += domains.empty() ? "empty.example" : domains[0];
+        url += "/serve/ad" + std::to_string(rng.below(100)) + ".js";
+        break;
+      }
+      case 1:  // seeded-rule match space
+        url += rng.chance(0.5) ? "seedads.example" : "cdn.seedads.example";
+        url += rng.chance(0.5) ? "/creative" + std::to_string(rng.below(9)) +
+                                     ".png"
+                               : "/other/seed_ad_box_1";
+        break;
+      case 2:  // shadow/duplicate fragments in the path
+        url += "pub" + std::to_string(rng.below(50)) + ".example/";
+        url += rng.chance(0.5) ? "seedframe/inner" : "seedpixel.example/p";
+        break;
+      default:  // plain content
+        url += "pub" + std::to_string(rng.below(50)) + ".example/page" +
+               std::to_string(rng.below(30)) + ".html";
+        break;
+    }
+    const std::string page =
+        "http://pub" + std::to_string(rng.below(50)) + ".example/";
+    corpus.push_back(adblock::make_request(url, page, pick_type()));
+  }
+  std::size_t decided = 0;
+  for (const auto& request : corpus) {
+    const auto a = original().classify(request);
+    const auto b = pruned().classify(request);
+    ASSERT_EQ(a.decision, b.decision);
+    EXPECT_EQ(a.list_kind, b.list_kind);
+    EXPECT_EQ(a.is_ad(), b.is_ad());
+    EXPECT_EQ(a.whitelist_saved_it(), b.whitelist_saved_it());
+    decided += a.decision != adblock::Decision::kNoMatch;
+  }
+  EXPECT_GT(decided, 0u) << "corpus never hit a rule; test is vacuous";
+}
+
+TEST_F(PruneDifferentialTest, StudyReportsIdenticalAtOneTwoAndSevenThreads) {
+  trace::MemoryTrace memory;
+  const auto lists = sim::generate_lists(eco());
+  sim::RbnSimulator simulator(eco(), lists, 42);
+  auto rbn = sim::rbn2_options(60);
+  rbn.duration_s = 2 * 3600;
+  simulator.simulate(rbn, memory);
+
+  core::StudyOptions study_options;
+  study_options.inference.min_requests = 300;
+
+  core::TraceStudy serial(original(), eco().abp_registry(), study_options);
+  memory.replay(serial);
+  serial.finish();
+  const auto serial_report =
+      core::render_full_report(serial.view(), &eco().asn_db());
+
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    core::ParallelStudyOptions options;
+    options.study = study_options;
+    options.threads = threads;
+    core::ParallelTraceStudy study(pruned(), eco().abp_registry(), options);
+    memory.replay(study);
+    study.finish();
+    EXPECT_EQ(core::render_full_report(study.view(), &eco().asn_db()),
+              serial_report)
+        << "pruned-engine report diverged at " << threads << " threads";
+  }
+}
+
+}  // namespace
+}  // namespace adscope::lint

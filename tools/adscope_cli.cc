@@ -7,15 +7,21 @@
 //   adscope lists       write the generated filter lists as ABP text
 //   adscope classify    one-shot URL classification
 //   adscope replay      stream a trace into a running adscoped daemon
+//   adscope lint        static analysis over ABP filter lists
 //
 // Run without arguments for the option reference.
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
+#include <vector>
 
 #include "analyzer/http_log.h"
 #include "core/parallel_study.h"
+#include "lint/linter.h"
+#include "lint/render.h"
 #include "live/replay.h"
 #include "core/report.h"
 #include "pcap/pcap.h"
@@ -301,9 +307,84 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+// `lint` takes positional FILE arguments plus --key=value options, which
+// the shared Args parser does not model; it parses argv itself.
+int cmd_lint(int argc, char** argv) {
+  std::vector<std::string> files;
+  std::string format = "text";
+  std::string prune_dir;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg.rfind("--prune-dir=", 0) == 0) {
+      prune_dir = arg.substr(12);
+    } else if (arg == "--prune-dir" && i + 1 < argc) {
+      prune_dir = argv[++i];
+    } else if (arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "lint: unknown option %s\n", arg.c_str());
+      return 2;
+    } else {
+      files.push_back(arg);
+    }
+  }
+  if (files.empty()) {
+    std::fprintf(stderr,
+                 "lint: at least one filter-list file required\n"
+                 "usage: adscope lint FILE... [--format=text|json] "
+                 "[--prune-dir DIR]\n");
+    return 2;
+  }
+  if (format != "text" && format != "json") {
+    std::fprintf(stderr, "lint: --format must be text or json\n");
+    return 2;
+  }
+
+  std::vector<lint::LintSource> sources;
+  sources.reserve(files.size());
+  for (const auto& file : files) {
+    std::ifstream in(file, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "lint: cannot read %s\n", file.c_str());
+      return 2;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    sources.push_back({file, std::move(text).str(), lint::infer_kind(file)});
+  }
+
+  const auto result = lint::run_lint(sources);
+  std::fputs(format == "json" ? lint::render_json(result).c_str()
+                              : lint::render_text(result).c_str(),
+             stdout);
+  if (format == "json") std::fputc('\n', stdout);
+
+  if (!prune_dir.empty()) {
+    for (std::size_t s = 0; s < sources.size(); ++s) {
+      // Strip any directory part: pruned lists land side by side in DIR.
+      auto base = sources[s].name;
+      if (const auto slash = base.rfind('/'); slash != std::string::npos) {
+        base = base.substr(slash + 1);
+      }
+      const auto out_path = prune_dir + "/" + base;
+      std::ofstream out(out_path, std::ios::binary | std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "lint: cannot write %s\n", out_path.c_str());
+        return 2;
+      }
+      out << lint::emit_pruned(sources[s].text, result.prunable_lines[s]);
+      std::fprintf(stderr, "pruned %zu rule(s) -> %s\n",
+                   result.prunable_lines[s].size(), out_path.c_str());
+    }
+  }
+  return result.has_errors() ? 1 : 0;
+}
+
 void usage() {
   std::fputs(
-      "usage: adscope <gen|study|export-pcap|lists|classify|replay> "
+      "usage: adscope <gen|study|export-pcap|lists|classify|replay|lint> "
       "[options]\n"
       "  gen        --out FILE [--households N] [--hours H] [--rbn1] [--seed S]\n"
       "  study      --trace FILE | --pcap FILE  [--log FILE --privacy "
@@ -315,7 +396,9 @@ void usage() {
       "  lists    --out-dir DIR [--seed S]\n"
       "  classify --url URL [--page URL] [--type image|script|...]\n"
       "  replay   --trace FILE [--host H] [--port N | --unix PATH]\n"
-      "           [--speedup X]\n",
+      "           [--speedup X]\n"
+      "  lint     FILE... [--format=text|json] [--prune-dir DIR]\n"
+      "           exit 0 = clean, 1 = error findings, 2 = usage\n",
       stderr);
 }
 
@@ -329,6 +412,7 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const auto args = parse_args(argc, argv, 2);
   try {
+    if (command == "lint") return cmd_lint(argc, argv);
     if (command == "gen") return cmd_gen(args);
     if (command == "study") return cmd_study(args);
     if (command == "export-pcap") return cmd_export_pcap(args);
