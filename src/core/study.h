@@ -82,6 +82,10 @@ struct StudyView {
   const ClassifierCounters* classifier = nullptr;
   std::uint64_t https_flows = 0;
   InferenceOptions inference_options;
+  /// Decode surface the records arrived through ("mmap", "stream",
+  /// "pcap"); diagnostic only — the report renderers ignore it so
+  /// reports stay byte-identical across io modes.
+  const char* io_mode = nullptr;
 
   /// Run the §6.2 inference over the aggregated users.
   InferenceResult inference() const {

@@ -257,6 +257,13 @@ std::string HttpEndpoint::render_metrics() const {
          "per second since the previous scrape.\n"
       << "# TYPE adscoped_ingest_rate_records_per_second gauge\n"
       << "adscoped_ingest_rate_records_per_second " << rate << "\n";
+  // Ingest always decodes off sockets (StreamDecoder); the mmap
+  // surface exists only for on-disk traces. An info-style gauge so
+  // dashboards can tell the surfaces apart uniformly.
+  out << "# HELP adscoped_ingest_io Active trace decode surface "
+         "(constant 1 for the mode in use).\n"
+      << "# TYPE adscoped_ingest_io gauge\n"
+      << "adscoped_ingest_io{mode=\"stream\"} 1\n";
   out << "# HELP adscoped_queue_depth Records waiting in shard queues.\n"
       << "# TYPE adscoped_queue_depth gauge\n"
       << "adscoped_queue_depth " << study_.queue_depth() << "\n";

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <optional>
 #include <sstream>
 #include <stdexcept>
 #include <system_error>
 #include <thread>
 
+#include "trace/mmap_reader.h"
 #include "trace/reader.h"
 #include "trace/record.h"
 #include "trace/writer.h"
@@ -16,16 +18,55 @@ namespace adscope::live {
 
 namespace {
 
+/// Maps record timestamps to wall-clock send deadlines under `speedup`
+/// (shared by the re-encoding and the zero-copy senders).
+class Pacer {
+ public:
+  explicit Pacer(double speedup)
+      : speedup_(speedup), wall_start_(std::chrono::steady_clock::now()) {}
+
+  /// The wall-clock deadline for a record at `timestamp_ms`, or nullopt
+  /// when it may be sent immediately (pacing off, first record, or
+  /// already overdue).
+  std::optional<std::chrono::steady_clock::time_point> due(
+      std::uint64_t timestamp_ms) {
+    if (speedup_ <= 0.0) return std::nullopt;
+    if (!have_epoch_) {
+      trace_epoch_ms_ = timestamp_ms;
+      have_epoch_ = true;
+      return std::nullopt;
+    }
+    const double elapsed_trace_ms =
+        timestamp_ms >= trace_epoch_ms_
+            ? static_cast<double>(timestamp_ms - trace_epoch_ms_)
+            : 0.0;
+    const auto deadline =
+        wall_start_ + std::chrono::duration_cast<
+                          std::chrono::steady_clock::duration>(
+                          std::chrono::duration<double, std::milli>(
+                              elapsed_trace_ms / speedup_));
+    if (deadline <= std::chrono::steady_clock::now()) return std::nullopt;
+    return deadline;
+  }
+
+ private:
+  double speedup_;
+  std::chrono::steady_clock::time_point wall_start_;
+  std::uint64_t trace_epoch_ms_ = 0;
+  bool have_epoch_ = false;
+};
+
 /// TraceSink that re-encodes records into a buffer and drains it to a
-/// socket, pacing sends against the record timestamps.
+/// socket, pacing sends against the record timestamps. Used for
+/// time-ordered replay, where reordering forces a fresh encode (the
+/// on-disk dictionary interleaving is only valid in file order).
 class PacingSender final : public trace::TraceSink {
  public:
   PacingSender(util::Fd fd, const ReplayOptions& options)
       : fd_(std::move(fd)),
         encoder_(buffer_),
-        speedup_(options.speedup),
-        batch_bytes_(options.batch_bytes == 0 ? 1 : options.batch_bytes),
-        wall_start_(std::chrono::steady_clock::now()) {}
+        pacer_(options.speedup),
+        batch_bytes_(options.batch_bytes == 0 ? 1 : options.batch_bytes) {}
 
   void on_meta(const trace::TraceMeta& meta) override {
     encoder_.on_meta(meta);
@@ -54,26 +95,11 @@ class PacingSender final : public trace::TraceSink {
 
  private:
   void pace(std::uint64_t timestamp_ms) {
-    if (speedup_ <= 0.0) return;
-    if (!have_epoch_) {
-      trace_epoch_ms_ = timestamp_ms;
-      have_epoch_ = true;
-      return;
-    }
-    const double elapsed_trace_ms =
-        timestamp_ms >= trace_epoch_ms_
-            ? static_cast<double>(timestamp_ms - trace_epoch_ms_)
-            : 0.0;
-    const auto due =
-        wall_start_ + std::chrono::duration_cast<
-                          std::chrono::steady_clock::duration>(
-                          std::chrono::duration<double, std::milli>(
-                              elapsed_trace_ms / speedup_));
-    if (due > std::chrono::steady_clock::now()) {
+    if (const auto deadline = pacer_.due(timestamp_ms)) {
       // Flush buffered records before sleeping so the daemon sees them
       // at their trace time, not a batch boundary later.
       drain();
-      std::this_thread::sleep_until(due);
+      std::this_thread::sleep_until(*deadline);
     }
   }
 
@@ -94,11 +120,58 @@ class PacingSender final : public trace::TraceSink {
   util::Fd fd_;
   std::ostringstream buffer_;
   trace::TraceEncoder encoder_;
-  double speedup_;
+  Pacer pacer_;
   std::size_t batch_bytes_;
-  std::chrono::steady_clock::time_point wall_start_;
-  std::uint64_t trace_epoch_ms_ = 0;
-  bool have_epoch_ = false;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+/// Zero-copy sender for pre-sorted traces: record spans come straight
+/// out of the mapping (dictionary definitions inline exactly as
+/// written), so nothing is re-encoded — the only per-record work is the
+/// pacing check and an append into the send buffer.
+class RawPacingSender final : public trace::MmapTraceReader::RawSink {
+ public:
+  RawPacingSender(util::Fd fd, const ReplayOptions& options)
+      : fd_(std::move(fd)),
+        pacer_(options.speedup),
+        batch_bytes_(options.batch_bytes == 0 ? 1 : options.batch_bytes) {}
+
+  void send_header(std::string_view header) {
+    buffer_.append(header.data(), header.size());
+  }
+
+  void on_raw(const trace::MmapTraceReader::RawRecord& record) override {
+    if (const auto deadline = pacer_.due(record.timestamp_ms)) {
+      drain();
+      std::this_thread::sleep_until(*deadline);
+    }
+    buffer_.append(record.bytes.data(), record.bytes.size());
+    if (buffer_.size() >= batch_bytes_) drain();
+  }
+
+  /// Appends the end-of-stream marker (varint kEnd, a single zero
+  /// byte) and sends everything still buffered.
+  void finish() {
+    buffer_.push_back('\0');
+    drain();
+  }
+
+  std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  void drain() {
+    if (buffer_.empty()) return;
+    if (!util::send_all(fd_.get(), buffer_)) {
+      throw std::runtime_error("replay: daemon closed the connection");
+    }
+    bytes_sent_ += buffer_.size();
+    buffer_.clear();
+  }
+
+  util::Fd fd_;
+  std::string buffer_;
+  Pacer pacer_;
+  std::size_t batch_bytes_;
   std::uint64_t bytes_sent_ = 0;
 };
 
@@ -135,22 +208,65 @@ std::uint64_t replay_time_ordered(const trace::MemoryTrace& buffered,
 }
 
 ReplayStats replay_trace(const ReplayOptions& options) {
-  trace::FileTraceReader reader(options.trace_path);
-  trace::MemoryTrace buffered;
+  const bool mappable = trace::MmapTraceReader::supported(options.trace_path);
+  ReplayStats stats;
+
   if (options.time_order) {
-    reader.replay(buffered);
+    // Reordering invalidates the file's dictionary interleaving (an
+    // entry is defined inline at first use), so this path buffers,
+    // sorts and re-encodes. The mapped reader still loads the file
+    // faster than the istream one.
+    trace::MemoryTrace buffered;
+    if (mappable) {
+      trace::MmapTraceReader reader(options.trace_path);
+      reader.replay(buffered);
+    } else {
+      trace::FileTraceReader reader(options.trace_path);
+      reader.replay(buffered);
+    }
     sort_by_time(buffered);
+
+    util::Fd fd = options.unix_path.empty()
+                      ? util::connect_tcp(options.host, options.port)
+                      : util::connect_unix(options.unix_path);
+    const auto start = std::chrono::steady_clock::now();
+    PacingSender sender(std::move(fd), options);
+    stats.records = replay_time_ordered(buffered, sender);
+    sender.finish();
+    stats.bytes = sender.bytes_sent();
+    stats.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return stats;
   }
 
+  if (mappable) {
+    // Pre-sorted trace in a regular file: replay the mapped bytes
+    // verbatim — no decode-to-records, no re-encode.
+    trace::MmapTraceReader reader(options.trace_path);
+    util::Fd fd = options.unix_path.empty()
+                      ? util::connect_tcp(options.host, options.port)
+                      : util::connect_unix(options.unix_path);
+    const auto start = std::chrono::steady_clock::now();
+    RawPacingSender sender(std::move(fd), options);
+    sender.send_header(reader.header_bytes());
+    stats.records = reader.replay_raw(sender);
+    sender.finish();
+    stats.zero_copy = true;
+    stats.bytes = sender.bytes_sent();
+    stats.wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    return stats;
+  }
+
+  trace::FileTraceReader reader(options.trace_path);
   util::Fd fd = options.unix_path.empty()
                     ? util::connect_tcp(options.host, options.port)
                     : util::connect_unix(options.unix_path);
-
   const auto start = std::chrono::steady_clock::now();
   PacingSender sender(std::move(fd), options);
-  ReplayStats stats;
-  stats.records = options.time_order ? replay_time_ordered(buffered, sender)
-                                     : reader.replay(sender);
+  stats.records = reader.replay(sender);
   sender.finish();
   stats.bytes = sender.bytes_sent();
   stats.wall_s =

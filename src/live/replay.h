@@ -1,8 +1,12 @@
 // Replay client — streams an on-disk .adst trace into a running
 // adscoped daemon over TCP or a Unix socket.
 //
-// The file's records are re-encoded with a fresh TraceEncoder (the wire
-// stream carries its own dictionary) and sent in batches. With
+// Time-ordered replay (the default) re-encodes the records with a
+// fresh TraceEncoder (the wire stream carries its own dictionary) and
+// sends them in batches. Pre-sorted replay (`time_order == false`) of a
+// regular file takes the zero-copy path instead: the file is mmap'd and
+// each record's raw wire bytes are sent verbatim — the on-disk
+// dictionary interleaving is already valid in file order. With
 // `speedup > 0` the send of each record is delayed until
 //   wall_start + (record.timestamp_ms - trace_start) / speedup,
 // so `--speedup 60` compresses an hour of trace into a minute and
@@ -38,6 +42,11 @@ struct ReplayStats {
   std::uint64_t records = 0;
   std::uint64_t bytes = 0;
   double wall_s = 0.0;
+  /// True when the zero-copy path ran: the file was mmap'd and record
+  /// spans were sent verbatim (no decode-to-records, no re-encode).
+  /// Only possible with `time_order == false` on a regular file —
+  /// reordering invalidates the inline dictionary definitions.
+  bool zero_copy = false;
 };
 
 /// Streams the trace and sends the end-of-stream marker. Throws

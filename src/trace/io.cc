@@ -31,6 +31,14 @@ void write_string(std::ostream& out, std::string_view value) {
   out.write(value.data(), static_cast<std::streamsize>(value.size()));
 }
 
+void write_fixed_u64le(std::ostream& out, std::uint64_t value) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<char>((value >> (8 * i)) & 0xFF);
+  }
+  out.write(bytes, sizeof(bytes));
+}
+
 std::string read_string(std::istream& in) {
   std::uint64_t length = 0;
   if (!read_varint(in, length)) throw TraceFormatError("missing string");

@@ -1,11 +1,13 @@
 // Varint/string primitives for the binary trace format.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <istream>
 #include <ostream>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 
 namespace adscope::trace {
 
@@ -25,5 +27,70 @@ bool read_varint(std::istream& in, std::uint64_t& value);
 /// Length-prefixed raw string.
 void write_string(std::ostream& out, std::string_view value);
 std::string read_string(std::istream& in);
+
+/// Fixed-width little-endian u64 — used for the header's back-patchable
+/// record-count hints (format v3), which must not change size when the
+/// writer patches the real counts in on close().
+void write_fixed_u64le(std::ostream& out, std::uint64_t value);
+
+/// Zero-copy decode cursor over a contiguous byte range. try_* methods
+/// return false when the range ends mid-item (nothing is "consumed"
+/// conceptually — callers rewind by keeping their own saved cursor) and
+/// throw TraceFormatError on structural corruption (varint overflow,
+/// oversized string). Both the mmap'd reader and the live StreamDecoder
+/// decode through this.
+struct ByteCursor {
+  const char* p = nullptr;
+  const char* end = nullptr;
+
+  std::size_t remaining() const noexcept {
+    return static_cast<std::size_t>(end - p);
+  }
+
+  bool try_varint(std::uint64_t& value) {
+    value = 0;
+    int shift = 0;
+    const char* q = p;
+    while (q < end) {
+      const auto byte = static_cast<std::uint8_t>(*q++);
+      if (shift >= 64) throw TraceFormatError("varint overflow");
+      value |= static_cast<std::uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) {
+        p = q;
+        return true;
+      }
+      shift += 7;
+    }
+    return false;  // incomplete
+  }
+
+  /// Length-prefixed string as a view into the underlying bytes.
+  bool try_string_view(std::string_view& out, std::uint64_t max_bytes) {
+    const char* saved = p;
+    std::uint64_t length = 0;
+    if (!try_varint(length)) return false;
+    if (length > max_bytes) {
+      throw TraceFormatError("string length exceeds limit");
+    }
+    if (remaining() < length) {
+      p = saved;
+      return false;  // incomplete
+    }
+    out = std::string_view(p, static_cast<std::size_t>(length));
+    p += length;
+    return true;
+  }
+
+  bool try_fixed_u64le(std::uint64_t& value) {
+    if (remaining() < 8) return false;
+    value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[i]))
+               << (8 * i);
+    }
+    p += 8;
+    return true;
+  }
+};
 
 }  // namespace adscope::trace

@@ -1,0 +1,116 @@
+// Zero-copy ".adst" reader over a memory-mapped file.
+//
+// Where FileTraceReader pulls the stream byte-by-byte through an
+// std::ifstream and builds ~7 heap strings per HTTP record, this reader
+// maps the whole file once and decodes records into
+// HttpTransactionView / TlsFlowView structs whose string fields point
+// straight into the mapping. Dictionary-encoded fields (host, UA,
+// content type) resolve through an interned table of string_views into
+// the mapping — a dictionary hit costs an index, never a copy — so the
+// warm decode loop performs zero heap allocations per record (asserted
+// by the operator-new hook test in tests/test_trace_mmap.cpp).
+//
+// Offsets are 64-bit throughout: multi-GiB traces map and decode the
+// same as small ones (the >2 GiB sparse-trace CI case exercises this).
+//
+// Lifetime: views are valid only until the sink callback returns (see
+// trace/view.h); the mapping itself lives for the reader's lifetime and
+// is unmapped by the destructor. Replay methods are restartable — each
+// call decodes the record stream from the beginning.
+//
+// Not every input can be mapped: sockets, pipes and other non-seekable
+// streams (the `adscoped` ingest path) must keep using StreamDecoder,
+// and callers should consult supported() to fall back to
+// FileTraceReader for exotic file systems. Construction throws
+// TraceFormatError on malformed headers and std::runtime_error when the
+// file cannot be opened or mapped.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "trace/record.h"
+#include "trace/view.h"
+#include "trace/writer.h"
+
+namespace adscope::trace {
+
+class MmapTraceReader {
+ public:
+  struct Options {
+    /// Records per batch handed to TraceBatchSink (order-preserving:
+    /// a batch never spans a kind switch).
+    std::size_t batch_records = 512;
+  };
+
+  explicit MmapTraceReader(const std::string& path)
+      : MmapTraceReader(path, Options{}) {}
+  MmapTraceReader(const std::string& path, Options options);
+  ~MmapTraceReader();
+
+  MmapTraceReader(const MmapTraceReader&) = delete;
+  MmapTraceReader& operator=(const MmapTraceReader&) = delete;
+
+  /// True when `path` names a mappable input (a regular file). The
+  /// streaming readers remain the fallback for everything else.
+  static bool supported(const std::string& path) noexcept;
+
+  const TraceMeta& meta() const noexcept { return meta_; }
+  std::uint64_t file_size() const noexcept { return size_; }
+
+  /// Replays every record into a per-record sink via the materializing
+  /// adapter. Returns the number of records delivered (meta excluded),
+  /// matching FileTraceReader::replay.
+  std::uint64_t replay(TraceSink& sink);
+
+  /// Zero-copy batched replay. Returns the number of records delivered
+  /// (meta excluded).
+  std::uint64_t replay_batches(TraceBatchSink& sink);
+
+  /// One record's raw wire bytes (tag included), plus the fields replay
+  /// pacing needs. `bytes` stays valid for the reader's lifetime.
+  struct RawRecord {
+    RecordTag tag = RecordTag::kEnd;
+    std::uint64_t timestamp_ms = 0;
+    std::string_view bytes;
+  };
+
+  class RawSink {
+   public:
+    virtual ~RawSink() = default;
+    virtual void on_raw(const RawRecord& record) = 0;
+  };
+
+  /// Walks the record stream delivering each record's raw byte span
+  /// without materializing anything (the dictionary is still tracked,
+  /// so spans carry their inline definitions exactly as written —
+  /// concatenating header_bytes() and every span reproduces a valid
+  /// stream). Feeds `adscope replay`'s re-encode-free pacing path.
+  std::uint64_t replay_raw(RawSink& sink);
+
+  /// The encoded header (magic, version, meta block) — what a raw
+  /// replay must send before the record spans.
+  std::string_view header_bytes() const noexcept {
+    return {map_, records_begin_};
+  }
+
+ private:
+  std::uint64_t run(TraceBatchSink* sink, RawSink* raw);
+  void decode_header();
+
+  const char* map_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t records_begin_ = 0;
+  TraceMeta meta_;
+  Options options_;
+
+  // Decode state reused across replays (capacity persists, so a warm
+  // replay allocates nothing).
+  std::vector<std::string_view> dictionary_;  // id 1 = index 0
+  std::vector<HttpTransactionView> http_batch_;
+  std::vector<TlsFlowView> tls_batch_;
+};
+
+}  // namespace adscope::trace

@@ -8,6 +8,36 @@
 
 namespace adscope::trace {
 
+namespace {
+
+/// Mid-record/header varint: clean EOF here is truncation, not a valid
+/// stream boundary — surface it as a structured format error instead of
+/// silently keeping stale field values.
+std::uint64_t require_varint(std::istream& in, const char* what) {
+  std::uint64_t value = 0;
+  if (!read_varint(in, value)) {
+    throw TraceFormatError(std::string("truncated trace: missing ") + what);
+  }
+  return value;
+}
+
+std::uint64_t read_fixed_u64le(std::istream& in, const char* what) {
+  std::array<char, 8> bytes{};
+  in.read(bytes.data(), bytes.size());
+  if (in.gcount() != static_cast<std::streamsize>(bytes.size())) {
+    throw TraceFormatError(std::string("truncated trace: missing ") + what);
+  }
+  std::uint64_t value = 0;
+  for (int i = 0; i < 8; ++i) {
+    value |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(bytes[
+                 static_cast<std::size_t>(i)]))
+             << (8 * i);
+  }
+  return value;
+}
+
+}  // namespace
+
 FileTraceReader::FileTraceReader(const std::string& path)
     : in_(path, std::ios::binary) {
   if (!in_) throw std::runtime_error("cannot open trace file: " + path);
@@ -17,20 +47,21 @@ FileTraceReader::FileTraceReader(const std::string& path)
                                std::string_view(kTraceMagic, 4)) {
     throw TraceFormatError("bad trace magic");
   }
-  std::uint64_t version = 0;
-  if (!read_varint(in_, version) || version != kTraceVersion) {
+  const auto version = require_varint(in_, "version");
+  if (version != kTraceVersion && version != kTraceVersionNoHints) {
     throw TraceFormatError("unsupported trace version");
   }
   meta_.name = read_string(in_);
-  std::uint64_t value = 0;
-  read_varint(in_, value);
-  meta_.start_unix_s = value;
-  read_varint(in_, value);
-  meta_.duration_s = value;
-  read_varint(in_, value);
-  meta_.subscribers = static_cast<std::uint32_t>(value);
-  read_varint(in_, value);
-  meta_.uplink_gbps = static_cast<std::uint32_t>(value);
+  meta_.start_unix_s = require_varint(in_, "meta start");
+  meta_.duration_s = require_varint(in_, "meta duration");
+  meta_.subscribers =
+      static_cast<std::uint32_t>(require_varint(in_, "meta subscribers"));
+  meta_.uplink_gbps =
+      static_cast<std::uint32_t>(require_varint(in_, "meta uplink"));
+  if (version >= kTraceVersion) {
+    meta_.http_count_hint = read_fixed_u64le(in_, "meta http count hint");
+    meta_.tls_count_hint = read_fixed_u64le(in_, "meta tls count hint");
+  }
 }
 
 std::string FileTraceReader::lookup(std::uint64_t id) {
@@ -39,66 +70,71 @@ std::string FileTraceReader::lookup(std::uint64_t id) {
     dictionary_.push_back(read_string(in_));
     return dictionary_.back();
   }
-  if (id > dictionary_.size()) throw TraceFormatError("dictionary gap");
-  return dictionary_[id - 1];
+  if (id > dictionary_.size()) {
+    throw TraceFormatError("dictionary id " + std::to_string(id) +
+                           " out of range (" +
+                           std::to_string(dictionary_.size()) +
+                           " entries defined)");
+  }
+  return dictionary_[static_cast<std::size_t>(id) - 1];
 }
 
 std::uint64_t FileTraceReader::replay(TraceSink& sink) {
   sink.on_meta(meta_);
   std::uint64_t records = 0;
   std::uint64_t tag = 0;
+  // The tag read is the one spot where clean EOF is legal (a missing
+  // end marker from an interrupted writer is tolerated but reported via
+  // the shortfall in the return value); everything inside a record goes
+  // through require_varint / read_string, which throw on truncation.
   while (read_varint(in_, tag)) {
     switch (static_cast<RecordTag>(tag)) {
       case RecordTag::kEnd:
         return records;
       case RecordTag::kHttp: {
         HttpTransaction txn;
-        std::uint64_t value = 0;
-        read_varint(in_, txn.timestamp_ms);
-        read_varint(in_, value);
-        txn.client_ip = static_cast<netdb::IpV4>(value);
-        read_varint(in_, value);
-        txn.server_ip = static_cast<netdb::IpV4>(value);
-        read_varint(in_, value);
-        txn.server_port = static_cast<std::uint16_t>(value);
-        read_varint(in_, value);
-        txn.status_code = static_cast<std::uint16_t>(value);
-        read_varint(in_, value);
-        txn.host = lookup(value);
+        txn.timestamp_ms = require_varint(in_, "http timestamp");
+        txn.client_ip =
+            static_cast<netdb::IpV4>(require_varint(in_, "http client_ip"));
+        txn.server_ip =
+            static_cast<netdb::IpV4>(require_varint(in_, "http server_ip"));
+        txn.server_port =
+            static_cast<std::uint16_t>(require_varint(in_, "http port"));
+        txn.status_code =
+            static_cast<std::uint16_t>(require_varint(in_, "http status"));
+        txn.host = lookup(require_varint(in_, "http host id"));
         txn.uri = read_string(in_);
         txn.referer = read_string(in_);
-        read_varint(in_, value);
-        txn.user_agent = lookup(value);
-        read_varint(in_, value);
-        txn.content_type = lookup(value);
+        txn.user_agent = lookup(require_varint(in_, "http user_agent id"));
+        txn.content_type =
+            lookup(require_varint(in_, "http content_type id"));
         txn.location = read_string(in_);
-        read_varint(in_, txn.content_length);
-        read_varint(in_, value);
-        txn.tcp_handshake_us = static_cast<std::uint32_t>(value);
-        read_varint(in_, value);
-        txn.http_handshake_us = static_cast<std::uint32_t>(value);
+        txn.content_length = require_varint(in_, "http content_length");
+        txn.tcp_handshake_us = static_cast<std::uint32_t>(
+            require_varint(in_, "http tcp_handshake"));
+        txn.http_handshake_us = static_cast<std::uint32_t>(
+            require_varint(in_, "http http_handshake"));
         txn.payload = read_string(in_);
-        sink.on_http(txn);
+        sink.on_http_owned(std::move(txn));
         ++records;
         break;
       }
       case RecordTag::kTls: {
         TlsFlow flow;
-        std::uint64_t value = 0;
-        read_varint(in_, flow.timestamp_ms);
-        read_varint(in_, value);
-        flow.client_ip = static_cast<netdb::IpV4>(value);
-        read_varint(in_, value);
-        flow.server_ip = static_cast<netdb::IpV4>(value);
-        read_varint(in_, value);
-        flow.server_port = static_cast<std::uint16_t>(value);
-        read_varint(in_, flow.bytes);
+        flow.timestamp_ms = require_varint(in_, "tls timestamp");
+        flow.client_ip =
+            static_cast<netdb::IpV4>(require_varint(in_, "tls client_ip"));
+        flow.server_ip =
+            static_cast<netdb::IpV4>(require_varint(in_, "tls server_ip"));
+        flow.server_port =
+            static_cast<std::uint16_t>(require_varint(in_, "tls port"));
+        flow.bytes = require_varint(in_, "tls bytes");
         sink.on_tls(flow);
         ++records;
         break;
       }
       default:
-        throw TraceFormatError("unknown record tag");
+        throw TraceFormatError("unknown record tag " + std::to_string(tag));
     }
   }
   // Missing end marker: tolerate (e.g. interrupted writer) but report.

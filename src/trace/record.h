@@ -12,8 +12,10 @@
 //    against the Adblock Plus update servers (§3.2).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "netdb/ipv4.h"
@@ -26,6 +28,13 @@ struct TraceMeta {
   std::uint64_t duration_s = 0;
   std::uint32_t subscribers = 0;  // DSL lines behind the vantage point
   std::uint32_t uplink_gbps = 0;
+
+  /// Advisory record counts (format v3+). FileTraceWriter back-patches
+  /// them into the header on close(); 0 means "unknown" (v2 files,
+  /// interrupted writers, socket streams that cannot seek). Consumers
+  /// use them to reserve() — never as a truth about the stream.
+  std::uint64_t http_count_hint = 0;
+  std::uint64_t tls_count_hint = 0;
 };
 
 struct HttpTransaction {
@@ -69,15 +78,36 @@ class TraceSink {
   virtual void on_meta(const TraceMeta& meta) = 0;
   virtual void on_http(const HttpTransaction& txn) = 0;
   virtual void on_tls(const TlsFlow& flow) = 0;
+  /// Move-accepting variant; sinks that store records (MemoryTrace)
+  /// override it to steal the strings. Defaults to the copying path, so
+  /// existing sinks are unaffected. (A distinct name, not an overload:
+  /// an overloaded virtual would be hidden in every subclass that
+  /// overrides only the const& form.)
+  virtual void on_http_owned(HttpTransaction&& txn) { on_http(txn); }
 };
 
 /// In-memory trace; both a sink and a replayable source. Useful for tests
 /// and for pipelines that skip the file system.
 class MemoryTrace final : public TraceSink {
  public:
-  void on_meta(const TraceMeta& meta) override { meta_ = meta; }
+  void on_meta(const TraceMeta& meta) override {
+    meta_ = meta;
+    reserve(meta.http_count_hint, meta.tls_count_hint);
+  }
   void on_http(const HttpTransaction& txn) override { http_.push_back(txn); }
+  void on_http_owned(HttpTransaction&& txn) override {
+    http_.push_back(std::move(txn));
+  }
   void on_tls(const TlsFlow& flow) override { tls_.push_back(flow); }
+
+  /// Pre-sizes the record vectors (e.g. from the header's count hints).
+  /// Hints are advisory, so absurd values are clamped rather than
+  /// trusted with gigabytes of reservation.
+  void reserve(std::uint64_t http_count, std::uint64_t tls_count) {
+    constexpr std::uint64_t kMaxReserve = 1u << 24;
+    http_.reserve(static_cast<std::size_t>(std::min(http_count, kMaxReserve)));
+    tls_.reserve(static_cast<std::size_t>(std::min(tls_count, kMaxReserve)));
+  }
 
   void replay(TraceSink& sink) const {
     sink.on_meta(meta_);

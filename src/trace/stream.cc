@@ -29,7 +29,10 @@ struct Cursor {
     return false;  // incomplete
   }
 
-  bool str(std::string& value) {
+  /// Borrowing read: the view aliases the decode buffer, which stays
+  /// put until the views have been flushed (feed() compacts only after
+  /// delivery).
+  bool sv(std::string_view& value) {
     const auto saved = pos;
     std::uint64_t length = 0;
     if (!varint(length)) return false;
@@ -40,8 +43,29 @@ struct Cursor {
       pos = saved;
       return false;  // incomplete
     }
-    value.assign(buf, pos, static_cast<std::size_t>(length));
+    value = std::string_view(buf).substr(pos, static_cast<std::size_t>(length));
     pos += static_cast<std::size_t>(length);
+    return true;
+  }
+
+  /// Owning read — only the header's meta name and dictionary
+  /// definitions copy out (they must outlive the buffer).
+  bool str(std::string& value) {
+    std::string_view view;
+    if (!sv(view)) return false;
+    value.assign(view);
+    return true;
+  }
+
+  bool fixed_u64le(std::uint64_t& value) {
+    if (buf.size() - pos < 8) return false;
+    value = 0;
+    for (int i = 0; i < 8; ++i) {
+      value |= static_cast<std::uint64_t>(
+                   static_cast<std::uint8_t>(buf[pos + static_cast<std::size_t>(i)]))
+               << (8 * i);
+    }
+    pos += 8;
     return true;
   }
 };
@@ -60,6 +84,10 @@ std::size_t StreamDecoder::feed(std::string_view data) {
   std::size_t delivered = 0;
   try {
     while (try_decode_one()) ++delivered;
+    // Pending view batches alias buf_; they must go out before the
+    // consumed prefix can be reclaimed below.
+    flush_http();
+    flush_tls();
   } catch (...) {
     state_ = State::kPoisoned;
     throw;
@@ -72,6 +100,28 @@ std::size_t StreamDecoder::feed(std::string_view data) {
   return delivered;
 }
 
+void StreamDecoder::deliver_meta(const TraceMeta& meta) {
+  if (batch_sink_ != nullptr) {
+    batch_sink_->on_meta(meta);
+  } else {
+    sink_->on_meta(meta);
+  }
+}
+
+void StreamDecoder::flush_http() {
+  if (batch_sink_ != nullptr && !http_batch_.empty()) {
+    batch_sink_->on_http_batch(http_batch_);
+    http_batch_.clear();
+  }
+}
+
+void StreamDecoder::flush_tls() {
+  if (batch_sink_ != nullptr && !tls_batch_.empty()) {
+    batch_sink_->on_tls_batch(tls_batch_);
+    tls_batch_.clear();
+  }
+}
+
 bool StreamDecoder::decode_header() {
   Cursor cursor{buf_, pos_};
   if (buf_.size() - pos_ < sizeof(kTraceMagic)) return false;
@@ -81,7 +131,7 @@ bool StreamDecoder::decode_header() {
   cursor.pos += sizeof(kTraceMagic);
   std::uint64_t version = 0;
   if (!cursor.varint(version)) return false;
-  if (version != kTraceVersion) {
+  if (version != kTraceVersion && version != kTraceVersionNoHints) {
     throw TraceFormatError("unsupported trace version");
   }
   TraceMeta meta;
@@ -93,9 +143,13 @@ bool StreamDecoder::decode_header() {
   meta.subscribers = static_cast<std::uint32_t>(value);
   if (!cursor.varint(value)) return false;
   meta.uplink_gbps = static_cast<std::uint32_t>(value);
+  if (version >= kTraceVersion) {
+    if (!cursor.fixed_u64le(meta.http_count_hint)) return false;
+    if (!cursor.fixed_u64le(meta.tls_count_hint)) return false;
+  }
   pos_ = cursor.pos;
   state_ = State::kRecords;
-  sink_->on_meta(meta);
+  deliver_meta(meta);
   ++records_;
   return true;
 }
@@ -104,59 +158,70 @@ bool StreamDecoder::decode_http() {
   Cursor cursor{buf_, pos_};
   std::uint64_t tag = 0;
   cursor.varint(tag);  // already known complete by caller
-  HttpTransaction txn;
+  HttpTransactionView view;
   std::uint64_t value = 0;
-  // Dictionary ids may define new entries mid-record; stage them and
-  // commit only when the whole record decoded.
-  std::vector<std::string> staged;
-  const auto dict = [&](std::uint64_t id, std::string& out) -> int {
+  // Dictionary definitions commit straight into the deque (stable
+  // addresses, so the view can alias the entry); an incomplete record
+  // pops them back off, which never moves the surviving entries.
+  const std::size_t base = dictionary_.size();
+  const auto rollback = [&]() -> bool {
+    while (dictionary_.size() > base) dictionary_.pop_back();
+    return false;
+  };
+  const auto dict = [&](std::uint64_t id, std::string_view& out) -> int {
     if (id == 0) {
-      out.clear();
+      out = {};
       return 1;
     }
-    const auto next = dictionary_.size() + staged.size() + 1;
+    const auto next = dictionary_.size() + 1;
     if (id == next) {
-      if (!cursor.str(out)) return 0;
-      staged.push_back(out);
+      dictionary_.emplace_back();
+      if (!cursor.str(dictionary_.back())) {
+        dictionary_.pop_back();
+        return 0;
+      }
+      out = dictionary_.back();
       return 1;
     }
     if (id > next) throw TraceFormatError("dictionary gap");
-    if (id > dictionary_.size()) {
-      out = staged[static_cast<std::size_t>(id) - dictionary_.size() - 1];
-    } else {
-      out = dictionary_[static_cast<std::size_t>(id) - 1];
-    }
+    out = dictionary_[static_cast<std::size_t>(id) - 1];
     return 1;
   };
 
-  if (!cursor.varint(txn.timestamp_ms)) return false;
-  if (!cursor.varint(value)) return false;
-  txn.client_ip = static_cast<netdb::IpV4>(value);
-  if (!cursor.varint(value)) return false;
-  txn.server_ip = static_cast<netdb::IpV4>(value);
-  if (!cursor.varint(value)) return false;
-  txn.server_port = static_cast<std::uint16_t>(value);
-  if (!cursor.varint(value)) return false;
-  txn.status_code = static_cast<std::uint16_t>(value);
-  if (!cursor.varint(value)) return false;
-  if (dict(value, txn.host) == 0) return false;
-  if (!cursor.str(txn.uri)) return false;
-  if (!cursor.str(txn.referer)) return false;
-  if (!cursor.varint(value)) return false;
-  if (dict(value, txn.user_agent) == 0) return false;
-  if (!cursor.varint(value)) return false;
-  if (dict(value, txn.content_type) == 0) return false;
-  if (!cursor.str(txn.location)) return false;
-  if (!cursor.varint(txn.content_length)) return false;
-  if (!cursor.varint(value)) return false;
-  txn.tcp_handshake_us = static_cast<std::uint32_t>(value);
-  if (!cursor.varint(value)) return false;
-  txn.http_handshake_us = static_cast<std::uint32_t>(value);
-  if (!cursor.str(txn.payload)) return false;
+  if (!cursor.varint(view.timestamp_ms)) return rollback();
+  if (!cursor.varint(value)) return rollback();
+  view.client_ip = static_cast<netdb::IpV4>(value);
+  if (!cursor.varint(value)) return rollback();
+  view.server_ip = static_cast<netdb::IpV4>(value);
+  if (!cursor.varint(value)) return rollback();
+  view.server_port = static_cast<std::uint16_t>(value);
+  if (!cursor.varint(value)) return rollback();
+  view.status_code = static_cast<std::uint16_t>(value);
+  if (!cursor.varint(value)) return rollback();
+  if (dict(value, view.host) == 0) return rollback();
+  if (!cursor.sv(view.uri)) return rollback();
+  if (!cursor.sv(view.referer)) return rollback();
+  if (!cursor.varint(value)) return rollback();
+  if (dict(value, view.user_agent) == 0) return rollback();
+  if (!cursor.varint(value)) return rollback();
+  if (dict(value, view.content_type) == 0) return rollback();
+  if (!cursor.sv(view.location)) return rollback();
+  if (!cursor.varint(view.content_length)) return rollback();
+  if (!cursor.varint(value)) return rollback();
+  view.tcp_handshake_us = static_cast<std::uint32_t>(value);
+  if (!cursor.varint(value)) return rollback();
+  view.http_handshake_us = static_cast<std::uint32_t>(value);
+  if (!cursor.sv(view.payload)) return rollback();
 
-  for (auto& entry : staged) dictionary_.push_back(std::move(entry));
   pos_ = cursor.pos;
-  sink_->on_http(txn);
+  if (batch_sink_ != nullptr) {
+    flush_tls();  // preserve global order across kinds
+    http_batch_.push_back(view);
+    if (http_batch_.size() >= kBatchRecords) flush_http();
+  } else {
+    materialize(view, scratch_);
+    sink_->on_http(scratch_);
+  }
   ++records_;
   return true;
 }
@@ -176,7 +241,13 @@ bool StreamDecoder::decode_tls() {
   flow.server_port = static_cast<std::uint16_t>(value);
   if (!cursor.varint(flow.bytes)) return false;
   pos_ = cursor.pos;
-  sink_->on_tls(flow);
+  if (batch_sink_ != nullptr) {
+    flush_http();  // preserve global order across kinds
+    tls_batch_.push_back(flow);
+    if (tls_batch_.size() >= kBatchRecords) flush_tls();
+  } else {
+    sink_->on_tls(flow);
+  }
   ++records_;
   return true;
 }
@@ -192,6 +263,8 @@ bool StreamDecoder::try_decode_one() {
     case RecordTag::kEnd:
       pos_ = peek.pos;
       state_ = State::kDone;
+      flush_http();
+      flush_tls();
       if (buf_.size() > pos_) {
         state_ = State::kPoisoned;
         throw TraceFormatError("bytes after end-of-stream marker");

@@ -3,10 +3,23 @@
 // FileTraceReader wants a seekable file; the streaming daemon gets the
 // same bytes in arbitrary-sized chunks off a socket. StreamDecoder
 // buffers the unconsumed tail and delivers every *complete* record to a
-// TraceSink as soon as its last byte arrives — a record split across
-// chunks is parsed tentatively and rolled back (including any dictionary
+// sink as soon as its last byte arrives — a record split across chunks
+// is parsed tentatively and rolled back (including any dictionary
 // entries it defined) until the rest shows up, so feed() never blocks
 // and never re-delivers.
+//
+// Decode is zero-copy: records are parsed into HttpTransactionView
+// structs whose string fields point into the receive buffer, and
+// dictionary-encoded fields resolve to interned entries. The only
+// copy-out is the dictionary itself — an entry's bytes leave the buffer
+// when its defining record commits, because the buffer is compacted
+// between feeds while dictionary entries must survive the whole stream.
+// Consumers choose the delivery surface:
+//   * TraceSink (per record): each view is materialized into a reused
+//     scratch record — steady-state, no heap allocation per record.
+//   * TraceBatchSink (batched): views are handed out in order-preserving
+//     batches, flushed before the buffer is compacted; views are valid
+//     only until the callback returns (trace/view.h lifetime contract).
 //
 // Malformed input (bad magic, unknown tag, over-long string) throws
 // TraceFormatError; the connection handler drops the peer.
@@ -14,12 +27,14 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "trace/io.h"
 #include "trace/record.h"
+#include "trace/view.h"
 
 namespace adscope::trace {
 
@@ -28,8 +43,12 @@ class StreamDecoder {
   /// Strings longer than this are treated as stream corruption rather
   /// than buffered forever (no legitimate header field comes close).
   static constexpr std::uint64_t kMaxStringBytes = 1 << 24;
+  /// Views buffered before a batch sink gets a callback (also flushed
+  /// on kind switches and before the buffer is compacted).
+  static constexpr std::size_t kBatchRecords = 256;
 
   explicit StreamDecoder(TraceSink& sink) : sink_(&sink) {}
+  explicit StreamDecoder(TraceBatchSink& sink) : batch_sink_(&sink) {}
 
   /// Buffers `data` and delivers every record that is now complete.
   /// Returns the number of records delivered (meta counts as one).
@@ -52,17 +71,28 @@ class StreamDecoder {
 
   /// Attempts to decode one item from buf_ at pos_. Returns false when
   /// the buffer holds only a prefix (nothing consumed, dictionary
-  /// untouched); true when an item was delivered and consumed.
+  /// untouched); true when an item was delivered/batched and consumed.
   bool try_decode_one();
   bool decode_header();
   bool decode_http();
   bool decode_tls();
 
-  TraceSink* sink_;
+  void deliver_meta(const TraceMeta& meta);
+  void flush_http();
+  void flush_tls();
+
+  TraceSink* sink_ = nullptr;
+  TraceBatchSink* batch_sink_ = nullptr;
   State state_ = State::kHeader;
   std::string buf_;
   std::size_t pos_ = 0;
-  std::vector<std::string> dictionary_;  // id 1 = index 0
+  // Interned dictionary; a deque so committed entries keep stable
+  // addresses while later definitions append (string_views into them
+  // stay valid for the stream's lifetime). id 1 = index 0.
+  std::deque<std::string> dictionary_;
+  HttpTransaction scratch_;  // reused for per-record materialization
+  std::vector<HttpTransactionView> http_batch_;
+  std::vector<TlsFlowView> tls_batch_;
   std::uint64_t records_ = 0;
 };
 

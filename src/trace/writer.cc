@@ -18,6 +18,11 @@ void TraceEncoder::on_meta(const TraceMeta& meta) {
   write_varint(out_, meta.duration_s);
   write_varint(out_, meta.subscribers);
   write_varint(out_, meta.uplink_gbps);
+  // v3: fixed-width record-count hints. Fixed width so a seekable
+  // writer can patch the real counts without shifting the stream.
+  hint_slot_ = out_.tellp();
+  write_fixed_u64le(out_, meta.http_count_hint);
+  write_fixed_u64le(out_, meta.tls_count_hint);
   meta_written_ = true;
 }
 
@@ -56,6 +61,7 @@ void TraceEncoder::on_http(const HttpTransaction& txn) {
   write_varint(out_, txn.http_handshake_us);
   write_string(out_, txn.payload);
   ++records_;
+  ++http_records_;
 }
 
 void TraceEncoder::on_tls(const TlsFlow& flow) {
@@ -67,6 +73,7 @@ void TraceEncoder::on_tls(const TlsFlow& flow) {
   write_varint(out_, flow.server_port);
   write_varint(out_, flow.bytes);
   ++records_;
+  ++tls_records_;
 }
 
 void TraceEncoder::finish() {
@@ -88,6 +95,17 @@ FileTraceWriter::~FileTraceWriter() { close(); }
 void FileTraceWriter::close() {
   if (closed_ || !out_.is_open()) return;
   encoder_.finish();
+  // Back-patch the header's record-count hints now that the totals are
+  // known. Files are seekable, so this costs two small writes; readers
+  // of an interrupted (never-closed) file simply see the 0 = unknown
+  // hints the encoder wrote up front.
+  if (encoder_.hint_slot() >= 0) {
+    const auto end = out_.tellp();
+    out_.seekp(encoder_.hint_slot());
+    write_fixed_u64le(out_, encoder_.http_written());
+    write_fixed_u64le(out_, encoder_.tls_written());
+    out_.seekp(end);
+  }
   out_.flush();
   out_.close();
   closed_ = true;

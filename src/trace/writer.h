@@ -25,7 +25,10 @@
 namespace adscope::trace {
 
 inline constexpr char kTraceMagic[4] = {'A', 'D', 'S', 'T'};
-inline constexpr std::uint64_t kTraceVersion = 2;
+/// v3 appended two fixed-width record-count hints to the meta block
+/// (back-patched by FileTraceWriter on close); readers accept v2 too.
+inline constexpr std::uint64_t kTraceVersion = 3;
+inline constexpr std::uint64_t kTraceVersionNoHints = 2;
 
 enum class RecordTag : std::uint8_t {
   kEnd = 0,
@@ -53,6 +56,14 @@ class TraceEncoder final : public TraceSink {
   void finish();
 
   std::uint64_t records_written() const noexcept { return records_; }
+  std::uint64_t http_written() const noexcept { return http_records_; }
+  std::uint64_t tls_written() const noexcept { return tls_records_; }
+
+  /// Stream offset of the header's fixed-width record-count hint slot
+  /// (16 bytes: http then tls, both u64 LE), or -1 before on_meta().
+  /// Seekable targets (FileTraceWriter) back-patch the real counts
+  /// here; socket streams leave the encoded hints as given.
+  std::streampos hint_slot() const noexcept { return hint_slot_; }
 
  private:
   /// Dictionary encode: id 0 = empty string, ids >= 1 from the table.
@@ -62,6 +73,9 @@ class TraceEncoder final : public TraceSink {
   std::unordered_map<std::string, std::uint64_t> dictionary_;
   std::uint64_t next_id_ = 1;
   std::uint64_t records_ = 0;
+  std::uint64_t http_records_ = 0;
+  std::uint64_t tls_records_ = 0;
+  std::streampos hint_slot_ = -1;
   bool meta_written_ = false;
   bool finished_ = false;
 };

@@ -17,11 +17,15 @@
 #include <thread>
 #include <vector>
 
+#include <cstdio>
+
 #include "core/parallel_study.h"
 #include "core/report.h"
 #include "sim/ecosystem.h"
 #include "sim/listgen.h"
 #include "sim/rbn_sim.h"
+#include "trace/mmap_reader.h"
+#include "trace/writer.h"
 #include "util/bounded_queue.h"
 #include "util/hash.h"
 #include "util/thread_pool.h"
@@ -311,6 +315,34 @@ TEST_F(ParallelStudyTest, IdenticalReportAtOneTwoAndSevenThreads) {
     EXPECT_EQ(study.transactions_before_meta(),
               serial().transactions_before_meta());
   }
+}
+
+TEST_F(ParallelStudyTest, MmapBatchReplayIdenticalAtOneTwoAndSevenThreads) {
+  // The zero-copy pipeline end to end: mmap'd file -> view batches ->
+  // shard-boundary materialization -> merged report. Must be
+  // byte-identical to the serial study fed record by record.
+  const std::string path = "/tmp/adscope_test_parallel_mmap.adst";
+  {
+    trace::FileTraceWriter writer(path);
+    sample_trace().replay(writer);
+  }
+  const auto serial_report = report_of(serial().view());
+  for (const std::size_t threads : {1u, 2u, 7u}) {
+    core::ParallelStudyOptions options;
+    options.study = study_options();
+    options.threads = threads;
+    options.dispatch_batch_records = 64;  // force plenty of flushes
+    core::ParallelTraceStudy study(engine(), eco().abp_registry(), options);
+    trace::MmapTraceReader reader(path);
+    reader.replay_batches(study);
+    study.finish();
+    EXPECT_EQ(report_of(study.view()), serial_report)
+        << "mmap batch report diverged at " << threads << " threads";
+    EXPECT_EQ(study.classifier_counters().processed,
+              serial().classifier().counters().processed);
+    EXPECT_EQ(study.https_flows(), serial().https_flows());
+  }
+  std::remove(path.c_str());
 }
 
 TEST_F(ParallelStudyTest, ExternalPoolIsReusedAcrossStudies) {

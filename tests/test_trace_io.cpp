@@ -153,6 +153,84 @@ TEST_F(TraceFileTest, DictionaryCompressesRepeatedStrings) {
   EXPECT_EQ(copy.http().back().host, "the-same-long-host-name.example.com");
 }
 
+TEST_F(TraceFileTest, WriterBackPatchesRecordCountHints) {
+  {
+    trace::FileTraceWriter writer(path_);
+    trace::TraceMeta meta;
+    meta.name = "hints";
+    writer.on_meta(meta);  // hints unknown (0) at this point
+    for (std::uint64_t i = 0; i < 37; ++i) writer.on_http(make_txn(i, "h.test"));
+    trace::TlsFlow flow;
+    flow.timestamp_ms = 1;
+    writer.on_tls(flow);
+    writer.on_tls(flow);
+    writer.close();  // patches the real counts into the header
+  }
+  trace::FileTraceReader reader(path_);
+  EXPECT_EQ(reader.meta().http_count_hint, 37u);
+  EXPECT_EQ(reader.meta().tls_count_hint, 2u);
+
+  // MemoryTrace turns the hints into a reservation on on_meta.
+  trace::MemoryTrace copy;
+  reader.replay(copy);
+  EXPECT_EQ(copy.http().size(), 37u);
+  EXPECT_GE(copy.http().capacity(), 37u);
+  EXPECT_GE(copy.tls().capacity(), 2u);
+}
+
+TEST_F(TraceFileTest, StreamedEncoderLeavesHintsUnknown) {
+  // A socket writer cannot seek back; its header keeps the 0 = unknown
+  // hints and readers must accept that.
+  std::ostringstream encoded;
+  {
+    trace::TraceEncoder encoder(encoded);
+    trace::TraceMeta meta;
+    meta.name = "no-patch";
+    encoder.on_meta(meta);
+    encoder.on_http(make_txn(1, "s.test"));
+    encoder.finish();
+  }
+  {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    const auto bytes = encoded.str();
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  trace::FileTraceReader reader(path_);
+  EXPECT_EQ(reader.meta().http_count_hint, 0u);
+  EXPECT_EQ(reader.meta().tls_count_hint, 0u);
+  trace::MemoryTrace copy;
+  EXPECT_EQ(reader.replay(copy), 1u);
+}
+
+TEST_F(TraceFileTest, TruncationMidRecordThrowsFormatError) {
+  {
+    trace::FileTraceWriter writer(path_);
+    trace::TraceMeta meta;
+    meta.name = "cut";
+    writer.on_meta(meta);
+    for (std::uint64_t i = 0; i < 5; ++i) writer.on_http(make_txn(i, "c.test"));
+    writer.close();
+  }
+  const auto size = std::filesystem::file_size(path_);
+  // Chop inside the last record (well past its tag byte): the reader
+  // must surface structured truncation, not stale fields or UB.
+  std::filesystem::resize_file(path_, size - 10);
+  trace::FileTraceReader reader(path_);
+  trace::MemoryTrace sink;
+  EXPECT_THROW(reader.replay(sink), trace::TraceFormatError);
+}
+
+TEST(MemoryTraceSink, MoveOverloadStealsTheStrings) {
+  trace::MemoryTrace memory;
+  trace::HttpTransaction txn;
+  txn.uri = std::string(128, 'x');  // heap-allocated (beyond SSO)
+  const char* buffer = txn.uri.data();
+  memory.on_http_owned(std::move(txn));
+  ASSERT_EQ(memory.http().size(), 1u);
+  EXPECT_EQ(memory.http()[0].uri.data(), buffer)
+      << "on_http_owned must move, not copy";
+}
+
 TEST_F(TraceFileTest, BadMagicRejected) {
   {
     std::ofstream out(path_, std::ios::binary);

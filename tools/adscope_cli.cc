@@ -29,6 +29,7 @@
 #include "sim/ecosystem.h"
 #include "sim/listgen.h"
 #include "sim/rbn_sim.h"
+#include "trace/mmap_reader.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
 #include "util/format.h"
@@ -57,6 +58,10 @@ Args parse_args(int argc, char** argv, int first) {
     std::string key = argv[i];
     if (key.rfind("--", 0) != 0) continue;
     key = key.substr(2);
+    if (const auto eq = key.find('='); eq != std::string::npos) {
+      args.named[key.substr(0, eq)] = key.substr(eq + 1);
+      continue;
+    }
     if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
       args.named[key] = argv[++i];
     } else {
@@ -154,13 +159,45 @@ int cmd_study(const Args& args) {
         [&](const analyzer::WebObject& object) { log->write(object); });
   }
 
+  // --io picks the trace decode surface: mmap (zero-copy, regular
+  // files only) or stream (the istream reader). Default auto: mmap
+  // whenever the input supports it. Reports are byte-identical across
+  // the modes; only the decode cost differs.
+  const auto io_arg = args.get("io", "auto");
+  if (io_arg != "auto" && io_arg != "mmap" && io_arg != "stream") {
+    std::fprintf(stderr, "study: --io must be mmap or stream\n");
+    return 2;
+  }
+  const bool use_mmap =
+      pcap_path.empty() &&
+      (io_arg == "mmap" ||
+       (io_arg == "auto" && trace::MmapTraceReader::supported(path)));
+  if (io_arg == "mmap" && pcap_path.empty() &&
+      !trace::MmapTraceReader::supported(path)) {
+    std::fprintf(stderr, "study: --io=mmap requires a regular file\n");
+    return 2;
+  }
+
   trace::TeeSink tee;
   tee.add(*study);
   if (log) tee.add(log_extractor);
   std::uint64_t records = 0;
+  const char* io_mode = "stream";
   if (!pcap_path.empty()) {
     pcap::PcapHttpReader reader(pcap_path);
     records = reader.replay(tee);
+    io_mode = "pcap";
+  } else if (use_mmap) {
+    trace::MmapTraceReader reader(path);
+    io_mode = "mmap";
+    if (parallel && !log) {
+      // Fully zero-copy hand-off: view batches go straight into the
+      // sharded study, which materializes owning records only at the
+      // thread boundary.
+      records = reader.replay_batches(*parallel);
+    } else {
+      records = reader.replay(tee);
+    }
   } else {
     trace::FileTraceReader reader(path);
     records = reader.replay(tee);
@@ -173,10 +210,13 @@ int cmd_study(const Args& args) {
     serial->finish();
     view = serial->view();
   }
+  view.io_mode = io_mode;
 
-  std::printf("read %llu records from %s",
+  // The io mode goes on this line, not in the report: stdout below it
+  // is asserted byte-identical across thread counts and io modes.
+  std::printf("read %llu records from %s via %s io",
               static_cast<unsigned long long>(records),
-              (pcap_path.empty() ? path : pcap_path).c_str());
+              (pcap_path.empty() ? path : pcap_path).c_str(), io_mode);
   if (threads > 1) std::printf(" (%llu analysis threads)",
                                static_cast<unsigned long long>(threads));
   std::printf("\n\n");
@@ -211,9 +251,15 @@ int cmd_export_pcap(const Args& args) {
     std::fprintf(stderr, "export-pcap: --trace required\n");
     return 2;
   }
-  trace::FileTraceReader reader(in_path);
   pcap::PcapWriter writer(out_path);
-  const auto records = reader.replay(writer);
+  std::uint64_t records = 0;
+  if (trace::MmapTraceReader::supported(in_path)) {
+    trace::MmapTraceReader reader(in_path);
+    records = reader.replay(writer);
+  } else {
+    trace::FileTraceReader reader(in_path);
+    records = reader.replay(writer);
+  }
   std::printf("converted %llu records into %llu pcap frames -> %s\n",
               static_cast<unsigned long long>(records),
               static_cast<unsigned long long>(writer.packets_written()),
@@ -296,14 +342,19 @@ int cmd_replay(const Args& args) {
       return 2;
     }
   }
+  // --presorted promises the file is already in timestamp order, which
+  // skips the buffer-sort-re-encode pass and (for regular files)
+  // unlocks the zero-copy mmap send path.
+  options.time_order = !args.flag("presorted");
   const auto stats = live::replay_trace(options);
   const auto rate =
       stats.wall_s > 0 ? static_cast<double>(stats.records) / stats.wall_s
                        : 0.0;
-  std::printf("replayed %llu records (%s on the wire) in %.2f s — %.0f rec/s\n",
-              static_cast<unsigned long long>(stats.records),
-              util::human_bytes(static_cast<double>(stats.bytes)).c_str(),
-              stats.wall_s, rate);
+  std::printf(
+      "replayed %llu records (%s on the wire%s) in %.2f s — %.0f rec/s\n",
+      static_cast<unsigned long long>(stats.records),
+      util::human_bytes(static_cast<double>(stats.bytes)).c_str(),
+      stats.zero_copy ? ", zero-copy" : "", stats.wall_s, rate);
   return 0;
 }
 
@@ -390,13 +441,16 @@ void usage() {
       "  study      --trace FILE | --pcap FILE  [--log FILE --privacy "
       "fqdn|full]\n"
       "             [--active-min N] [--seed S] [--threads N]\n"
+      "             [--io mmap|stream]    trace decode surface (default:\n"
+      "                                   mmap for regular files)\n"
       "             [--classify-cache N]  per-shard verdict memo entries\n"
       "                                   (default 4096, 0 disables)\n"
       "  export-pcap --trace FILE --out FILE\n"
       "  lists    --out-dir DIR [--seed S]\n"
       "  classify --url URL [--page URL] [--type image|script|...]\n"
       "  replay   --trace FILE [--host H] [--port N | --unix PATH]\n"
-      "           [--speedup X]\n"
+      "           [--speedup X] [--presorted]  trust file timestamp order\n"
+      "                                        (enables zero-copy send)\n"
       "  lint     FILE... [--format=text|json] [--prune-dir DIR]\n"
       "           exit 0 = clean, 1 = error findings, 2 = usage\n",
       stderr);
