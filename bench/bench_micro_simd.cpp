@@ -1,0 +1,351 @@
+// Micro-benchmarks: SIMD kernel ablations (DESIGN.md §9) — every
+// dispatched kernel timed at every level the host supports (off / sse2
+// / avx2 via util::simd::set_level), plus the Teddy prefilter on/off
+// and the mmap advice (hugepage/willneed/prefetch) on/off deltas.
+//
+// The headline is end-to-end classification against the PR-3 anchor
+// (757 ns/request on the reference box, recorded when the compiled
+// matcher + flat token index landed): the SIMD tokenizer + Teddy
+// prefilter must move that number, not just kernel microseconds. A
+// custom main() re-times the headline with a steady clock and emits
+// BENCH_simd.json via JsonMetrics (inert unless ADSCOPE_JSON_DIR is
+// set) with one row per (kernel, level) so CI tracks the whole
+// ablation matrix as a trajectory.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "adblock/teddy.h"
+#include "adblock/token_index.h"
+#include "experiment_common.h"
+#include "trace/mmap_reader.h"
+#include "trace/view.h"
+#include "trace/writer.h"
+
+namespace {
+
+using namespace adscope;
+using util::simd::Level;
+
+// BM_EngineClassify after PR 3 (compiled matcher + flat token index +
+// classify cache), measured on the reference box. This PR's vectorized
+// tokenize + Teddy candidate pruning is measured against it.
+constexpr double kPr3ClassifyNs = 757.0;
+
+const bench::World& world() {
+  static const bench::World instance = bench::make_world();
+  return instance;
+}
+
+const std::vector<adblock::Request>& request_stream() {
+  static const std::vector<adblock::Request> stream = [] {
+    std::vector<adblock::Request> requests;
+    sim::PageModel model(world().ecosystem);
+    util::Rng rng(7);
+    for (std::size_t site = 0; site < 200; ++site) {
+      const auto page = model.build(
+          site % world().ecosystem.publishers().size(), rng);
+      for (const auto& request : page.requests) {
+        requests.push_back(adblock::make_request(request.url, page.page_url,
+                                                 request.true_type));
+      }
+    }
+    return requests;
+  }();
+  return stream;
+}
+
+/// All lowercased request URLs, concatenated (byte-throughput corpus).
+const std::string& url_corpus() {
+  static const std::string corpus = [] {
+    std::string all;
+    for (const auto& request : request_stream()) all += request.url_lower;
+    return all;
+  }();
+  return corpus;
+}
+
+/// Teddy masks compiled from the same filters the engine indexes.
+const adblock::TeddyPrefilter& corpus_teddy() {
+  static const adblock::TeddyPrefilter instance = [] {
+    adblock::TeddyPrefilter teddy;
+    for (std::size_t l = 0; l < world().engine.list_count(); ++l) {
+      for (const auto& filter :
+           world().engine.list(static_cast<adblock::ListId>(l)).filters()) {
+        teddy.add(filter);
+      }
+    }
+    return teddy;
+  }();
+  return instance;
+}
+
+/// Pin the dispatch level for one benchmark run; skip when the host
+/// cannot run it (so the suite is portable to non-AVX2 boxes).
+bool pin_level(benchmark::State& state, Level level) {
+  if (util::simd::set_level(level) != level) {
+    state.SkipWithError("SIMD level unavailable on this host");
+    return false;
+  }
+  return true;
+}
+
+void BM_SimdToLower(benchmark::State& state) {
+  if (!pin_level(state, static_cast<Level>(state.range(0)))) return;
+  const auto& corpus = url_corpus();
+  std::string out(corpus.size(), '\0');
+  for (auto _ : state) {
+    util::simd::to_lower(corpus.data(), out.data(), corpus.size());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus.size()));
+  util::simd::set_level(util::simd::detect_level());
+}
+BENCHMARK(BM_SimdToLower)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdSeparatorBits(benchmark::State& state) {
+  if (!pin_level(state, static_cast<Level>(state.range(0)))) return;
+  const auto& corpus = url_corpus();
+  std::vector<std::uint64_t> bits(corpus.size() / 64 + 1);
+  for (auto _ : state) {
+    util::simd::separator_bits(corpus.data(), corpus.size(), bits.data());
+    benchmark::DoNotOptimize(bits.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(corpus.size()));
+  util::simd::set_level(util::simd::detect_level());
+}
+BENCHMARK(BM_SimdSeparatorBits)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdTokenizeScratch(benchmark::State& state) {
+  if (!pin_level(state, static_cast<Level>(state.range(0)))) return;
+  const auto& requests = request_stream();
+  adblock::TokenScratch scratch;
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scratch.tokenize(requests[i].url_lower));
+    i = (i + 1) % requests.size();
+  }
+  state.SetItemsProcessed(state.iterations());
+  util::simd::set_level(util::simd::detect_level());
+}
+BENCHMARK(BM_SimdTokenizeScratch)->Arg(0)->Arg(1)->Arg(2);
+
+void BM_SimdTeddyScan(benchmark::State& state) {
+  if (!pin_level(state, static_cast<Level>(state.range(0)))) return;
+  const auto& requests = request_stream();
+  const auto& teddy = corpus_teddy();
+  std::size_t i = 0;
+  std::uint64_t acc = 0;
+  for (auto _ : state) {
+    acc += teddy.scan(requests[i].url_lower);
+    i = (i + 1) % requests.size();
+  }
+  benchmark::DoNotOptimize(acc);
+  state.SetItemsProcessed(state.iterations());
+  util::simd::set_level(util::simd::detect_level());
+}
+BENCHMARK(BM_SimdTeddyScan)->Arg(0)->Arg(1)->Arg(2);
+
+// Headline: end-to-end classification. Args: (level, teddy on/off).
+void BM_EngineClassifySimd(benchmark::State& state) {
+  if (!pin_level(state, static_cast<Level>(state.range(0)))) return;
+  adblock::TokenIndex::set_prefilter_enabled(state.range(1) != 0);
+  const auto& requests = request_stream();
+  std::size_t i = 0;
+  std::uint64_t ads = 0;
+  for (auto _ : state) {
+    ads += world().engine.classify(requests[i]).is_ad();
+    i = (i + 1) % requests.size();
+  }
+  benchmark::DoNotOptimize(ads);
+  state.SetItemsProcessed(state.iterations());
+  adblock::TokenIndex::set_prefilter_enabled(true);
+  util::simd::set_level(util::simd::detect_level());
+}
+BENCHMARK(BM_EngineClassifySimd)
+    ->Args({0, 0})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({2, 1})
+    ->Args({2, 0});
+
+// Mmap decode with and without the advice bundle (MADV_WILLNEED +
+// MADV_HUGEPAGE + software prefetch). Arg: advice on/off.
+const std::string& bench_trace_path() {
+  static const std::string path = [] {
+    const std::string file = "/tmp/adscope_bench_simd_trace.adst";
+    trace::MemoryTrace memory;
+    sim::RbnSimulator simulator(world().ecosystem, world().lists, 42);
+    auto options = sim::rbn2_options(40);
+    options.duration_s = 2 * 3600;
+    simulator.simulate(options, memory);
+    trace::FileTraceWriter writer(file);
+    memory.replay(writer);
+    writer.close();
+    return file;
+  }();
+  return path;
+}
+
+struct NullBatchSink final : trace::TraceBatchSink {
+  void on_meta(const trace::TraceMeta&) override {}
+  void on_http_batch(
+      std::span<const trace::HttpTransactionView> batch) override {
+    for (const auto& view : batch) checksum += view.timestamp_ms;
+  }
+  void on_tls_batch(std::span<const trace::TlsFlowView> batch) override {
+    for (const auto& flow : batch) checksum += flow.bytes;
+  }
+  std::uint64_t checksum = 0;
+};
+
+trace::MmapTraceReader::Options advice_options(bool advised) {
+  trace::MmapTraceReader::Options options;
+  options.madv_willneed = advised;
+  options.madv_hugepage = advised;
+  options.prefetch = advised;
+  return options;
+}
+
+void BM_MmapDecodeAdvice(benchmark::State& state) {
+  trace::MmapTraceReader reader(bench_trace_path(),
+                                advice_options(state.range(0) != 0));
+  NullBatchSink sink;
+  std::uint64_t records = 0;
+  for (auto _ : state) {
+    records = reader.replay_batches(sink);
+  }
+  benchmark::DoNotOptimize(sink.checksum);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(records));
+}
+BENCHMARK(BM_MmapDecodeAdvice)->Arg(0)->Arg(1);
+
+// --- JSON metrics (custom main) ---------------------------------------
+
+using Clock = std::chrono::steady_clock;
+
+template <typename Body>
+double best_seconds(int reps, Body&& body) {
+  body();  // warm-up
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto start = Clock::now();
+    body();
+    best = std::min(best,
+                    std::chrono::duration<double>(Clock::now() - start)
+                        .count());
+  }
+  return best;
+}
+
+double measure_classify_ns() {
+  const auto& requests = request_stream();
+  std::uint64_t ads = 0;
+  const std::size_t iterations = 16 * requests.size();
+  const double seconds = best_seconds(5, [&] {
+    for (std::size_t i = 0; i < iterations; ++i) {
+      ads += world().engine.classify(requests[i % requests.size()]).is_ad();
+    }
+  });
+  benchmark::DoNotOptimize(ads);
+  return seconds * 1e9 / static_cast<double>(iterations);
+}
+
+void emit_json_metrics() {
+  bench::JsonMetrics json("simd");
+  if (!json.enabled()) return;
+
+  const auto& corpus = url_corpus();
+  const auto& requests = request_stream();
+  const Level best = util::simd::detect_level();
+  json.record("detected_level", static_cast<double>(best));
+  json.record("classify_ns_anchor_pr3", kPr3ClassifyNs);
+
+  for (const auto level : {Level::kScalar, Level::kSse2, Level::kAvx2}) {
+    if (util::simd::set_level(level) != level) continue;
+    const std::string tag = util::simd::to_string(level);
+
+    std::string lowered(corpus.size(), '\0');
+    const double lower_s = best_seconds(5, [&] {
+      util::simd::to_lower(corpus.data(), lowered.data(), corpus.size());
+      benchmark::DoNotOptimize(lowered.data());
+    });
+    json.record("tolower_gbps_" + tag,
+                static_cast<double>(corpus.size()) / lower_s / 1e9);
+
+    std::vector<std::uint64_t> bits(corpus.size() / 64 + 1);
+    const double sep_s = best_seconds(5, [&] {
+      util::simd::separator_bits(corpus.data(), corpus.size(), bits.data());
+      benchmark::DoNotOptimize(bits.data());
+    });
+    json.record("separator_bits_gbps_" + tag,
+                static_cast<double>(corpus.size()) / sep_s / 1e9);
+
+    adblock::TokenScratch scratch;
+    const double tokenize_s = best_seconds(5, [&] {
+      for (const auto& request : requests) {
+        benchmark::DoNotOptimize(scratch.tokenize(request.url_lower));
+      }
+    });
+    json.record("tokenize_ns_" + tag,
+                tokenize_s * 1e9 / static_cast<double>(requests.size()));
+
+    const auto& teddy = corpus_teddy();
+    std::uint64_t acc = 0;
+    const double teddy_s = best_seconds(5, [&] {
+      for (const auto& request : requests) acc += teddy.scan(request.url_lower);
+    });
+    benchmark::DoNotOptimize(acc);
+    json.record("teddy_scan_ns_" + tag,
+                teddy_s * 1e9 / static_cast<double>(requests.size()));
+
+    json.record("classify_ns_" + tag, measure_classify_ns());
+  }
+
+  // Teddy ablation at the best level: identical decisions, more probes.
+  util::simd::set_level(best);
+  adblock::TokenIndex::set_prefilter_enabled(false);
+  json.record("classify_ns_best_no_teddy", measure_classify_ns());
+  adblock::TokenIndex::set_prefilter_enabled(true);
+  const double best_ns = measure_classify_ns();
+  json.record("classify_ns_best", best_ns);
+  json.record("classify_speedup_vs_pr3", kPr3ClassifyNs / best_ns);
+
+  // Mmap advice ablation (per-record decode cost, warm cache).
+  for (const bool advised : {false, true}) {
+    trace::MmapTraceReader reader(bench_trace_path(),
+                                  advice_options(advised));
+    NullBatchSink sink;
+    std::uint64_t records = 1;
+    const double decode_s =
+        best_seconds(5, [&] { records = reader.replay_batches(sink); });
+    benchmark::DoNotOptimize(sink.checksum);
+    json.record(advised ? "mmap_decode_ns_advised" : "mmap_decode_ns_plain",
+                decode_s * 1e9 / static_cast<double>(records));
+    if (advised) {
+      const auto& advice = reader.advice_stats();
+      json.record("mmap_advice_hugepage_ok", advice.hugepage ? 1.0 : 0.0);
+      json.record("mmap_advice_willneed_ok", advice.willneed ? 1.0 : 0.0);
+    }
+  }
+  std::remove(bench_trace_path().c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_json_metrics();
+  return 0;
+}

@@ -61,7 +61,7 @@ const Filter* FilterEngine::match_blocking(
     const Slot& slot, std::span<const std::uint64_t> tokens,
     const RequestView& request) const {
   const Filter* hit = nullptr;
-  slot.blocking.scan(tokens, [&](const Filter& filter) {
+  slot.blocking.scan(tokens, request.url_lower, [&](const Filter& filter) {
     if (filter.matches(request)) {
       hit = &filter;
       return true;
@@ -75,7 +75,7 @@ const Filter* FilterEngine::match_exception(
     const Slot& slot, std::span<const std::uint64_t> tokens,
     const RequestView& request) const {
   const Filter* hit = nullptr;
-  slot.exceptions.scan(tokens, [&](const Filter& filter) {
+  slot.exceptions.scan(tokens, request.url_lower, [&](const Filter& filter) {
     if (filter.matches(request)) {
       hit = &filter;
       return true;
@@ -109,7 +109,6 @@ Classification FilterEngine::classify(const Request& request) const {
 Classification FilterEngine::classify(
     const RequestView& request, std::span<const std::uint64_t> tokens) const {
   Classification result;
-
   for (std::size_t i = 0; i < slots_.size(); ++i) {
     if (!slots_[i].enabled) continue;
     if (const Filter* hit = match_blocking(slots_[i], tokens, request)) {

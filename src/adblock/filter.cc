@@ -1,8 +1,11 @@
 #include "adblock/filter.h"
 
+#include <algorithm>
+#include <bit>
 #include <utility>
 
 #include "http/public_suffix.h"
+#include "util/simd.h"
 #include "util/strings.h"
 
 namespace adscope::adblock {
@@ -423,9 +426,24 @@ bool Filter::matches_url(std::string_view url_lower,
     }
     return false;
   }
-  for (std::size_t pos = 0; pos < url.size(); ++pos) {
-    if (is_separator(url[pos]) && match_program(body, url, pos, end_anchor_)) {
-      return true;
+  // Separator-seeded: classify the URL into a separator bitset with the
+  // dispatched SIMD kernel, then only visit set bits — typically ~10% of
+  // the bytes — instead of testing every position.
+  constexpr std::size_t kSpan = 512;
+  std::uint64_t bits[kSpan / 64];
+  for (std::size_t base = 0; base < url.size(); base += kSpan) {
+    const std::size_t len = std::min(kSpan, url.size() - base);
+    util::simd::separator_bits(url.data() + base, len, bits);
+    const std::size_t words = (len + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+      std::uint64_t word = bits[w];
+      while (word != 0) {
+        const auto bit = static_cast<std::size_t>(std::countr_zero(word));
+        word &= word - 1;
+        if (match_program(body, url, base + w * 64 + bit, end_anchor_)) {
+          return true;
+        }
+      }
     }
   }
   // End-of-address start: matches when the whole body can match empty.

@@ -1,0 +1,55 @@
+#include "adblock/teddy.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace adscope::adblock {
+
+std::string_view TeddyPrefilter::lead_literal(const Filter& filter) noexcept {
+  if (filter.is_regex()) return {};
+  // Walk the literal runs of the (lowercased) pattern. Runs exclude '*'
+  // (matches any span) and '^' (matches a separator or end-of-address):
+  // every character of a run is matched verbatim and contiguously in any
+  // URL the filter accepts, so the run is a sound prefilter literal.
+  // Match-case rules are covered too: pattern() is the lowercased body
+  // and scan() runs over the lowercased URL, a superset of the
+  // case-exact occurrence.
+  const std::string_view pat = filter.pattern();
+  std::string_view len2_fallback;
+  std::size_t i = 0;
+  while (i < pat.size()) {
+    if (pat[i] == '*' || pat[i] == '^') {
+      ++i;
+      continue;
+    }
+    std::size_t j = i;
+    while (j < pat.size() && pat[j] != '*' && pat[j] != '^') ++j;
+    if (j - i >= 3) return pat.substr(i, 3);
+    if (j - i == 2 && len2_fallback.empty()) len2_fallback = pat.substr(i, 2);
+    i = j;
+  }
+  return len2_fallback;
+}
+
+std::uint8_t TeddyPrefilter::add(const Filter& filter) {
+  const auto literal = lead_literal(filter);
+  if (literal.empty()) return 0;
+  const auto bit =
+      static_cast<std::uint8_t>(1U << (util::fnv1a(literal) & 7U));
+  for (std::size_t j = 0; j < literal.size(); ++j) {
+    const auto c = static_cast<std::uint8_t>(literal[j]);
+    masks_.masks[j][0][c & 15] =
+        static_cast<std::uint8_t>(masks_.masks[j][0][c & 15] | bit);
+    masks_.masks[j][1][c >> 4] =
+        static_cast<std::uint8_t>(masks_.masks[j][1][c >> 4] | bit);
+  }
+  if (literal.size() == 2) {
+    masks_.len2_buckets = static_cast<std::uint8_t>(masks_.len2_buckets | bit);
+  } else {
+    masks_.len3_buckets = static_cast<std::uint8_t>(masks_.len3_buckets | bit);
+  }
+  return bit;
+}
+
+}  // namespace adscope::adblock

@@ -1,0 +1,56 @@
+// Teddy-style multi-literal shotgun prefilter over a filter set's lead
+// literals (the Hyperscan "Teddy" technique, scaled to this engine's
+// needs: 8 buckets, 2-3 byte literals, nibble pshufb tables).
+//
+// Every non-regex filter must, to match a URL at all, contain each of
+// its literal runs contiguously in the (lowercased) URL. add() extracts
+// one such run per filter — the first run of length >= 3, else a run of
+// length 2 — hashes it into one of 8 buckets, and packs its bytes into
+// per-position nibble lookup tables. scan() then answers for a whole
+// URL, in one vectorized pass (util::simd::teddy_scan, dispatched
+// scalar/SSE2/AVX2), which buckets have at least one literal occurring
+// anywhere in the URL. A candidate filter whose bucket bit is absent
+// from the scan mask provably cannot match, so the expensive
+// Filter::matches() probe is skipped. Filters without a usable literal
+// (regex rules, wildcard-dense patterns) report bucket 0 = "always
+// probe"; the prefilter is sound by construction and the randomized
+// suite in tests/test_simd.cpp asserts it never rejects a matching
+// filter.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "adblock/filter.h"
+#include "util/simd.h"
+
+namespace adscope::adblock {
+
+class TeddyPrefilter {
+ public:
+  /// Register `filter`. Returns the bucket bit to test against scan()
+  /// before probing this filter, or 0 when the filter has no usable
+  /// lead literal and must always be probed.
+  std::uint8_t add(const Filter& filter);
+
+  /// Buckets with at least one registered literal occurring somewhere in
+  /// `url_lower` (superset of the truth: false positives only).
+  std::uint8_t scan(std::string_view url_lower) const noexcept {
+    return util::simd::teddy_scan(masks_, url_lower.data(),
+                                  url_lower.size());
+  }
+
+  /// True when no filter contributed a literal (scan() is then useless).
+  bool empty() const noexcept {
+    return masks_.len2_buckets == 0 && masks_.len3_buckets == 0;
+  }
+
+  /// The literal add() would index `filter` under; empty when the filter
+  /// is exempt. Exposed for tests and diagnostics.
+  static std::string_view lead_literal(const Filter& filter) noexcept;
+
+ private:
+  util::simd::TeddyMasks masks_;
+};
+
+}  // namespace adscope::adblock

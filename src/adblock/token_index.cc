@@ -1,20 +1,22 @@
 #include "adblock/token_index.h"
 
 #include <algorithm>
+#include <bit>
+#include <cstdlib>
 #include <stdexcept>
 
+#include "util/simd.h"
 #include "util/strings.h"
 
 namespace adscope::adblock {
 
 namespace {
 
-/// Walk the keyword runs of `url_lower`, calling `emit` with each run's
-/// FNV hash. Shared by the vector and scratch tokenizers. The hash is
-/// folded into the same character walk that finds the run boundaries —
-/// one pass over the URL instead of scan-then-rehash.
+/// Reference walker: byte-at-a-time boundary test with the FNV hash
+/// folded into the same pass. The differential oracle for the SIMD run
+/// scanner below.
 template <typename Emit>
-void for_each_token(std::string_view url_lower, Emit&& emit) {
+void for_each_token_scalar(std::string_view url_lower, Emit&& emit) {
   const char* p = url_lower.data();
   const char* const end = p + url_lower.size();
   while (p != end) {
@@ -33,11 +35,74 @@ void for_each_token(std::string_view url_lower, Emit&& emit) {
   }
 }
 
+/// SIMD run scanner: classify a span of the URL into a keyword bitset
+/// with the dispatched kernel (32/16 bytes per instruction on
+/// AVX2/SSE2), then walk runs with ctz/shift arithmetic — the per-byte
+/// work that remains is the FNV multiply over actual keyword bytes,
+/// which the hash demands anyway. Emits exactly what
+/// for_each_token_scalar emits, for every ADSCOPE_SIMD level (the
+/// scalar kernel produces the same bitset).
+template <typename Emit>
+void for_each_token(std::string_view url_lower, Emit&& emit) {
+  const char* const data = url_lower.data();
+  const std::size_t n = url_lower.size();
+  constexpr std::size_t kSpan = 512;  // bitset span; URLs rarely need two
+  std::uint64_t bits[kSpan / 64];
+
+  std::uint64_t hash = util::kFnvOffset;
+  std::size_t run_start = 0;
+  bool in_run = false;
+  for (std::size_t base = 0; base < n; base += kSpan) {
+    const std::size_t len = std::min(kSpan, n - base);
+    util::simd::keyword_bits(data + base, len, bits);
+    const std::size_t words = (len + 63) / 64;
+    for (std::size_t w = 0; w < words; ++w) {
+      const std::uint64_t word = bits[w];  // tail bits beyond len are 0
+      const std::size_t word_base = base + w * 64;
+      std::size_t pos = 0;
+      while (pos < 64) {
+        if (!in_run) {
+          const std::uint64_t rest = word >> pos;
+          if (rest == 0) break;
+          pos += static_cast<std::size_t>(std::countr_zero(rest));
+          run_start = word_base + pos;
+          hash = util::kFnvOffset;
+          in_run = true;
+        }
+        const std::size_t run_len = static_cast<std::size_t>(
+            std::countr_one(word >> pos));  // 64 - pos when all ones
+        for (std::size_t k = 0; k < run_len; ++k) {
+          hash ^= static_cast<std::uint8_t>(data[word_base + pos + k]);
+          hash *= util::kFnvPrime;
+        }
+        pos += run_len;
+        if (pos < 64) {
+          // The next bit is 0: the run ends here.
+          if (word_base + pos - run_start >= 3) emit(hash);
+          in_run = false;
+        }
+        // pos == 64: the run may continue into the next word (or span).
+      }
+    }
+  }
+  if (in_run && n - run_start >= 3) emit(hash);
+}
+
 }  // namespace
 
 std::vector<std::uint64_t> url_token_hashes(std::string_view url_lower) {
+  // Same inline-dedup strategy as TokenScratch (first occurrence wins),
+  // materialized into an owned vector — not the old std::find-per-token
+  // O(n^2) walk over the growing output.
+  TokenScratch scratch;
+  const auto tokens = scratch.tokenize(url_lower);
+  return {tokens.begin(), tokens.end()};
+}
+
+std::vector<std::uint64_t> url_token_hashes_oracle(
+    std::string_view url_lower) {
   std::vector<std::uint64_t> tokens;
-  for_each_token(url_lower, [&tokens](std::uint64_t hash) {
+  for_each_token_scalar(url_lower, [&tokens](std::uint64_t hash) {
     if (std::find(tokens.begin(), tokens.end(), hash) == tokens.end()) {
       tokens.push_back(hash);
     }
@@ -51,9 +116,7 @@ std::span<const std::uint64_t> TokenScratch::tokenize(
   bool spilled = false;
   for_each_token(url_lower, [&](std::uint64_t hash) {
     if (!spilled) {
-      for (std::size_t k = 0; k < count; ++k) {
-        if (inline_[k] == hash) return;
-      }
+      if (util::simd::contains_u64(inline_.data(), count, hash)) return;
       if (count < kInlineCapacity) {
         inline_[count++] = hash;
         return;
@@ -62,13 +125,25 @@ std::span<const std::uint64_t> TokenScratch::tokenize(
       overflow_.assign(inline_.begin(), inline_.end());
       spilled = true;
     }
-    if (std::find(overflow_.begin(), overflow_.end(), hash) ==
-        overflow_.end()) {
+    if (!util::simd::contains_u64(overflow_.data(), overflow_.size(), hash)) {
       overflow_.push_back(hash);
     }
   });
   if (spilled) return {overflow_.data(), overflow_.size()};
   return {inline_.data(), count};
+}
+
+std::atomic<bool> TokenIndex::prefilter_enabled_{[] {
+  const char* env = std::getenv("ADSCOPE_TEDDY");
+  return env == nullptr || std::string_view(env) != "off";
+}()};
+
+void TokenIndex::set_prefilter_enabled(bool enabled) noexcept {
+  prefilter_enabled_.store(enabled, std::memory_order_relaxed);
+}
+
+bool TokenIndex::prefilter_enabled() noexcept {
+  return prefilter_enabled_.load(std::memory_order_relaxed);
 }
 
 void TokenIndex::add(const Filter* filter) {
@@ -101,6 +176,16 @@ void TokenIndex::finalize() {
   if (finalized_) return;
   finalized_ = true;
   keys_ = building_.size();
+  const auto teddy_bits = [this](const Filter& filter) {
+    return teddy_.add(filter);
+  };
+
+  // Teddy bucket bits for the filters that are scanned unconditionally.
+  unindexed_bits_.reserve(unindexed_.size());
+  for (const Filter* filter : unindexed_) {
+    unindexed_bits_.push_back(teddy_bits(*filter));
+  }
+
   if (keys_ == 0) return;
 
   // Deterministic layout: keys in ascending order (unordered_map order is
@@ -123,6 +208,7 @@ void TokenIndex::finalize() {
     bloom_[(key >> 6) & bloom_mask_] |= std::uint64_t{1} << (key & 63);
   }
   arena_.reserve(indexed_);
+  arena_bits_.reserve(indexed_);
   for (const auto key : keys) {
     auto& filters = building_[key];
     Probe probe;
@@ -130,6 +216,9 @@ void TokenIndex::finalize() {
     probe.begin = static_cast<std::uint32_t>(arena_.size());
     probe.count = static_cast<std::uint32_t>(filters.size());
     arena_.insert(arena_.end(), filters.begin(), filters.end());
+    for (const Filter* filter : filters) {
+      arena_bits_.push_back(teddy_bits(*filter));
+    }
     auto slot = key & mask_;
     while (table_[slot].count != 0) slot = (slot + 1) & mask_;
     table_[slot] = probe;

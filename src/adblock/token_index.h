@@ -14,6 +14,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <span>
 #include <string_view>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "adblock/filter.h"
+#include "adblock/teddy.h"
 #include "util/hash.h"
 
 namespace adscope::adblock {
@@ -29,7 +31,16 @@ namespace adscope::adblock {
 /// string edges count as boundaries). Duplicate tokens are removed
 /// (first-occurrence order preserved): scanning the same bucket twice can
 /// never change a match result, it only re-evaluates the same filters.
+/// Run boundaries come from the dispatched SIMD keyword classifier;
+/// dedup is the same inline strategy TokenScratch uses (not a per-token
+/// std::find over the grown vector).
 std::vector<std::uint64_t> url_token_hashes(std::string_view url_lower);
+
+/// Reference tokenizer: the original byte-at-a-time walk with linear
+/// dedup. Kept as the differential oracle for the SIMD run scanner
+/// (tests/test_simd.cpp fuzzes equality); never on the hot path.
+std::vector<std::uint64_t> url_token_hashes_oracle(
+    std::string_view url_lower);
 
 /// Reusable tokenization buffer: the fixed array serves every realistic
 /// URL without touching the heap; pathological URLs (> kInlineCapacity
@@ -61,6 +72,11 @@ class TokenIndex {
   /// Build the flat probe table. Idempotent; add() afterwards throws.
   /// scan() works either way (pre-finalize scans the build map) so
   /// incremental uses keep functioning, just without the flat layout.
+  /// finalize() also compiles this index's own Teddy prefilter over its
+  /// filters' lead literals. Deliberately per-index, not engine-global:
+  /// 8 buckets stay selective over one index's literal set (the small
+  /// exception indexes especially), where a shared mask set saturates
+  /// and admits everything.
   void finalize();
 
   /// Invoke `fn(const Filter&)` for every candidate whose keyword appears
@@ -68,6 +84,70 @@ class TokenIndex {
   /// stop the scan early; the function returns whether it stopped.
   template <typename Fn>
   bool scan(std::span<const std::uint64_t> tokens, Fn&& fn) const {
+    return scan_impl(tokens, std::string_view{}, false, std::forward<Fn>(fn));
+  }
+
+  /// Prefiltered scan: identical candidate semantics, but `url_lower`
+  /// arms the Teddy shotgun prefilter — a candidate whose lead literal
+  /// provably does not occur in the URL is skipped without calling `fn`.
+  /// The URL scan itself is lazy: it runs at most once per call, and
+  /// only when a prefilterable candidate is actually reached.
+  template <typename Fn>
+  bool scan(std::span<const std::uint64_t> tokens, std::string_view url_lower,
+            Fn&& fn) const {
+    return scan_impl(tokens, url_lower,
+                     finalized_ && prefilter_enabled() && !teddy_.empty(),
+                     std::forward<Fn>(fn));
+  }
+
+  /// Global prefilter kill switch (initialized from ADSCOPE_TEDDY, "off"
+  /// disables); bench ablations toggle it at runtime. Decisions are
+  /// unchanged either way — only the probe count moves.
+  static void set_prefilter_enabled(bool enabled) noexcept;
+  static bool prefilter_enabled() noexcept;
+
+  bool finalized() const noexcept { return finalized_; }
+  std::size_t indexed_count() const noexcept { return indexed_; }
+  std::size_t unindexed_count() const noexcept { return unindexed_.size(); }
+  std::size_t bucket_count() const noexcept {
+    return finalized_ ? keys_ : building_.size();
+  }
+  /// Probe-table slots (0 before finalize) — capacity diagnostics.
+  std::size_t table_slots() const noexcept { return table_.size(); }
+
+  /// Bytes held by the finalized flat layout (probe table + candidate
+  /// arena + bloom words + teddy bucket bits). The lint bench reports
+  /// this for the original vs. pruned engine; 0 before finalize().
+  std::size_t approx_memory_bytes() const noexcept {
+    return table_.size() * sizeof(Probe) +
+           arena_.size() * sizeof(const Filter*) +
+           bloom_.size() * sizeof(std::uint64_t) +
+           unindexed_.size() * sizeof(const Filter*) +
+           arena_bits_.size() + unindexed_bits_.size();
+  }
+
+ private:
+  struct Probe {
+    std::uint64_t key = 0;
+    std::uint32_t begin = 0;
+    std::uint32_t count = 0;  // 0 = empty slot (real buckets hold >= 1)
+  };
+
+  template <typename Fn>
+  bool scan_impl(std::span<const std::uint64_t> tokens,
+                 std::string_view url_lower, bool use_teddy, Fn&& fn) const {
+    // Lazy Teddy mask: computed on the first candidate that carries a
+    // bucket bit, then shared by every later admission test this call.
+    std::uint8_t seen = 0;
+    bool seen_valid = false;
+    const auto admitted = [&](std::uint8_t bits) {
+      if (!use_teddy || bits == 0) return true;
+      if (!seen_valid) {
+        seen = teddy_.scan(url_lower);
+        seen_valid = true;
+      }
+      return (bits & seen) != 0;
+    };
     if (finalized_) {
       if (!table_.empty()) {
         for (const auto token : tokens) {
@@ -84,7 +164,7 @@ class TokenIndex {
               const auto begin = table_[slot].begin;
               const auto end = begin + table_[slot].count;
               for (auto i = begin; i < end; ++i) {
-                if (fn(*arena_[i])) return true;
+                if (admitted(arena_bits_[i]) && fn(*arena_[i])) return true;
               }
               break;
             }
@@ -92,13 +172,18 @@ class TokenIndex {
           }
         }
       }
-    } else {
-      for (const auto token : tokens) {
-        const auto it = building_.find(token);
-        if (it == building_.end()) continue;
-        for (const Filter* filter : it->second) {
-          if (fn(*filter)) return true;
-        }
+      for (std::size_t i = 0; i < unindexed_.size(); ++i) {
+        if (admitted(unindexed_bits_[i]) && fn(*unindexed_[i])) return true;
+      }
+      return false;
+    }
+    // Pre-finalize path: the build map, no prefilter (teddy bits are
+    // compiled by finalize()).
+    for (const auto token : tokens) {
+      const auto it = building_.find(token);
+      if (it == building_.end()) continue;
+      for (const Filter* filter : it->second) {
+        if (fn(*filter)) return true;
       }
     }
     for (const Filter* filter : unindexed_) {
@@ -106,32 +191,6 @@ class TokenIndex {
     }
     return false;
   }
-
-  bool finalized() const noexcept { return finalized_; }
-  std::size_t indexed_count() const noexcept { return indexed_; }
-  std::size_t unindexed_count() const noexcept { return unindexed_.size(); }
-  std::size_t bucket_count() const noexcept {
-    return finalized_ ? keys_ : building_.size();
-  }
-  /// Probe-table slots (0 before finalize) — capacity diagnostics.
-  std::size_t table_slots() const noexcept { return table_.size(); }
-
-  /// Bytes held by the finalized flat layout (probe table + candidate
-  /// arena + bloom words). The lint bench reports this for the original
-  /// vs. pruned engine; 0 before finalize().
-  std::size_t approx_memory_bytes() const noexcept {
-    return table_.size() * sizeof(Probe) +
-           arena_.size() * sizeof(const Filter*) +
-           bloom_.size() * sizeof(std::uint64_t) +
-           unindexed_.size() * sizeof(const Filter*);
-  }
-
- private:
-  struct Probe {
-    std::uint64_t key = 0;
-    std::uint32_t begin = 0;
-    std::uint32_t count = 0;  // 0 = empty slot (real buckets hold >= 1)
-  };
 
   // Build phase.
   std::unordered_map<std::uint64_t, std::vector<const Filter*>> building_;
@@ -149,6 +208,14 @@ class TokenIndex {
   std::vector<const Filter*> unindexed_;
   std::size_t indexed_ = 0;
   bool finalized_ = false;
+
+  // Teddy shotgun prefilter, compiled by finalize(): per-candidate
+  // bucket bits aligned with arena_ / unindexed_ (0 = always probe).
+  TeddyPrefilter teddy_;
+  std::vector<std::uint8_t> arena_bits_;
+  std::vector<std::uint8_t> unindexed_bits_;
+
+  static std::atomic<bool> prefilter_enabled_;
 };
 
 }  // namespace adscope::adblock

@@ -86,6 +86,10 @@ struct StudyView {
   /// "pcap"); diagnostic only — the report renderers ignore it so
   /// reports stay byte-identical across io modes.
   const char* io_mode = nullptr;
+  /// Active SIMD dispatch level ("off", "sse2", "avx2"); diagnostic
+  /// only, ignored by the report renderers for the same reason —
+  /// reports are byte-identical at every ADSCOPE_SIMD level.
+  const char* simd_mode = nullptr;
 
   /// Run the §6.2 inference over the aggregated users.
   InferenceResult inference() const {

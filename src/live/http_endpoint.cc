@@ -8,6 +8,7 @@
 
 #include "live/study_json.h"
 #include "stats/json.h"
+#include "util/simd.h"
 
 namespace adscope::live {
 
@@ -264,6 +265,13 @@ std::string HttpEndpoint::render_metrics() const {
          "(constant 1 for the mode in use).\n"
       << "# TYPE adscoped_ingest_io gauge\n"
       << "adscoped_ingest_io{mode=\"stream\"} 1\n";
+  // Same info-gauge idiom for the active SIMD dispatch level, so a
+  // fleet dashboard can spot a daemon silently running scalar kernels.
+  out << "# HELP adscoped_simd Active SIMD kernel dispatch level "
+         "(constant 1 for the level in use).\n"
+      << "# TYPE adscoped_simd gauge\n"
+      << "adscoped_simd{level=\"" << util::simd::to_string(
+             util::simd::active_level()) << "\"} 1\n";
   out << "# HELP adscoped_queue_depth Records waiting in shard queues.\n"
       << "# TYPE adscoped_queue_depth gauge\n"
       << "adscoped_queue_depth " << study_.queue_depth() << "\n";

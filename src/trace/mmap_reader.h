@@ -43,6 +43,25 @@ class MmapTraceReader {
     /// Records per batch handed to TraceBatchSink (order-preserving:
     /// a batch never spans a kind switch).
     std::size_t batch_records = 512;
+    /// madvise(MADV_WILLNEED): start readahead for the whole mapping at
+    /// construction instead of on first fault per window.
+    bool madv_willneed = true;
+    /// madvise(MADV_HUGEPAGE): back the mapping with transparent huge
+    /// pages where the kernel can — 512x fewer TLB entries for the
+    /// sequential decode walk. Ignored (recorded as off in
+    /// advice_stats()) on kernels without THP support.
+    bool madv_hugepage = true;
+    /// __builtin_prefetch a few cache lines ahead of the decode cursor.
+    bool prefetch = true;
+  };
+
+  /// Which pieces of mapping advice actually took effect (each ::madvise
+  /// return is checked; a false here means the kernel refused or the
+  /// option was disabled, never silent failure).
+  struct AdviceStats {
+    bool sequential = false;
+    bool willneed = false;
+    bool hugepage = false;
   };
 
   explicit MmapTraceReader(const std::string& path)
@@ -59,6 +78,7 @@ class MmapTraceReader {
 
   const TraceMeta& meta() const noexcept { return meta_; }
   std::uint64_t file_size() const noexcept { return size_; }
+  const AdviceStats& advice_stats() const noexcept { return advice_; }
 
   /// Replays every record into a per-record sink via the materializing
   /// adapter. Returns the number of records delivered (meta excluded),
@@ -105,6 +125,7 @@ class MmapTraceReader {
   std::size_t records_begin_ = 0;
   TraceMeta meta_;
   Options options_;
+  AdviceStats advice_;
 
   // Decode state reused across replays (capacity persists, so a warm
   // replay allocates nothing).

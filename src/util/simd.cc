@@ -1,0 +1,582 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <mutex>
+
+#if defined(__x86_64__) || (defined(__i386__) && defined(__SSE2__))
+#define ADSCOPE_SIMD_X86 1
+#include <immintrin.h>
+#endif
+
+namespace adscope::util::simd {
+
+// ---------------------------------------------------------------------------
+// Scalar reference kernels. These define the semantics; every vector
+// variant below must be bit-identical (tests/test_simd.cpp fuzzes that).
+
+namespace {
+
+constexpr bool scalar_is_keyword(char c) noexcept {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '%';
+}
+
+constexpr bool scalar_is_separator(char c) noexcept {
+  return !((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_' || c == '-' || c == '.' ||
+           c == '%');
+}
+
+template <bool (*Pred)(char)>
+void scalar_bits(const char* s, std::size_t n, std::uint64_t* bits) noexcept {
+  for (std::size_t w = 0; w * 64 < n; ++w) {
+    const std::size_t limit = n - w * 64 < 64 ? n - w * 64 : 64;
+    std::uint64_t word = 0;
+    for (std::size_t b = 0; b < limit; ++b) {
+      word |= static_cast<std::uint64_t>(Pred(s[w * 64 + b])) << b;
+    }
+    bits[w] = word;
+  }
+}
+
+}  // namespace
+
+namespace scalar {
+
+void to_lower(const char* src, char* dst, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = src[i];
+    dst[i] = (c >= 'A' && c <= 'Z') ? static_cast<char>(c - 'A' + 'a') : c;
+  }
+}
+
+bool iequals(const char* a, const char* b, std::size_t n) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    const char ca = a[i];
+    const char cb = b[i];
+    const char la =
+        (ca >= 'A' && ca <= 'Z') ? static_cast<char>(ca + 0x20) : ca;
+    const char lb =
+        (cb >= 'A' && cb <= 'Z') ? static_cast<char>(cb + 0x20) : cb;
+    if (la != lb) return false;
+  }
+  return true;
+}
+
+void keyword_bits(const char* s, std::size_t n, std::uint64_t* bits) noexcept {
+  scalar_bits<scalar_is_keyword>(s, n, bits);
+}
+
+void separator_bits(const char* s, std::size_t n,
+                    std::uint64_t* bits) noexcept {
+  scalar_bits<scalar_is_separator>(s, n, bits);
+}
+
+bool contains_u64(const std::uint64_t* a, std::size_t n,
+                  std::uint64_t value) noexcept {
+  for (std::size_t i = 0; i < n; ++i) {
+    if (a[i] == value) return true;
+  }
+  return false;
+}
+
+std::uint8_t teddy_scan(const TeddyMasks& m, const char* s,
+                        std::size_t n) noexcept {
+  const auto want =
+      static_cast<std::uint8_t>(m.len2_buckets | m.len3_buckets);
+  if (want == 0 || n < 2) return 0;
+  const auto at = [&m, s](int j, std::size_t i) noexcept -> std::uint8_t {
+    const auto c = static_cast<std::uint8_t>(s[i]);
+    return static_cast<std::uint8_t>(m.masks[j][0][c & 15] &
+                                     m.masks[j][1][c >> 4]);
+  };
+  std::uint8_t seen = 0;
+  for (std::size_t i = 0; i + 1 < n; ++i) {
+    const auto c01 = static_cast<std::uint8_t>(at(0, i) & at(1, i + 1));
+    if (c01 == 0) continue;
+    seen = static_cast<std::uint8_t>(seen | (c01 & m.len2_buckets));
+    if (i + 2 < n) {
+      seen = static_cast<std::uint8_t>(seen | (c01 & at(2, i + 2)));
+    }
+    if (seen == want) break;  // sound: seen only ever grows toward want
+  }
+  return seen;
+}
+
+}  // namespace scalar
+
+// ---------------------------------------------------------------------------
+// x86 vector kernels. The SSE2 variants need no function attribute
+// (SSE2 is baseline on x86-64); the AVX2 variants carry target("avx2")
+// so this translation unit builds without -mavx2 and the instruction
+// set stays a pure runtime decision.
+
+#ifdef ADSCOPE_SIMD_X86
+
+namespace {
+
+// --- SSE2 -----------------------------------------------------------------
+
+inline __m128i sse2_in_range(__m128i v, char lo, char hi) noexcept {
+  // lo <= c <= hi via signed compares: bytes >= 0x80 are negative and
+  // fail the lower bound, matching the scalar predicates on signed char.
+  return _mm_and_si128(
+      _mm_cmpgt_epi8(v, _mm_set1_epi8(static_cast<char>(lo - 1))),
+      _mm_cmpgt_epi8(_mm_set1_epi8(static_cast<char>(hi + 1)), v));
+}
+
+inline __m128i sse2_lower_block(__m128i v) noexcept {
+  return _mm_or_si128(
+      v, _mm_and_si128(sse2_in_range(v, 'A', 'Z'), _mm_set1_epi8(0x20)));
+}
+
+void to_lower_sse2(const char* src, char* dst, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     sse2_lower_block(v));
+  }
+  scalar::to_lower(src + i, dst + i, n - i);
+}
+
+bool iequals_sse2(const char* a, const char* b, std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i eq =
+        _mm_cmpeq_epi8(sse2_lower_block(va), sse2_lower_block(vb));
+    if (_mm_movemask_epi8(eq) != 0xFFFF) return false;
+  }
+  return scalar::iequals(a + i, b + i, n - i);
+}
+
+inline __m128i sse2_keyword_mask(__m128i v) noexcept {
+  return _mm_or_si128(
+      _mm_or_si128(sse2_in_range(v, 'a', 'z'), sse2_in_range(v, '0', '9')),
+      _mm_cmpeq_epi8(v, _mm_set1_epi8('%')));
+}
+
+inline __m128i sse2_separator_mask(__m128i v) noexcept {
+  __m128i good = _mm_or_si128(sse2_in_range(v, 'a', 'z'),
+                              sse2_in_range(v, 'A', 'Z'));
+  good = _mm_or_si128(good, sse2_in_range(v, '0', '9'));
+  good = _mm_or_si128(good, _mm_cmpeq_epi8(v, _mm_set1_epi8('_')));
+  good = _mm_or_si128(good, _mm_cmpeq_epi8(v, _mm_set1_epi8('-')));
+  good = _mm_or_si128(good, _mm_cmpeq_epi8(v, _mm_set1_epi8('.')));
+  good = _mm_or_si128(good, _mm_cmpeq_epi8(v, _mm_set1_epi8('%')));
+  return _mm_xor_si128(good, _mm_set1_epi8(-1));
+}
+
+template <__m128i (*Classify)(__m128i) noexcept,
+          void (*ScalarTail)(const char*, std::size_t,
+                             std::uint64_t*) noexcept>
+void bits_sse2(const char* s, std::size_t n, std::uint64_t* bits) noexcept {
+  std::size_t i = 0;
+  std::size_t w = 0;
+  for (; i + 64 <= n; i += 64, ++w) {
+    std::uint64_t word = 0;
+    for (int q = 0; q < 4; ++q) {
+      const __m128i v =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(s + i + 16 * q));
+      word |= static_cast<std::uint64_t>(static_cast<std::uint32_t>(
+                  static_cast<unsigned>(_mm_movemask_epi8(Classify(v)))))
+              << (16 * q);
+    }
+    bits[w] = word;
+  }
+  if (i < n) ScalarTail(s + i, n - i, bits + w);
+}
+
+void keyword_bits_sse2(const char* s, std::size_t n,
+                       std::uint64_t* bits) noexcept {
+  bits_sse2<sse2_keyword_mask, scalar::keyword_bits>(s, n, bits);
+}
+
+void separator_bits_sse2(const char* s, std::size_t n,
+                         std::uint64_t* bits) noexcept {
+  bits_sse2<sse2_separator_mask, scalar::separator_bits>(s, n, bits);
+}
+
+bool contains_u64_sse2(const std::uint64_t* a, std::size_t n,
+                       std::uint64_t value) noexcept {
+  const __m128i needle = _mm_set1_epi64x(static_cast<long long>(value));
+  std::size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    // SSE2 has no 64-bit compare: AND the 32-bit halves' equality.
+    const __m128i eq32 = _mm_cmpeq_epi32(v, needle);
+    const __m128i eq64 = _mm_and_si128(
+        eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+    if (_mm_movemask_epi8(eq64) != 0) return true;
+  }
+  return i < n && a[i] == value;
+}
+
+// SSE2 predates pshufb, so the nibble-table shotgun scan has no 16-byte
+// variant here; the SSE2 kernel table points teddy_scan at the scalar
+// walk (the prefilter is consulted lazily, so this stays a net win).
+
+// --- AVX2 -----------------------------------------------------------------
+
+__attribute__((target("avx2"))) inline __m256i avx2_in_range(
+    __m256i v, char lo, char hi) noexcept {
+  return _mm256_and_si256(
+      _mm256_cmpgt_epi8(v, _mm256_set1_epi8(static_cast<char>(lo - 1))),
+      _mm256_cmpgt_epi8(_mm256_set1_epi8(static_cast<char>(hi + 1)), v));
+}
+
+__attribute__((target("avx2"))) inline __m256i avx2_lower_block(
+    __m256i v) noexcept {
+  return _mm256_or_si256(
+      v,
+      _mm256_and_si256(avx2_in_range(v, 'A', 'Z'), _mm256_set1_epi8(0x20)));
+}
+
+__attribute__((target("avx2"))) void to_lower_avx2(const char* src, char* dst,
+                                                   std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        avx2_lower_block(v));
+  }
+  if (i + 16 <= n) {  // one 16-byte step shrinks the scalar tail
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     sse2_lower_block(v));
+    i += 16;
+  }
+  scalar::to_lower(src + i, dst + i, n - i);
+}
+
+__attribute__((target("avx2"))) bool iequals_avx2(const char* a, const char* b,
+                                                  std::size_t n) noexcept {
+  std::size_t i = 0;
+  for (; i + 32 <= n; i += 32) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    const __m256i eq =
+        _mm256_cmpeq_epi8(avx2_lower_block(va), avx2_lower_block(vb));
+    if (_mm256_movemask_epi8(eq) != -1) return false;
+  }
+  return iequals_sse2(a + i, b + i, n - i);
+}
+
+__attribute__((target("avx2"))) inline __m256i avx2_keyword_mask(
+    __m256i v) noexcept {
+  return _mm256_or_si256(
+      _mm256_or_si256(avx2_in_range(v, 'a', 'z'),
+                      avx2_in_range(v, '0', '9')),
+      _mm256_cmpeq_epi8(v, _mm256_set1_epi8('%')));
+}
+
+__attribute__((target("avx2"))) inline __m256i avx2_separator_mask(
+    __m256i v) noexcept {
+  __m256i good = _mm256_or_si256(avx2_in_range(v, 'a', 'z'),
+                                 avx2_in_range(v, 'A', 'Z'));
+  good = _mm256_or_si256(good, avx2_in_range(v, '0', '9'));
+  good = _mm256_or_si256(good, _mm256_cmpeq_epi8(v, _mm256_set1_epi8('_')));
+  good = _mm256_or_si256(good, _mm256_cmpeq_epi8(v, _mm256_set1_epi8('-')));
+  good = _mm256_or_si256(good, _mm256_cmpeq_epi8(v, _mm256_set1_epi8('.')));
+  good = _mm256_or_si256(good, _mm256_cmpeq_epi8(v, _mm256_set1_epi8('%')));
+  return _mm256_xor_si256(good, _mm256_set1_epi8(-1));
+}
+
+__attribute__((target("avx2"))) void keyword_bits_avx2(
+    const char* s, std::size_t n, std::uint64_t* bits) noexcept {
+  std::size_t i = 0;
+  std::size_t w = 0;
+  for (; i + 64 <= n; i += 64, ++w) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 32));
+    const auto m0 = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(avx2_keyword_mask(v0)));
+    const auto m1 = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(avx2_keyword_mask(v1)));
+    bits[w] = static_cast<std::uint64_t>(m0) |
+              (static_cast<std::uint64_t>(m1) << 32);
+  }
+  if (i < n) keyword_bits_sse2(s + i, n - i, bits + w);
+}
+
+__attribute__((target("avx2"))) void separator_bits_avx2(
+    const char* s, std::size_t n, std::uint64_t* bits) noexcept {
+  std::size_t i = 0;
+  std::size_t w = 0;
+  for (; i + 64 <= n; i += 64, ++w) {
+    const __m256i v0 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+    const __m256i v1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 32));
+    const auto m0 = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(avx2_separator_mask(v0)));
+    const auto m1 = static_cast<std::uint32_t>(
+        _mm256_movemask_epi8(avx2_separator_mask(v1)));
+    bits[w] = static_cast<std::uint64_t>(m0) |
+              (static_cast<std::uint64_t>(m1) << 32);
+  }
+  if (i < n) separator_bits_sse2(s + i, n - i, bits + w);
+}
+
+__attribute__((target("avx2"))) bool contains_u64_avx2(
+    const std::uint64_t* a, std::size_t n, std::uint64_t value) noexcept {
+  const __m256i needle = _mm256_set1_epi64x(static_cast<long long>(value));
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i eq = _mm256_cmpeq_epi64(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i)), needle);
+    if (!_mm256_testz_si256(eq, eq)) return true;
+  }
+  return scalar::contains_u64(a + i, n - i, value);
+}
+
+/// OR-reduce the 32 bytes of `v` into one byte.
+__attribute__((target("avx2"))) inline std::uint8_t avx2_or_reduce(
+    __m256i v) noexcept {
+  __m128i x = _mm_or_si128(_mm256_castsi256_si128(v),
+                           _mm256_extracti128_si256(v, 1));
+  x = _mm_or_si128(x, _mm_srli_si128(x, 8));
+  x = _mm_or_si128(x, _mm_srli_si128(x, 4));
+  x = _mm_or_si128(x, _mm_srli_si128(x, 2));
+  x = _mm_or_si128(x, _mm_srli_si128(x, 1));
+  return static_cast<std::uint8_t>(_mm_cvtsi128_si32(x));
+}
+
+/// Broadcast one 16-byte nibble table across both lanes. (A named
+/// function, not a lambda: GCC lambdas do not inherit the enclosing
+/// function's target("avx2") attribute.)
+__attribute__((target("avx2"))) inline __m256i avx2_teddy_table(
+    const TeddyMasks& m, int j, int half) noexcept {
+  return _mm256_broadcastsi128_si256(_mm_loadu_si128(
+      reinterpret_cast<const __m128i*>(m.masks[j][half])));
+}
+
+/// Per-byte bucket candidates: shuffle the lo/hi nibble tables and AND.
+__attribute__((target("avx2"))) inline __m256i avx2_teddy_classify(
+    __m256i lo, __m256i hi, __m256i v) noexcept {
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  const __m256i ln = _mm256_and_si256(v, nib);
+  const __m256i hn = _mm256_and_si256(_mm256_srli_epi16(v, 4), nib);
+  return _mm256_and_si256(_mm256_shuffle_epi8(lo, ln),
+                          _mm256_shuffle_epi8(hi, hn));
+}
+
+__attribute__((target("avx2"))) std::uint8_t teddy_scan_avx2(
+    const TeddyMasks& m, const char* s, std::size_t n) noexcept {
+  const auto want =
+      static_cast<std::uint8_t>(m.len2_buckets | m.len3_buckets);
+  if (want == 0 || n < 2) return 0;
+  std::uint8_t seen = 0;
+  std::size_t i = 0;
+  // Vector main loop: positions i..i+31 need bytes up to s[i+33], so it
+  // runs while i+34 <= n; the straggler positions finish on the scalar
+  // walk below (identical semantics — asserted by the differential
+  // tests).
+  if (n >= 34) {
+    const __m256i lo0 = avx2_teddy_table(m, 0, 0);
+    const __m256i hi0 = avx2_teddy_table(m, 0, 1);
+    const __m256i lo1 = avx2_teddy_table(m, 1, 0);
+    const __m256i hi1 = avx2_teddy_table(m, 1, 1);
+    const __m256i lo2 = avx2_teddy_table(m, 2, 0);
+    const __m256i hi2 = avx2_teddy_table(m, 2, 1);
+    __m256i acc01 = _mm256_setzero_si256();
+    __m256i acc012 = _mm256_setzero_si256();
+    for (; i + 34 <= n; i += 32) {
+      const __m256i v0 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i));
+      const __m256i v1 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 1));
+      const __m256i c01 =
+          _mm256_and_si256(avx2_teddy_classify(lo0, hi0, v0),
+                           avx2_teddy_classify(lo1, hi1, v1));
+      // Cheap skip: URL chunks rarely contain any lead-pair hit.
+      if (_mm256_testz_si256(c01, c01)) continue;
+      const __m256i v2 =
+          _mm256_loadu_si256(reinterpret_cast<const __m256i*>(s + i + 2));
+      acc01 = _mm256_or_si256(acc01, c01);
+      acc012 = _mm256_or_si256(
+          acc012, _mm256_and_si256(c01, avx2_teddy_classify(lo2, hi2, v2)));
+    }
+    seen = static_cast<std::uint8_t>(
+        (avx2_or_reduce(acc01) & m.len2_buckets) | avx2_or_reduce(acc012));
+  }
+  // Scalar straggler walk over positions [i, n).
+  const auto at = [&m, s](int j, std::size_t k) noexcept -> std::uint8_t {
+    const auto c = static_cast<std::uint8_t>(s[k]);
+    return static_cast<std::uint8_t>(m.masks[j][0][c & 15] &
+                                     m.masks[j][1][c >> 4]);
+  };
+  for (; i + 1 < n; ++i) {
+    const auto c01 = static_cast<std::uint8_t>(at(0, i) & at(1, i + 1));
+    if (c01 == 0) continue;
+    seen = static_cast<std::uint8_t>(seen | (c01 & m.len2_buckets));
+    if (i + 2 < n) {
+      seen = static_cast<std::uint8_t>(seen | (c01 & at(2, i + 2)));
+    }
+  }
+  return seen;
+}
+
+}  // namespace
+
+#endif  // ADSCOPE_SIMD_X86
+
+// ---------------------------------------------------------------------------
+// Dispatch: one function-pointer table per level, an atomic pointer to
+// the active one, resolved once (hardware probe + ADSCOPE_SIMD) on first
+// use. Kernel calls load the pointer relaxed — a plain mov on x86.
+
+namespace {
+
+struct KernelTable {
+  void (*to_lower)(const char*, char*, std::size_t) noexcept;
+  bool (*iequals)(const char*, const char*, std::size_t) noexcept;
+  void (*keyword_bits)(const char*, std::size_t, std::uint64_t*) noexcept;
+  void (*separator_bits)(const char*, std::size_t, std::uint64_t*) noexcept;
+  bool (*contains_u64)(const std::uint64_t*, std::size_t,
+                       std::uint64_t) noexcept;
+  std::uint8_t (*teddy_scan)(const TeddyMasks&, const char*,
+                             std::size_t) noexcept;
+  Level level;
+};
+
+constexpr KernelTable kScalarTable = {
+    scalar::to_lower,     scalar::iequals,      scalar::keyword_bits,
+    scalar::separator_bits, scalar::contains_u64, scalar::teddy_scan,
+    Level::kScalar,
+};
+
+#ifdef ADSCOPE_SIMD_X86
+constexpr KernelTable kSse2Table = {
+    to_lower_sse2,      iequals_sse2,      keyword_bits_sse2,
+    separator_bits_sse2, contains_u64_sse2,
+    scalar::teddy_scan,  // no pshufb before SSSE3
+    Level::kSse2,
+};
+
+constexpr KernelTable kAvx2Table = {
+    to_lower_avx2,      iequals_avx2,      keyword_bits_avx2,
+    separator_bits_avx2, contains_u64_avx2, teddy_scan_avx2,
+    Level::kAvx2,
+};
+#endif
+
+const KernelTable* table_for(Level level) noexcept {
+#ifdef ADSCOPE_SIMD_X86
+  switch (level) {
+    case Level::kScalar: return &kScalarTable;
+    case Level::kSse2: return &kSse2Table;
+    case Level::kAvx2: return &kAvx2Table;
+  }
+#else
+  (void)level;
+#endif
+  return &kScalarTable;
+}
+
+std::atomic<const KernelTable*> g_table{nullptr};
+std::atomic<bool> g_env_forced{false};
+std::once_flag g_init_once;
+
+void init_table() {
+  Level level = detect_level();
+  if (const char* env = std::getenv("ADSCOPE_SIMD");
+      env != nullptr && *env != '\0') {
+    if (const auto forced = parse_level(env);
+        forced.has_value() && *forced < level) {
+      level = *forced;
+      g_env_forced.store(true, std::memory_order_relaxed);
+    }
+  }
+  g_table.store(table_for(level), std::memory_order_release);
+}
+
+const KernelTable& table() noexcept {
+  const KernelTable* t = g_table.load(std::memory_order_acquire);
+  if (t == nullptr) {
+    std::call_once(g_init_once, init_table);
+    t = g_table.load(std::memory_order_acquire);
+  }
+  return *t;
+}
+
+}  // namespace
+
+Level detect_level() noexcept {
+#ifdef ADSCOPE_SIMD_X86
+  return __builtin_cpu_supports("avx2") ? Level::kAvx2 : Level::kSse2;
+#else
+  return Level::kScalar;
+#endif
+}
+
+Level active_level() noexcept { return table().level; }
+
+bool level_forced_by_env() noexcept {
+  (void)table();  // ensure the env was consulted
+  return g_env_forced.load(std::memory_order_relaxed);
+}
+
+Level set_level(Level level) noexcept {
+  if (level > detect_level()) level = detect_level();
+  std::call_once(g_init_once, init_table);  // keep first-use semantics sane
+  g_table.store(table_for(level), std::memory_order_release);
+  return level;
+}
+
+std::optional<Level> parse_level(std::string_view text) noexcept {
+  if (text == "off" || text == "scalar") return Level::kScalar;
+  if (text == "sse2") return Level::kSse2;
+  if (text == "avx2") return Level::kAvx2;
+  return std::nullopt;
+}
+
+const char* to_string(Level level) noexcept {
+  switch (level) {
+    case Level::kScalar: return "off";
+    case Level::kSse2: return "sse2";
+    case Level::kAvx2: return "avx2";
+  }
+  return "off";
+}
+
+void to_lower(const char* src, char* dst, std::size_t n) noexcept {
+  table().to_lower(src, dst, n);
+}
+
+bool iequals(const char* a, const char* b, std::size_t n) noexcept {
+  return table().iequals(a, b, n);
+}
+
+void keyword_bits(const char* s, std::size_t n, std::uint64_t* bits) noexcept {
+  table().keyword_bits(s, n, bits);
+}
+
+void separator_bits(const char* s, std::size_t n,
+                    std::uint64_t* bits) noexcept {
+  table().separator_bits(s, n, bits);
+}
+
+bool contains_u64(const std::uint64_t* a, std::size_t n,
+                  std::uint64_t value) noexcept {
+  return table().contains_u64(a, n, value);
+}
+
+std::uint8_t teddy_scan(const TeddyMasks& masks, const char* s,
+                        std::size_t n) noexcept {
+  return table().teddy_scan(masks, s, n);
+}
+
+}  // namespace adscope::util::simd

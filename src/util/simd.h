@@ -1,0 +1,122 @@
+// Runtime-dispatched SIMD kernels for the byte-classification hot paths.
+//
+// Every kernel exists in three variants — scalar, SSE2 and AVX2 — behind
+// one function-pointer table selected at startup: the hardware is probed
+// once (cpuid via __builtin_cpu_supports), `ADSCOPE_SIMD=off|sse2|avx2`
+// overrides the choice downward (an override above what the CPU supports
+// is clamped), and tests/benches can re-point the table with set_level()
+// to run the same workload over every implementation. The scalar
+// variants are the semantic reference: each SIMD kernel is asserted
+// byte-identical to its scalar twin by the randomized differential suite
+// in tests/test_simd.cpp, and the scalar table is a first-class
+// production path (the ADSCOPE_SIMD=off CI job runs the whole test suite
+// over it), not just an oracle.
+//
+// Non-x86 builds compile the scalar table only; detect_level() then
+// reports kScalar and overrides are no-ops.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace adscope::util::simd {
+
+/// Instruction-set tiers, ordered: a smaller level is always selectable.
+enum class Level : std::uint8_t {
+  kScalar = 0,  // plain C++ (ADSCOPE_SIMD=off)
+  kSse2 = 1,    // 16-byte blocks, baseline on x86-64
+  kAvx2 = 2,    // 32-byte blocks + vpshufb nibble lookups
+};
+
+/// Best level the hardware supports (env ignored).
+Level detect_level() noexcept;
+
+/// The level the kernel table currently dispatches to. Resolved on first
+/// use: min(detect_level(), ADSCOPE_SIMD override if set).
+Level active_level() noexcept;
+
+/// True when ADSCOPE_SIMD forced the active level below the hardware's.
+bool level_forced_by_env() noexcept;
+
+/// Re-point the kernel table (clamped to detect_level()); returns the
+/// level actually installed. For tests and bench ablations; not
+/// thread-safe against concurrent kernel calls mid-switch.
+Level set_level(Level level) noexcept;
+
+/// Parse an ADSCOPE_SIMD value ("off"/"scalar", "sse2", "avx2");
+/// nullopt on anything else.
+std::optional<Level> parse_level(std::string_view text) noexcept;
+
+/// Spelling used by ADSCOPE_SIMD, --simd echoes and /metrics:
+/// "off", "sse2", "avx2".
+const char* to_string(Level level) noexcept;
+
+// ---------------------------------------------------------------------------
+// Dispatched kernels. All tolerate n == 0 and embedded NUL / non-ASCII
+// bytes (non-ASCII passes through classification as "no match", exactly
+// like the scalar predicates in util/strings.h and adblock/filter.h).
+
+/// ASCII-lower `src[0..n)` into `dst` (regions must not overlap).
+void to_lower(const char* src, char* dst, std::size_t n) noexcept;
+
+/// Case-insensitive ASCII equality of two equal-length byte ranges.
+bool iequals(const char* a, const char* b, std::size_t n) noexcept;
+
+/// Bit i of `bits` = is_keyword_char(s[i]) ([a-z0-9%]); tail bits of the
+/// last word are zeroed. `bits` must hold (n + 63) / 64 words.
+void keyword_bits(const char* s, std::size_t n, std::uint64_t* bits) noexcept;
+
+/// Bit i of `bits` = adblock::is_separator(s[i]); tail bits zeroed.
+void separator_bits(const char* s, std::size_t n,
+                    std::uint64_t* bits) noexcept;
+
+/// True when `value` occurs in `a[0..n)` (token-dedup probe).
+bool contains_u64(const std::uint64_t* a, std::size_t n,
+                  std::uint64_t value) noexcept;
+
+// ---------------------------------------------------------------------------
+// Teddy-style multi-literal shotgun prefilter (Hyperscan's "Teddy"
+// idea): up to 8 buckets of 2-3-byte lowercase literals, compiled into
+// per-position nibble lookup tables. scan() answers, for a whole URL in
+// one vectorized pass, "which buckets have at least one literal that
+// occurs somewhere in this string" as an 8-bit mask — a sound prefilter
+// (never misses a real occurrence; false positives only).
+
+struct TeddyMasks {
+  /// masks[j][0][lo_nibble] & masks[j][1][hi_nibble] = buckets whose
+  /// literal byte j could be this byte. Position 2 is populated only by
+  /// 3-byte literals.
+  alignas(32) std::uint8_t masks[3][2][16] = {};
+  /// Buckets whose literal is 2 bytes long (decided at positions 0-1).
+  std::uint8_t len2_buckets = 0;
+  /// Buckets with any 3-byte literal (need the position-2 test).
+  std::uint8_t len3_buckets = 0;
+};
+
+/// OR over all positions i of the bucket candidates at i:
+///   cand3(i) = m0(s[i]) & m1(s[i+1]) & m2(s[i+2])      (3-byte buckets)
+///   cand2(i) = m0(s[i]) & m1(s[i+1]) & len2_buckets    (2-byte buckets)
+/// where mj(c) = masks[j][0][c & 15] & masks[j][1][c >> 4]. Positions
+/// where i+1 or i+2 fall off the end contribute only the shorter terms.
+std::uint8_t teddy_scan(const TeddyMasks& masks, const char* s,
+                        std::size_t n) noexcept;
+
+// ---------------------------------------------------------------------------
+// Scalar reference implementations — the differential-test oracles, and
+// the kScalar table's entries. Always compiled, every platform.
+
+namespace scalar {
+void to_lower(const char* src, char* dst, std::size_t n) noexcept;
+bool iequals(const char* a, const char* b, std::size_t n) noexcept;
+void keyword_bits(const char* s, std::size_t n, std::uint64_t* bits) noexcept;
+void separator_bits(const char* s, std::size_t n,
+                    std::uint64_t* bits) noexcept;
+bool contains_u64(const std::uint64_t* a, std::size_t n,
+                  std::uint64_t value) noexcept;
+std::uint8_t teddy_scan(const TeddyMasks& masks, const char* s,
+                        std::size_t n) noexcept;
+}  // namespace scalar
+
+}  // namespace adscope::util::simd

@@ -3,18 +3,20 @@
 #include <cstdint>
 #include <limits>
 
+#include "util/simd.h"
+
 namespace adscope::util {
 
 std::string to_lower(std::string_view s) {
   std::string out;
-  out.reserve(s.size());
-  for (char c : s) out.push_back(ascii_lower(c));
+  out.resize(s.size());
+  simd::to_lower(s.data(), out.data(), s.size());
   return out;
 }
 
 void to_lower_into(std::string_view s, std::string& out) {
   out.resize(s.size());
-  for (std::size_t i = 0; i < s.size(); ++i) out[i] = ascii_lower(s[i]);
+  simd::to_lower(s.data(), out.data(), s.size());
 }
 
 bool starts_with(std::string_view s, std::string_view prefix) noexcept {
@@ -27,11 +29,7 @@ bool ends_with(std::string_view s, std::string_view suffix) noexcept {
 }
 
 bool iequals(std::string_view a, std::string_view b) noexcept {
-  if (a.size() != b.size()) return false;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    if (ascii_lower(a[i]) != ascii_lower(b[i])) return false;
-  }
-  return true;
+  return a.size() == b.size() && simd::iequals(a.data(), b.data(), a.size());
 }
 
 std::size_t ifind(std::string_view haystack, std::string_view needle) noexcept {

@@ -1,0 +1,514 @@
+// util/simd — randomized differential suite.
+//
+// Every dispatched kernel is pitted against its scalar oracle at every
+// level the host CPU can run, over fuzzed inputs that cover the nasty
+// cases: embedded NULs, non-ASCII bytes, and lengths straddling the
+// 16/32-byte block boundaries (15/16/17, 31/32/33/34). On top of the
+// kernel layer, the suite asserts the Teddy prefilter is sound (it
+// never rejects a filter that actually matches), the SIMD tokenizer is
+// identical to the byte-walk oracle, and a full study renders a
+// byte-identical report at every ADSCOPE_SIMD level and thread count.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "adblock/engine.h"
+#include "adblock/filter.h"
+#include "adblock/teddy.h"
+#include "adblock/token_index.h"
+#include "core/parallel_study.h"
+#include "core/report.h"
+#include "sim/ecosystem.h"
+#include "sim/listgen.h"
+#include "sim/rbn_sim.h"
+#include "trace/writer.h"
+#include "util/hash.h"
+#include "util/simd.h"
+#include "util/strings.h"
+
+namespace adscope {
+namespace {
+
+using util::simd::Level;
+
+/// Levels the host can actually run (set_level clamps upward requests).
+std::vector<Level> available_levels() {
+  std::vector<Level> levels;
+  for (const auto level : {Level::kScalar, Level::kSse2, Level::kAvx2}) {
+    if (util::simd::set_level(level) == level) levels.push_back(level);
+  }
+  util::simd::set_level(util::simd::detect_level());
+  return levels;
+}
+
+/// Byte soup weighted toward the interesting classes: letters both
+/// cases, digits, '%', URL separators, embedded NULs, and non-ASCII.
+std::string fuzz_string(std::mt19937_64& rng, std::size_t length) {
+  static constexpr std::string_view kAlphabet =
+      "abcdefghijklmnopqrstuvwxyz"
+      "ABCDEFGHIJKLMNOPQRSTUVWXYZ"
+      "0123456789%%//??&&==::.-_~^|*@";
+  std::string out(length, '\0');
+  for (auto& c : out) {
+    const auto roll = rng() % 100;
+    if (roll < 90) {
+      c = kAlphabet[rng() % kAlphabet.size()];
+    } else if (roll < 95) {
+      c = static_cast<char>(0x80 + rng() % 0x80);  // non-ASCII
+    } else {
+      c = '\0';
+    }
+  }
+  return out;
+}
+
+/// Block-boundary lengths plus a spread of everything else.
+std::vector<std::size_t> fuzz_lengths() {
+  std::vector<std::size_t> lengths = {0,  1,  2,  3,  15,  16,  17,
+                                      31, 32, 33, 34, 35,  63,  64,
+                                      65, 66, 96, 100, 511, 512, 513};
+  for (std::size_t i = 4; i < 50; i += 3) lengths.push_back(i);
+  return lengths;
+}
+
+class SimdDifferentialTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    util::simd::set_level(util::simd::detect_level());
+  }
+};
+
+TEST_F(SimdDifferentialTest, ToLowerMatchesScalarAtEveryLevel) {
+  std::mt19937_64 rng(1);
+  for (const auto length : fuzz_lengths()) {
+    for (int round = 0; round < 8; ++round) {
+      const auto input = fuzz_string(rng, length);
+      std::string expected(length, '\xAA');
+      util::simd::scalar::to_lower(input.data(), expected.data(), length);
+      for (const auto level : available_levels()) {
+        util::simd::set_level(level);
+        std::string actual(length, '\x55');
+        util::simd::to_lower(input.data(), actual.data(), length);
+        ASSERT_EQ(actual, expected)
+            << "level " << util::simd::to_string(level) << " len " << length;
+      }
+    }
+  }
+}
+
+TEST_F(SimdDifferentialTest, IequalsMatchesScalarAtEveryLevel) {
+  std::mt19937_64 rng(2);
+  for (const auto length : fuzz_lengths()) {
+    for (int round = 0; round < 8; ++round) {
+      const auto a = fuzz_string(rng, length);
+      auto b = a;
+      // Three shapes: case-flipped equal, one byte off, unrelated.
+      if (round % 3 == 0) {
+        for (auto& c : b) {
+          if (c >= 'a' && c <= 'z' && rng() % 2 == 0) {
+            c = static_cast<char>(c - 0x20);
+          } else if (c >= 'A' && c <= 'Z' && rng() % 2 == 0) {
+            c = static_cast<char>(c + 0x20);
+          }
+        }
+      } else if (round % 3 == 1 && length > 0) {
+        b[rng() % length] = static_cast<char>(rng() % 256);
+      } else {
+        b = fuzz_string(rng, length);
+      }
+      const bool expected =
+          util::simd::scalar::iequals(a.data(), b.data(), length);
+      for (const auto level : available_levels()) {
+        util::simd::set_level(level);
+        ASSERT_EQ(util::simd::iequals(a.data(), b.data(), length), expected)
+            << "level " << util::simd::to_string(level) << " len " << length;
+      }
+    }
+  }
+}
+
+TEST_F(SimdDifferentialTest, ClassifierBitsMatchScalarAtEveryLevel) {
+  std::mt19937_64 rng(3);
+  for (const auto length : fuzz_lengths()) {
+    const std::size_t words = (length + 63) / 64;
+    for (int round = 0; round < 8; ++round) {
+      const auto input = fuzz_string(rng, length);
+      std::vector<std::uint64_t> expected_kw(std::max<std::size_t>(words, 1));
+      std::vector<std::uint64_t> expected_sep(expected_kw.size());
+      util::simd::scalar::keyword_bits(input.data(), length,
+                                       expected_kw.data());
+      util::simd::scalar::separator_bits(input.data(), length,
+                                         expected_sep.data());
+      // Scalar oracle must agree with the predicate definitions.
+      for (std::size_t i = 0; i < length; ++i) {
+        ASSERT_EQ((expected_kw[i / 64] >> (i % 64)) & 1,
+                  adblock::is_keyword_char(input[i]) ? 1u : 0u);
+        ASSERT_EQ((expected_sep[i / 64] >> (i % 64)) & 1,
+                  adblock::is_separator(input[i]) ? 1u : 0u);
+      }
+      for (const auto level : available_levels()) {
+        util::simd::set_level(level);
+        // Poisoned buffers: kernels must zero the tail bits of the last
+        // contracted word themselves. Only (n+63)/64 words are owned by
+        // the kernel; anything beyond stays poisoned by contract.
+        std::vector<std::uint64_t> actual(expected_kw.size(), ~0ULL);
+        util::simd::keyword_bits(input.data(), length, actual.data());
+        ASSERT_TRUE(std::equal(actual.begin(), actual.begin() + static_cast<std::ptrdiff_t>(words),
+                               expected_kw.begin()))
+            << "keyword_bits level " << util::simd::to_string(level)
+            << " len " << length;
+        std::fill(actual.begin(), actual.end(), ~0ULL);
+        util::simd::separator_bits(input.data(), length, actual.data());
+        ASSERT_TRUE(std::equal(actual.begin(), actual.begin() + static_cast<std::ptrdiff_t>(words),
+                               expected_sep.begin()))
+            << "separator_bits level " << util::simd::to_string(level)
+            << " len " << length;
+      }
+    }
+  }
+}
+
+TEST_F(SimdDifferentialTest, ContainsU64MatchesScalarAtEveryLevel) {
+  std::mt19937_64 rng(4);
+  for (std::size_t length = 0; length < 70; ++length) {
+    std::vector<std::uint64_t> haystack(length);
+    for (auto& v : haystack) v = rng() % 97;  // collisions guaranteed
+    for (int round = 0; round < 16; ++round) {
+      const std::uint64_t needle = rng() % 97;
+      const bool expected = util::simd::scalar::contains_u64(
+          haystack.data(), length, needle);
+      ASSERT_EQ(expected, std::find(haystack.begin(), haystack.end(),
+                                    needle) != haystack.end());
+      for (const auto level : available_levels()) {
+        util::simd::set_level(level);
+        ASSERT_EQ(util::simd::contains_u64(haystack.data(), length, needle),
+                  expected)
+            << "level " << util::simd::to_string(level) << " len " << length;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Teddy.
+
+/// Test-side mask builder over raw lowercase literals, mirroring
+/// TeddyPrefilter::add, so the kernel can be exercised without filters.
+struct TeddyFixture {
+  util::simd::TeddyMasks masks;
+  std::vector<std::pair<std::string, std::uint8_t>> literals;
+
+  void add(std::string literal) {
+    const auto bit =
+        static_cast<std::uint8_t>(1U << (util::fnv1a(literal) & 7U));
+    for (std::size_t j = 0; j < literal.size(); ++j) {
+      const auto c = static_cast<std::uint8_t>(literal[j]);
+      masks.masks[j][0][c & 15] =
+          static_cast<std::uint8_t>(masks.masks[j][0][c & 15] | bit);
+      masks.masks[j][1][c >> 4] =
+          static_cast<std::uint8_t>(masks.masks[j][1][c >> 4] | bit);
+    }
+    auto& field = literal.size() == 2 ? masks.len2_buckets
+                                      : masks.len3_buckets;
+    field = static_cast<std::uint8_t>(field | bit);
+    literals.emplace_back(std::move(literal), bit);
+  }
+
+  /// Ground truth the scan mask must be a superset of: buckets whose
+  /// literal really does occur in `s`.
+  std::uint8_t occurring(std::string_view s) const {
+    std::uint8_t seen = 0;
+    for (const auto& [literal, bit] : literals) {
+      if (s.find(literal) != std::string_view::npos) {
+        seen = static_cast<std::uint8_t>(seen | bit);
+      }
+    }
+    return seen;
+  }
+};
+
+TeddyFixture random_teddy(std::mt19937_64& rng) {
+  static constexpr std::string_view kLiteralChars =
+      "abcdefghijklmnopqrstuvwxyz0123456789%/.-_";
+  TeddyFixture fixture;
+  const std::size_t count = 1 + rng() % 12;
+  for (std::size_t i = 0; i < count; ++i) {
+    std::string literal(2 + rng() % 2, '\0');
+    for (auto& c : literal) c = kLiteralChars[rng() % kLiteralChars.size()];
+    fixture.add(std::move(literal));
+  }
+  return fixture;
+}
+
+TEST_F(SimdDifferentialTest, TeddyScanMatchesScalarAtEveryLevel) {
+  std::mt19937_64 rng(5);
+  for (int set = 0; set < 12; ++set) {
+    const auto fixture = random_teddy(rng);
+    for (const auto length : fuzz_lengths()) {
+      for (int round = 0; round < 4; ++round) {
+        auto input = fuzz_string(rng, length);
+        // Half the rounds, plant a literal at a random position so hit
+        // paths are exercised, not just the all-miss fast path.
+        if (round % 2 == 1 && length >= 3) {
+          const auto& lit = fixture.literals[rng() % fixture.literals.size()]
+                                .first;
+          if (lit.size() <= length) {
+            input.replace(rng() % (length - lit.size() + 1), lit.size(), lit);
+          }
+        }
+        const auto expected = util::simd::scalar::teddy_scan(
+            fixture.masks, input.data(), input.size());
+        for (const auto level : available_levels()) {
+          util::simd::set_level(level);
+          ASSERT_EQ(util::simd::teddy_scan(fixture.masks, input.data(),
+                                           input.size()),
+                    expected)
+              << "level " << util::simd::to_string(level) << " len "
+              << length;
+        }
+      }
+    }
+  }
+}
+
+TEST_F(SimdDifferentialTest, TeddyScanIsSupersetOfTrueOccurrences) {
+  std::mt19937_64 rng(6);
+  for (int set = 0; set < 16; ++set) {
+    const auto fixture = random_teddy(rng);
+    for (const auto length : fuzz_lengths()) {
+      auto input = fuzz_string(rng, length);
+      if (length >= 4) {
+        const auto& lit =
+            fixture.literals[rng() % fixture.literals.size()].first;
+        if (lit.size() <= length) {
+          input.replace(rng() % (length - lit.size() + 1), lit.size(), lit);
+        }
+      }
+      const auto truth = fixture.occurring(input);
+      for (const auto level : available_levels()) {
+        util::simd::set_level(level);
+        const auto scanned = util::simd::teddy_scan(fixture.masks,
+                                                    input.data(),
+                                                    input.size());
+        ASSERT_EQ(scanned & truth, truth)
+            << "teddy missed a real literal occurrence at level "
+            << util::simd::to_string(level) << " len " << length;
+      }
+    }
+  }
+}
+
+adblock::Filter parse_ok(std::string_view line) {
+  auto filter = adblock::Filter::parse(line);
+  EXPECT_TRUE(filter.has_value()) << "rule failed to parse: " << line;
+  return *filter;
+}
+
+TEST(TeddyPrefilterTest, LeadLiteralExtraction) {
+  using adblock::TeddyPrefilter;
+  // First run of length >= 3 wins, '*' and '^' break runs.
+  EXPECT_EQ(TeddyPrefilter::lead_literal(parse_ok("/banners/")), "/ba");
+  EXPECT_EQ(TeddyPrefilter::lead_literal(parse_ok("a*click-through")), "cli");
+  EXPECT_EQ(TeddyPrefilter::lead_literal(parse_ok("ad^pixel")), "pix");
+  // Length-2 fallback when no run reaches 3.
+  EXPECT_EQ(TeddyPrefilter::lead_literal(parse_ok("ad^b*cd")), "ad");
+  // Regex rules and wildcard soup are exempt (always probed).
+  EXPECT_EQ(TeddyPrefilter::lead_literal(parse_ok(R"(/banner\d+\.gif/)")),
+            "");
+  EXPECT_EQ(TeddyPrefilter::lead_literal(parse_ok("a*b*c")), "");
+}
+
+TEST(TeddyPrefilterTest, NeverRejectsAMatchingFilter) {
+  // For every (rule, URL the rule matches): the bucket bit assigned at
+  // add() time must survive the scan of that URL — the soundness
+  // contract the engine's candidate skipping rests on.
+  const std::pair<const char*, const char*> cases[] = {
+      {"/banners/", "http://x.example/banners/a.gif"},
+      {"||ads.example.com^", "http://ads.example.com/img.png"},
+      {"-ad-300x250.", "http://cdn.example/img-ad-300x250.jpg"},
+      {"/track*click", "http://t.example/track/b/click?id=1"},
+      {"banner$image", "http://x.example/banner.gif"},
+      {"|http://promo.", "http://promo.example/x"},
+      {"/creative.js|", "http://static.example/creative.js"},
+      {"AdServer", "http://x.example/AdServer/unit"},  // match-case superset
+      {"ad^b*cd", "http://x.example/ad/b/xxcd"},       // len-2 literal
+  };
+  adblock::TeddyPrefilter teddy;
+  std::vector<std::uint8_t> bits;
+  std::vector<adblock::Filter> filters;
+  for (const auto& [rule, url] : cases) {
+    filters.push_back(parse_ok(rule));
+    bits.push_back(teddy.add(filters.back()));
+  }
+  for (const auto level : available_levels()) {
+    util::simd::set_level(level);
+    for (std::size_t i = 0; i < filters.size(); ++i) {
+      const auto request = adblock::make_request(
+          cases[i].second, "http://site.example/", http::RequestType::kImage);
+      ASSERT_TRUE(filters[i].matches(request))
+          << "case " << i << " does not match its URL — fix the test";
+      if (bits[i] == 0) continue;  // exempt: always probed
+      const auto lower = util::to_lower(cases[i].second);
+      EXPECT_NE(teddy.scan(lower) & bits[i], 0)
+          << "teddy rejected matching rule " << cases[i].first
+          << " at level " << util::simd::to_string(level);
+    }
+  }
+  util::simd::set_level(util::simd::detect_level());
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+
+TEST_F(SimdDifferentialTest, TokenizerMatchesOracleOnFuzzedUrls) {
+  std::mt19937_64 rng(7);
+  adblock::TokenScratch scratch;
+  for (const auto length : fuzz_lengths()) {
+    for (int round = 0; round < 8; ++round) {
+      const auto url = util::to_lower(fuzz_string(rng, length));
+      const auto expected = adblock::url_token_hashes_oracle(url);
+      for (const auto level : available_levels()) {
+        util::simd::set_level(level);
+        ASSERT_EQ(adblock::url_token_hashes(url), expected)
+            << "level " << util::simd::to_string(level) << " len " << length;
+        const auto span = scratch.tokenize(url);
+        ASSERT_TRUE(std::equal(span.begin(), span.end(), expected.begin(),
+                               expected.end()))
+            << "scratch diverged at level " << util::simd::to_string(level)
+            << " len " << length;
+      }
+    }
+  }
+}
+
+TEST_F(SimdDifferentialTest, TokenizerSpillPathMatchesOracle) {
+  // > TokenScratch::kInlineCapacity distinct tokens forces the overflow
+  // vector; dedup semantics must not change across the spill.
+  std::string url;
+  for (int i = 0; i < 130; ++i) {
+    url += "tok" + std::to_string(i) + "/";
+  }
+  url += url;  // every token duplicated once
+  const auto expected = adblock::url_token_hashes_oracle(url);
+  ASSERT_GT(expected.size(), adblock::TokenScratch::kInlineCapacity);
+  adblock::TokenScratch scratch;
+  for (const auto level : available_levels()) {
+    util::simd::set_level(level);
+    ASSERT_EQ(adblock::url_token_hashes(url), expected);
+    const auto span = scratch.tokenize(url);
+    ASSERT_TRUE(std::equal(span.begin(), span.end(), expected.begin(),
+                           expected.end()));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing.
+
+TEST(SimdDispatchTest, ParseLevelAndToString) {
+  EXPECT_EQ(util::simd::parse_level("off"), Level::kScalar);
+  EXPECT_EQ(util::simd::parse_level("scalar"), Level::kScalar);
+  EXPECT_EQ(util::simd::parse_level("sse2"), Level::kSse2);
+  EXPECT_EQ(util::simd::parse_level("avx2"), Level::kAvx2);
+  EXPECT_FALSE(util::simd::parse_level("avx512").has_value());
+  EXPECT_FALSE(util::simd::parse_level("").has_value());
+  EXPECT_STREQ(util::simd::to_string(Level::kScalar), "off");
+  EXPECT_STREQ(util::simd::to_string(Level::kSse2), "sse2");
+  EXPECT_STREQ(util::simd::to_string(Level::kAvx2), "avx2");
+}
+
+TEST(SimdDispatchTest, SetLevelClampsToHardware) {
+  const auto best = util::simd::detect_level();
+  EXPECT_EQ(util::simd::set_level(Level::kAvx2),
+            std::min(Level::kAvx2, best));
+  EXPECT_EQ(util::simd::set_level(Level::kScalar), Level::kScalar);
+  EXPECT_EQ(util::simd::active_level(), Level::kScalar);
+  EXPECT_EQ(util::simd::set_level(best), best);
+  EXPECT_EQ(util::simd::active_level(), best);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: the full study pipeline must render byte-identical
+// reports at every SIMD level, thread count, and prefilter setting.
+
+class SimdStudyTest : public ::testing::Test {
+ protected:
+  static const sim::Ecosystem& eco() {
+    static const sim::Ecosystem instance = [] {
+      sim::EcosystemOptions options;
+      options.publishers = 300;
+      return sim::Ecosystem::generate(42, options);
+    }();
+    return instance;
+  }
+  static const sim::GeneratedLists& lists() {
+    static const sim::GeneratedLists instance = sim::generate_lists(eco());
+    return instance;
+  }
+  static const adblock::FilterEngine& engine() {
+    static const adblock::FilterEngine instance = sim::make_engine(
+        lists(), sim::ListSelection{.easylist = true,
+                                    .derivative = true,
+                                    .easyprivacy = true,
+                                    .acceptable_ads = true});
+    return instance;
+  }
+  static const trace::MemoryTrace& sample_trace() {
+    static const trace::MemoryTrace instance = [] {
+      trace::MemoryTrace memory;
+      sim::RbnSimulator simulator(eco(), lists(), 42);
+      auto options = sim::rbn2_options(40);
+      options.duration_s = 2 * 3600;
+      simulator.simulate(options, memory);
+      return memory;
+    }();
+    return instance;
+  }
+  static core::StudyOptions study_options() {
+    core::StudyOptions options;
+    options.inference.min_requests = 200;
+    return options;
+  }
+  static std::string run_report(std::size_t threads) {
+    core::ParallelStudyOptions options;
+    options.study = study_options();
+    options.threads = threads;
+    core::ParallelTraceStudy study(engine(), eco().abp_registry(), options);
+    sample_trace().replay(study);
+    study.finish();
+    return core::render_full_report(study.view(), &eco().asn_db());
+  }
+
+  void TearDown() override {
+    util::simd::set_level(util::simd::detect_level());
+    adblock::TokenIndex::set_prefilter_enabled(true);
+  }
+};
+
+TEST_F(SimdStudyTest, ReportByteIdenticalAcrossLevelsAndThreadCounts) {
+  util::simd::set_level(Level::kScalar);
+  const auto reference = run_report(1);
+  for (const auto level : available_levels()) {
+    util::simd::set_level(level);
+    for (const std::size_t threads : {1u, 2u, 7u}) {
+      EXPECT_EQ(run_report(threads), reference)
+          << "report diverged at level " << util::simd::to_string(level)
+          << ", " << threads << " threads";
+    }
+  }
+}
+
+TEST_F(SimdStudyTest, ReportByteIdenticalWithPrefilterDisabled) {
+  adblock::TokenIndex::set_prefilter_enabled(true);
+  const auto with_teddy = run_report(1);
+  adblock::TokenIndex::set_prefilter_enabled(false);
+  EXPECT_EQ(run_report(1), with_teddy);
+}
+
+}  // namespace
+}  // namespace adscope

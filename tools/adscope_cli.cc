@@ -33,6 +33,7 @@
 #include "trace/reader.h"
 #include "trace/writer.h"
 #include "util/format.h"
+#include "util/simd.h"
 
 namespace {
 
@@ -121,6 +122,20 @@ int cmd_study(const Args& args) {
     std::fprintf(stderr, "study: --trace or --pcap required\n");
     return 2;
   }
+
+  // --simd forces the kernel dispatch level (same values as the
+  // ADSCOPE_SIMD env var; the flag wins). Downward only — asking for
+  // avx2 on a non-AVX2 host clamps to what the CPU has. Decisions and
+  // report bytes are identical at every level; only throughput moves.
+  if (const auto simd_arg = args.get("simd"); !simd_arg.empty()) {
+    const auto level = util::simd::parse_level(simd_arg);
+    if (!level.has_value()) {
+      std::fprintf(stderr, "study: --simd must be off, sse2, or avx2\n");
+      return 2;
+    }
+    util::simd::set_level(*level);
+  }
+
   const auto seed = args.get_u64("seed", 42);
   WorldBundle world(seed);
 
@@ -211,12 +226,15 @@ int cmd_study(const Args& args) {
     view = serial->view();
   }
   view.io_mode = io_mode;
+  view.simd_mode = util::simd::to_string(util::simd::active_level());
 
-  // The io mode goes on this line, not in the report: stdout below it
-  // is asserted byte-identical across thread counts and io modes.
-  std::printf("read %llu records from %s via %s io",
+  // The io and simd modes go on this line, not in the report: stdout
+  // below it is asserted byte-identical across thread counts, io modes,
+  // and ADSCOPE_SIMD levels.
+  std::printf("read %llu records from %s via %s io (simd %s)",
               static_cast<unsigned long long>(records),
-              (pcap_path.empty() ? path : pcap_path).c_str(), io_mode);
+              (pcap_path.empty() ? path : pcap_path).c_str(), io_mode,
+              view.simd_mode);
   if (threads > 1) std::printf(" (%llu analysis threads)",
                                static_cast<unsigned long long>(threads));
   std::printf("\n\n");
