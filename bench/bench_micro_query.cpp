@@ -1,0 +1,168 @@
+// Micro-benchmark: snapshot-store query engine — cold render vs the
+// epoch-keyed response cache, materialized rollups vs on-demand merges,
+// and tree-merge cost as the queried window widens.
+//
+// Like bench_micro_live_ingest this is a harness binary (the subjects
+// are whole serving pipelines, not tight loops): it prints a table and
+// records machine-readable numbers through JsonMetrics
+// (`ADSCOPE_JSON_DIR=... -> BENCH_query.json`). The headline number is
+// cached_speedup_total: the acceptance bar is a >=5x cached render.
+//
+//   ADSCOPE_HOUSEHOLDS  trace scale       (default 150 subscribers)
+//   ADSCOPE_HOURS       trace duration    (default 2)
+//   ADSCOPE_REPS        timing repetitions (default 50)
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+#include "experiment_common.h"
+#include "live/live_study.h"
+#include "live/replay.h"
+#include "store/store_service.h"
+
+namespace {
+
+using namespace adscope;
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Mean milliseconds per call of `fn` over `reps` repetitions.
+template <typename Fn>
+double mean_ms(std::uint64_t reps, Fn&& fn) {
+  const auto start = Clock::now();
+  for (std::uint64_t i = 0; i < reps; ++i) fn();
+  return seconds_since(start) * 1e3 / static_cast<double>(reps);
+}
+
+}  // namespace
+
+int main() {
+  bench::preamble(
+      "micro: snapshot-store queries (cache, rollups, merge spans)",
+      "n/a — operational latency of the /query serving path");
+
+  const auto world = bench::make_world();
+  const auto households = static_cast<std::uint32_t>(
+      bench::env_u64("ADSCOPE_HOUSEHOLDS", 600) / 4);
+  const auto hours = bench::env_u64("ADSCOPE_HOURS", 2);
+  const auto reps = bench::env_u64("ADSCOPE_REPS", 50);
+
+  trace::MemoryTrace memory;
+  {
+    sim::RbnSimulator simulator(world.ecosystem, world.lists, world.seed);
+    auto options = sim::rbn2_options(households);
+    options.duration_s = hours * 3600;
+    simulator.simulate(options, memory);
+    live::sort_by_time(memory);
+  }
+  const std::uint64_t records = memory.http().size() + memory.tls().size();
+
+  // Two identically-fed stores: `cold` renders every query from the
+  // tree (cache disabled), `cached` serves repeats from the LRU. The
+  // study seals each bucket into both trees through on_seal.
+  core::StudyOptions study_options;
+  study_options.inference.min_requests = 1000;
+
+  store::StoreServiceOptions store_options;
+  store_options.tree.study = study_options;
+  store_options.tree.bucket_seconds = 300;
+  store_options.cache.capacity_bytes = 0;
+  store::StoreService cold(store_options, &world.ecosystem.asn_db());
+  store_options.cache.capacity_bytes = 8u << 20;
+  store::StoreService cached(store_options, &world.ecosystem.asn_db());
+
+  live::LiveStudyOptions live_options;
+  live_options.study = study_options;
+  live_options.threads = 2;
+  live_options.bucket_seconds = 300;
+  live_options.window_buckets = UINT64_MAX;
+  live_options.on_seal = [&](std::uint64_t bucket_id, std::size_t shard,
+                             const core::TraceStudy& sealed) {
+    cold.tree().ingest(bucket_id, shard, sealed);
+    cached.tree().ingest(bucket_id, shard, sealed);
+  };
+  live::LiveStudy study(world.engine, world.ecosystem.abp_registry(),
+                        live_options);
+  live::replay_time_ordered(memory, study);
+  study.seal_all();
+  study.flush();
+  const auto live_stats = [&study] {
+    return store::LiveStats{study.watermark_ms(), study.records_ingested(),
+                            study.total_drops(), study.current_bucket()};
+  };
+  cold.set_live_stats(live_stats);
+  cached.set_live_stats(live_stats);
+
+  std::printf("trace: %llu records, %zu store leaves in %zu bucket(s)\n\n",
+              static_cast<unsigned long long>(records),
+              cold.tree().leaf_count(), cold.tree().bucket_count());
+
+  bench::JsonMetrics metrics("query");
+  metrics.record("records", static_cast<double>(records));
+  metrics.record("store_leaves", static_cast<double>(cold.tree().leaf_count()));
+
+  // -- cold render vs cached render ------------------------------------
+  const char* targets[] = {"/query/summary/*", "/query/traffic/*",
+                           "/query/users/*", "/query/infra/*"};
+  double cold_total_ms = 0;
+  double cached_total_ms = 0;
+  std::printf("%-24s %12s %12s %9s\n", "target", "cold ms", "cached ms",
+              "speedup");
+  for (const char* target : targets) {
+    const auto cold_ms =
+        mean_ms(reps, [&] { (void)cold.query(target).body.size(); });
+    (void)cached.query(target);  // prime the cache
+    const auto cached_ms =
+        mean_ms(reps, [&] { (void)cached.query(target).body.size(); });
+    cold_total_ms += cold_ms;
+    cached_total_ms += cached_ms;
+    const auto name = std::string(target).substr(7);  // after "/query/"
+    std::printf("%-24s %12.3f %12.4f %8.1fx\n", target, cold_ms, cached_ms,
+                cold_ms / cached_ms);
+    metrics.record("cold_ms_" + name.substr(0, name.find('/')), cold_ms);
+    metrics.record("cached_ms_" + name.substr(0, name.find('/')), cached_ms);
+  }
+  const auto speedup = cold_total_ms / cached_total_ms;
+  std::printf("%-24s %12.3f %12.4f %8.1fx\n", "total", cold_total_ms,
+              cached_total_ms, speedup);
+  metrics.record("cold_ms_total", cold_total_ms);
+  metrics.record("cached_ms_total", cached_total_ms);
+  metrics.record("cached_speedup_total", speedup);
+
+  // -- materialized rollup vs on-demand merge --------------------------
+  const auto days = cold.tree().users_daily_days();
+  if (!days.empty()) {
+    const auto day = days.front();
+    const std::uint64_t per_day = 86400 / 300;
+    const auto materialized_ms = mean_ms(reps, [&] {
+      (void)cold.tree().users_daily(day)->buckets_merged();
+    });
+    const auto on_demand_ms = mean_ms(reps, [&] {
+      (void)cold.tree()
+          .merge(day * per_day, (day + 1) * per_day - 1, std::nullopt)
+          .buckets_merged();
+    });
+    std::printf("\n%-24s %12.4f ms\n%-24s %12.4f ms (%.1fx)\n",
+                "users-daily materialized:", materialized_ms,
+                "users-daily on-demand:", on_demand_ms,
+                on_demand_ms / materialized_ms);
+    metrics.record("rollup_materialized_ms", materialized_ms);
+    metrics.record("rollup_on_demand_ms", on_demand_ms);
+  }
+
+  // -- tree-merge cost vs window span ----------------------------------
+  std::printf("\n%-24s %12s\n", "window", "merge ms");
+  for (const std::uint64_t window_s : {900u, 3600u, 7200u}) {
+    const auto target = "/query/summary/*?window_s=" + std::to_string(window_s);
+    const auto ms = mean_ms(reps, [&] { (void)cold.query(target).status; });
+    std::printf("window_s=%-15llu %12.3f\n",
+                static_cast<unsigned long long>(window_s), ms);
+    metrics.record("merge_ms_window_" + std::to_string(window_s), ms);
+  }
+
+  study.close();
+  return 0;
+}

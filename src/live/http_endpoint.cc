@@ -1,57 +1,76 @@
 #include "live/http_endpoint.h"
 
-#include <charconv>
+#include <algorithm>
+#include <cctype>
 #include <sstream>
-#include <stdexcept>
 #include <string_view>
 #include <utility>
 
 #include "live/study_json.h"
-#include "stats/json.h"
 #include "util/simd.h"
 
 namespace adscope::live {
 
 namespace {
 
-/// Parses "?window_s=N" from a request target. Returns 0 (= whole ring)
-/// when absent; throws std::invalid_argument on malformed values so the
-/// caller can answer 400 instead of silently serving the wrong window.
-std::uint64_t parse_window_s(const std::string& target) {
-  const auto query_at = target.find('?');
-  if (query_at == std::string::npos) return 0;
-  std::string_view query(target);
-  query.remove_prefix(query_at + 1);
-  while (!query.empty()) {
-    const auto amp = query.find('&');
-    const auto param = query.substr(0, amp);
-    if (param.substr(0, 9) == "window_s=") {
-      const auto value = param.substr(9);
-      std::uint64_t parsed = 0;
-      const auto [end, ec] =
-          std::from_chars(value.data(), value.data() + value.size(), parsed);
-      if (ec != std::errc{} || end != value.data() + value.size() ||
-          parsed == 0) {
-        throw std::invalid_argument("window_s must be a positive integer");
-      }
-      return parsed;
-    }
-    if (amp == std::string_view::npos) break;
-    query.remove_prefix(amp + 1);
-  }
-  return 0;
-}
-
 std::string path_of(const std::string& target) {
   const auto query_at = target.find('?');
   return query_at == std::string::npos ? target : target.substr(0, query_at);
 }
 
-std::string error_json(const std::string& message) {
-  std::string body = "{\"error\":\"";
-  stats::json_escape(body, message);
-  body += "\"}";
-  return body;
+std::string_view query_of(const std::string& target) {
+  const auto query_at = target.find('?');
+  if (query_at == std::string::npos) return {};
+  return std::string_view(target).substr(query_at + 1);
+}
+
+bool iequals(std::string_view a, std::string_view b) {
+  return a.size() == b.size() &&
+         std::equal(a.begin(), a.end(), b.begin(), [](char x, char y) {
+           return std::tolower(static_cast<unsigned char>(x)) ==
+                  std::tolower(static_cast<unsigned char>(y));
+         });
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && (text.front() == ' ' || text.front() == '\t')) {
+    text.remove_prefix(1);
+  }
+  while (!text.empty() && (text.back() == ' ' || text.back() == '\t')) {
+    text.remove_suffix(1);
+  }
+  return text;
+}
+
+/// Value of the first `name` header in a CRLF-separated header block
+/// (case-insensitive name match); empty when absent.
+std::string_view header_value(std::string_view headers, std::string_view name) {
+  std::size_t at = 0;
+  while (at < headers.size()) {
+    auto line_end = headers.find("\r\n", at);
+    if (line_end == std::string_view::npos) line_end = headers.size();
+    const auto line = headers.substr(at, line_end - at);
+    const auto colon = line.find(':');
+    if (colon != std::string_view::npos &&
+        iequals(trim(line.substr(0, colon)), name)) {
+      return trim(line.substr(colon + 1));
+    }
+    at = line_end + 2;
+  }
+  return {};
+}
+
+store::QueryError make_error(int status, std::string message,
+                             std::string param = "") {
+  return {status, std::move(message), std::move(param)};
+}
+
+HttpEndpoint::Response error_response(int status, std::string message,
+                                      std::string param = "") {
+  return {status, "application/json",
+          store::error_json(make_error(status, std::move(message),
+                                       std::move(param))),
+          ""};
 }
 
 }  // namespace
@@ -59,14 +78,20 @@ std::string error_json(const std::string& message) {
 HttpEndpoint::HttpEndpoint(LiveStudy& study, util::ListenSocket socket,
                            const netdb::AsnDatabase* asn_db,
                            const TraceStreamServer* ingest,
+                           store::StoreService* store,
                            HttpEndpointOptions options)
     : study_(study),
       socket_(std::move(socket)),
       asn_db_(asn_db),
       ingest_(ingest),
+      store_(store),
       options_(options) {
   if (options_.poll_ms <= 0) options_.poll_ms = 100;
   if (options_.max_request_bytes < 64) options_.max_request_bytes = 64;
+  if (options_.idle_timeout_ms <= 0) options_.idle_timeout_ms = 5000;
+  if (options_.max_requests_per_connection == 0) {
+    options_.max_requests_per_connection = 1;
+  }
 }
 
 HttpEndpoint::~HttpEndpoint() { stop(); }
@@ -120,56 +145,114 @@ void HttpEndpoint::accept_loop() {
 }
 
 void HttpEndpoint::handle_connection(util::Fd fd) {
-  // Read until the header terminator; request bodies are not supported
-  // (every route is a GET) so the headers are the whole request.
-  std::string request;
+  // Keep-alive loop: requests are headers-only GETs, so one request =
+  // one "\r\n\r\n"-terminated block. Bytes past the terminator stay in
+  // the buffer for the next (pipelined) request.
+  std::string buffer;
   char chunk[2048];
+  std::size_t served = 0;
+  auto last_activity = std::chrono::steady_clock::now();
+  const auto idle_limit = std::chrono::milliseconds(options_.idle_timeout_ms);
+
   while (!stopping_.load(std::memory_order_relaxed)) {
-    if (request.find("\r\n\r\n") != std::string::npos) break;
-    if (request.size() >= options_.max_request_bytes) break;
-    if (!util::wait_readable(fd.get(), options_.poll_ms)) continue;
-    std::size_t n = 0;
+    const auto header_end = buffer.find("\r\n\r\n");
+    if (header_end == std::string::npos) {
+      if (buffer.size() >= options_.max_request_bytes) {
+        requests_bad_.fetch_add(1, std::memory_order_relaxed);
+        const auto response =
+            error_response(400, "request headers too large");
+        std::ostringstream out;
+        out << "HTTP/1.1 " << status_line(response.status) << "\r\n"
+            << "Content-Type: " << response.content_type << "\r\n"
+            << "Content-Length: " << response.body.size() << "\r\n"
+            << "Connection: close\r\n\r\n"
+            << response.body;
+        util::send_all(fd.get(), out.str());
+        return;
+      }
+      if (std::chrono::steady_clock::now() - last_activity >= idle_limit) {
+        return;
+      }
+      if (!util::wait_readable(fd.get(), options_.poll_ms)) continue;
+      std::size_t n = 0;
+      try {
+        n = util::recv_some(fd.get(), chunk, sizeof(chunk));
+      } catch (const std::system_error&) {
+        return;
+      }
+      if (n == 0) return;  // peer closed
+      buffer.append(chunk, n);
+      last_activity = std::chrono::steady_clock::now();
+      continue;
+    }
+
+    const std::string request = buffer.substr(0, header_end);
+    buffer.erase(0, header_end + 4);
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    const auto line_end = request.find("\r\n");
+    const auto line =
+        line_end == std::string::npos ? request : request.substr(0, line_end);
+    const auto headers =
+        line_end == std::string::npos
+            ? std::string_view{}
+            : std::string_view(request).substr(line_end + 2);
+    const auto sp1 = line.find(' ');
+    const auto sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+
+    Response response;
+    bool keep_alive = false;
+    if (sp1 == std::string::npos || sp2 == std::string::npos) {
+      requests_bad_.fetch_add(1, std::memory_order_relaxed);
+      response = error_response(400, "malformed request line");
+    } else {
+      const auto version = trim(std::string_view(line).substr(sp2 + 1));
+      const auto connection = header_value(headers, "connection");
+      // HTTP/1.1 defaults to keep-alive, HTTP/1.0 to close.
+      if (version == "HTTP/1.0") {
+        keep_alive = iequals(connection, "keep-alive");
+      } else {
+        keep_alive = !iequals(connection, "close");
+      }
+      const auto if_none_match = header_value(headers, "if-none-match");
+      response = handle(line.substr(0, sp1),
+                        line.substr(sp1 + 1, sp2 - sp1 - 1),
+                        std::string(if_none_match));
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      if (response.status >= 400) {
+        requests_bad_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (response.status == 304) {
+        responses_not_modified_.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+    if (++served >= options_.max_requests_per_connection) keep_alive = false;
+
+    std::ostringstream out;
+    out << "HTTP/1.1 " << status_line(response.status) << "\r\n"
+        << "Content-Type: " << response.content_type << "\r\n"
+        << "Content-Length: " << response.body.size() << "\r\n";
+    if (!response.etag.empty()) out << "ETag: " << response.etag << "\r\n";
+    out << "Connection: " << (keep_alive ? "keep-alive" : "close")
+        << "\r\n\r\n"
+        << response.body;
     try {
-      n = util::recv_some(fd.get(), chunk, sizeof(chunk));
+      util::send_all(fd.get(), out.str());
     } catch (const std::system_error&) {
       return;
     }
-    if (n == 0) break;
-    request.append(chunk, n);
+    if (!keep_alive) return;
+    last_activity = std::chrono::steady_clock::now();
   }
-
-  // Request line: METHOD SP TARGET SP VERSION.
-  const auto line_end = request.find("\r\n");
-  const auto line =
-      line_end == std::string::npos ? request : request.substr(0, line_end);
-  const auto sp1 = line.find(' ');
-  const auto sp2 = sp1 == std::string::npos ? std::string::npos
-                                            : line.find(' ', sp1 + 1);
-  Response response;
-  if (sp1 == std::string::npos || sp2 == std::string::npos) {
-    requests_bad_.fetch_add(1, std::memory_order_relaxed);
-    response = Response{400, "application/json", error_json("bad request")};
-  } else {
-    response = handle(line.substr(0, sp1), line.substr(sp1 + 1, sp2 - sp1 - 1));
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (response.status >= 400) {
-      requests_bad_.fetch_add(1, std::memory_order_relaxed);
-    }
-  }
-
-  std::ostringstream out;
-  out << "HTTP/1.1 " << status_line(response.status) << "\r\n"
-      << "Content-Type: " << response.content_type << "\r\n"
-      << "Content-Length: " << response.body.size() << "\r\n"
-      << "Connection: close\r\n\r\n"
-      << response.body;
-  util::send_all(fd.get(), out.str());
 }
 
 std::string HttpEndpoint::status_line(int status) {
   switch (status) {
     case 200:
       return "200 OK";
+    case 304:
+      return "304 Not Modified";
     case 400:
       return "400 Bad Request";
     case 404:
@@ -181,41 +264,82 @@ std::string HttpEndpoint::status_line(int status) {
   }
 }
 
-HttpEndpoint::Response HttpEndpoint::handle(const std::string& method,
-                                            const std::string& target) const {
-  if (method != "GET") {
-    return {405, "application/json", error_json("only GET is supported")};
+std::string HttpEndpoint::live_etag() const {
+  std::string tag = "\"live-s";
+  tag += std::to_string(study_.buckets_sealed());
+  tag += "-e";
+  tag += std::to_string(study_.buckets_evicted());
+  tag += "-w";
+  tag += std::to_string(study_.watermark_ms());
+  tag += "-i";
+  tag += std::to_string(study_.records_ingested());
+  tag += "-d";
+  tag += std::to_string(study_.total_drops());
+  tag += '"';
+  return tag;
+}
+
+HttpEndpoint::Response HttpEndpoint::handle_study(
+    const std::string& target) const {
+  store::QueryParams params;
+  store::QueryError error;
+  if (!store::parse_params(query_of(target), params, error)) {
+    return {error.status, "application/json", store::error_json(error), ""};
   }
   const auto path = path_of(target);
-  if (path == "/healthz") return {200, "text/plain", "ok\n"};
-  if (path == "/metrics") {
-    return {200, "text/plain; version=0.0.4", render_metrics()};
+  const auto etag = live_etag();
+  const auto snapshot = params.window_s == 0
+                            ? study_.snapshot()
+                            : study_.snapshot_window(params.window_s);
+  if (path == "/study/summary") {
+    return {200, "application/json", summary_json(snapshot), etag};
+  }
+  if (path == "/study/traffic") {
+    return {200, "application/json", traffic_json(snapshot), etag};
+  }
+  if (path == "/study/users") {
+    return {200, "application/json", users_json(snapshot), etag};
+  }
+  if (path == "/study/infra") {
+    return {200, "application/json",
+            infra_json(snapshot, asn_db_, options_.top_ases), etag};
+  }
+  return error_response(404, "no such route");
+}
+
+HttpEndpoint::Response HttpEndpoint::handle(
+    const std::string& method, const std::string& target,
+    const std::string& if_none_match) const {
+  if (method != "GET") {
+    return error_response(405, "only GET is supported");
+  }
+  const auto path = path_of(target);
+
+  Response response;
+  if (path == "/healthz") {
+    response = {200, "text/plain", "ok\n", ""};
+  } else if (path == "/metrics") {
+    response = {200, "text/plain; version=0.0.4", render_metrics(), ""};
+  } else if (path.rfind("/study/", 0) == 0) {
+    response = handle_study(target);
+  } else if (path == "/query" || path.rfind("/query/", 0) == 0) {
+    if (store_ == nullptr) {
+      response = error_response(404, "snapshot store disabled");
+    } else {
+      const auto store_response = store_->query(target);
+      response = {store_response.status, store_response.content_type,
+                  store_response.body, store_response.etag};
+    }
+  } else {
+    response = error_response(404, "no such route");
   }
 
-  if (path.rfind("/study/", 0) == 0) {
-    std::uint64_t window_s = 0;
-    try {
-      window_s = parse_window_s(target);
-    } catch (const std::invalid_argument& error) {
-      return {400, "application/json", error_json(error.what())};
-    }
-    const auto snapshot = window_s == 0 ? study_.snapshot()
-                                        : study_.snapshot_window(window_s);
-    if (path == "/study/summary") {
-      return {200, "application/json", summary_json(snapshot)};
-    }
-    if (path == "/study/traffic") {
-      return {200, "application/json", traffic_json(snapshot)};
-    }
-    if (path == "/study/users") {
-      return {200, "application/json", users_json(snapshot)};
-    }
-    if (path == "/study/infra") {
-      return {200, "application/json",
-              infra_json(snapshot, asn_db_, options_.top_ases)};
-    }
+  if (response.status == 200 && !response.etag.empty() &&
+      !if_none_match.empty() &&
+      (if_none_match == response.etag || if_none_match == "*")) {
+    return {304, response.content_type, "", response.etag};
   }
-  return {404, "application/json", error_json("no such route")};
+  return response;
 }
 
 std::string HttpEndpoint::render_metrics() const {
@@ -283,6 +407,10 @@ std::string HttpEndpoint::render_metrics() const {
          "sliding window.\n"
       << "# TYPE adscoped_buckets_evicted_total counter\n"
       << "adscoped_buckets_evicted_total " << study_.buckets_evicted() << "\n";
+  out << "# HELP adscoped_buckets_sealed_total (shard, bucket) studies "
+         "sealed so far.\n"
+      << "# TYPE adscoped_buckets_sealed_total counter\n"
+      << "adscoped_buckets_sealed_total " << study_.buckets_sealed() << "\n";
   out << "# HELP adscoped_metas_ignored_total Trace meta blocks ignored "
          "after the first.\n"
       << "# TYPE adscoped_metas_ignored_total counter\n"
@@ -303,6 +431,53 @@ std::string HttpEndpoint::render_metrics() const {
         << "# TYPE adscoped_classify_cache_misses_total counter\n"
         << "adscoped_classify_cache_misses_total "
         << classifier.classify_cache_misses << "\n";
+  }
+
+  if (store_ != nullptr) {
+    const auto& tree = store_->tree();
+    out << "# HELP adscoped_store_epoch Snapshot-store mutation epoch "
+           "(bumps on ingest and eviction).\n"
+        << "# TYPE adscoped_store_epoch gauge\n"
+        << "adscoped_store_epoch " << tree.epoch() << "\n";
+    out << "# HELP adscoped_store_buckets Time buckets retained in the "
+           "snapshot store.\n"
+        << "# TYPE adscoped_store_buckets gauge\n"
+        << "adscoped_store_buckets " << tree.bucket_count() << "\n";
+    out << "# HELP adscoped_store_leaves (bucket, shard) snapshot leaves "
+           "retained.\n"
+        << "# TYPE adscoped_store_leaves gauge\n"
+        << "adscoped_store_leaves " << tree.leaf_count() << "\n";
+    out << "# HELP adscoped_store_leaves_ingested_total Sealed studies "
+           "ingested into the store.\n"
+        << "# TYPE adscoped_store_leaves_ingested_total counter\n"
+        << "adscoped_store_leaves_ingested_total " << tree.leaves_ingested()
+        << "\n";
+    out << "# HELP adscoped_store_buckets_evicted_total Store buckets "
+           "evicted by retention.\n"
+        << "# TYPE adscoped_store_buckets_evicted_total counter\n"
+        << "adscoped_store_buckets_evicted_total " << tree.buckets_evicted()
+        << "\n";
+    const auto cache = store_->cache_counters();
+    out << "# HELP adscoped_store_cache_hits_total Query responses served "
+           "from the response cache.\n"
+        << "# TYPE adscoped_store_cache_hits_total counter\n"
+        << "adscoped_store_cache_hits_total " << cache.hits << "\n";
+    out << "# HELP adscoped_store_cache_misses_total Query responses "
+           "rendered on demand.\n"
+        << "# TYPE adscoped_store_cache_misses_total counter\n"
+        << "adscoped_store_cache_misses_total " << cache.misses << "\n";
+    out << "# HELP adscoped_store_cache_evictions_total Cached responses "
+           "evicted by the LRU byte budget.\n"
+        << "# TYPE adscoped_store_cache_evictions_total counter\n"
+        << "adscoped_store_cache_evictions_total " << cache.evictions << "\n";
+    out << "# HELP adscoped_store_cache_entries Responses currently "
+           "cached.\n"
+        << "# TYPE adscoped_store_cache_entries gauge\n"
+        << "adscoped_store_cache_entries " << cache.entries << "\n";
+    out << "# HELP adscoped_store_cache_bytes Bytes held by the response "
+           "cache.\n"
+        << "# TYPE adscoped_store_cache_bytes gauge\n"
+        << "adscoped_store_cache_bytes " << cache.bytes << "\n";
   }
 
   if (ingest_ != nullptr) {
@@ -347,6 +522,11 @@ std::string HttpEndpoint::render_metrics() const {
       << "# TYPE adscoped_http_requests_bad_total counter\n"
       << "adscoped_http_requests_bad_total "
       << requests_bad_.load(std::memory_order_relaxed) << "\n";
+  out << "# HELP adscoped_http_not_modified_total Conditional requests "
+         "answered 304 from the ETag match.\n"
+      << "# TYPE adscoped_http_not_modified_total counter\n"
+      << "adscoped_http_not_modified_total "
+      << responses_not_modified_.load(std::memory_order_relaxed) << "\n";
   return out.str();
 }
 

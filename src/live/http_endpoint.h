@@ -1,24 +1,34 @@
-// HttpEndpoint — minimal HTTP/1.1 query server for a LiveStudy.
+// HttpEndpoint — minimal HTTP/1.1 query server for a LiveStudy and its
+// snapshot store.
 //
-// Serves GET only, one request per connection (Connection: close), no
-// TLS, no keep-alive: operational plumbing in front of snapshot(), in
-// the spirit of the ugreg "JSON aggregator in front of a slow backend"
-// pattern — queries merge sealed buckets on demand and never block
-// ingest.
+// Serves GET only, no TLS. HTTP/1.1 connections are kept alive
+// (pipelined requests drain in order) until the client sends
+// `Connection: close`, the idle timeout expires, or the per-connection
+// request cap is reached; HTTP/1.0 closes after each response unless
+// the client asks for keep-alive. Every JSON study/query response
+// carries a strong ETag derived from the serving-state fingerprint
+// (tree epoch + ingest counters), so `If-None-Match` revalidation
+// answers 304 without rendering.
 //
 // Routes:
 //   /healthz                    liveness probe ("ok")
 //   /metrics                    Prometheus text format (ingest rate,
-//                               queue depth, drops, buckets, HTTP stats)
+//                               queue depth, drops, buckets, store and
+//                               cache gauges, HTTP stats)
 //   /study/summary[?window_s=N] headline JSON (traffic + user classes)
 //   /study/traffic[?window_s=N] §7 detail: lists, content types,
 //                               time series, size histograms
 //   /study/users[?window_s=N]   §6 detail: indicator classes, ECDFs,
 //                               configuration estimates
 //   /study/infra[?window_s=N]   §8 detail: servers, top ASes, RTB
+//   /query/...                  snapshot-store path queries (grammar:
+//                               docs/QUERY.md), when a store is wired
 //
 // `window_s` restricts the merge to the trailing N seconds (whole
-// buckets); default is every sealed bucket still in the ring.
+// buckets); default is every sealed bucket still in the ring. Errors
+// are uniform across all routes: unknown paths answer 404 and
+// malformed selectors/parameters 400, both with the structured
+// `{"error":{...}}` body from store::error_json.
 #pragma once
 
 #include <atomic>
@@ -31,6 +41,7 @@
 #include "live/live_study.h"
 #include "live/stream_server.h"
 #include "netdb/asn_db.h"
+#include "store/store_service.h"
 #include "util/annotations.h"
 #include "util/socket.h"
 
@@ -43,16 +54,24 @@ struct HttpEndpointOptions {
   std::size_t max_connections = 32;
   /// Rows in /study/infra's AS ranking.
   std::size_t top_ases = 10;
+  /// Keep-alive connections are closed after this much time without a
+  /// complete request.
+  int idle_timeout_ms = 5000;
+  /// Requests served on one connection before it is closed (bounds how
+  /// long a single client can pin a handler thread).
+  std::size_t max_requests_per_connection = 100;
 };
 
 class HttpEndpoint {
  public:
   /// `asn_db` (nullable) enables the AS ranking; `ingest` (nullable)
-  /// adds the stream server's counters to /metrics. Both must outlive
+  /// adds the stream server's counters to /metrics; `store` (nullable)
+  /// enables the /query routes and the store gauges. All must outlive
   /// the endpoint.
   HttpEndpoint(LiveStudy& study, util::ListenSocket socket,
                const netdb::AsnDatabase* asn_db = nullptr,
                const TraceStreamServer* ingest = nullptr,
+               store::StoreService* store = nullptr,
                HttpEndpointOptions options = {});
   ~HttpEndpoint();
 
@@ -72,11 +91,16 @@ class HttpEndpoint {
     int status = 200;
     std::string content_type = "application/json";
     std::string body;
+    /// Strong validator; emitted as an ETag header when non-empty.
+    std::string etag;
   };
 
   /// Route dispatch without the socket layer — what the daemon's
-  /// shutdown snapshot and the unit tests call directly.
-  Response handle(const std::string& method, const std::string& target) const;
+  /// shutdown snapshot and the unit tests call directly. A non-empty
+  /// `if_none_match` revalidates: a matching ETag answers 304 with an
+  /// empty body.
+  Response handle(const std::string& method, const std::string& target,
+                  const std::string& if_none_match = "") const;
 
   /// The Prometheus exposition (also available as /metrics).
   std::string render_metrics() const;
@@ -86,10 +110,16 @@ class HttpEndpoint {
   void handle_connection(util::Fd fd);
   static std::string status_line(int status);
 
+  /// ETag fingerprint for the legacy /study routes: the LiveStudy's
+  /// serving-state counters (seals, evictions, watermark, ingest).
+  std::string live_etag() const;
+  Response handle_study(const std::string& target) const;
+
   LiveStudy& study_;
   util::ListenSocket socket_;
   const netdb::AsnDatabase* asn_db_;
   const TraceStreamServer* ingest_;
+  store::StoreService* store_;
   HttpEndpointOptions options_;
 
   std::atomic<bool> running_{false};
@@ -102,6 +132,7 @@ class HttpEndpoint {
 
   std::atomic<std::uint64_t> requests_served_{0};
   std::atomic<std::uint64_t> requests_bad_{0};
+  std::atomic<std::uint64_t> responses_not_modified_{0};
 
   // Ingest-rate gauge: delta of records_ingested between scrapes.
   mutable util::Mutex rate_mutex_;

@@ -7,45 +7,6 @@
 namespace adscope::live {
 
 // ---------------------------------------------------------------------------
-// StudySnapshot
-
-StudySnapshot::StudySnapshot(const trace::TraceMeta& meta,
-                             const core::StudyOptions& options)
-    : meta_(meta), options_(options) {
-  const auto duration =
-      meta.duration_s > 0 ? meta.duration_s : options.default_duration_s;
-  traffic_ =
-      std::make_unique<core::TrafficStats>(duration, options.timeseries_bin_s);
-}
-
-void StudySnapshot::absorb(const core::TraceStudy& study) {
-  users_.merge(study.users());
-  if (study.has_traffic()) traffic_->merge(study.traffic());
-  whitelist_.merge(study.whitelist());
-  infra_.merge(study.infra());
-  rtb_.merge(study.rtb());
-  page_views_.merge(study.page_views());
-  classifier_counters_.merge(study.classifier().counters());
-  https_flows_ += study.https_flows();
-  ++buckets_merged_;
-}
-
-core::StudyView StudySnapshot::view() const noexcept {
-  core::StudyView view;
-  view.meta = &meta_;
-  view.users = &users_;
-  view.traffic = traffic_.get();
-  view.whitelist = &whitelist_;
-  view.infra = &infra_;
-  view.rtb = &rtb_;
-  view.page_views = &page_views_;
-  view.classifier = &classifier_counters_;
-  view.https_flows = https_flows_;
-  view.inference_options = options_.inference;
-  return view;
-}
-
-// ---------------------------------------------------------------------------
 // LiveStudy
 
 LiveStudy::LiveStudy(const adblock::FilterEngine& engine,
@@ -69,7 +30,7 @@ LiveStudy::LiveStudy(const adblock::FilterEngine& engine,
 
   shards_.reserve(shards);
   for (std::size_t i = 0; i < shards; ++i) {
-    shards_.push_back(std::make_unique<Shard>(options_.queue_capacity));
+    shards_.push_back(std::make_unique<Shard>(i, options_.queue_capacity));
   }
   for (auto& shard : shards_) {
     Shard* s = shard.get();
@@ -243,6 +204,10 @@ void LiveStudy::apply_control(Shard& shard, const Control& control) {
         if (!bucket->sealed) {
           bucket->study.finish();
           bucket->sealed = true;
+          buckets_sealed_.fetch_add(1, std::memory_order_relaxed);
+          if (options_.on_seal) {
+            options_.on_seal(id, shard.index, bucket->study);
+          }
         }
       }
       if (control.bucket != kAllBuckets && control.bucket > shard.floor) {
@@ -281,8 +246,7 @@ StudySnapshot LiveStudy::snapshot(std::uint64_t min_bucket,
     for (const auto& [id, bucket] : shard->buckets) {
       if (id < min_bucket || id > max_bucket || !bucket->sealed) continue;
       snap.absorb(bucket->study);
-      if (id < snap.first_bucket_) snap.first_bucket_ = id;
-      if (id > snap.last_bucket_) snap.last_bucket_ = id;
+      snap.note_bucket(id);
     }
   }
   return snap;

@@ -37,6 +37,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <map>
 #include <memory>
@@ -44,11 +45,19 @@
 #include <vector>
 
 #include "core/study.h"
+#include "core/study_snapshot.h"
 #include "util/annotations.h"
 #include "util/bounded_queue.h"
 #include "util/thread_pool.h"
 
 namespace adscope::live {
+
+/// Owned merge of sealed buckets — unlike StudyView (which borrows from
+/// a live study), a snapshot survives independently of further ingest,
+/// so the HTTP handlers can render it without holding any lock. Now a
+/// core type (core/study_snapshot.h) so the snapshot store can hold and
+/// roll up snapshots without depending on the live layer.
+using StudySnapshot = core::StudySnapshot;
 
 struct LiveStudyOptions {
   /// Forwarded verbatim to every bucket's TraceStudy.
@@ -67,53 +76,15 @@ struct LiveStudyOptions {
   /// bucket_seconds behind the newest one still land instead of being
   /// dropped as late. 0 = seal aggressively (strictly ordered input).
   std::uint64_t seal_lag_buckets = 1;
-};
-
-/// Owned merge of sealed buckets — unlike StudyView (which borrows from
-/// a live study), a snapshot survives independently of further ingest,
-/// so the HTTP handlers can render it without holding any lock.
-class StudySnapshot {
- public:
-  StudySnapshot(const trace::TraceMeta& meta, const core::StudyOptions& options);
-
-  StudySnapshot(StudySnapshot&&) = default;
-  StudySnapshot& operator=(StudySnapshot&&) = default;
-
-  /// Accumulate one finished per-bucket study.
-  void absorb(const core::TraceStudy& study);
-
-  core::StudyView view() const noexcept;
-
-  const trace::TraceMeta& meta() const noexcept { return meta_; }
-  std::uint64_t buckets_merged() const noexcept { return buckets_merged_; }
-  std::uint64_t first_bucket() const noexcept { return first_bucket_; }
-  std::uint64_t last_bucket() const noexcept { return last_bucket_; }
-  std::uint64_t bucket_seconds = 0;
-  std::uint64_t watermark_ms = 0;
-  std::uint64_t records_ingested = 0;
-  std::uint64_t records_dropped = 0;
-
-  const core::ClassifierCounters& classifier_counters() const noexcept {
-    return classifier_counters_;
-  }
-  std::uint64_t https_flows() const noexcept { return https_flows_; }
-
- private:
-  friend class LiveStudy;
-
-  trace::TraceMeta meta_;
-  core::StudyOptions options_;
-  core::UserIndex users_;
-  std::unique_ptr<core::TrafficStats> traffic_;
-  core::WhitelistAnalysis whitelist_;
-  core::InfraAnalysis infra_;
-  core::RtbAnalysis rtb_;
-  core::PageViewStats page_views_;
-  core::ClassifierCounters classifier_counters_;
-  std::uint64_t https_flows_ = 0;
-  std::uint64_t buckets_merged_ = 0;
-  std::uint64_t first_bucket_ = UINT64_MAX;
-  std::uint64_t last_bucket_ = 0;
+  /// Seal hook: invoked by the shard worker the moment a bucket's study
+  /// is finish()ed and becomes immutable — the feed point for the
+  /// snapshot store. Runs on the worker thread with the shard lock
+  /// held: the callback may read the study and must not call back into
+  /// the LiveStudy. The study reference is valid until the bucket is
+  /// evicted; copy out (StudySnapshot::absorb) before returning.
+  std::function<void(std::uint64_t bucket_id, std::size_t shard,
+                     const core::TraceStudy& study)>
+      on_seal;
 };
 
 class LiveStudy final : public trace::TraceSink {
@@ -214,6 +185,12 @@ class LiveStudy final : public trace::TraceSink {
   std::uint64_t buckets_evicted() const noexcept {
     return buckets_evicted_.load(std::memory_order_relaxed);
   }
+  /// (shard, bucket) studies sealed so far. Monotone; together with the
+  /// eviction and ingest counters it fingerprints the serving state, so
+  /// the HTTP layer derives ETags from it.
+  std::uint64_t buckets_sealed() const noexcept {
+    return buckets_sealed_.load(std::memory_order_relaxed);
+  }
   /// Records currently queued across all shards.
   std::size_t queue_depth() const;
   /// Live (non-evicted) buckets across all shards.
@@ -246,7 +223,9 @@ class LiveStudy final : public trace::TraceSink {
   };
 
   struct Shard {
-    explicit Shard(std::size_t queue_capacity) : queue(queue_capacity) {}
+    Shard(std::size_t shard_index, std::size_t queue_capacity)
+        : index(shard_index), queue(queue_capacity) {}
+    const std::size_t index;
     util::BoundedQueue<Record> queue;
     std::future<void> done;
     mutable util::Mutex mutex;
@@ -283,6 +262,7 @@ class LiveStudy final : public trace::TraceSink {
   std::atomic<std::uint64_t> closed_drops_{0};
   std::atomic<std::uint64_t> metas_ignored_{0};
   std::atomic<std::uint64_t> buckets_evicted_{0};
+  std::atomic<std::uint64_t> buckets_sealed_{0};
   std::atomic<bool> closed_{false};
 };
 

@@ -1,37 +1,16 @@
-// JSON renderers for the /study/* endpoints (schemas: docs/FORMAT.md).
-//
-// Each function turns an owned StudySnapshot into one self-contained
-// JSON document: the same numbers core/report.h prints as text, plus
-// the live-window metadata (buckets merged, watermark, drop counts)
-// that only exists online. Kept separate from the text renderers so the
-// serving layer has a stable machine-readable schema while the human
-// report stays free to change wording.
+// Compatibility shim — the snapshot JSON renderers moved to
+// store/study_json.h (the query engine and the legacy /study routes
+// share them). Existing live:: call sites keep working through these
+// using-declarations; new code should include the store header.
 #pragma once
 
-#include <cstddef>
-#include <string>
-
-#include "live/live_study.h"
-#include "netdb/asn_db.h"
+#include "store/study_json.h"
 
 namespace adscope::live {
 
-/// Headline counts: traffic totals, ad shares, user classes A-D,
-/// page views — the "what is the ad ratio right now" answer.
-std::string summary_json(const StudySnapshot& snapshot);
-
-/// §7-style detail: list attribution, content-type table, the binned
-/// request/byte time series and the per-class object-size histograms.
-std::string traffic_json(const StudySnapshot& snapshot);
-
-/// §6-style detail: indicator classes with per-family EasyList-ratio
-/// ECDF deciles and the configuration estimates.
-std::string users_json(const StudySnapshot& snapshot);
-
-/// §8-style detail: server counts, dedicated ad servers and the top-N
-/// AS ranking (needs the routing table; pass null to omit the ranking).
-std::string infra_json(const StudySnapshot& snapshot,
-                       const netdb::AsnDatabase* asn_db,
-                       std::size_t top_n = 10);
+using store::infra_json;
+using store::summary_json;
+using store::traffic_json;
+using store::users_json;
 
 }  // namespace adscope::live

@@ -1,0 +1,123 @@
+#include "stats/json_filter.h"
+
+#include <algorithm>
+
+namespace adscope::stats {
+
+namespace {
+
+/// Advances past the string starting at `at` (which must point at the
+/// opening quote). Returns the index one past the closing quote, or
+/// npos on malformed input.
+std::size_t skip_string(std::string_view text, std::size_t at) {
+  for (std::size_t i = at + 1; i < text.size(); ++i) {
+    if (text[i] == '\\') {
+      ++i;  // skip the escaped character
+    } else if (text[i] == '"') {
+      return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Advances past one JSON value starting at `at` (first non-space byte
+/// of the value). Returns one past its final byte, or npos.
+std::size_t skip_value(std::string_view text, std::size_t at) {
+  if (at >= text.size()) return std::string_view::npos;
+  const char c = text[at];
+  if (c == '"') return skip_string(text, at);
+  if (c == '{' || c == '[') {
+    const char open = c;
+    const char close = open == '{' ? '}' : ']';
+    std::size_t depth = 0;
+    for (std::size_t i = at; i < text.size(); ++i) {
+      const char b = text[i];
+      if (b == '"') {
+        i = skip_string(text, i);
+        if (i == std::string_view::npos) return std::string_view::npos;
+        --i;  // loop increment
+      } else if (b == open) {
+        ++depth;
+      } else if (b == close) {
+        if (--depth == 0) return i + 1;
+      }
+    }
+    return std::string_view::npos;
+  }
+  // Scalar: number, true/false/null — runs to the next delimiter.
+  std::size_t i = at;
+  while (i < text.size() && text[i] != ',' && text[i] != '}' &&
+         text[i] != ']') {
+    ++i;
+  }
+  return i > at ? i : std::string_view::npos;
+}
+
+std::size_t skip_spaces(std::string_view text, std::size_t at) {
+  while (at < text.size() &&
+         (text[at] == ' ' || text[at] == '\t' || text[at] == '\n' ||
+          text[at] == '\r')) {
+    ++at;
+  }
+  return at;
+}
+
+}  // namespace
+
+bool filter_top_level_fields(std::string_view document,
+                             const std::vector<std::string>& fields,
+                             std::string& out,
+                             std::vector<std::string>& missing) {
+  out.clear();
+  missing.clear();
+
+  std::size_t at = skip_spaces(document, 0);
+  if (at >= document.size() || document[at] != '{') return false;
+  at = skip_spaces(document, at + 1);
+
+  out.push_back('{');
+  bool emitted = false;
+  std::vector<std::string_view> found;
+
+  if (at < document.size() && document[at] == '}') {
+    // empty object
+  } else {
+    while (true) {
+      if (at >= document.size() || document[at] != '"') return false;
+      const auto key_end = skip_string(document, at);
+      if (key_end == std::string_view::npos) return false;
+      const auto key = document.substr(at + 1, key_end - at - 2);
+
+      std::size_t colon = skip_spaces(document, key_end);
+      if (colon >= document.size() || document[colon] != ':') return false;
+      const auto value_at = skip_spaces(document, colon + 1);
+      const auto value_end = skip_value(document, value_at);
+      if (value_end == std::string_view::npos) return false;
+
+      const bool keep =
+          std::find(fields.begin(), fields.end(), key) != fields.end();
+      if (keep) {
+        if (emitted) out.push_back(',');
+        out.append(document, at, value_end - at);
+        emitted = true;
+        found.push_back(key);
+      }
+
+      at = skip_spaces(document, value_end);
+      if (at >= document.size()) return false;
+      if (document[at] == '}') break;
+      if (document[at] != ',') return false;
+      at = skip_spaces(document, at + 1);
+    }
+  }
+  out.push_back('}');
+
+  for (const auto& field : fields) {
+    if (std::find(found.begin(), found.end(), field) == found.end()) {
+      missing.push_back(field);
+    }
+  }
+  return true;
+}
+
+}  // namespace adscope::stats

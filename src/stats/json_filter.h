@@ -1,0 +1,29 @@
+// Field-selective re-emission of rendered JSON documents.
+//
+// The snapshot-store query API lets a client ask for a subset of a
+// view's top-level fields (?fields=traffic,users). Rather than plumb a
+// selector through every renderer — and risk the byte-identity the
+// /study-vs-/query tests pin — the engine renders the full document
+// once and this filter re-emits only the requested top-level members,
+// preserving their original order and raw bytes. A zero-dependency
+// structural scan (strings, escapes, nesting) rather than a JSON
+// parser: values are copied verbatim, never re-serialized.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace adscope::stats {
+
+/// Rewrites `document` (which must be a JSON object) keeping only the
+/// top-level members whose key is in `fields`, in original document
+/// order. Requested fields missing from the document are reported in
+/// `missing` (the caller turns those into a 400). Returns false when
+/// `document` is not a well-formed JSON object.
+bool filter_top_level_fields(std::string_view document,
+                             const std::vector<std::string>& fields,
+                             std::string& out,
+                             std::vector<std::string>& missing);
+
+}  // namespace adscope::stats

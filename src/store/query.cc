@@ -1,0 +1,364 @@
+#include "store/query.h"
+
+#include <charconv>
+#include <cstdio>
+
+namespace adscope::store {
+
+namespace {
+
+/// Strict decimal u64: the whole string must be digits, no sign, no
+/// leading '+', value must fit. (std::from_chars already rejects "-";
+/// overflow comes back as errc::result_out_of_range.)
+bool parse_u64_strict(std::string_view text, std::uint64_t& out) {
+  if (text.empty()) return false;
+  const auto [end, ec] =
+      std::from_chars(text.data(), text.data() + text.size(), out);
+  return ec == std::errc{} && end == text.data() + text.size();
+}
+
+bool fail(QueryError& error, int status, std::string message,
+          std::string param = "") {
+  error.status = status;
+  error.message = std::move(message);
+  error.param = std::move(param);
+  return false;
+}
+
+/// Fixed-width decimal field of exactly `width` digits.
+bool parse_fixed(std::string_view text, std::size_t at, std::size_t width,
+                 unsigned& out) {
+  if (at + width > text.size()) return false;
+  out = 0;
+  for (std::size_t i = 0; i < width; ++i) {
+    const char c = text[at + i];
+    if (c < '0' || c > '9') return false;
+    out = out * 10 + static_cast<unsigned>(c - '0');
+  }
+  return true;
+}
+
+constexpr unsigned kDaysInMonth[12] = {31, 28, 31, 30, 31, 30,
+                                       31, 31, 30, 31, 30, 31};
+
+bool is_leap(std::int64_t year) {
+  return year % 4 == 0 && (year % 100 != 0 || year % 400 == 0);
+}
+
+/// Time selector token -> inclusive bucket range endpoint. `end_of`
+/// selects the closing bucket for instants (an instant names one
+/// bucket, so both endpoints are its containing bucket).
+bool parse_time_point(std::string_view token, std::uint64_t bucket_seconds,
+                      std::uint64_t& bucket, QueryError& error) {
+  if (token.size() >= 2 && token[0] == '@') {
+    if (!parse_u64_strict(token.substr(1), bucket)) {
+      return fail(error, 400,
+                  "malformed bucket id '" + std::string(token) +
+                      "' (expected @<decimal>)",
+                  "time");
+    }
+    return true;
+  }
+  const auto instant = parse_utc_instant(token);
+  if (!instant.has_value()) {
+    return fail(error, 400,
+                "malformed time '" + std::string(token) +
+                    "' (expected *, latest, @<bucket>, YYYY-MM-DD or "
+                    "YYYY-MM-DDTHH:MM[:SS], optionally as A..B)",
+                "time");
+  }
+  bucket = *instant / bucket_seconds;
+  return true;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Calendar
+
+std::int64_t days_from_civil(std::int64_t year, unsigned month, unsigned day) {
+  // Howard Hinnant's algorithm, days since 1970-01-01.
+  year -= month <= 2;
+  const std::int64_t era = (year >= 0 ? year : year - 399) / 400;
+  const auto yoe = static_cast<unsigned>(year - era * 400);  // [0, 399]
+  const unsigned doy =
+      (153 * (month > 2 ? month - 3 : month + 9) + 2) / 5 + day - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<std::int64_t>(doe) - 719468;
+}
+
+std::optional<std::int64_t> parse_civil_date(std::string_view text) {
+  unsigned year = 0;
+  unsigned month = 0;
+  unsigned day = 0;
+  if (text.size() != 10 || text[4] != '-' || text[7] != '-' ||
+      !parse_fixed(text, 0, 4, year) || !parse_fixed(text, 5, 2, month) ||
+      !parse_fixed(text, 8, 2, day)) {
+    return std::nullopt;
+  }
+  if (month < 1 || month > 12 || day < 1) return std::nullopt;
+  unsigned days = kDaysInMonth[month - 1];
+  if (month == 2 && is_leap(year)) days = 29;
+  if (day > days) return std::nullopt;
+  return days_from_civil(year, month, day);
+}
+
+std::optional<std::uint64_t> parse_utc_instant(std::string_view text) {
+  const auto date_part = text.substr(0, 10);
+  const auto days = parse_civil_date(date_part);
+  if (!days.has_value() || *days < 0) return std::nullopt;
+  std::uint64_t seconds = static_cast<std::uint64_t>(*days) * 86400;
+  if (text.size() == 10) return seconds;
+
+  unsigned hour = 0;
+  unsigned minute = 0;
+  unsigned second = 0;
+  if (text.size() < 16 || text[10] != 'T' || text[13] != ':' ||
+      !parse_fixed(text, 11, 2, hour) || !parse_fixed(text, 14, 2, minute)) {
+    return std::nullopt;
+  }
+  if (text.size() == 19) {
+    if (text[16] != ':' || !parse_fixed(text, 17, 2, second)) {
+      return std::nullopt;
+    }
+  } else if (text.size() != 16) {
+    return std::nullopt;
+  }
+  if (hour > 23 || minute > 59 || second > 59) return std::nullopt;
+  return seconds + hour * 3600 + minute * 60 + second;
+}
+
+std::string format_utc(std::uint64_t unix_s) {
+  // Inverse of days_from_civil (Hinnant's civil_from_days).
+  const auto days = static_cast<std::int64_t>(unix_s / 86400);
+  const auto rest = unix_s % 86400;
+  const std::int64_t z = days + 719468;
+  const std::int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const auto doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const std::int64_t year_base = static_cast<std::int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned day = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned month = mp < 10 ? mp + 3 : mp - 9;
+  const std::int64_t year = year_base + (month <= 2);
+
+  char out[48];
+  std::snprintf(out, sizeof(out), "%04lld-%02u-%02uT%02llu:%02llu:%02llu",
+                static_cast<long long>(year), month, day,
+                static_cast<unsigned long long>(rest / 3600),
+                static_cast<unsigned long long>(rest / 60 % 60),
+                static_cast<unsigned long long>(rest % 60));
+  return out;
+}
+
+std::string format_civil_date(std::uint64_t day_index) {
+  return format_utc(day_index * 86400).substr(0, 10);
+}
+
+// ---------------------------------------------------------------------------
+// Parameters
+
+bool parse_params(std::string_view query, QueryParams& params,
+                  QueryError& error) {
+  while (!query.empty()) {
+    const auto amp = query.find('&');
+    const auto pair = query.substr(0, amp);
+    const auto eq = pair.find('=');
+    const auto key = pair.substr(0, eq);
+    const auto value =
+        eq == std::string_view::npos ? std::string_view{} : pair.substr(eq + 1);
+
+    if (key == "window_s") {
+      if (!parse_u64_strict(value, params.window_s) || params.window_s == 0) {
+        return fail(error, 400,
+                    "window_s must be a positive integer (seconds)",
+                    "window_s");
+      }
+    } else if (key == "top") {
+      std::uint64_t top = 0;
+      if (!parse_u64_strict(value, top) || top > SIZE_MAX - 1) {
+        return fail(error, 400, "top must be a non-negative integer", "top");
+      }
+      params.top = static_cast<std::size_t>(top);
+    } else if (key == "fields") {
+      params.fields.clear();
+      std::string_view rest = value;
+      while (true) {
+        const auto comma = rest.find(',');
+        const auto field = rest.substr(0, comma);
+        if (field.empty()) {
+          return fail(error, 400,
+                      "fields must be a non-empty comma-separated list",
+                      "fields");
+        }
+        for (const char c : field) {
+          const bool word = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                            (c >= '0' && c <= '9') || c == '_';
+          if (!word) {
+            return fail(error, 400,
+                        "fields entries may contain only [A-Za-z0-9_]",
+                        "fields");
+          }
+        }
+        params.fields.emplace_back(field);
+        if (comma == std::string_view::npos) break;
+        rest.remove_prefix(comma + 1);
+      }
+    }
+    // Unknown keys: ignored (HTTP convention, forward compatibility).
+
+    if (amp == std::string_view::npos) break;
+    query.remove_prefix(amp + 1);
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Path
+
+bool parse_query(std::string_view target, std::uint64_t bucket_seconds,
+                 QuerySpec& spec, QueryError& error) {
+  if (bucket_seconds == 0) bucket_seconds = 1;
+  std::string_view path = target;
+  std::string_view query;
+  if (const auto at = target.find('?'); at != std::string_view::npos) {
+    path = target.substr(0, at);
+    query = target.substr(at + 1);
+  }
+  if (!parse_params(query, spec.params, error)) return false;
+
+  constexpr std::string_view kPrefix = "/query/";
+  if (path.substr(0, kPrefix.size()) != kPrefix) {
+    return fail(error, 404, "no such route");
+  }
+  path.remove_prefix(kPrefix.size());
+
+  // Split the remaining path on '/'.
+  std::vector<std::string_view> segments;
+  while (!path.empty()) {
+    const auto slash = path.find('/');
+    segments.push_back(path.substr(0, slash));
+    if (slash == std::string_view::npos) break;
+    path.remove_prefix(slash + 1);
+  }
+  if (segments.empty() || segments[0].empty()) {
+    return fail(error, 404,
+                "missing aggregate (expected summary, traffic, users, infra, "
+                "rollup or buckets)");
+  }
+
+  const auto head = segments[0];
+  if (head == "buckets") {
+    if (segments.size() != 1) {
+      return fail(error, 404, "buckets takes no further path segments");
+    }
+    spec.aggregate = QuerySpec::Aggregate::kBuckets;
+    return true;
+  }
+
+  if (head == "rollup") {
+    if (segments.size() < 2) {
+      return fail(error, 404,
+                  "missing rollup name (expected users-daily or "
+                  "infra-cumulative)");
+    }
+    const auto name = segments[1];
+    if (name == "infra-cumulative") {
+      if (segments.size() != 2) {
+        return fail(error, 404, "infra-cumulative takes no day segment");
+      }
+      spec.aggregate = QuerySpec::Aggregate::kRollupInfraCumulative;
+      return true;
+    }
+    if (name == "users-daily") {
+      spec.aggregate = QuerySpec::Aggregate::kRollupUsersDaily;
+      if (segments.size() == 2) return true;  // list available days
+      if (segments.size() != 3) {
+        return fail(error, 404, "users-daily takes at most one day segment");
+      }
+      if (segments[2] == "*") return true;
+      const auto day = parse_civil_date(segments[2]);
+      if (!day.has_value() || *day < 0) {
+        return fail(error, 400,
+                    "malformed day '" + std::string(segments[2]) +
+                        "' (expected YYYY-MM-DD or *)",
+                    "day");
+      }
+      spec.day = static_cast<std::uint64_t>(*day);
+      return true;
+    }
+    return fail(error, 404,
+                "unknown rollup '" + std::string(name) +
+                    "' (expected users-daily or infra-cumulative)");
+  }
+
+  if (head == "summary") {
+    spec.aggregate = QuerySpec::Aggregate::kSummary;
+  } else if (head == "traffic") {
+    spec.aggregate = QuerySpec::Aggregate::kTraffic;
+  } else if (head == "users") {
+    spec.aggregate = QuerySpec::Aggregate::kUsers;
+  } else if (head == "infra") {
+    spec.aggregate = QuerySpec::Aggregate::kInfra;
+  } else {
+    return fail(error, 404,
+                "unknown aggregate '" + std::string(head) +
+                    "' (expected summary, traffic, users, infra, rollup or "
+                    "buckets)");
+  }
+
+  if (segments.size() > 3) {
+    return fail(error, 404, "too many path segments (max: "
+                            "/query/<aggregate>/<time>/<shard>)");
+  }
+
+  // Time selector (defaults to '*').
+  const auto time = segments.size() >= 2 ? segments[1] : std::string_view("*");
+  if (time.empty()) {
+    return fail(error, 400, "empty time selector", "time");
+  }
+  if (time == "*") {
+    // keep the full range
+  } else if (time == "latest") {
+    spec.latest_only = true;
+  } else if (const auto dots = time.find(".."); dots != std::string_view::npos) {
+    if (!parse_time_point(time.substr(0, dots), bucket_seconds,
+                          spec.min_bucket, error) ||
+        !parse_time_point(time.substr(dots + 2), bucket_seconds,
+                          spec.max_bucket, error)) {
+      return false;
+    }
+    if (spec.min_bucket > spec.max_bucket) {
+      return fail(error, 400, "time range start is after its end", "time");
+    }
+  } else {
+    if (!parse_time_point(time, bucket_seconds, spec.min_bucket, error)) {
+      return false;
+    }
+    spec.max_bucket = spec.min_bucket;
+  }
+
+  // Shard selector (defaults to '*').
+  if (segments.size() == 3 && segments[2] != "*") {
+    std::uint64_t shard = 0;
+    if (!parse_u64_strict(segments[2], shard) || shard > SIZE_MAX) {
+      return fail(error, 400,
+                  "malformed shard '" + std::string(segments[2]) +
+                      "' (expected * or a decimal shard id)",
+                  "shard");
+    }
+    spec.shard = static_cast<std::size_t>(shard);
+  }
+
+  if (spec.params.window_s != 0 &&
+      (spec.latest_only || spec.max_bucket != UINT64_MAX ||
+       spec.min_bucket != 0)) {
+    return fail(error, 400,
+                "window_s combines only with the '*' time selector",
+                "window_s");
+  }
+  return true;
+}
+
+}  // namespace adscope::store

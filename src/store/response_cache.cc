@@ -1,0 +1,99 @@
+#include "store/response_cache.h"
+
+#include <functional>
+
+namespace adscope::store {
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+ResponseCache::ResponseCache(ResponseCacheOptions options)
+    : options_(options) {
+  if (options_.shards == 0) options_.shards = 1;
+  options_.shards = round_up_pow2(options_.shards);
+  shard_budget_ = options_.capacity_bytes / options_.shards;
+  shards_.reserve(options_.shards);
+  for (std::size_t i = 0; i < options_.shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResponseCache::Shard& ResponseCache::shard_for(const std::string& key) {
+  const auto hash = std::hash<std::string>{}(key);
+  return *shards_[hash & (shards_.size() - 1)];
+}
+
+bool ResponseCache::get(const std::string& key, std::string& body) {
+  if (options_.capacity_bytes == 0) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = shard_for(key);
+  util::MutexLock lock(shard.mutex);
+  const auto it = shard.by_key.find(key);
+  if (it == shard.by_key.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  body = it->second->body;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResponseCache::put(const std::string& key, const std::string& body) {
+  if (options_.capacity_bytes == 0) return;
+  const std::size_t cost = key.size() + body.size();
+  if (cost > shard_budget_) return;
+
+  Shard& shard = shard_for(key);
+  util::MutexLock lock(shard.mutex);
+  if (const auto it = shard.by_key.find(key); it != shard.by_key.end()) {
+    shard.bytes -= entry_bytes(*it->second);
+    it->second->body = body;
+    shard.bytes += entry_bytes(*it->second);
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  shard.lru.push_front(Entry{key, body});
+  shard.by_key.emplace(key, shard.lru.begin());
+  shard.bytes += cost;
+  while (shard.bytes > shard_budget_ && !shard.lru.empty()) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= entry_bytes(victim);
+    shard.by_key.erase(victim.key);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResponseCache::clear() {
+  for (auto& shard : shards_) {
+    util::MutexLock lock(shard->mutex);
+    shard->lru.clear();
+    shard->by_key.clear();
+    shard->bytes = 0;
+  }
+}
+
+ResponseCacheCounters ResponseCache::counters() const {
+  ResponseCacheCounters counters;
+  counters.hits = hits_.load(std::memory_order_relaxed);
+  counters.misses = misses_.load(std::memory_order_relaxed);
+  counters.evictions = evictions_.load(std::memory_order_relaxed);
+  for (const auto& shard : shards_) {
+    util::MutexLock lock(shard->mutex);
+    counters.entries += shard->by_key.size();
+    counters.bytes += shard->bytes;
+  }
+  return counters;
+}
+
+}  // namespace adscope::store

@@ -1,0 +1,94 @@
+// ResponseCache — sharded LRU cache of rendered query responses.
+//
+// Keyed by the full response identity: canonical request path + params
+// + the store's state fingerprint (tree epoch and live ingest
+// counters). A key therefore never goes stale — new data changes the
+// fingerprint and old entries simply age out through LRU eviction, so
+// there is no invalidation path to get wrong.
+//
+// Sharding: the key hash picks a shard; each shard has its own mutex,
+// LRU list, and byte budget, so concurrent readers on different shards
+// never contend. Hit/miss/eviction counters feed /metrics.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "util/annotations.h"
+
+namespace adscope::store {
+
+struct ResponseCacheOptions {
+  /// Total byte budget across shards (key + body bytes). 0 disables
+  /// caching entirely: get() always misses, put() is a no-op.
+  std::size_t capacity_bytes = 8u << 20;
+  /// Power-of-two shard count. 1 gives a single global LRU order —
+  /// what the eviction-order unit tests use.
+  std::size_t shards = 8;
+};
+
+struct ResponseCacheCounters {
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  std::uint64_t evictions = 0;
+  std::size_t entries = 0;
+  std::size_t bytes = 0;
+};
+
+class ResponseCache {
+ public:
+  explicit ResponseCache(ResponseCacheOptions options);
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// Looks `key` up, copies the cached body into `body` on a hit and
+  /// promotes the entry to most-recently-used. Returns true on hit.
+  bool get(const std::string& key, std::string& body);
+
+  /// Inserts (or refreshes) `key` → `body`, evicting least-recently-used
+  /// entries from the shard until it fits its budget. An entry larger
+  /// than one shard's budget is not cached.
+  void put(const std::string& key, const std::string& body);
+
+  /// Drops every entry (counters are kept).
+  void clear();
+
+  ResponseCacheCounters counters() const;
+  std::size_t capacity_bytes() const noexcept {
+    return options_.capacity_bytes;
+  }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string body;
+  };
+  struct Shard {
+    util::Mutex mutex;
+    /// Front = most recently used.
+    std::list<Entry> lru ADSCOPE_GUARDED_BY(mutex);
+    std::unordered_map<std::string, std::list<Entry>::iterator> by_key
+        ADSCOPE_GUARDED_BY(mutex);
+    std::size_t bytes ADSCOPE_GUARDED_BY(mutex) = 0;
+  };
+
+  Shard& shard_for(const std::string& key);
+  static std::size_t entry_bytes(const Entry& entry) noexcept {
+    return entry.key.size() + entry.body.size();
+  }
+
+  ResponseCacheOptions options_;
+  std::size_t shard_budget_ = 0;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::atomic<std::uint64_t> hits_{0};
+  mutable std::atomic<std::uint64_t> misses_{0};
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace adscope::store

@@ -1,4 +1,4 @@
-#include "live/study_json.h"
+#include "store/study_json.h"
 
 #include <array>
 
@@ -6,7 +6,7 @@
 #include "core/report.h"
 #include "stats/json.h"
 
-namespace adscope::live {
+namespace adscope::store {
 
 namespace {
 
@@ -17,7 +17,7 @@ double share(std::uint64_t part, std::uint64_t whole) {
                     : static_cast<double>(part) / static_cast<double>(whole);
 }
 
-void write_window(JsonWriter& json, const StudySnapshot& snapshot) {
+void write_window(JsonWriter& json, const core::StudySnapshot& snapshot) {
   json.key("window").begin_object();
   json.field("bucket_seconds", snapshot.bucket_seconds);
   json.field("buckets_merged", snapshot.buckets_merged());
@@ -31,7 +31,7 @@ void write_window(JsonWriter& json, const StudySnapshot& snapshot) {
   json.end_object();
 }
 
-void write_trace(JsonWriter& json, const StudySnapshot& snapshot) {
+void write_trace(JsonWriter& json, const core::StudySnapshot& snapshot) {
   const auto& meta = snapshot.meta();
   json.key("trace").begin_object();
   json.field("name", meta.name);
@@ -63,7 +63,7 @@ void write_classes(JsonWriter& json, const core::InferenceResult& inference) {
 
 }  // namespace
 
-std::string summary_json(const StudySnapshot& snapshot) {
+std::string summary_json(const core::StudySnapshot& snapshot) {
   const auto view = snapshot.view();
   const auto inference = view.inference();
   const auto& traffic = *view.traffic;
@@ -108,7 +108,7 @@ std::string summary_json(const StudySnapshot& snapshot) {
   return json.str();
 }
 
-std::string traffic_json(const StudySnapshot& snapshot) {
+std::string traffic_json(const core::StudySnapshot& snapshot) {
   const auto view = snapshot.view();
   const auto& traffic = *view.traffic;
   const auto ads = traffic.ad_requests();
@@ -192,7 +192,7 @@ std::string traffic_json(const StudySnapshot& snapshot) {
   return json.str();
 }
 
-std::string users_json(const StudySnapshot& snapshot) {
+std::string users_json(const core::StudySnapshot& snapshot) {
   const auto view = snapshot.view();
   const auto inference = view.inference();
   const auto configurations = view.configurations(inference);
@@ -243,7 +243,7 @@ std::string users_json(const StudySnapshot& snapshot) {
   return json.str();
 }
 
-std::string infra_json(const StudySnapshot& snapshot,
+std::string infra_json(const core::StudySnapshot& snapshot,
                        const netdb::AsnDatabase* asn_db, std::size_t top_n) {
   const auto view = snapshot.view();
   const auto& infra = *view.infra;
@@ -288,4 +288,4 @@ std::string infra_json(const StudySnapshot& snapshot,
   return json.str();
 }
 
-}  // namespace adscope::live
+}  // namespace adscope::store

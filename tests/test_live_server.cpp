@@ -109,11 +109,13 @@ class LiveServerTest : public ::testing::Test {
     return core::render_full_report(view, &eco().asn_db());
   }
 
-  /// One short-lived HTTP/1.0-style exchange against `port`.
+  /// One short-lived exchange against `port`; Connection: close keeps
+  /// the read-until-EOF below from waiting out the keep-alive idle
+  /// timeout (tests/test_query_api.cpp covers the keep-alive path).
   static std::string http_get(std::uint16_t port, const std::string& target) {
     auto fd = util::connect_tcp("127.0.0.1", port);
     const std::string request =
-        "GET " + target + " HTTP/1.1\r\nHost: test\r\n\r\n";
+        "GET " + target + " HTTP/1.1\r\nHost: test\r\nConnection: close\r\n\r\n";
     EXPECT_TRUE(util::send_all(fd.get(), request));
     std::string response;
     char chunk[4096];

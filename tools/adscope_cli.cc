@@ -7,6 +7,8 @@
 //   adscope lists       write the generated filter lists as ABP text
 //   adscope classify    one-shot URL classification
 //   adscope replay      stream a trace into a running adscoped daemon
+//   adscope query       answer /query paths over a trace offline, via
+//                       the same snapshot store the daemon serves
 //   adscope lint        static analysis over ABP filter lists
 //
 // Run without arguments for the option reference.
@@ -29,6 +31,8 @@
 #include "sim/ecosystem.h"
 #include "sim/listgen.h"
 #include "sim/rbn_sim.h"
+#include "live/live_study.h"
+#include "store/store_service.h"
 #include "trace/mmap_reader.h"
 #include "trace/reader.h"
 #include "trace/writer.h"
@@ -376,6 +380,93 @@ int cmd_replay(const Args& args) {
   return 0;
 }
 
+// `query` replays a trace into an offline snapshot store and answers
+// /query paths against it — the same engine the daemon serves over
+// HTTP, so the printed bodies match wire responses byte for byte.
+// Takes positional PATH arguments plus --key value options.
+int cmd_query(int argc, char** argv) {
+  std::vector<std::string> paths;
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      auto key = arg.substr(2);
+      if (const auto eq = key.find('='); eq != std::string::npos) {
+        args.named[key.substr(0, eq)] = key.substr(eq + 1);
+      } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0 &&
+                 std::strncmp(argv[i + 1], "/query", 6) != 0) {
+        args.named[key] = argv[++i];
+      } else {
+        args.named[key] = "";
+      }
+    } else {
+      paths.push_back(std::move(arg));
+    }
+  }
+  const auto trace_path = args.get("trace");
+  if (trace_path.empty() || paths.empty()) {
+    std::fprintf(stderr,
+                 "query: --trace and at least one /query path required\n"
+                 "usage: adscope query --trace FILE [--bucket-s N] "
+                 "[--threads N] [--seed S] [--retention N] [--active-min N] "
+                 "PATH...\n");
+    return 2;
+  }
+
+  WorldBundle world(args.get_u64("seed", 42));
+
+  live::LiveStudyOptions options;
+  options.study.inference.min_requests = args.get_u64("active-min", 1000);
+  options.study.classifier.classify_cache = args.get_u64("classify-cache", 4096);
+  options.threads = args.get_u64("threads", 1);
+  options.bucket_seconds = args.get_u64("bucket-s", 300);
+  options.window_buckets = UINT64_MAX;  // offline: keep every bucket
+
+  store::StoreServiceOptions store_options;
+  store_options.tree.study = options.study;
+  store_options.tree.bucket_seconds = options.bucket_seconds;
+  const auto retention_s = args.get_u64("retention", 0);
+  store_options.tree.retention_buckets =
+      retention_s == 0
+          ? 0
+          : (retention_s + options.bucket_seconds - 1) / options.bucket_seconds;
+  store::StoreService store(store_options, &world.ecosystem.asn_db());
+
+  options.on_seal = [&store](std::uint64_t bucket_id, std::size_t shard,
+                             const core::TraceStudy& sealed) {
+    store.tree().ingest(bucket_id, shard, sealed);
+  };
+  live::LiveStudy study(world.engine, world.ecosystem.abp_registry(), options);
+
+  std::uint64_t records = 0;
+  if (trace::MmapTraceReader::supported(trace_path)) {
+    trace::MmapTraceReader reader(trace_path);
+    records = reader.replay(study);
+  } else {
+    trace::FileTraceReader reader(trace_path);
+    records = reader.replay(study);
+  }
+  study.seal_all();
+  study.flush();
+  store.set_live_stats([&study] {
+    return store::LiveStats{study.watermark_ms(), study.records_ingested(),
+                            study.total_drops(), study.current_bucket()};
+  });
+  std::fprintf(stderr, "query: %llu records -> %zu store bucket(s)\n",
+               static_cast<unsigned long long>(records),
+               store.tree().bucket_count());
+
+  bool failed = false;
+  for (const auto& path : paths) {
+    const auto response = store.query(path);
+    if (response.status != 200) failed = true;
+    std::fputs(response.body.c_str(), stdout);
+    std::fputc('\n', stdout);
+  }
+  study.close();
+  return failed ? 1 : 0;
+}
+
 // `lint` takes positional FILE arguments plus --key=value options, which
 // the shared Args parser does not model; it parses argv itself.
 int cmd_lint(int argc, char** argv) {
@@ -453,8 +544,8 @@ int cmd_lint(int argc, char** argv) {
 
 void usage() {
   std::fputs(
-      "usage: adscope <gen|study|export-pcap|lists|classify|replay|lint> "
-      "[options]\n"
+      "usage: adscope <gen|study|export-pcap|lists|classify|replay|query|"
+      "lint> [options]\n"
       "  gen        --out FILE [--households N] [--hours H] [--rbn1] [--seed S]\n"
       "  study      --trace FILE | --pcap FILE  [--log FILE --privacy "
       "fqdn|full]\n"
@@ -469,6 +560,10 @@ void usage() {
       "  replay   --trace FILE [--host H] [--port N | --unix PATH]\n"
       "           [--speedup X] [--presorted]  trust file timestamp order\n"
       "                                        (enables zero-copy send)\n"
+      "  query    --trace FILE PATH...  [--bucket-s N] [--threads N]\n"
+      "           [--seed S] [--retention N] [--active-min N]\n"
+      "           PATHs are /query targets (grammar: docs/QUERY.md);\n"
+      "           exit 0 = all 200, 1 = any error response\n"
       "  lint     FILE... [--format=text|json] [--prune-dir DIR]\n"
       "           exit 0 = clean, 1 = error findings, 2 = usage\n",
       stderr);
@@ -485,6 +580,7 @@ int main(int argc, char** argv) {
   const auto args = parse_args(argc, argv, 2);
   try {
     if (command == "lint") return cmd_lint(argc, argv);
+    if (command == "query") return cmd_query(argc, argv);
     if (command == "gen") return cmd_gen(args);
     if (command == "study") return cmd_study(args);
     if (command == "export-pcap") return cmd_export_pcap(args);

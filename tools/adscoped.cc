@@ -26,6 +26,7 @@
 #include "live/study_json.h"
 #include "sim/ecosystem.h"
 #include "sim/listgen.h"
+#include "store/store_service.h"
 
 namespace {
 
@@ -80,6 +81,10 @@ void usage() {
       "                    producer's (default 42)\n"
       "  --snapshot-out F  final snapshot JSON on shutdown\n"
       "                    (default adscoped_snapshot.json, \"\" = skip)\n"
+      "  --store-retention N  snapshot-store history span, seconds\n"
+      "                    (default: the --window-s span; 0 = unbounded)\n"
+      "  --store-cache-mb N  query response cache budget, MiB\n"
+      "                    (default 8, 0 disables caching)\n"
       "  --public          listen on all interfaces, not just loopback\n",
       stderr);
 }
@@ -105,7 +110,30 @@ int run(const Args& args) {
   const auto window_s = args.get_u64("window-s", 86400);
   options.window_buckets =
       (window_s + options.bucket_seconds - 1) / options.bucket_seconds;
+
+  // Snapshot store: owns sealed-study copies, so it must outlive the
+  // LiveStudy whose workers feed it through on_seal.
+  store::StoreServiceOptions store_options;
+  store_options.tree.study = options.study;
+  store_options.tree.bucket_seconds = options.bucket_seconds;
+  const auto retention_s = args.get_u64("store-retention", window_s);
+  store_options.tree.retention_buckets =
+      retention_s == 0
+          ? 0
+          : (retention_s + options.bucket_seconds - 1) / options.bucket_seconds;
+  store_options.cache.capacity_bytes =
+      static_cast<std::size_t>(args.get_u64("store-cache-mb", 8)) << 20;
+  store::StoreService store(store_options, &ecosystem.asn_db());
+
+  options.on_seal = [&store](std::uint64_t bucket_id, std::size_t shard,
+                             const core::TraceStudy& sealed) {
+    store.tree().ingest(bucket_id, shard, sealed);
+  };
   live::LiveStudy study(engine, ecosystem.abp_registry(), options);
+  store.set_live_stats([&study] {
+    return store::LiveStats{study.watermark_ms(), study.records_ingested(),
+                            study.total_drops(), study.current_bucket()};
+  });
 
   const bool loopback_only = !args.flag("public");
   const auto unix_path = args.get("unix");
@@ -121,7 +149,7 @@ int run(const Args& args) {
       static_cast<std::uint16_t>(args.get_u64("http-port", 7317)),
       loopback_only);
   live::HttpEndpoint endpoint(study, std::move(http_socket),
-                              &ecosystem.asn_db(), &ingest);
+                              &ecosystem.asn_db(), &ingest, &store);
 
   ingest.start();
   endpoint.start();
@@ -137,6 +165,11 @@ int run(const Args& args) {
       study.shard_count(),
       static_cast<unsigned long long>(study.bucket_seconds()),
       static_cast<unsigned long long>(study.window_buckets()));
+  std::printf(
+      "adscoped: snapshot store retains %llu bucket(s) (0 = unbounded), "
+      "%zu KiB response cache\n",
+      static_cast<unsigned long long>(store.tree().retention_buckets()),
+      store.cache_capacity_bytes() >> 10);
 
   struct sigaction action {};
   action.sa_handler = handle_stop_signal;
